@@ -1,0 +1,54 @@
+// Ablation: link-contention discipline. The paper's CSIM NodeTree "holds the
+// communication link" for each transfer (exclusive FIFO); real TCP flows
+// approximate max-min fair sharing. The headline comparison (EDF vs LF in
+// failure mode) should be robust to this modeling choice — this harness
+// verifies that both disciplines produce the same winner and similar margins.
+//
+// Usage: ablation_contention [--seeds N]   (default 15)
+
+#include <iostream>
+
+#include "common.h"
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+
+using namespace dfs;
+
+int main(int argc, char** argv) {
+  const int seeds = bench::seeds_from_args(argc, argv, 15);
+  std::cout << "Ablation: exclusive-FIFO (paper's NodeTree) vs max-min fair "
+               "share, default cluster, single-node failure, "
+            << seeds << " samples\n";
+
+  util::Table t({"contention model", "LF norm (mean)", "EDF norm (mean)",
+                 "EDF cut"});
+  for (const auto& [model, name] :
+       {std::pair{net::ContentionModel::kMaxMinFairShare, "max-min fair"},
+        {net::ContentionModel::kExclusiveFifo, "exclusive FIFO"}}) {
+    auto cfg = workload::default_sim_cluster();
+    cfg.contention = model;
+    core::LocalityFirstScheduler lf;
+    auto edf = core::DegradedFirstScheduler::enhanced();
+    std::vector<double> lf_norm, edf_norm;
+    for (int s = 0; s < seeds; ++s) {
+      util::Rng rng(static_cast<std::uint64_t>(s) * 331 + 29);
+      const auto job = workload::make_sim_job(0, workload::SimJobOptions{},
+                                              cfg.topology, rng);
+      const auto failure = storage::single_node_failure(cfg.topology, rng);
+      const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+      lf_norm.push_back(
+          bench::normalized_runtime_sample(cfg, job, failure, lf, seed));
+      edf_norm.push_back(
+          bench::normalized_runtime_sample(cfg, job, failure, edf, seed));
+    }
+    const double lm = util::summarize(lf_norm).mean;
+    const double em = util::summarize(edf_norm).mean;
+    t.add_row({name, util::Table::num(lm, 3), util::Table::num(em, 3),
+               util::Table::pct(util::reduction_percent(lm, em), 1)});
+  }
+  std::cout << t
+            << "Expected: EDF wins by a similar margin under both "
+               "disciplines — the paper's conclusion\ndoes not hinge on the "
+               "hold-the-link simplification.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension bench: MapReduce in failure mode *while the cluster repairs
+// itself*. HDFS-RAID's RaidNode rebuilds the lost blocks in the background;
+// its reconstruction reads compete with the job's traffic on the same rack
+// links. This harness measures how concurrent repair changes the LF vs EDF
+// comparison, and how long the repair itself takes under each scheduler's
+// traffic pattern.
+//
+// Usage: ablation_repair [--seeds N]   (default 10)
+
+#include <iostream>
+
+#include "common.h"
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/mapreduce/repair.h"
+
+using namespace dfs;
+
+int main(int argc, char** argv) {
+  const int seeds = bench::seeds_from_args(argc, argv, 10);
+  const auto cfg = workload::default_sim_cluster();
+  std::cout << "MapReduce + background repair (concurrency 4), single-node "
+               "failure, "
+            << seeds << " samples\n";
+
+  core::LocalityFirstScheduler lf;
+  auto edf = core::DegradedFirstScheduler::enhanced();
+  util::Table t({"repair", "scheduler", "job runtime (s)",
+                 "repair done (s)", "blocks rebuilt"});
+  for (const bool with_repair : {false, true}) {
+    for (core::Scheduler* sched : {static_cast<core::Scheduler*>(&lf),
+                                   static_cast<core::Scheduler*>(&edf)}) {
+      std::vector<double> runtime, repair_done, rebuilt;
+      for (int s = 0; s < seeds; ++s) {
+        util::Rng rng(static_cast<std::uint64_t>(s) * 823 + 61);
+        const auto job = workload::make_sim_job(0, workload::SimJobOptions{},
+                                                cfg.topology, rng);
+        const auto failure = storage::single_node_failure(cfg.topology, rng);
+        const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+
+        mapreduce::MapReduceSimulation sim(cfg, {job}, failure, *sched, seed);
+        std::unique_ptr<mapreduce::RepairProcess> repair;
+        if (with_repair) {
+          mapreduce::RepairProcess::Options opts;
+          opts.concurrency = 4;
+          opts.block_size = cfg.block_size;
+          repair = std::make_unique<mapreduce::RepairProcess>(
+              sim.simulator(), sim.network(), *job.layout, *job.code, failure,
+              opts, util::Rng(seed * 13 + 1));
+          repair->start();
+        }
+        const auto result = sim.run();
+        runtime.push_back(result.single_job_runtime());
+        if (repair) {
+          repair_done.push_back(repair->stats().finish_time);
+          rebuilt.push_back(
+              static_cast<double>(repair->stats().blocks_repaired));
+        }
+      }
+      t.add_row({with_repair ? "on" : "off", sched->name(),
+                 util::Table::num(util::summarize(runtime).mean, 1),
+                 with_repair
+                     ? util::Table::num(util::summarize(repair_done).mean, 1)
+                     : "-",
+                 with_repair
+                     ? util::Table::num(util::summarize(rebuilt).mean, 1)
+                     : "-"});
+    }
+  }
+  std::cout << t
+            << "Expected: repair traffic slows both schedulers, but EDF's "
+               "paced degraded reads coexist\nwith it better than LF's "
+               "end-of-phase burst; EDF keeps a solid margin.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/storage/failure.h"
+#include "dfs/util/stats.h"
+#include "dfs/util/table.h"
+#include "dfs/workload/scenarios.h"
+
+namespace dfs::bench {
+
+/// Parses "--seeds N" (defaulting to `def`, the paper uses 30 samples per
+/// boxplot) so CI and quick local runs can shrink the sweep.
+inline int seeds_from_args(int argc, char** argv, int def = 30) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0) return std::atoi(argv[i + 1]);
+  }
+  const char* env = std::getenv("DFS_BENCH_SEEDS");
+  if (env != nullptr) return std::atoi(env);
+  return def;
+}
+
+/// Renders a five-number summary the way the paper's boxplots report it.
+inline std::vector<std::string> boxplot_cells(const util::BoxPlot& b,
+                                              int precision = 2) {
+  return {util::Table::num(b.median, precision),
+          util::Table::num(b.q1, precision),
+          util::Table::num(b.q3, precision),
+          util::Table::num(b.min, precision),
+          util::Table::num(b.max, precision),
+          util::Table::num(b.mean, precision)};
+}
+
+inline std::vector<std::string> boxplot_header(const std::string& label) {
+  return {label, "median", "q1", "q3", "lo", "hi", "mean"};
+}
+
+/// One failure-mode sample: runtime of the (single) job under `sched`,
+/// normalized by the same seed's normal-mode runtime.
+inline double normalized_runtime_sample(
+    const mapreduce::ClusterConfig& cfg, const mapreduce::JobInput& job,
+    const storage::FailureScenario& failure, core::Scheduler& sched,
+    std::uint64_t seed) {
+  const double failed = mapreduce::simulate(cfg, {job}, failure, sched, seed)
+                            .single_job_runtime();
+  const double normal =
+      mapreduce::simulate(cfg, {job}, storage::no_failure(), sched, seed)
+          .single_job_runtime();
+  return failed / normal;
+}
+
+}  // namespace dfs::bench

@@ -1,0 +1,140 @@
+// Reproduces the §III motivating example (Figs. 2 and 3): a five-node,
+// two-rack cluster with 100 Mbps links, a 12-block file under a (4,2) code,
+// and node 1 failing. Two views are reported:
+//
+//  1. An *idealized lock-step replay* of the paper's hand-built schedules:
+//     Fig. 3(a) (locality-first: all degraded reads start together after the
+//     local tasks) must end at 40 s, and Fig. 3(b) (degraded-first: two
+//     degraded tasks moved to the front) at 30 s — the paper's 25% saving.
+//     The replay drives the flow-level network directly, so it checks that
+//     our contention model reproduces the example's arithmetic (two
+//     cross-rack reads into one rack double the download time).
+//
+//  2. The *organic* heartbeat-driven schedulers (Algorithms 1 and 2) on the
+//     same cluster. LF is somewhat worse than the idealized 40 s because a
+//     real master can hand two degraded tasks to whichever node heartbeats
+//     first, stacking four block downloads on one downlink — exactly the
+//     competition pathology the paper describes.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/util/stats.h"
+#include "dfs/util/table.h"
+#include "dfs/workload/scenarios.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr double kProcess = 10.0;  // map-task processing time (s)
+
+/// One degraded task of the replay: reader node, parity source node, and the
+/// time its degraded read starts.
+struct ReplayTask {
+  net::NodeId reader;
+  net::NodeId source;
+  double start;
+};
+
+/// Drives the narrative's schedule through the flow-level network and
+/// returns when the map phase ends. `locals_per_node[i]` local tasks start
+/// back-to-back on each node from t=0 (2 slots each, all node-local).
+double replay(const std::vector<ReplayTask>& degraded) {
+  const auto ex = workload::motivating_example();
+  sim::Simulator sim;
+  net::Network net(sim, ex.cluster.topology, ex.cluster.links);
+  double map_end = 0.0;
+  // Eight local tasks, two per surviving node, run 0-10 s in one wave.
+  map_end = kProcess;
+  for (const ReplayTask& t : degraded) {
+    sim.schedule_at(t.start, [&, t] {
+      net.transfer(t.source, t.reader, ex.cluster.block_size, [&] {
+        const double done = sim.now() + kProcess;
+        map_end = std::max(map_end, done);
+      });
+    });
+  }
+  sim.run();
+  return map_end;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 3: motivating example (5 nodes / 2 racks, (4,2) code,"
+               " 100 Mbps, node 1 fails)\n";
+
+  // Node ids: 0 = failed Node1; 1,2 = rack A (Nodes 2,3); 3,4 = rack B
+  // (Nodes 4,5). Parity locations follow Fig. 2: P00@N5, P10@N5, P20@N3,
+  // P30@N4 (the narrative pins P20 to Node3 and P30 to Node4; P00 and P10
+  // are only required to live in rack B, and placing both on Node5 is what
+  // makes Fig. 3(a)'s accounting work: their contention is the rack-A
+  // downlink, nothing else).
+  util::print_section(std::cout, "Idealized lock-step replay");
+  {
+    // Fig. 3(a): all four degraded reads start at t=10 s. Nodes 2 and 3
+    // compete for rack A's downlink (10 s -> 20 s each).
+    const double lf = replay({
+        {1, 4, kProcess},  // Node2 <- P00 from Node5 (cross-rack)
+        {2, 4, kProcess},  // Node3 <- P10 from Node5 (cross-rack)
+        {3, 2, kProcess},  // Node4 <- P20 from Node3 (cross-rack)
+        {4, 3, kProcess},  // Node5 <- P30 from Node4 (same rack)
+    });
+    // Fig. 3(b): degraded tasks for B00 and B20 move to the start; no two
+    // concurrent degraded reads ever share a link.
+    const double df = replay({
+        {1, 4, 0.0},
+        {3, 2, 0.0},
+        {2, 4, kProcess},
+        {4, 3, kProcess},
+    });
+    util::Table t({"schedule", "map phase (s)", "paper"});
+    t.add_row({"locality-first (Fig 3a)", util::Table::num(lf, 1), "40"});
+    t.add_row({"degraded-first (Fig 3b)", util::Table::num(df, 1), "30"});
+    t.add_row({"saving", util::Table::pct((lf - df) / lf * 100.0, 1), "25%"});
+    std::cout << t;
+  }
+
+  util::print_section(std::cout,
+                      "Organic heartbeat-driven schedulers (10 seeds)");
+  {
+    const auto ex = workload::motivating_example();
+    core::LocalityFirstScheduler lf;
+    auto bdf = core::DegradedFirstScheduler::basic();
+    std::vector<double> lf_ends, df_ends;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      lf_ends.push_back(
+          mapreduce::simulate(ex.cluster, {ex.job}, ex.failure, lf, seed,
+                              storage::SourceSelection::kPreferSameRack)
+              .jobs[0]
+              .map_phase_end);
+      df_ends.push_back(
+          mapreduce::simulate(ex.cluster, {ex.job}, ex.failure, bdf, seed,
+                              storage::SourceSelection::kPreferSameRack)
+              .jobs[0]
+              .map_phase_end);
+    }
+    const auto lf_s = util::summarize(lf_ends);
+    const auto df_s = util::summarize(df_ends);
+    util::Table t({"scheduler", "mean map phase (s)", "min", "max"});
+    t.add_row({"LF (Alg 1)", util::Table::num(lf_s.mean, 1),
+               util::Table::num(lf_s.min, 1), util::Table::num(lf_s.max, 1)});
+    t.add_row({"BDF (Alg 2)", util::Table::num(df_s.mean, 1),
+               util::Table::num(df_s.min, 1), util::Table::num(df_s.max, 1)});
+    t.add_row({"saving",
+               util::Table::pct((lf_s.mean - df_s.mean) / lf_s.mean * 100.0, 1),
+               "", ""});
+    std::cout << t
+              << "Note: organic LF exceeds the idealized 40 s whenever one "
+                 "node grabs two degraded\ntasks on its two slots — the "
+                 "bandwidth competition the paper's example motivates.\n";
+  }
+  return 0;
+}

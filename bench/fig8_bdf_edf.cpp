@@ -1,0 +1,147 @@
+// Reproduces Figure 8 of the paper: basic (BDF) vs enhanced (EDF)
+// degraded-first scheduling, compared against locality-first (LF) in
+// failure mode (single node), over homogeneous and heterogeneous clusters
+// plus the §V-C extreme case.
+//
+//   (a) % change in remote tasks vs LF     — paper: BDF +35.4%/+25.4%,
+//                                                   EDF -10.7%/-6.7%
+//   (b) % reduction in degraded read time  — paper: BDF 80.5%/83.1%,
+//                                                   EDF 85.4%/85.5%
+//   (c) % reduction in MapReduce runtime   — paper: BDF 32.3%/24.4%,
+//                                                   EDF 34.0%/27.9%
+//   (d) extreme case runtime reduction     — paper: BDF 11.7%, EDF 32.6%
+//
+// Usage: fig8_bdf_edf [--seeds N]   (default 30)
+
+#include <iostream>
+
+#include "common.h"
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+
+using namespace dfs;
+
+namespace {
+
+int g_seeds = 30;
+
+struct SchemeStats {
+  std::vector<double> remote_change;  // % vs LF
+  std::vector<double> drt_reduction;  // % vs LF
+  std::vector<double> runtime_reduction;
+};
+
+void collect(const mapreduce::ClusterConfig& cfg,
+             const workload::SimJobOptions& opts, SchemeStats& bdf_stats,
+             SchemeStats& edf_stats,
+             const std::vector<net::NodeId>& exclude_from_failure = {}) {
+  core::LocalityFirstScheduler lf;
+  auto bdf = core::DegradedFirstScheduler::basic();
+  auto edf = core::DegradedFirstScheduler::enhanced();
+  for (int s = 0; s < g_seeds; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 6151 + 3);
+    const auto job = workload::make_sim_job(0, opts, cfg.topology, rng);
+    const auto failure =
+        exclude_from_failure.empty()
+            ? storage::single_node_failure(cfg.topology, rng)
+            : storage::single_node_failure_excluding(cfg.topology, rng,
+                                                     exclude_from_failure);
+    const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+    const auto rl = mapreduce::simulate(cfg, {job}, failure, lf, seed);
+    const auto rb = mapreduce::simulate(cfg, {job}, failure, bdf, seed);
+    const auto re = mapreduce::simulate(cfg, {job}, failure, edf, seed);
+    auto record = [&](const mapreduce::RunResult& r, SchemeStats& out) {
+      if (rl.jobs[0].remote_tasks > 0) {
+        out.remote_change.push_back(
+            100.0 *
+            (r.jobs[0].remote_tasks - rl.jobs[0].remote_tasks) /
+            rl.jobs[0].remote_tasks);
+      }
+      out.drt_reduction.push_back(util::reduction_percent(
+          rl.mean_degraded_read_time(), r.mean_degraded_read_time()));
+      out.runtime_reduction.push_back(util::reduction_percent(
+          rl.jobs[0].runtime(), r.jobs[0].runtime()));
+    };
+    record(rb, bdf_stats);
+    record(re, edf_stats);
+  }
+}
+
+void print_panel(const std::string& title, const SchemeStats& homo_bdf,
+                 const SchemeStats& homo_edf, const SchemeStats& het_bdf,
+                 const SchemeStats& het_edf,
+                 std::vector<double> SchemeStats::*member,
+                 const std::string& paper_note) {
+  util::print_section(std::cout, title);
+  util::Table t({"cluster", "scheme", "median", "q1", "q3", "mean"});
+  auto row = [&](const std::string& cl, const std::string& sch,
+                 const SchemeStats& st) {
+    const auto b = util::boxplot(st.*member);
+    t.add_row({cl, sch, util::Table::num(b.median, 1),
+               util::Table::num(b.q1, 1), util::Table::num(b.q3, 1),
+               util::Table::num(b.mean, 1)});
+  };
+  row("homogeneous", "BDF", homo_bdf);
+  row("homogeneous", "EDF", homo_edf);
+  row("heterogeneous", "BDF", het_bdf);
+  row("heterogeneous", "EDF", het_edf);
+  std::cout << t << paper_note << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_seeds = bench::seeds_from_args(argc, argv);
+  std::cout << "Figure 8: BDF vs EDF vs LF, single-node failure, " << g_seeds
+            << " samples per setting\n";
+
+  SchemeStats homo_bdf, homo_edf, het_bdf, het_edf;
+  collect(workload::default_sim_cluster(), workload::SimJobOptions{},
+          homo_bdf, homo_edf);
+  collect(workload::heterogeneous_sim_cluster(), workload::SimJobOptions{},
+          het_bdf, het_edf);
+
+  print_panel("Fig 8(a): % change in remote tasks vs LF", homo_bdf, homo_edf,
+              het_bdf, het_edf, &SchemeStats::remote_change,
+              "Paper: BDF +35.4%/+25.4% (homo/hetero); EDF -10.7%/-6.7%.");
+  print_panel("Fig 8(b): % reduction in degraded read time vs LF", homo_bdf,
+              homo_edf, het_bdf, het_edf, &SchemeStats::drt_reduction,
+              "Paper: BDF 80.5%/83.1%; EDF 85.4%/85.5%.");
+  print_panel("Fig 8(c): % reduction in MapReduce runtime vs LF", homo_bdf,
+              homo_edf, het_bdf, het_edf, &SchemeStats::runtime_reduction,
+              "Paper: BDF 32.3%/24.4%; EDF 34.0%/27.9%.");
+
+  util::print_section(
+      std::cout,
+      "Fig 8(d): extreme case (5 bad nodes 10x slower, map-only 150 blocks)");
+  {
+    const auto cfg = workload::extreme_sim_cluster(5);
+    std::vector<net::NodeId> bad;
+    for (net::NodeId n = 0; n < cfg.topology.num_nodes(); ++n) {
+      if (cfg.time_scale(n) > 1.0) bad.push_back(n);
+    }
+    workload::SimJobOptions opts;
+    opts.num_blocks = 150;
+    opts.map_time = {3.0, 0.2};
+    opts.num_reducers = 0;
+    opts.shuffle_ratio = 0.0;
+    SchemeStats bdf_stats, edf_stats;
+    collect(cfg, opts, bdf_stats, edf_stats, bad);
+    util::Table t({"scheme", "runtime cut vs LF (median)", "(mean)",
+                   "remote change vs LF (mean)", "drt cut vs LF (mean)"});
+    auto row = [&](const std::string& name, const SchemeStats& st) {
+      const auto rb = util::boxplot(st.runtime_reduction);
+      t.add_row({name, util::Table::pct(rb.median, 1),
+                 util::Table::pct(rb.mean, 1),
+                 util::Table::pct(util::summarize(st.remote_change).mean, 1),
+                 util::Table::pct(util::summarize(st.drt_reduction).mean, 1)});
+    };
+    row("BDF", bdf_stats);
+    row("EDF", edf_stats);
+    std::cout << t
+              << "Paper: BDF cuts runtime only 11.7% on average, EDF 32.6%; "
+                 "EDF has 36.1% fewer remote\ntasks and 34.6% less degraded "
+                 "read time than BDF in this case.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Microbenchmarks for the erasure-coding substrate: GF(2^8) region kernels,
+// encode/decode throughput of the matrix Reed-Solomon, bit-matrix Cauchy
+// Reed-Solomon, and LRC paths, and the degraded-read planning cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "dfs/ec/cauchy.h"
+#include "dfs/ec/gf256.h"
+#include "dfs/ec/lrc.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/util/rng.h"
+
+namespace {
+
+using dfs::ec::Shard;
+
+std::vector<Shard> random_shards(int count, std::size_t len,
+                                 std::uint64_t seed = 99) {
+  dfs::util::Rng rng(seed);
+  std::vector<Shard> shards(static_cast<std::size_t>(count), Shard(len));
+  for (auto& s : shards) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return shards;
+}
+
+void BM_Gf256MulAddRegion(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  Shard dst(len, 0x3c), src(len, 0x5a);
+  for (auto _ : state) {
+    dfs::ec::gf256::mul_add_region(dst.data(), src.data(), 0x57, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Gf256MulAddRegion)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_Gf256XorRegion(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  Shard dst(len, 0x3c), src(len, 0x5a);
+  for (auto _ : state) {
+    dfs::ec::gf256::xor_region(dst.data(), src.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Gf256XorRegion)->Arg(65536)->Arg(1 << 20);
+
+template <typename MakeCode>
+void encode_bench(benchmark::State& state, MakeCode make, int n, int k) {
+  const auto code = make(n, k);
+  const auto data = random_shards(k, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parity = code->encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)) * k);
+}
+
+void BM_RsEncode_12_10(benchmark::State& state) {
+  encode_bench(state, dfs::ec::make_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_RsEncode_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_RsEncode_16_12(benchmark::State& state) {
+  encode_bench(state, dfs::ec::make_reed_solomon, 16, 12);
+}
+BENCHMARK(BM_RsEncode_16_12)->Arg(65536);
+
+void BM_CrsEncode_12_10(benchmark::State& state) {
+  encode_bench(state, dfs::ec::make_cauchy_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_CrsEncode_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_LrcEncode_12_2_2(benchmark::State& state) {
+  const auto code = dfs::ec::make_lrc(12, 2, 2);
+  const auto data =
+      random_shards(12, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parity = code->encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)) * 12);
+}
+BENCHMARK(BM_LrcEncode_12_2_2)->Arg(65536);
+
+template <typename MakeCode>
+void single_decode_bench(benchmark::State& state, MakeCode make, int n,
+                         int k) {
+  const auto code = make(n, k);
+  const auto data = random_shards(k, static_cast<std::size_t>(state.range(0)));
+  std::vector<Shard> stripe = data;
+  for (auto& p : code->encode(data)) stripe.push_back(std::move(p));
+  // Degraded read of shard 0 from the first k survivors.
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i = 1; i <= k; ++i) {
+    present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+  }
+  for (auto _ : state) {
+    auto rebuilt = code->reconstruct(present, {0});
+    benchmark::DoNotOptimize(rebuilt->front().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+
+void BM_RsDegradedDecode_12_10(benchmark::State& state) {
+  single_decode_bench(state, dfs::ec::make_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_RsDegradedDecode_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_CrsDegradedDecode_12_10(benchmark::State& state) {
+  single_decode_bench(state, dfs::ec::make_cauchy_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_CrsDegradedDecode_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_LrcLocalRepair(benchmark::State& state) {
+  // LRC(12,2,2): local repair reads the 6-shard group instead of 12 shards.
+  const auto code = dfs::ec::make_lrc(12, 2, 2);
+  const auto data =
+      random_shards(12, static_cast<std::size_t>(state.range(0)));
+  std::vector<Shard> stripe = data;
+  for (auto& p : code->encode(data)) stripe.push_back(std::move(p));
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i : {1, 2, 3, 4, 5, 12}) {
+    present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+  }
+  for (auto _ : state) {
+    auto rebuilt = code->reconstruct(present, {0});
+    benchmark::DoNotOptimize(rebuilt->front().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_LrcLocalRepair)->Arg(65536);
+
+void BM_PlanRead_20_15(benchmark::State& state) {
+  const dfs::ec::ReedSolomonCode code(20, 15);
+  std::vector<int> available;
+  for (int i = 1; i < 20; ++i) available.push_back(i);
+  for (auto _ : state) {
+    auto plan = code.plan_read(available, 0);
+    benchmark::DoNotOptimize(plan->data());
+  }
+}
+BENCHMARK(BM_PlanRead_20_15);
+
+}  // namespace

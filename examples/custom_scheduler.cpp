@@ -1,0 +1,91 @@
+// Extending the library: writing your own MapReduce scheduling policy.
+//
+// The dfs::core::Scheduler interface is the plug point the paper's three
+// algorithms implement; anything that can be decided from a heartbeat can be
+// expressed. This example adds a deliberately aggressive "degraded-flood"
+// policy — launch every degraded task as early as possible, ignoring the
+// paper's pacing rule — and shows why the paper paces instead: flooding
+// degraded reads at the start congests the rack links just like
+// locality-first congests them at the end.
+
+#include <iostream>
+
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/storage/failure.h"
+#include "dfs/util/table.h"
+#include "dfs/workload/scenarios.h"
+
+namespace {
+
+/// Assigns degraded tasks greedily before anything else — the mirror image
+/// of locality-first, with no pacing and no topology awareness.
+class DegradedFloodScheduler final : public dfs::core::Scheduler {
+ public:
+  std::string name() const override { return "FLOOD"; }
+
+  void on_heartbeat(dfs::core::SchedulerContext& ctx,
+                    dfs::core::NodeId slave) override {
+    for (const dfs::core::JobId job : ctx.running_jobs()) {
+      while (ctx.free_map_slots(slave) > 0 &&
+             ctx.has_unassigned_degraded(job)) {
+        ctx.assign_degraded(job, slave);
+      }
+      while (ctx.free_map_slots(slave) > 0) {
+        if (ctx.has_unassigned_local(job, slave)) {
+          ctx.assign_local(job, slave);
+        } else if (ctx.has_unassigned_remote(job, slave)) {
+          ctx.assign_remote(job, slave);
+        } else {
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace dfs;
+
+  auto cluster = workload::default_sim_cluster();
+  // A busier network (250 Mbps racks) makes the congestion trade-offs of
+  // the three policies clearly visible.
+  cluster.links.rack_up = util::megabits_per_sec(250);
+  cluster.links.rack_down = util::megabits_per_sec(250);
+  util::Rng rng(5);
+  workload::SimJobOptions opts;
+  opts.num_blocks = 720;
+  const auto job = workload::make_sim_job(0, opts, cluster.topology, rng);
+  const auto failure = storage::single_node_failure(cluster.topology, rng);
+
+  core::LocalityFirstScheduler lf;
+  DegradedFloodScheduler flood;
+  auto edf = core::DegradedFirstScheduler::enhanced();
+
+  std::cout << "Custom scheduling policies on one failure-mode scenario\n\n";
+  util::Table table({"scheduler", "policy", "runtime (s)",
+                     "degraded read (mean s)"});
+  const char* policy[] = {
+      "degraded tasks last (Hadoop default)",
+      "degraded tasks first, all at once",
+      "degraded tasks paced evenly (the paper)",
+  };
+  core::Scheduler* scheds[] = {&lf, &flood, &edf};
+  for (int i = 0; i < 3; ++i) {
+    const auto result =
+        mapreduce::simulate(cluster, {job}, failure, *scheds[i], 1);
+    table.add_row({scheds[i]->name(), policy[i],
+                   util::Table::num(result.jobs.front().runtime(), 1),
+                   util::Table::num(result.mean_degraded_read_time(), 1)});
+  }
+  std::cout << table
+            << "\nFlooding merely moves the congestion from the end of the "
+               "map phase to its start — here\nit is even worse than "
+               "locality-first. Pacing the launches evenly (degraded-first) "
+               "is what\nactually exploits the idle bandwidth.\n";
+  return 0;
+}

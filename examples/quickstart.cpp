@@ -1,0 +1,81 @@
+// Quickstart: simulate one MapReduce job over an erasure-coded cluster in
+// failure mode, under Hadoop's default locality-first scheduling and under
+// this library's degraded-first scheduling, and compare.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/table.h"
+
+int main() {
+  using namespace dfs;
+
+  // 1. Describe the cluster: 20 nodes in 4 racks, 1 Gbps rack links,
+  //    128 MB blocks, 4 map slots and 1 reduce slot per node.
+  mapreduce::ClusterConfig cluster;
+  cluster.topology = net::Topology(/*racks=*/4, /*nodes_per_rack=*/5);
+  cluster.links.rack_up = util::gigabits_per_sec(1.0);
+  cluster.links.rack_down = util::gigabits_per_sec(1.0);
+  cluster.block_size = util::mebibytes(128);
+
+  // 2. Describe the job: a 540-block file protected by a (12,9)
+  //    Reed-Solomon code, placed under HDFS's rack rule, with normally
+  //    distributed task times and a 1% shuffle.
+  util::Rng rng(/*seed=*/2024);
+  mapreduce::JobInput job;
+  job.spec.map_time = {20.0, 1.0};
+  job.spec.reduce_time = {30.0, 2.0};
+  job.spec.num_reducers = 12;
+  job.spec.shuffle_ratio = 0.01;
+  job.layout = std::make_shared<storage::StorageLayout>(
+      storage::random_rack_constrained_layout(540, 12, 9, cluster.topology,
+                                              rng));
+  job.code = ec::make_reed_solomon(12, 9);
+
+  // 3. Fail one node: every map task whose input block lived there becomes
+  //    a *degraded task* that must fetch k=9 surviving blocks and decode.
+  const auto failure = storage::single_node_failure(cluster.topology, rng);
+  std::cout << "Failed node: " << failure.failed_nodes().front() << "\n\n";
+
+  // 4. Run the same scenario under each scheduler.
+  core::LocalityFirstScheduler lf;                         // Algorithm 1
+  auto bdf = core::DegradedFirstScheduler::basic();        // Algorithm 2
+  auto edf = core::DegradedFirstScheduler::enhanced();     // Algorithm 3
+
+  util::Table table({"scheduler", "job runtime (s)", "map phase (s)",
+                     "degraded read (mean s)", "remote tasks"});
+  double lf_runtime = 0.0;
+  for (core::Scheduler* sched : {static_cast<core::Scheduler*>(&lf),
+                                 static_cast<core::Scheduler*>(&bdf),
+                                 static_cast<core::Scheduler*>(&edf)}) {
+    const mapreduce::RunResult result =
+        mapreduce::simulate(cluster, {job}, failure, *sched, /*seed=*/1);
+    const auto& metrics = result.jobs.front();
+    if (sched == &lf) lf_runtime = metrics.runtime();
+    table.add_row({sched->name(), util::Table::num(metrics.runtime(), 1),
+                   util::Table::num(
+                       metrics.map_phase_end - metrics.first_map_launch, 1),
+                   util::Table::num(result.mean_degraded_read_time(), 1),
+                   std::to_string(metrics.remote_tasks)});
+  }
+  std::cout << table;
+
+  const mapreduce::RunResult edf_result =
+      mapreduce::simulate(cluster, {job}, failure, edf, /*seed=*/1);
+  std::cout << "\nDegraded-first scheduling cut the failure-mode runtime by "
+            << util::Table::pct(
+                   (lf_runtime - edf_result.jobs.front().runtime()) /
+                       lf_runtime * 100.0,
+                   1)
+            << " versus locality-first.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "dfs/analysis/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfs::analysis {
+
+util::Seconds normal_mode_runtime(const ModelParams& p) {
+  return static_cast<double>(p.num_blocks) * p.map_task_time /
+         (static_cast<double>(p.num_nodes) * p.map_slots);
+}
+
+util::Seconds degraded_read_time(const ModelParams& p) {
+  const double r = p.num_racks;
+  return (r - 1.0) * p.k * p.block_size / (r * p.rack_bandwidth);
+}
+
+util::Seconds locality_first_runtime(const ModelParams& p) {
+  // All degraded tasks start after the local tasks drain; each rack then
+  // serializes its F/(N*R) degraded reads on its download link, and one last
+  // slot duration processes the reconstructed blocks in parallel.
+  const double degraded_per_rack =
+      static_cast<double>(p.num_blocks) / (p.num_nodes * p.num_racks);
+  return normal_mode_runtime(p) + degraded_per_rack * degraded_read_time(p) +
+         p.map_task_time;
+}
+
+util::Seconds degraded_first_runtime(const ModelParams& p) {
+  // Case 1: degraded reads hide inside the (N-1 nodes') map rounds entirely;
+  // the map phase is bounded by processing plus one final slot duration.
+  const double processing_bound =
+      static_cast<double>(p.num_blocks) * p.map_task_time /
+          (static_cast<double>(p.num_nodes - 1) * p.map_slots) +
+      p.map_task_time;
+  // Case 2: the inter-rack transfers of the degraded reads are the
+  // bottleneck even when spread over the whole phase.
+  const double degraded_per_rack =
+      static_cast<double>(p.num_blocks) / (p.num_nodes * p.num_racks);
+  const double transfer_bound =
+      degraded_per_rack * degraded_read_time(p) + p.map_task_time;
+  return std::max(processing_bound, transfer_bound);
+}
+
+double normalized_locality_first(const ModelParams& p) {
+  return locality_first_runtime(p) / normal_mode_runtime(p);
+}
+
+double normalized_degraded_first(const ModelParams& p) {
+  return degraded_first_runtime(p) / normal_mode_runtime(p);
+}
+
+double runtime_reduction_percent(const ModelParams& p) {
+  const double lf = locality_first_runtime(p);
+  const double df = degraded_first_runtime(p);
+  return (lf - df) / lf * 100.0;
+}
+
+}  // namespace dfs::analysis

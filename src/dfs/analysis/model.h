@@ -1,0 +1,44 @@
+#pragma once
+
+#include "dfs/util/units.h"
+
+namespace dfs::analysis {
+
+/// Parameters of the paper's §IV-B closed-form model. Defaults are the
+/// paper's: N=40, R=4, L=4, S=128MB, W=1Gbps, T=20s, F=1440, (n,k)=(16,12).
+struct ModelParams {
+  int num_nodes = 40;                             ///< N
+  int num_racks = 4;                              ///< R
+  int map_slots = 4;                              ///< L
+  util::Seconds map_task_time = 20.0;             ///< T
+  util::Bytes block_size = util::mebibytes(128);  ///< S
+  util::BytesPerSec rack_bandwidth =
+      util::gigabits_per_sec(1.0);                ///< W (rack download)
+  long num_blocks = 1440;                         ///< F
+  int n = 16;
+  int k = 12;
+};
+
+/// Runtime of a map-only job in normal mode: F*T / (N*L).
+util::Seconds normal_mode_runtime(const ModelParams& p);
+
+/// Expected time one degraded read spends downloading blocks from other
+/// racks: (R-1)*k*S / (R*W). Also the rack-awareness threshold of §IV-C.
+util::Seconds degraded_read_time(const ModelParams& p);
+
+/// Locality-first runtime under a single-node failure:
+/// F*T/(N*L) + F/(N*R) * (R-1)*k*S/(R*W) + T.
+util::Seconds locality_first_runtime(const ModelParams& p);
+
+/// Degraded-first runtime under a single-node failure:
+/// max(F*T/((N-1)*L) + T,  F/(N*R) * (R-1)*k*S/(R*W) + T).
+util::Seconds degraded_first_runtime(const ModelParams& p);
+
+/// Runtime normalized over normal mode, as the paper's Fig. 5 plots.
+double normalized_locality_first(const ModelParams& p);
+double normalized_degraded_first(const ModelParams& p);
+
+/// Percentage runtime reduction of degraded-first over locality-first.
+double runtime_reduction_percent(const ModelParams& p);
+
+}  // namespace dfs::analysis

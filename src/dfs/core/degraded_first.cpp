@@ -1,0 +1,110 @@
+#include "dfs/core/degraded_first.h"
+
+#include <algorithm>
+
+namespace dfs::core {
+
+DegradedFirstScheduler::DegradedFirstScheduler(DegradedFirstOptions options)
+    : options_(options) {}
+
+DegradedFirstScheduler DegradedFirstScheduler::basic() {
+  return DegradedFirstScheduler(
+      DegradedFirstOptions{.locality_preservation = false,
+                           .rack_awareness = false,
+                           .assign_to_slave_listing_variant = false});
+}
+
+DegradedFirstScheduler DegradedFirstScheduler::enhanced() {
+  return DegradedFirstScheduler(DegradedFirstOptions{});
+}
+
+std::string DegradedFirstScheduler::name() const {
+  std::string base;
+  if (!options_.locality_preservation && !options_.rack_awareness) {
+    base = "BDF";
+  } else if (options_.locality_preservation && options_.rack_awareness) {
+    base = "EDF";
+  } else {
+    base = std::string("DF(") +
+           (options_.locality_preservation ? "+slave" : "") +
+           (options_.rack_awareness ? "+rack" : "") + ")";
+  }
+  if (options_.stripe_affinity) base += "+affinity";
+  return base;
+}
+
+bool DegradedFirstScheduler::pacing_allows_degraded(
+    const SchedulerContext& ctx, JobId job) const {
+  const long m = ctx.launched_maps(job);
+  const long big_m = ctx.total_maps(job);
+  const long md = ctx.launched_degraded(job);
+  const long big_md = ctx.total_degraded(job);
+  if (big_md == 0 || big_m == 0) return false;
+  // m/M >= m_d/M_d, compared exactly via cross-multiplication.
+  return m * big_md >= md * big_m;
+}
+
+bool DegradedFirstScheduler::assign_to_slave(const SchedulerContext& ctx,
+                                             NodeId slave) const {
+  const util::Seconds ts = ctx.local_work_seconds(slave);
+  const util::Seconds mean = ctx.mean_local_work_seconds();
+  if (options_.assign_to_slave_listing_variant) {
+    return !(ts < mean);
+  }
+  // Prose semantics: a slave with an above-average local backlog has no
+  // spare slots for a degraded task — giving it one would push its local
+  // tasks onto other nodes as remote tasks.
+  return !(ts > mean);
+}
+
+bool DegradedFirstScheduler::affinity_allows(const SchedulerContext& ctx,
+                                             JobId job, NodeId slave) const {
+  if (!options_.stripe_affinity) return true;
+  if (ctx.degraded_affinity(job, slave) > 0) return true;
+  // Fall back once only degraded work remains, so the tail never starves
+  // waiting for a stripe-mate holder's heartbeat.
+  return !ctx.has_unassigned_local(job, slave) &&
+         !ctx.has_unassigned_remote(job, slave);
+}
+
+bool DegradedFirstScheduler::assign_to_rack(const SchedulerContext& ctx,
+                                            RackId rack) const {
+  const util::Seconds tr = ctx.time_since_last_degraded(rack);
+  const util::Seconds mean = ctx.mean_time_since_last_degraded();
+  const util::Seconds threshold = ctx.degraded_read_threshold();
+  // The rack just launched a degraded task that is likely still downloading;
+  // adding another would make them compete on the rack's links.
+  return !(tr < std::min(mean, threshold));
+}
+
+void DegradedFirstScheduler::on_heartbeat(SchedulerContext& ctx,
+                                          NodeId slave) {
+  bool degraded_task_assigned = false;
+  for (const JobId job : ctx.running_jobs()) {
+    // Degraded-first step: at most one degraded task per heartbeat (two
+    // concurrent degraded reads on one node would compete for its links).
+    if (!degraded_task_assigned && ctx.free_map_slots(slave) > 0 &&
+        ctx.has_unassigned_degraded(job) && pacing_allows_degraded(ctx, job)) {
+      const bool slave_ok =
+          !options_.locality_preservation || assign_to_slave(ctx, slave);
+      const bool rack_ok =
+          !options_.rack_awareness || assign_to_rack(ctx, ctx.rack_of(slave));
+      if (slave_ok && rack_ok && affinity_allows(ctx, job, slave)) {
+        ctx.assign_degraded(job, slave);
+        degraded_task_assigned = true;
+      }
+    }
+    // Then the usual locality-first assignment for the remaining free slots.
+    while (ctx.free_map_slots(slave) > 0) {
+      if (ctx.has_unassigned_local(job, slave)) {
+        ctx.assign_local(job, slave);
+      } else if (ctx.has_unassigned_remote(job, slave)) {
+        ctx.assign_remote(job, slave);
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dfs::core

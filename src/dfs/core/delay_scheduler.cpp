@@ -1,0 +1,31 @@
+#include "dfs/core/delay_scheduler.h"
+
+namespace dfs::core {
+
+void DelayScheduler::on_heartbeat(SchedulerContext& ctx, NodeId slave) {
+  for (const JobId job : ctx.running_jobs()) {
+    while (ctx.free_map_slots(slave) > 0) {
+      if (ctx.has_unassigned_local(job, slave)) {
+        ctx.assign_local(job, slave);
+        skip_since_.erase(job);  // locality achieved: reset the skip timer
+        continue;
+      }
+      if (ctx.has_unassigned_remote(job, slave)) {
+        const auto [it, inserted] = skip_since_.try_emplace(job, ctx.now());
+        if (!inserted && ctx.now() - it->second >= delay_) {
+          // The job has waited long enough; stop insisting on locality.
+          ctx.assign_remote(job, slave);
+          continue;
+        }
+        break;  // keep waiting for a local slot; try the next job
+      }
+      if (ctx.has_unassigned_degraded(job)) {
+        ctx.assign_degraded(job, slave);
+        continue;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "dfs/core/scheduler.h"
+
+namespace dfs::core {
+
+/// Delay scheduling (Zaharia et al., EuroSys 2010) — a related-work baseline
+/// the paper contrasts against (§VII). When the heartbeating slave has no
+/// local task for a job, the job *waits* instead of immediately launching a
+/// non-local task; only after being skipped for longer than `delay` seconds
+/// may it launch remote tasks. This raises data locality on multi-user
+/// clusters, but like locality-first it leaves degraded tasks for last — so
+/// it inherits the same failure-mode pathology degraded-first fixes.
+class DelayScheduler : public Scheduler {
+ public:
+  /// `delay`: how long a job forgoes non-local slots before giving up
+  /// (Zaharia et al. found a few seconds suffices; default 5 s).
+  explicit DelayScheduler(util::Seconds delay = 5.0) : delay_(delay) {}
+
+  std::string name() const override { return "DELAY"; }
+  void on_heartbeat(SchedulerContext& ctx, NodeId slave) override;
+
+  util::Seconds delay() const { return delay_; }
+
+ private:
+  util::Seconds delay_;
+  /// Job -> time it started being skipped for lack of locality; erased when
+  /// the job launches a local task again.
+  std::unordered_map<JobId, util::Seconds> skip_since_;
+};
+
+}  // namespace dfs::core

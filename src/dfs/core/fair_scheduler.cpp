@@ -1,0 +1,52 @@
+#include "dfs/core/fair_scheduler.h"
+
+#include <algorithm>
+
+namespace dfs::core {
+
+FairScheduler::FairScheduler(bool degraded_first)
+    : degraded_first_(degraded_first) {}
+
+std::string FairScheduler::name() const {
+  return degraded_first_ ? "FAIR+DF" : "FAIR";
+}
+
+std::vector<JobId> FairScheduler::fair_order(
+    const SchedulerContext& ctx) const {
+  std::vector<JobId> jobs = ctx.running_jobs();
+  std::stable_sort(jobs.begin(), jobs.end(), [&ctx](JobId a, JobId b) {
+    return ctx.running_maps(a) < ctx.running_maps(b);
+  });
+  return jobs;
+}
+
+void FairScheduler::on_heartbeat(SchedulerContext& ctx, NodeId slave) {
+  bool degraded_task_assigned = false;
+  for (const JobId job : fair_order(ctx)) {
+    if (degraded_first_ && !degraded_task_assigned &&
+        ctx.free_map_slots(slave) > 0 && ctx.has_unassigned_degraded(job)) {
+      // Algorithm 2's pacing rule, m/M >= m_d/M_d, via cross-multiplication.
+      const long m = ctx.launched_maps(job);
+      const long big_m = ctx.total_maps(job);
+      const long md = ctx.launched_degraded(job);
+      const long big_md = ctx.total_degraded(job);
+      if (big_m > 0 && big_md > 0 && m * big_md >= md * big_m) {
+        ctx.assign_degraded(job, slave);
+        degraded_task_assigned = true;
+      }
+    }
+    while (ctx.free_map_slots(slave) > 0) {
+      if (ctx.has_unassigned_local(job, slave)) {
+        ctx.assign_local(job, slave);
+      } else if (ctx.has_unassigned_remote(job, slave)) {
+        ctx.assign_remote(job, slave);
+      } else if (!degraded_first_ && ctx.has_unassigned_degraded(job)) {
+        ctx.assign_degraded(job, slave);
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dfs::core

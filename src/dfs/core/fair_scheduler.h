@@ -1,0 +1,31 @@
+#pragma once
+
+#include "dfs/core/scheduler.h"
+
+namespace dfs::core {
+
+/// A simplified Hadoop Fair Scheduler (§VII cites [34, 35]): instead of
+/// draining jobs in FIFO order, each heartbeat considers jobs in order of
+/// fewest currently-running map tasks, so small jobs are not starved behind
+/// large ones. Within a job the map-task choice is pluggable:
+///
+///  - `FairScheduler(false)`: locality-first inside each job (fair + Alg 1)
+///  - `FairScheduler(true)`:  degraded-first pacing inside each job
+///    (fair + Alg 2) — showing that fair sharing and degraded-first
+///    scheduling compose.
+class FairScheduler : public Scheduler {
+ public:
+  explicit FairScheduler(bool degraded_first = false);
+
+  std::string name() const override;
+  void on_heartbeat(SchedulerContext& ctx, NodeId slave) override;
+
+ private:
+  /// Jobs with unfinished map work, fewest running map tasks first
+  /// (FIFO-stable among ties).
+  std::vector<JobId> fair_order(const SchedulerContext& ctx) const;
+
+  bool degraded_first_;
+};
+
+}  // namespace dfs::core

@@ -1,0 +1,22 @@
+#include "dfs/core/locality_first.h"
+
+namespace dfs::core {
+
+void LocalityFirstScheduler::on_heartbeat(SchedulerContext& ctx,
+                                          NodeId slave) {
+  for (const JobId job : ctx.running_jobs()) {
+    while (ctx.free_map_slots(slave) > 0) {
+      if (ctx.has_unassigned_local(job, slave)) {
+        ctx.assign_local(job, slave);
+      } else if (ctx.has_unassigned_remote(job, slave)) {
+        ctx.assign_remote(job, slave);
+      } else if (ctx.has_unassigned_degraded(job)) {
+        ctx.assign_degraded(job, slave);
+      } else {
+        break;  // job has nothing left to hand out; try the next job
+      }
+    }
+  }
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "dfs/core/scheduler.h"
+
+namespace dfs::core {
+
+/// Hadoop's default locality-first scheduling on HDFS-RAID (Algorithm 1):
+/// for every free map slot, assign a local task if one exists, else a
+/// remote task, else — last of all — a degraded task. This is the baseline
+/// whose failure-mode behaviour the paper improves on: all degraded tasks
+/// end up launched back-to-back after the local tasks drain, competing for
+/// cross-rack bandwidth.
+class LocalityFirstScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "LF"; }
+  void on_heartbeat(SchedulerContext& ctx, NodeId slave) override;
+};
+
+}  // namespace dfs::core

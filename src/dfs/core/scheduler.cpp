@@ -1,0 +1,28 @@
+#include "dfs/core/scheduler.h"
+
+#include <stdexcept>
+
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/delay_scheduler.h"
+#include "dfs/core/fair_scheduler.h"
+#include "dfs/core/locality_first.h"
+
+namespace dfs::core {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "LF") return std::make_unique<LocalityFirstScheduler>();
+  if (name == "BDF") {
+    return std::make_unique<DegradedFirstScheduler>(
+        DegradedFirstScheduler::basic());
+  }
+  if (name == "EDF") {
+    return std::make_unique<DegradedFirstScheduler>(
+        DegradedFirstScheduler::enhanced());
+  }
+  if (name == "DELAY") return std::make_unique<DelayScheduler>();
+  if (name == "FAIR") return std::make_unique<FairScheduler>(false);
+  if (name == "FAIR+DF") return std::make_unique<FairScheduler>(true);
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+}  // namespace dfs::core

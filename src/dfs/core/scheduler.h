@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/net/topology.h"
+#include "dfs/util/units.h"
+
+namespace dfs::core {
+
+using JobId = int;
+using net::NodeId;
+using net::RackId;
+
+/// The master's view offered to a scheduling policy at each heartbeat.
+///
+/// This mirrors what Hadoop's JobTracker exposes to a TaskScheduler plugin:
+/// the FIFO job list, slot availability on the heartbeating slave, the
+/// job's unassigned task pools partitioned the way Algorithms 1-3 need them
+/// (local / remote / degraded), the launch counters that drive the
+/// degraded-first pacing rule, and the cluster statistics behind the
+/// enhanced heuristics.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  /// Current simulated time (schedulers may keep time-based state, e.g.
+  /// delay scheduling's per-job skip timers).
+  virtual util::Seconds now() const = 0;
+
+  /// Jobs with unfinished map work, in FIFO submission order.
+  virtual std::vector<JobId> running_jobs() const = 0;
+
+  /// Free map slots on the heartbeating slave right now.
+  virtual int free_map_slots(NodeId slave) const = 0;
+
+  // --- unassigned task pools -------------------------------------------------
+  /// True if job has an unassigned map task whose (surviving) input block is
+  /// on `slave` or on a node in `slave`'s rack — the paper's "local" class.
+  virtual bool has_unassigned_local(JobId job, NodeId slave) const = 0;
+  /// True if job has any unassigned non-degraded map task at all (a task
+  /// local nowhere near `slave` runs as a remote task).
+  virtual bool has_unassigned_remote(JobId job, NodeId slave) const = 0;
+  /// True if job has an unassigned degraded task (input block lost).
+  virtual bool has_unassigned_degraded(JobId job) const = 0;
+
+  // --- assignment (each consumes one free map slot on `slave`) ---------------
+  virtual void assign_local(JobId job, NodeId slave) = 0;
+  virtual void assign_remote(JobId job, NodeId slave) = 0;
+  virtual void assign_degraded(JobId job, NodeId slave) = 0;
+
+  /// Number of surviving blocks of the next pending degraded task's stripe
+  /// stored on `slave` (0 if the job has no pending degraded task). Running
+  /// the degraded task there lets that part of its degraded read stay
+  /// node-local — the trick the paper's §III example plays by hand.
+  virtual int degraded_affinity(JobId job, NodeId slave) const = 0;
+
+  // --- pacing counters (Algorithm 2) -----------------------------------------
+  virtual long launched_maps(JobId job) const = 0;      ///< m
+  /// Map tasks of `job` currently executing (launched and not yet finished);
+  /// drives fair-share job ordering.
+  virtual long running_maps(JobId job) const = 0;
+  virtual long total_maps(JobId job) const = 0;         ///< M
+  virtual long launched_degraded(JobId job) const = 0;  ///< m_d
+  virtual long total_degraded(JobId job) const = 0;     ///< M_d
+
+  // --- enhanced heuristics (Algorithm 3) --------------------------------------
+  /// t_s: estimated processing time of the unassigned map tasks local to
+  /// `slave`, accounting for the slave's computing power (§IV-C).
+  virtual util::Seconds local_work_seconds(NodeId slave) const = 0;
+  /// E[t_s] over all alive slaves.
+  virtual util::Seconds mean_local_work_seconds() const = 0;
+  /// t_r: time since a degraded task was last assigned to rack r (a large
+  /// value if none has been).
+  virtual util::Seconds time_since_last_degraded(RackId rack) const = 0;
+  /// E[t_r] over all racks.
+  virtual util::Seconds mean_time_since_last_degraded() const = 0;
+  /// The rack-awareness threshold (R-1)kS/(RW): the expected duration of one
+  /// degraded read (§IV-B).
+  virtual util::Seconds degraded_read_threshold() const = 0;
+
+  virtual RackId rack_of(NodeId slave) const = 0;
+};
+
+/// A map-task scheduling policy, invoked once per slave heartbeat.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual void on_heartbeat(SchedulerContext& ctx, NodeId slave) = 0;
+};
+
+/// Named factory used by benches and examples: "LF", "BDF", or "EDF".
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace dfs::core

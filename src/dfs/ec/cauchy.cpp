@@ -1,0 +1,244 @@
+#include "dfs/ec/cauchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "dfs/ec/gf256.h"
+
+namespace dfs::ec {
+
+namespace {
+
+constexpr int kW = CauchyReedSolomonCode::kW;
+
+inline bool get_bit(const std::vector<std::uint64_t>& row, int bit) {
+  return (row[static_cast<std::size_t>(bit / 64)] >>
+          (static_cast<unsigned>(bit) % 64u)) &
+         1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& row, int bit) {
+  row[static_cast<std::size_t>(bit / 64)] |=
+      (std::uint64_t{1} << (static_cast<unsigned>(bit) % 64u));
+}
+
+inline void xor_row(std::vector<std::uint64_t>& dst,
+                    const std::vector<std::uint64_t>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+inline bool is_zero(const std::vector<std::uint64_t>& row) {
+  return std::all_of(row.begin(), row.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+inline int first_set(const std::vector<std::uint64_t>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] != 0) {
+      return static_cast<int>(i) * 64 + __builtin_ctzll(row[i]);
+    }
+  }
+  return -1;
+}
+
+/// GF(2) analogue of LinearCode's RowSolver: reduces bit rows while tracking
+/// which original rows combine into each reduced row.
+class BitSolver {
+ public:
+  BitSolver(std::size_t width_words, std::size_t num_rows)
+      : width_words_(width_words),
+        comb_words_((num_rows + 63) / 64),
+        num_rows_(num_rows) {}
+
+  void add_row(std::vector<std::uint64_t> row) {
+    std::vector<std::uint64_t> comb(comb_words_, 0);
+    set_bit(comb, static_cast<int>(added_));
+    ++added_;
+    reduce(row, comb);
+    const int pivot = first_set(row);
+    if (pivot < 0) return;  // dependent
+    reduced_.push_back(std::move(row));
+    comb_.push_back(std::move(comb));
+    pivot_bit_.push_back(pivot);
+  }
+
+  /// Expresses `target` as an XOR of added rows; returns the membership
+  /// bitmask over added rows, or nullopt if out of span.
+  std::optional<std::vector<std::uint64_t>> express(
+      std::vector<std::uint64_t> target) const {
+    std::vector<std::uint64_t> comb(comb_words_, 0);
+    reduce(target, comb);
+    if (!is_zero(target)) return std::nullopt;
+    return comb;
+  }
+
+  std::size_t rank() const { return reduced_.size(); }
+
+ private:
+  void reduce(std::vector<std::uint64_t>& row,
+              std::vector<std::uint64_t>& comb) const {
+    for (std::size_t i = 0; i < reduced_.size(); ++i) {
+      if (get_bit(row, pivot_bit_[i])) {
+        xor_row(row, reduced_[i]);
+        xor_row(comb, comb_[i]);
+      }
+    }
+  }
+
+  std::size_t width_words_;
+  std::size_t comb_words_;
+  std::size_t num_rows_;
+  std::size_t added_ = 0;
+  std::vector<std::vector<std::uint64_t>> reduced_;
+  std::vector<std::vector<std::uint64_t>> comb_;
+  std::vector<int> pivot_bit_;
+};
+
+}  // namespace
+
+CauchyReedSolomonCode::CauchyReedSolomonCode(int n, int k)
+    : ErasureCode(n, k), words_per_row_((k * kW + 63) / 64) {
+  const Matrix cauchy = Matrix::cauchy(n - k, k);
+  bitgen_.reserve(static_cast<std::size_t>(n) * kW);
+  for (int shard = 0; shard < n; ++shard) {
+    for (int r = 0; r < kW; ++r) {
+      std::vector<std::uint64_t> row(
+          static_cast<std::size_t>(words_per_row_), 0);
+      if (shard < k) {
+        set_bit(row, shard * kW + r);
+      } else {
+        for (int j = 0; j < k; ++j) {
+          const std::uint8_t e = cauchy.at(shard - k, j);
+          for (int t = 0; t < kW; ++t) {
+            // Bit r of e * alpha^t: the (r, t) entry of the 8x8 binary
+            // multiplication matrix of the field element e.
+            const std::uint8_t prod =
+                gf256::mul(e, static_cast<std::uint8_t>(1u << t));
+            if ((prod >> r) & 1u) set_bit(row, j * kW + t);
+          }
+        }
+      }
+      bitgen_.push_back(std::move(row));
+    }
+  }
+}
+
+std::string CauchyReedSolomonCode::name() const {
+  return "CRS(" + std::to_string(n()) + "," + std::to_string(k()) + ")";
+}
+
+std::vector<std::uint64_t> CauchyReedSolomonCode::generator_row(
+    int shard, int packet) const {
+  return bitgen_[static_cast<std::size_t>(shard) * kW +
+                 static_cast<std::size_t>(packet)];
+}
+
+std::vector<Shard> CauchyReedSolomonCode::encode(
+    const std::vector<Shard>& data) const {
+  check_encode_args(data);
+  const std::size_t len = data.front().size();
+  if (len % kW != 0) {
+    throw std::invalid_argument("CRS shard length must be a multiple of 8");
+  }
+  const std::size_t ps = len / kW;  // packet size
+  std::vector<Shard> parity(static_cast<std::size_t>(parity_count()),
+                            Shard(len, 0));
+  for (int p = 0; p < parity_count(); ++p) {
+    for (int r = 0; r < kW; ++r) {
+      const auto& row = bitgen_[static_cast<std::size_t>(k() + p) * kW +
+                                static_cast<std::size_t>(r)];
+      std::uint8_t* out =
+          parity[static_cast<std::size_t>(p)].data() + static_cast<std::size_t>(r) * ps;
+      for (int j = 0; j < k(); ++j) {
+        for (int t = 0; t < kW; ++t) {
+          if (!get_bit(row, j * kW + t)) continue;
+          const std::uint8_t* src =
+              data[static_cast<std::size_t>(j)].data() + static_cast<std::size_t>(t) * ps;
+          gf256::xor_region(out, src, ps);
+        }
+      }
+    }
+  }
+  return parity;
+}
+
+std::optional<std::vector<Shard>> CauchyReedSolomonCode::reconstruct(
+    const std::vector<std::pair<int, const Shard*>>& present,
+    const std::vector<int>& want) const {
+  if (present.empty()) return std::nullopt;
+  const std::size_t len = present.front().second->size();
+  if (len % kW != 0) {
+    throw std::invalid_argument("CRS shard length must be a multiple of 8");
+  }
+  const std::size_t ps = len / kW;
+
+  BitSolver solver(static_cast<std::size_t>(words_per_row_),
+                   present.size() * kW);
+  for (const auto& [id, shard] : present) {
+    if (id < 0 || id >= n()) throw std::invalid_argument("bad shard index");
+    if (shard == nullptr || shard->size() != len) {
+      throw std::invalid_argument("present shards must be equally sized");
+    }
+    for (int r = 0; r < kW; ++r) solver.add_row(generator_row(id, r));
+  }
+
+  std::vector<Shard> out;
+  out.reserve(want.size());
+  for (int w : want) {
+    if (w < 0 || w >= n()) throw std::invalid_argument("bad wanted index");
+    Shard shard(len, 0);
+    for (int r = 0; r < kW; ++r) {
+      auto comb = solver.express(generator_row(w, r));
+      if (!comb) return std::nullopt;
+      std::uint8_t* dst = shard.data() + static_cast<std::size_t>(r) * ps;
+      for (std::size_t i = 0; i < present.size(); ++i) {
+        for (int t = 0; t < kW; ++t) {
+          if (!get_bit(*comb, static_cast<int>(i) * kW + t)) continue;
+          const std::uint8_t* src =
+              present[i].second->data() + static_cast<std::size_t>(t) * ps;
+          gf256::xor_region(dst, src, ps);
+        }
+      }
+    }
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
+std::optional<std::vector<int>> CauchyReedSolomonCode::plan_read(
+    const std::vector<int>& available, int lost) const {
+  if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
+  if (std::find(available.begin(), available.end(), lost) !=
+      available.end()) {
+    return std::vector<int>{lost};
+  }
+  BitSolver solver(static_cast<std::size_t>(words_per_row_),
+                   available.size() * kW);
+  for (int id : available) {
+    for (int r = 0; r < kW; ++r) solver.add_row(generator_row(id, r));
+  }
+  // Union of the source shards used across the target's 8 packet rows.
+  std::vector<bool> used(available.size(), false);
+  for (int r = 0; r < kW; ++r) {
+    auto comb = solver.express(generator_row(lost, r));
+    if (!comb) return std::nullopt;
+    for (std::size_t i = 0; i < available.size(); ++i) {
+      for (int t = 0; t < kW; ++t) {
+        if (get_bit(*comb, static_cast<int>(i) * kW + t)) used[i] = true;
+      }
+    }
+  }
+  std::vector<int> chosen;
+  for (std::size_t i = 0; i < available.size(); ++i) {
+    if (used[i]) chosen.push_back(available[i]);
+  }
+  return chosen;
+}
+
+std::unique_ptr<ErasureCode> make_cauchy_reed_solomon(int n, int k) {
+  return std::make_unique<CauchyReedSolomonCode>(n, k);
+}
+
+}  // namespace dfs::ec

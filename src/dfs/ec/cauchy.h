@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+
+#include "dfs/ec/erasure_code.h"
+#include "dfs/ec/matrix.h"
+
+namespace dfs::ec {
+
+/// Cauchy Reed-Solomon (Bloemer et al.; the construction HDFS-RAID uses),
+/// implemented Jerasure-style: the GF(2^8) Cauchy generator is expanded into
+/// a binary bit-matrix and all encoding/decoding is pure XOR over w = 8
+/// packets per shard.
+///
+/// Shard length must be a multiple of 8 bytes. Shard indices [0, k) are
+/// native, [k, n) parity; the code is MDS (any k survivors decode).
+class CauchyReedSolomonCode : public ErasureCode {
+ public:
+  CauchyReedSolomonCode(int n, int k);
+
+  std::string name() const override;
+
+  std::vector<Shard> encode(const std::vector<Shard>& data) const override;
+
+  std::optional<std::vector<Shard>> reconstruct(
+      const std::vector<std::pair<int, const Shard*>>& present,
+      const std::vector<int>& want) const override;
+
+  std::optional<std::vector<int>> plan_read(
+      const std::vector<int>& available, int lost) const override;
+
+  /// The underlying binary generator, (n*8) x (k*8); row-major bits. Exposed
+  /// for tests.
+  const std::vector<std::vector<std::uint64_t>>& bit_generator() const {
+    return bitgen_;
+  }
+
+  static constexpr int kW = 8;  ///< packets per shard
+
+ private:
+  std::vector<std::uint64_t> generator_row(int shard, int packet) const;
+
+  // One bit row per (shard, packet): width k * 8 bits packed in uint64 words.
+  std::vector<std::vector<std::uint64_t>> bitgen_;
+  int words_per_row_;
+};
+
+std::unique_ptr<ErasureCode> make_cauchy_reed_solomon(int n, int k);
+
+}  // namespace dfs::ec

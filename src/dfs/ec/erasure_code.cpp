@@ -1,0 +1,24 @@
+#include "dfs/ec/erasure_code.h"
+
+#include <stdexcept>
+
+namespace dfs::ec {
+
+ErasureCode::ErasureCode(int n, int k) : n_(n), k_(k) {
+  if (k <= 0 || n <= k) {
+    throw std::invalid_argument("ErasureCode requires 0 < k < n");
+  }
+}
+
+void ErasureCode::check_encode_args(const std::vector<Shard>& data) const {
+  if (static_cast<int>(data.size()) != k_) {
+    throw std::invalid_argument("encode: expected exactly k data shards");
+  }
+  for (const Shard& s : data) {
+    if (s.size() != data.front().size()) {
+      throw std::invalid_argument("encode: shards must be equally sized");
+    }
+  }
+}
+
+}  // namespace dfs::ec

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfs::ec {
+
+/// One erasure-coded shard ("block" in the paper's storage terminology).
+using Shard = std::vector<std::uint8_t>;
+
+/// Interface of an (n, k) erasure code: k native shards are encoded into
+/// n - k parity shards, and lost shards are rebuilt from survivors.
+///
+/// Shard indices: [0, k) are native shards, [k, n) are parity shards.
+class ErasureCode {
+ public:
+  ErasureCode(int n, int k);
+  virtual ~ErasureCode() = default;
+
+  ErasureCode(const ErasureCode&) = delete;
+  ErasureCode& operator=(const ErasureCode&) = delete;
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int parity_count() const { return n_ - k_; }
+
+  virtual std::string name() const = 0;
+
+  /// Encode k equally-sized native shards; returns the n - k parity shards.
+  /// Throws std::invalid_argument on shape errors.
+  virtual std::vector<Shard> encode(const std::vector<Shard>& data) const = 0;
+
+  /// Rebuild the shards listed in `want` from the `present` (index, bytes)
+  /// pairs. Returns the rebuilt shards in `want` order, or nullopt if this
+  /// combination of losses is not decodable.
+  virtual std::optional<std::vector<Shard>> reconstruct(
+      const std::vector<std::pair<int, const Shard*>>& present,
+      const std::vector<int>& want) const = 0;
+
+  /// Degraded-read planning (no data movement): choose which of the
+  /// `available` shard indices to fetch in order to rebuild shard `lost`.
+  /// The available list is in the caller's preference order (e.g. same-rack
+  /// sources first) and implementations honor it where the code allows.
+  /// Returns nullopt if `lost` cannot be rebuilt from `available`.
+  virtual std::optional<std::vector<int>> plan_read(
+      const std::vector<int>& available, int lost) const = 0;
+
+  /// Number of shards a single-shard degraded read must fetch when all other
+  /// shards are available (k for MDS codes, the locality-group size for LRC).
+  virtual int single_failure_read_cost() const { return k_; }
+
+ protected:
+  void check_encode_args(const std::vector<Shard>& data) const;
+
+ private:
+  int n_;
+  int k_;
+};
+
+}  // namespace dfs::ec

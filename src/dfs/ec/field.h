@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dfs/ec/gf256.h"
+#include "dfs/ec/gf65536.h"
+
+namespace dfs::ec {
+
+/// Field concept used by BasicMatrix / BasicLinearCode: a Galois field
+/// GF(2^w) exposing scalar arithmetic and bulk byte-region kernels.
+///
+/// GF256Field is the workhorse (Jerasure-compatible, n <= 255 shards);
+/// GF65536Field enables wide codes with up to 65535 shards per stripe.
+
+struct GF256Field {
+  using Symbol = std::uint8_t;
+  static constexpr int kFieldSize = 256;
+  static constexpr std::size_t kSymbolBytes = 1;
+
+  static Symbol add(Symbol a, Symbol b) { return gf256::add(a, b); }
+  static Symbol mul(Symbol a, Symbol b) { return gf256::mul(a, b); }
+  static Symbol div(Symbol a, Symbol b) { return gf256::div(a, b); }
+  static Symbol inv(Symbol a) { return gf256::inv(a); }
+  static Symbol pow(Symbol a, unsigned e) { return gf256::pow(a, e); }
+
+  static void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
+                             Symbol c, std::size_t bytes) {
+    gf256::mul_add_region(dst, src, c, bytes);
+  }
+};
+
+struct GF65536Field {
+  using Symbol = std::uint16_t;
+  static constexpr int kFieldSize = 65536;
+  static constexpr std::size_t kSymbolBytes = 2;
+
+  static Symbol add(Symbol a, Symbol b) { return gf65536::add(a, b); }
+  static Symbol mul(Symbol a, Symbol b) { return gf65536::mul(a, b); }
+  static Symbol div(Symbol a, Symbol b) { return gf65536::div(a, b); }
+  static Symbol inv(Symbol a) { return gf65536::inv(a); }
+  static Symbol pow(Symbol a, unsigned e) { return gf65536::pow(a, e); }
+
+  static void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
+                             Symbol c, std::size_t bytes) {
+    gf65536::mul_add_region(dst, src, c, bytes);
+  }
+};
+
+}  // namespace dfs::ec

@@ -1,0 +1,102 @@
+#include "dfs/ec/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace dfs::ec::gf256 {
+
+namespace {
+
+struct Tables {
+  // exp_ is doubled so mul can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<int, 256> log_{};
+
+  Tables() {
+    constexpr unsigned kPoly = 0x11D;
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x100u) x ^= kPoly;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp_[static_cast<std::size_t>(i)] = exp_[static_cast<std::size_t>(i - 255)];
+    }
+    log_[0] = -1;  // log of zero is undefined; poison value
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a] + t.log_[b])];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a] - t.log_[b] + 255)];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(255 - t.log_[a])];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const auto l = static_cast<unsigned>(t.log_[a]);
+  return t.exp_[(l * e) % 255u];
+}
+
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(dst, src, len);
+    return;
+  }
+  // Build the 256-entry product row for this coefficient once; then the loop
+  // is a single table lookup + xor per byte.
+  std::array<std::uint8_t, 256> row;
+  for (int v = 0; v < 256; ++v) {
+    row[static_cast<std::size_t>(v)] = mul(c, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
+    return;
+  }
+  std::array<std::uint8_t, 256> row;
+  for (int v = 0; v < 256; ++v) {
+    row[static_cast<std::size_t>(v)] = mul(c, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace dfs::ec::gf256

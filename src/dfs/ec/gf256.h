@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// Arithmetic over GF(2^8) with the AES/Rijndael-compatible primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), implemented with log/exp
+// tables exactly as Jerasure and other storage coding libraries do.
+
+namespace dfs::ec::gf256 {
+
+/// Multiply two field elements.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Divide a by b. Precondition: b != 0.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse. Precondition: a != 0.
+std::uint8_t inv(std::uint8_t a);
+
+/// a raised to the e-th power (e >= 0).
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+/// Addition and subtraction in GF(2^8) are both XOR.
+inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Bulk kernel: dst[i] ^= c * src[i] for i in [0, len). This is the inner
+/// loop of every encode/decode; it uses a per-coefficient 256-entry product
+/// table (the classic "multiply region" optimization).
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len);
+
+/// Bulk kernel: dst[i] = c * src[i].
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len);
+
+/// Bulk kernel: dst[i] ^= src[i].
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t len);
+
+}  // namespace dfs::ec::gf256

@@ -1,0 +1,111 @@
+#include "dfs/ec/gf65536.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace dfs::ec::gf65536 {
+
+namespace {
+
+struct Tables {
+  std::vector<std::uint16_t> exp_;  // doubled, 131072 entries
+  std::vector<std::int32_t> log_;   // 65536 entries
+
+  Tables() : exp_(131072), log_(65536) {
+    constexpr std::uint32_t kPoly = 0x1100B;
+    std::uint32_t x = 1;
+    for (int i = 0; i < 65535; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x10000u) x ^= kPoly;
+    }
+    for (int i = 65535; i < 131072; ++i) {
+      exp_[static_cast<std::size_t>(i)] =
+          exp_[static_cast<std::size_t>(i - 65535)];
+    }
+    log_[0] = -1;
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint16_t mul(std::uint16_t a, std::uint16_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a] + t.log_[b])];
+}
+
+std::uint16_t div(std::uint16_t a, std::uint16_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a] - t.log_[b] + 65535)];
+}
+
+std::uint16_t inv(std::uint16_t a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(65535 - t.log_[a])];
+}
+
+std::uint16_t pow(std::uint16_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const auto l = static_cast<std::uint64_t>(t.log_[a]);
+  return t.exp_[(l * e) % 65535u];
+}
+
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint16_t c, std::size_t bytes) {
+  assert(bytes % 2 == 0);
+  if (c == 0) return;
+  const Tables& t = tables();
+  if (c == 1) {
+    for (std::size_t i = 0; i < bytes; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::int32_t logc = t.log_[c];
+  for (std::size_t i = 0; i < bytes; i += 2) {
+    std::uint16_t s;
+    std::memcpy(&s, src + i, 2);
+    if (s == 0) continue;
+    const std::uint16_t prod =
+        t.exp_[static_cast<std::size_t>(logc + t.log_[s])];
+    std::uint16_t d;
+    std::memcpy(&d, dst + i, 2);
+    d = static_cast<std::uint16_t>(d ^ prod);
+    std::memcpy(dst + i, &d, 2);
+  }
+}
+
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint16_t c,
+                std::size_t bytes) {
+  assert(bytes % 2 == 0);
+  if (c == 0) {
+    std::memset(dst, 0, bytes);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, bytes);
+    return;
+  }
+  const Tables& t = tables();
+  const std::int32_t logc = t.log_[c];
+  for (std::size_t i = 0; i < bytes; i += 2) {
+    std::uint16_t s;
+    std::memcpy(&s, src + i, 2);
+    const std::uint16_t prod =
+        s == 0 ? 0 : t.exp_[static_cast<std::size_t>(logc + t.log_[s])];
+    std::memcpy(dst + i, &prod, 2);
+  }
+}
+
+}  // namespace dfs::ec::gf65536

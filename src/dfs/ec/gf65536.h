@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// Arithmetic over GF(2^16) with the primitive polynomial
+// x^16 + x^12 + x^3 + x + 1 (0x1100B), log/exp tables built lazily
+// (~0.5 MiB). Enables "wide" erasure codes with n > 255 shards per stripe.
+
+namespace dfs::ec::gf65536 {
+
+std::uint16_t mul(std::uint16_t a, std::uint16_t b);
+std::uint16_t div(std::uint16_t a, std::uint16_t b);
+std::uint16_t inv(std::uint16_t a);
+std::uint16_t pow(std::uint16_t a, unsigned e);
+
+inline std::uint16_t add(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a ^ b);
+}
+
+/// Bulk kernels over byte buffers interpreted as native-endian 16-bit
+/// symbols; `bytes` must be a multiple of 2.
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint16_t c, std::size_t bytes);
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint16_t c,
+                std::size_t bytes);
+
+}  // namespace dfs::ec::gf65536

@@ -1,0 +1,246 @@
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dfs/ec/erasure_code.h"
+#include "dfs/ec/matrix.h"
+
+namespace dfs::ec {
+
+namespace detail {
+
+/// Row-reduces a chosen set of generator rows, tracking the combination of
+/// original rows that produced each reduced row; can then express arbitrary
+/// generator rows as linear combinations of the chosen set.
+///
+/// Rows are processed in the caller's order and later rows that are linearly
+/// dependent on earlier ones never become pivots — this is what makes
+/// plan_read honor the caller's source-preference order.
+template <typename F>
+class RowSolver {
+ public:
+  using Symbol = typename F::Symbol;
+
+  RowSolver(const BasicMatrix<F>& g, const std::vector<int>& row_ids)
+      : k_(g.cols()), m_(row_ids.size()) {
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      std::vector<Symbol> r(g.row(row_ids[i]),
+                            g.row(row_ids[i]) + static_cast<std::size_t>(k_));
+      std::vector<Symbol> c(m_, 0);
+      c[i] = 1;
+      eliminate(r, c);
+      const int pivot = first_nonzero(r);
+      if (pivot < 0) continue;  // dependent on earlier rows; skip
+      normalize(r, c, pivot);
+      reduced_.push_back(std::move(r));
+      comb_.push_back(std::move(c));
+      pivot_col_.push_back(pivot);
+    }
+  }
+
+  /// Coefficients (aligned with the constructor's row_ids) expressing
+  /// `target` as a combination of the chosen rows; nullopt if out of span.
+  std::optional<std::vector<Symbol>> express(const Symbol* target) const {
+    std::vector<Symbol> t(target, target + static_cast<std::size_t>(k_));
+    std::vector<Symbol> coeff(m_, 0);
+    for (std::size_t i = 0; i < reduced_.size(); ++i) {
+      const Symbol f = t[static_cast<std::size_t>(pivot_col_[i])];
+      if (f == 0) continue;
+      add_scaled(t, reduced_[i], f);
+      add_scaled(coeff, comb_[i], f);
+    }
+    if (first_nonzero(t) >= 0) return std::nullopt;
+    return coeff;
+  }
+
+  std::size_t rank() const { return reduced_.size(); }
+
+ private:
+  void eliminate(std::vector<Symbol>& r, std::vector<Symbol>& c) const {
+    for (std::size_t i = 0; i < reduced_.size(); ++i) {
+      const Symbol f = r[static_cast<std::size_t>(pivot_col_[i])];
+      if (f == 0) continue;
+      add_scaled(r, reduced_[i], f);
+      add_scaled(c, comb_[i], f);
+    }
+  }
+
+  static void normalize(std::vector<Symbol>& r, std::vector<Symbol>& c,
+                        int pivot) {
+    const Symbol inv = F::inv(r[static_cast<std::size_t>(pivot)]);
+    for (auto& v : r) v = F::mul(v, inv);
+    for (auto& v : c) v = F::mul(v, inv);
+  }
+
+  static void add_scaled(std::vector<Symbol>& dst,
+                         const std::vector<Symbol>& src, Symbol f) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = F::add(dst[i], F::mul(f, src[i]));
+    }
+  }
+
+  static int first_nonzero(const std::vector<Symbol>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] != 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int k_;
+  std::size_t m_;
+  std::vector<std::vector<Symbol>> reduced_;
+  std::vector<std::vector<Symbol>> comb_;
+  std::vector<int> pivot_col_;
+};
+
+}  // namespace detail
+
+/// An erasure code defined by an n x k generator matrix over GF(2^w) whose
+/// top k rows are the identity (systematic form). Reed-Solomon, single-
+/// parity XOR, LRC and the wide GF(2^16) codes are all built on this.
+///
+/// Decoding picks k linearly independent generator rows among the present
+/// shards (honoring the caller's preference order), inverts that submatrix,
+/// and multiplies through — the textbook matrix method used by Jerasure.
+///
+/// Shard lengths must be multiples of the field's symbol width (1 byte for
+/// GF(256), 2 bytes for GF(65536)).
+template <typename F>
+class BasicLinearCode : public ErasureCode {
+ public:
+  using Symbol = typename F::Symbol;
+
+  BasicLinearCode(int n, int k, BasicMatrix<F> generator, std::string name)
+      : ErasureCode(n, k),
+        generator_(std::move(generator)),
+        name_(std::move(name)) {
+    if (generator_.rows() != n || generator_.cols() != k) {
+      throw std::invalid_argument("generator must be n x k");
+    }
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) {
+        if (generator_.at(r, c) != (r == c ? 1 : 0)) {
+          throw std::invalid_argument("generator must be systematic");
+        }
+      }
+    }
+  }
+
+  std::string name() const override { return name_; }
+
+  std::vector<Shard> encode(const std::vector<Shard>& data) const override {
+    check_encode_args(data);
+    const std::size_t len = data.front().size();
+    check_alignment(len);
+    std::vector<Shard> parity(static_cast<std::size_t>(parity_count()),
+                              Shard(len, 0));
+    for (int p = 0; p < parity_count(); ++p) {
+      Shard& out = parity[static_cast<std::size_t>(p)];
+      for (int j = 0; j < k(); ++j) {
+        F::mul_add_region(out.data(),
+                          data[static_cast<std::size_t>(j)].data(),
+                          generator_.at(k() + p, j), len);
+      }
+    }
+    return parity;
+  }
+
+  std::optional<std::vector<Shard>> reconstruct(
+      const std::vector<std::pair<int, const Shard*>>& present,
+      const std::vector<int>& want) const override {
+    if (present.empty()) return std::nullopt;
+    const std::size_t len = present.front().second->size();
+    check_alignment(len);
+    std::vector<int> row_ids;
+    row_ids.reserve(present.size());
+    for (const auto& [id, shard] : present) {
+      if (id < 0 || id >= n()) throw std::invalid_argument("bad shard index");
+      if (shard == nullptr || shard->size() != len) {
+        throw std::invalid_argument("present shards must be equally sized");
+      }
+      row_ids.push_back(id);
+    }
+    const detail::RowSolver<F> solver(generator_, row_ids);
+    std::vector<Shard> out;
+    out.reserve(want.size());
+    for (int w : want) {
+      if (w < 0 || w >= n()) throw std::invalid_argument("bad wanted index");
+      auto coeff = solver.express(generator_.row(w));
+      if (!coeff) return std::nullopt;
+      Shard shard(len, 0);
+      for (std::size_t i = 0; i < present.size(); ++i) {
+        F::mul_add_region(shard.data(), present[i].second->data(),
+                          (*coeff)[i], len);
+      }
+      out.push_back(std::move(shard));
+    }
+    return out;
+  }
+
+  std::optional<std::vector<int>> plan_read(
+      const std::vector<int>& available, int lost) const override {
+    if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
+    return spanning_subset(available, lost);
+  }
+
+  const BasicMatrix<F>& generator() const { return generator_; }
+
+  /// True if every k-subset of rows is invertible (checked by tests, not at
+  /// construction: it is an O(C(n,k)) sweep).
+  bool is_mds() const {
+    std::vector<int> subset(static_cast<std::size_t>(k()));
+    for (int i = 0; i < k(); ++i) subset[static_cast<std::size_t>(i)] = i;
+    while (true) {
+      if (!generator_.select_rows(subset).inverted()) return false;
+      int i = k() - 1;
+      while (i >= 0 && subset[static_cast<std::size_t>(i)] == n() - k() + i) {
+        --i;
+      }
+      if (i < 0) break;
+      ++subset[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k(); ++j) {
+        subset[static_cast<std::size_t>(j)] =
+            subset[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+    return true;
+  }
+
+ protected:
+  /// Greedily choose a minimal prefix of `candidates` (generator row ids)
+  /// whose rows span the `target` generator row; nullopt if they do not.
+  std::optional<std::vector<int>> spanning_subset(
+      const std::vector<int>& candidates, int target) const {
+    if (std::find(candidates.begin(), candidates.end(), target) !=
+        candidates.end()) {
+      return std::vector<int>{target};
+    }
+    const detail::RowSolver<F> solver(generator_, candidates);
+    auto coeff = solver.express(generator_.row(target));
+    if (!coeff) return std::nullopt;
+    std::vector<int> chosen;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if ((*coeff)[i] != 0) chosen.push_back(candidates[i]);
+    }
+    return chosen;
+  }
+
+ private:
+  static void check_alignment(std::size_t len) {
+    if (len % F::kSymbolBytes != 0) {
+      throw std::invalid_argument(
+          "shard length must be a multiple of the field symbol width");
+    }
+  }
+
+  BasicMatrix<F> generator_;  // n x k, top k rows identity
+  std::string name_;
+};
+
+/// The GF(2^8) instantiation used by the storage stack.
+using LinearCode = BasicLinearCode<GF256Field>;
+
+}  // namespace dfs::ec

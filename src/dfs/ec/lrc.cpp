@@ -1,0 +1,76 @@
+#include "dfs/ec/lrc.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dfs::ec {
+
+namespace {
+
+Matrix lrc_generator(int k, int l, int r) {
+  if (l <= 0 || r < 0 || k % l != 0) {
+    throw std::invalid_argument("LRC requires l > 0, r >= 0, l | k");
+  }
+  const int group = k / l;
+  Matrix g = Matrix::identity(k);
+  Matrix locals(l, k);
+  for (int grp = 0; grp < l; ++grp) {
+    for (int j = 0; j < group; ++j) locals.set(grp, grp * group + j, 1);
+  }
+  g.append_rows(locals);
+  if (r > 0) g.append_rows(Matrix::cauchy(r, k));
+  return g;
+}
+
+std::string lrc_name(int k, int l, int r) {
+  return "LRC(k=" + std::to_string(k) + ",l=" + std::to_string(l) +
+         ",r=" + std::to_string(r) + ")";
+}
+
+}  // namespace
+
+LocalReconstructionCode::LocalReconstructionCode(int k, int l, int r)
+    : LinearCode(k + l + r, k, lrc_generator(k, l, r), lrc_name(k, l, r)),
+      l_(l) {}
+
+std::optional<std::vector<int>> LocalReconstructionCode::plan_read(
+    const std::vector<int>& available, int lost) const {
+  if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
+  if (std::find(available.begin(), available.end(), lost) !=
+      available.end()) {
+    return std::vector<int>{lost};
+  }
+  auto is_available = [&](int id) {
+    return std::find(available.begin(), available.end(), id) !=
+           available.end();
+  };
+  // Local repair first: a native shard (or a local parity) can be rebuilt
+  // from the rest of its group if every other member survives.
+  const int gsz = group_size();
+  int grp = -1;
+  if (lost < k()) {
+    grp = group_of(lost);
+  } else if (lost < k() + l_) {
+    grp = lost - k();
+  }
+  if (grp >= 0) {
+    std::vector<int> local;
+    for (int j = 0; j < gsz; ++j) {
+      const int member = grp * gsz + j;
+      if (member != lost) local.push_back(member);
+    }
+    const int local_parity = k() + grp;
+    if (local_parity != lost) local.push_back(local_parity);
+    if (std::all_of(local.begin(), local.end(), is_available)) return local;
+  }
+  // Otherwise fall back to the general matrix decode over the caller's
+  // preference order.
+  return LinearCode::plan_read(available, lost);
+}
+
+std::unique_ptr<ErasureCode> make_lrc(int k, int l, int r) {
+  return std::make_unique<LocalReconstructionCode>(k, l, r);
+}
+
+}  // namespace dfs::ec

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+
+#include "dfs/ec/linear_code.h"
+
+namespace dfs::ec {
+
+/// Azure-style Local Reconstruction Code LRC(k, l, r): k native shards are
+/// split into l equally-sized local groups, each protected by one XOR local
+/// parity, plus r Cauchy global parities over all k shards. n = k + l + r.
+///
+/// Shard layout: [0, k) native, [k, k+l) local parities (group order),
+/// [k+l, n) global parities.
+///
+/// This is the "special erasure code construction" of the paper's footnote 1:
+/// a single lost native shard is rebuilt from its k/l - 1 surviving group
+/// members plus the group's local parity, so degraded reads fetch k/l shards
+/// instead of k. The bench/ablation_lrc harness measures how that changes
+/// the locality-first vs degraded-first comparison.
+class LocalReconstructionCode : public LinearCode {
+ public:
+  LocalReconstructionCode(int k, int l, int r);
+
+  int groups() const { return l_; }
+  int group_size() const { return k() / l_; }
+  int group_of(int native_shard) const { return native_shard / group_size(); }
+
+  std::optional<std::vector<int>> plan_read(
+      const std::vector<int>& available, int lost) const override;
+
+  int single_failure_read_cost() const override { return group_size(); }
+
+ private:
+  int l_;
+};
+
+std::unique_ptr<ErasureCode> make_lrc(int k, int l, int r);
+
+}  // namespace dfs::ec

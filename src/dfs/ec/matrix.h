@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfs/ec/field.h"
+
+namespace dfs::ec {
+
+/// Dense matrix over a GF(2^w) field. Small (at most n x k for code
+/// parameters), so a flat row-major symbol vector is plenty. Header-only
+/// template so the same machinery serves GF(256) and GF(65536) codes;
+/// `Matrix` below is the GF(256) instantiation used everywhere in storage.
+template <typename F>
+class BasicMatrix {
+ public:
+  using Symbol = typename F::Symbol;
+
+  BasicMatrix() = default;
+  BasicMatrix(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static BasicMatrix identity(int n) {
+    BasicMatrix m(n, n);
+    for (int i = 0; i < n; ++i) m.set(i, i, 1);
+    return m;
+  }
+
+  /// Rows are powers of distinct evaluation points: V[i][j] = (i+1)^j.
+  static BasicMatrix vandermonde(int rows, int cols) {
+    assert(rows < F::kFieldSize);
+    BasicMatrix m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        m.set(r, c, F::pow(static_cast<Symbol>(r + 1),
+                           static_cast<unsigned>(c)));
+      }
+    }
+    return m;
+  }
+
+  /// C[i][j] = 1 / (x_i + y_j) with x_i = i + cols, y_j = j (all distinct).
+  static BasicMatrix cauchy(int rows, int cols) {
+    assert(rows + cols <= F::kFieldSize);
+    BasicMatrix m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const auto x = static_cast<Symbol>(cols + r);
+        const auto y = static_cast<Symbol>(c);
+        m.set(r, c, F::inv(F::add(x, y)));
+      }
+    }
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Symbol at(int r, int c) const { return data_[index(r, c)]; }
+  void set(int r, int c, Symbol v) { data_[index(r, c)] = v; }
+  const Symbol* row(int r) const { return &data_[index(r, 0)]; }
+
+  BasicMatrix multiply(const BasicMatrix& other) const {
+    assert(cols_ == other.rows_);
+    BasicMatrix out(rows_, other.cols_);
+    for (int r = 0; r < rows_; ++r) {
+      for (int i = 0; i < cols_; ++i) {
+        const Symbol a = at(r, i);
+        if (a == 0) continue;
+        for (int c = 0; c < other.cols_; ++c) {
+          out.set(r, c, F::add(out.at(r, c), F::mul(a, other.at(i, c))));
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Gauss-Jordan inverse; nullopt if singular. Precondition: square.
+  std::optional<BasicMatrix> inverted() const {
+    assert(rows_ == cols_);
+    const int n = rows_;
+    BasicMatrix work = *this;
+    BasicMatrix inv = BasicMatrix::identity(n);
+    for (int col = 0; col < n; ++col) {
+      int pivot = -1;
+      for (int r = col; r < n; ++r) {
+        if (work.at(r, col) != 0) {
+          pivot = r;
+          break;
+        }
+      }
+      if (pivot < 0) return std::nullopt;
+      if (pivot != col) {
+        for (int c = 0; c < n; ++c) {
+          std::swap(work.data_[work.index(col, c)],
+                    work.data_[work.index(pivot, c)]);
+          std::swap(inv.data_[inv.index(col, c)],
+                    inv.data_[inv.index(pivot, c)]);
+        }
+      }
+      const Symbol p = work.at(col, col);
+      if (p != 1) {
+        const Symbol pinv = F::inv(p);
+        for (int c = 0; c < n; ++c) {
+          work.set(col, c, F::mul(work.at(col, c), pinv));
+          inv.set(col, c, F::mul(inv.at(col, c), pinv));
+        }
+      }
+      for (int r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const Symbol f = work.at(r, col);
+        if (f == 0) continue;
+        for (int c = 0; c < n; ++c) {
+          work.set(r, c, F::add(work.at(r, c), F::mul(f, work.at(col, c))));
+          inv.set(r, c, F::add(inv.at(r, c), F::mul(f, inv.at(col, c))));
+        }
+      }
+    }
+    return inv;
+  }
+
+  /// New matrix made of the given rows of this one, in the given order.
+  BasicMatrix select_rows(const std::vector<int>& row_ids) const {
+    BasicMatrix out(static_cast<int>(row_ids.size()), cols_);
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      assert(row_ids[i] >= 0 && row_ids[i] < rows_);
+      for (int c = 0; c < cols_; ++c) {
+        out.set(static_cast<int>(i), c, at(row_ids[i], c));
+      }
+    }
+    return out;
+  }
+
+  /// Append the rows of `other` below this matrix (same column count).
+  void append_rows(const BasicMatrix& other) {
+    assert(cols_ == other.cols_ || rows_ == 0);
+    if (rows_ == 0) cols_ = other.cols_;
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    rows_ += other.rows_;
+  }
+
+  bool operator==(const BasicMatrix& other) const = default;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        os << static_cast<long>(at(r, c)) << (c + 1 == cols_ ? "" : " ");
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Symbol> data_;
+};
+
+/// Rank of the matrix under Gaussian elimination over its field.
+template <typename F>
+int rank(BasicMatrix<F> m) {
+  using Symbol = typename F::Symbol;
+  int rk = 0;
+  for (int col = 0; col < m.cols() && rk < m.rows(); ++col) {
+    int pivot = -1;
+    for (int r = rk; r < m.rows(); ++r) {
+      if (m.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    for (int c = 0; c < m.cols(); ++c) {
+      const Symbol tmp = m.at(rk, c);
+      m.set(rk, c, m.at(pivot, c));
+      m.set(pivot, c, tmp);
+    }
+    const Symbol pinv = F::inv(m.at(rk, col));
+    for (int c = 0; c < m.cols(); ++c) {
+      m.set(rk, c, F::mul(m.at(rk, c), pinv));
+    }
+    for (int r = 0; r < m.rows(); ++r) {
+      if (r == rk) continue;
+      const Symbol f = m.at(r, col);
+      if (f == 0) continue;
+      for (int c = 0; c < m.cols(); ++c) {
+        m.set(r, c, F::add(m.at(r, c), F::mul(f, m.at(rk, c))));
+      }
+    }
+    ++rk;
+  }
+  return rk;
+}
+
+/// The GF(2^8) instantiation used by the storage stack.
+using Matrix = BasicMatrix<GF256Field>;
+
+}  // namespace dfs::ec

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+
+#include "dfs/ec/linear_code.h"
+
+namespace dfs::ec {
+
+/// Systematic Reed-Solomon over GF(2^8), generator derived from an n x k
+/// Vandermonde matrix V by right-multiplying with the inverse of its top
+/// k x k square (so the top k rows become the identity). Any k rows of the
+/// result are invertible, i.e. the code is MDS.
+class ReedSolomonCode : public LinearCode {
+ public:
+  ReedSolomonCode(int n, int k);
+};
+
+/// Factory helpers ------------------------------------------------------------
+
+std::unique_ptr<ErasureCode> make_reed_solomon(int n, int k);
+
+/// (k+1, k) single-parity XOR code.
+std::unique_ptr<ErasureCode> make_single_parity(int k);
+
+/// r-way replication expressed as a (r, 1) code: every "parity" is a copy.
+std::unique_ptr<ErasureCode> make_replication(int copies);
+
+}  // namespace dfs::ec

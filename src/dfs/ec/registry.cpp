@@ -1,0 +1,49 @@
+#include "dfs/ec/registry.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "dfs/ec/cauchy.h"
+#include "dfs/ec/lrc.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/ec/wide_rs.h"
+#include "dfs/util/args.h"
+
+namespace dfs::ec {
+
+std::shared_ptr<ErasureCode> make_code_from_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::vector<std::string> params =
+      colon == std::string::npos
+          ? std::vector<std::string>{}
+          : util::split(spec.substr(colon + 1), ',');
+  const auto num = [&](std::size_t i) {
+    return std::atoi(params[i].c_str());
+  };
+  if (family == "rs" && params.size() == 2) {
+    return make_reed_solomon(num(0), num(1));
+  }
+  if (family == "rs16" && params.size() == 2) {
+    return make_wide_reed_solomon(num(0), num(1));
+  }
+  if (family == "crs" && params.size() == 2) {
+    return make_cauchy_reed_solomon(num(0), num(1));
+  }
+  if (family == "lrc" && params.size() == 3) {
+    return make_lrc(num(0), num(1), num(2));
+  }
+  if (family == "xor" && params.size() == 1) {
+    return make_single_parity(num(0));
+  }
+  if (family == "rep" && params.size() == 1) {
+    return make_replication(num(0));
+  }
+  return nullptr;
+}
+
+const char* code_spec_help() {
+  return "rs:n,k | rs16:n,k | crs:n,k | lrc:k,l,r | xor:k | rep:r";
+}
+
+}  // namespace dfs::ec

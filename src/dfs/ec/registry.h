@@ -1,0 +1,27 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dfs/ec/erasure_code.h"
+
+namespace dfs::ec {
+
+/// Builds a code from a compact textual spec, the format the command-line
+/// tools and configuration files use:
+///
+///   "rs:n,k"     GF(2^8) systematic Reed-Solomon        e.g. rs:20,15
+///   "rs16:n,k"   GF(2^16) wide Reed-Solomon             e.g. rs16:300,290
+///   "crs:n,k"    bit-matrix Cauchy Reed-Solomon         e.g. crs:12,10
+///   "lrc:k,l,r"  Azure-style local reconstruction code  e.g. lrc:12,2,2
+///   "xor:k"      single-parity code (k+1, k)            e.g. xor:5
+///   "rep:r"      r-way replication                      e.g. rep:3
+///
+/// Returns nullptr for a malformed spec; throws std::invalid_argument when
+/// the spec parses but the parameters are invalid (e.g. rs:2,5).
+std::shared_ptr<ErasureCode> make_code_from_spec(const std::string& spec);
+
+/// Human-readable list of accepted spec formats (for tool usage messages).
+const char* code_spec_help();
+
+}  // namespace dfs::ec

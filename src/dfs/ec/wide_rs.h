@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+
+#include "dfs/ec/linear_code.h"
+
+namespace dfs::ec {
+
+/// Systematic Reed-Solomon over GF(2^16): the same Vandermonde construction
+/// as ReedSolomonCode, but supporting stripes of up to 65535 shards — "wide"
+/// codes used by modern archival stores to push redundancy overhead far
+/// below the paper's (20,15). Shard lengths must be even (2-byte symbols).
+class WideReedSolomonCode : public BasicLinearCode<GF65536Field> {
+ public:
+  WideReedSolomonCode(int n, int k);
+};
+
+std::unique_ptr<ErasureCode> make_wide_reed_solomon(int n, int k);
+
+}  // namespace dfs::ec

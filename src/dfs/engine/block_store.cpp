@@ -1,0 +1,70 @@
+#include "dfs/engine/block_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfs::engine {
+
+ByteBlockStore::ByteBlockStore(const std::string& data,
+                               const storage::StorageLayout& layout,
+                               const ec::ErasureCode& code,
+                               std::size_t block_bytes)
+    : layout_(layout), code_(code), block_bytes_(block_bytes) {
+  if (block_bytes == 0 || block_bytes % 8 != 0) {
+    throw std::invalid_argument("block_bytes must be a positive multiple of 8");
+  }
+  if (layout.n() != code.n() || layout.k() != code.k()) {
+    throw std::invalid_argument("layout and code disagree on (n, k)");
+  }
+  const int k = layout.k();
+  stripes_.resize(static_cast<std::size_t>(layout.num_stripes()));
+  std::size_t offset = 0;
+  for (int s = 0; s < layout.num_stripes(); ++s) {
+    std::vector<ec::Shard> natives;
+    natives.reserve(static_cast<std::size_t>(k));
+    for (int b = 0; b < k; ++b) {
+      ec::Shard shard(block_bytes_, static_cast<std::uint8_t>('\n'));
+      const std::size_t take =
+          offset < data.size()
+              ? std::min(block_bytes_, data.size() - offset)
+              : 0;
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(offset), take,
+                  shard.begin());
+      offset += take;
+      natives.push_back(std::move(shard));
+    }
+    std::vector<ec::Shard> parity = code.encode(natives);
+    auto& stripe = stripes_[static_cast<std::size_t>(s)];
+    stripe = std::move(natives);
+    for (auto& p : parity) stripe.push_back(std::move(p));
+  }
+}
+
+const ec::Shard& ByteBlockStore::shard(storage::BlockId id) const {
+  return stripes_[static_cast<std::size_t>(id.stripe)]
+                 [static_cast<std::size_t>(id.index)];
+}
+
+const ec::Shard& ByteBlockStore::native(int i) const {
+  return shard(layout_.native_block(i));
+}
+
+ec::Shard ByteBlockStore::reconstruct(
+    storage::BlockId lost,
+    const std::vector<storage::DegradedSource>& sources) const {
+  std::vector<std::pair<int, const ec::Shard*>> present;
+  present.reserve(sources.size());
+  for (const auto& src : sources) {
+    if (src.block.stripe != lost.stripe) {
+      throw std::invalid_argument("source from a different stripe");
+    }
+    present.emplace_back(src.block.index, &shard(src.block));
+  }
+  auto rebuilt = code_.reconstruct(present, {lost.index});
+  if (!rebuilt) {
+    throw std::runtime_error("degraded read sources cannot decode the block");
+  }
+  return std::move(rebuilt->front());
+}
+
+}  // namespace dfs::engine

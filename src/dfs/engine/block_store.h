@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfs/ec/erasure_code.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/layout.h"
+
+namespace dfs::engine {
+
+/// A byte-backed erasure-coded block store: the functional counterpart of
+/// HDFS-RAID. A file's bytes are split into the layout's native blocks,
+/// each group of k native blocks is encoded into a stripe, and every shard
+/// (native and parity) is retained.
+///
+/// The store deliberately keeps all shards even for "failed" nodes — node
+/// failure is a property of the simulation scenario, not of the store — so
+/// examples and tests can verify that a degraded reconstruction reproduces
+/// the original bytes exactly.
+///
+/// Blocks here are small (kilobytes) stand-ins for the simulator's 64/128 MB
+/// blocks: the timing model uses the configured block size while the
+/// functional layer exercises the identical code paths on manageable data.
+class ByteBlockStore {
+ public:
+  /// Splits `data` into layout.num_native_blocks() blocks of `block_bytes`
+  /// (padding the tail with '\n'), encoding stripe by stripe with `code`.
+  /// `block_bytes` must be a multiple of 8 (CRS packet alignment).
+  ByteBlockStore(const std::string& data,
+                 const storage::StorageLayout& layout,
+                 const ec::ErasureCode& code, std::size_t block_bytes);
+
+  const storage::StorageLayout& layout() const { return layout_; }
+  const ec::ErasureCode& code() const { return code_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  /// Bytes of any shard (native or parity).
+  const ec::Shard& shard(storage::BlockId id) const;
+
+  /// Bytes of native block i of the file.
+  const ec::Shard& native(int i) const;
+
+  /// Rebuild the lost shard from exactly the given surviving sources — the
+  /// same sources the simulated degraded read downloaded. Throws
+  /// std::runtime_error if those sources cannot decode the shard.
+  ec::Shard reconstruct(storage::BlockId lost,
+                        const std::vector<storage::DegradedSource>& sources)
+      const;
+
+ private:
+  const storage::StorageLayout& layout_;
+  const ec::ErasureCode& code_;
+  std::size_t block_bytes_;
+  // stripes_[s][b] = bytes of block b of stripe s (b < n).
+  std::vector<std::vector<ec::Shard>> stripes_;
+};
+
+}  // namespace dfs::engine

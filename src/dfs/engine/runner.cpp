@@ -1,0 +1,80 @@
+#include "dfs/engine/runner.h"
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "dfs/mapreduce/simulation.h"
+
+namespace dfs::engine {
+
+namespace {
+
+std::string_view as_text(const ec::Shard& shard) {
+  return std::string_view(reinterpret_cast<const char*>(shard.data()),
+                          shard.size());
+}
+
+}  // namespace
+
+FunctionalRunResult run_functional_job(const mapreduce::ClusterConfig& config,
+                                       const mapreduce::JobInput& job,
+                                       const ByteBlockStore& store,
+                                       const TextJob& text_job,
+                                       const storage::FailureScenario& failure,
+                                       core::Scheduler& scheduler,
+                                       std::uint64_t seed) {
+  FunctionalRunResult out;
+  const int reducers = job.spec.num_reducers;
+  std::vector<KeyCounts> partitions(
+      static_cast<std::size_t>(reducers > 0 ? reducers : 1));
+  const std::hash<std::string> hasher;
+
+  mapreduce::MapReduceSimulation sim(config, {job}, failure, scheduler, seed);
+  mapreduce::TaskHooks hooks;
+  hooks.on_map_finish = [&](const mapreduce::MapTaskRecord& rec) {
+    // Obtain the input block the simulated task processed — really decoding
+    // it from the simulated degraded read's sources when it was lost.
+    const ec::Shard* input = nullptr;
+    ec::Shard rebuilt;
+    if (rec.kind == mapreduce::MapTaskKind::kDegraded) {
+      rebuilt = store.reconstruct(rec.block, rec.sources);
+      ++out.degraded_reconstructions;
+      if (rebuilt != store.shard(rec.block)) {
+        out.reconstruction_verified = false;
+      }
+      input = &rebuilt;
+    } else {
+      input = &store.shard(rec.block);
+    }
+    const KeyCounts emitted = text_job.map(as_text(*input));
+    // Hash-partition the intermediate pairs over the reducers.
+    for (const auto& [key, count] : emitted) {
+      const std::size_t p =
+          reducers > 0 ? hasher(key) % static_cast<std::size_t>(reducers) : 0;
+      partitions[p][key] += count;
+    }
+  };
+  int reduces_ran = 0;
+  hooks.on_reduce_finish =
+      [&](const mapreduce::ReduceTaskRecord&) { ++reduces_ran; };
+  sim.set_hooks(std::move(hooks));
+  out.timing = sim.run();
+
+  // Reduce: sum each partition into the final result (all three text jobs
+  // reduce by summation).
+  for (const auto& partition : partitions) {
+    merge_counts(out.totals, partition);
+  }
+  return out;
+}
+
+KeyCounts reference_run(const ByteBlockStore& store, const TextJob& text_job) {
+  KeyCounts totals;
+  for (int i = 0; i < store.layout().num_native_blocks(); ++i) {
+    merge_counts(totals, text_job.map(as_text(store.native(i))));
+  }
+  return totals;
+}
+
+}  // namespace dfs::engine

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/engine/block_store.h"
+#include "dfs/engine/text_jobs.h"
+#include "dfs/mapreduce/config.h"
+#include "dfs/mapreduce/metrics.h"
+#include "dfs/storage/failure.h"
+
+namespace dfs::engine {
+
+/// Outcome of a functional run: simulated timings plus the real reduced
+/// output, with degraded reconstructions verified byte-for-byte against the
+/// original blocks.
+struct FunctionalRunResult {
+  mapreduce::RunResult timing;
+  KeyCounts totals;
+  int degraded_reconstructions = 0;
+  bool reconstruction_verified = true;
+};
+
+/// Runs one text job end-to-end: the discrete-event simulator decides when
+/// and where every task runs (under the given scheduler and failure
+/// scenario), and at each simulated map completion the real bytes are
+/// processed — lost blocks are really reconstructed from the very sources
+/// the simulated degraded read downloaded.
+FunctionalRunResult run_functional_job(const mapreduce::ClusterConfig& config,
+                                       const mapreduce::JobInput& job,
+                                       const ByteBlockStore& store,
+                                       const TextJob& text_job,
+                                       const storage::FailureScenario& failure,
+                                       core::Scheduler& scheduler,
+                                       std::uint64_t seed);
+
+/// Reference executor: maps every native block sequentially and merges, with
+/// no simulation. run_functional_job must produce identical totals.
+KeyCounts reference_run(const ByteBlockStore& store, const TextJob& text_job);
+
+}  // namespace dfs::engine

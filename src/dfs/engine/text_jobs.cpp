@@ -1,0 +1,95 @@
+#include "dfs/engine/text_jobs.h"
+
+#include <utility>
+
+namespace dfs::engine {
+
+namespace {
+
+bool is_word_char(char c) {
+  return c != ' ' && c != '\n' && c != '\t' && c != '\r' && c != '\0';
+}
+
+/// Calls fn(line) for every '\n'-terminated (or trailing) line.
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    fn(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+class WordCountJob final : public TextJob {
+ public:
+  std::string name() const override { return "WordCount"; }
+
+  KeyCounts map(std::string_view text) const override {
+    KeyCounts counts;
+    std::size_t i = 0;
+    while (i < text.size()) {
+      while (i < text.size() && !is_word_char(text[i])) ++i;
+      const std::size_t start = i;
+      while (i < text.size() && is_word_char(text[i])) ++i;
+      if (i > start) {
+        ++counts[std::string(text.substr(start, i - start))];
+      }
+    }
+    return counts;
+  }
+};
+
+class GrepJob final : public TextJob {
+ public:
+  explicit GrepJob(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  std::string name() const override { return "Grep(" + pattern_ + ")"; }
+
+  KeyCounts map(std::string_view text) const override {
+    KeyCounts counts;
+    for_each_line(text, [&](std::string_view line) {
+      if (line.find(pattern_) != std::string_view::npos) {
+        ++counts[std::string(line)];
+      }
+    });
+    return counts;
+  }
+
+ private:
+  std::string pattern_;
+};
+
+class LineCountJob final : public TextJob {
+ public:
+  std::string name() const override { return "LineCount"; }
+
+  KeyCounts map(std::string_view text) const override {
+    KeyCounts counts;
+    for_each_line(text, [&](std::string_view line) {
+      if (!line.empty()) ++counts[std::string(line)];
+    });
+    return counts;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TextJob> make_word_count() {
+  return std::make_unique<WordCountJob>();
+}
+
+std::unique_ptr<TextJob> make_grep(std::string pattern) {
+  return std::make_unique<GrepJob>(std::move(pattern));
+}
+
+std::unique_ptr<TextJob> make_line_count() {
+  return std::make_unique<LineCountJob>();
+}
+
+void merge_counts(KeyCounts& dst, const KeyCounts& src) {
+  for (const auto& [key, count] : src) dst[key] += count;
+}
+
+}  // namespace dfs::engine

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dfs/ec/erasure_code.h"
+#include "dfs/net/network.h"
+#include "dfs/net/topology.h"
+#include "dfs/storage/layout.h"
+#include "dfs/mapreduce/types.h"
+#include "dfs/util/units.h"
+
+namespace dfs::mapreduce {
+
+/// Static description of the simulated cluster (§V-B defaults).
+struct ClusterConfig {
+  net::Topology topology{4, 10};  ///< 40 nodes in 4 racks by default
+  net::LinkConfig links{};        ///< rack up/down = 1 Gbps, node links free
+  net::ContentionModel contention = net::ContentionModel::kMaxMinFairShare;
+
+  int map_slots_per_node = 4;
+  int reduce_slots_per_node = 1;
+  util::Seconds heartbeat_interval = 3.0;
+  util::Bytes block_size = util::mebibytes(128);
+
+  /// Per-node processing-time multiplier (1.0 = baseline; 2.0 = twice as
+  /// slow). Sized num_nodes or empty for homogeneous clusters. Drives the
+  /// heterogeneous experiments of §V-C.
+  std::vector<double> node_time_scale;
+
+  /// Seconds of CPU time a degraded task spends decoding the lost block
+  /// after its sources arrive (0 in the paper's model; knob for ablations).
+  util::Seconds decode_overhead = 0.0;
+
+  /// Hadoop-style speculative execution (off by default: the paper's
+  /// evaluation disables it). When a job has no unassigned map tasks and a
+  /// slave has an idle slot, a backup copy of the slowest-running map task
+  /// is launched on that slave if it has been running longer than
+  /// `speculation_slowdown` times the mean completed-map runtime; the first
+  /// copy to finish wins. Losing copies run to completion on their slot (we
+  /// model the conservative no-kill variant).
+  bool speculative_execution = false;
+  double speculation_slowdown = 1.5;
+  /// Fraction of the job's maps that must have completed before runtimes
+  /// are considered representative enough to speculate against.
+  double speculation_min_completed_fraction = 0.1;
+
+  double time_scale(NodeId node) const {
+    if (node_time_scale.empty()) return 1.0;
+    return node_time_scale[static_cast<std::size_t>(node)];
+  }
+};
+
+/// One MapReduce job: a map task per native block of its input file, plus a
+/// fixed number of reduce tasks fed by a shuffle.
+struct JobSpec {
+  JobId id = 0;
+  Dist map_time{20.0, 1.0};
+  Dist reduce_time{30.0, 2.0};
+  int num_reducers = 30;
+  /// Intermediate data emitted per map task, as a fraction of the block size
+  /// (§V-B uses 1%; Fig. 7(e) sweeps 1%-30%).
+  double shuffle_ratio = 0.01;
+  util::Seconds submit_time = 0.0;
+};
+
+/// A job together with the erasure-coded layout of its input file and the
+/// code protecting it (degraded reads ask the code which survivors to read).
+struct JobInput {
+  JobSpec spec;
+  std::shared_ptr<const storage::StorageLayout> layout;
+  std::shared_ptr<const ec::ErasureCode> code;
+};
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,665 @@
+#include "dfs/mapreduce/master.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dfs::mapreduce {
+
+namespace {
+// "Never assigned a degraded task": makes t_r effectively infinite so fresh
+// racks always pass the rack-awareness check.
+constexpr util::Seconds kNeverAssigned = -1.0e9;
+}  // namespace
+
+Master::Master(sim::Simulator& simulator, net::Network& network,
+               const ClusterConfig& config,
+               const storage::FailureScenario& failure,
+               core::Scheduler& scheduler, util::Rng& rng,
+               storage::SourceSelection source_selection)
+    : sim_(simulator),
+      net_(network),
+      cfg_(config),
+      failure_(failure),
+      scheduler_(scheduler),
+      rng_(rng),
+      source_selection_(source_selection) {
+  slaves_.resize(static_cast<std::size_t>(cfg_.topology.num_nodes()));
+  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
+    SlaveState& s = slaves_[static_cast<std::size_t>(n)];
+    s.alive = !failure_.is_failed(n);
+    s.free_map_slots = cfg_.map_slots_per_node;
+    s.free_reduce_slots = cfg_.reduce_slots_per_node;
+  }
+  last_degraded_assign_.assign(
+      static_cast<std::size_t>(cfg_.topology.num_racks()), kNeverAssigned);
+}
+
+void Master::submit(const JobInput& input) {
+  if (started_) {
+    throw std::logic_error("submit all jobs before Master::start()");
+  }
+  if (!input.layout || !input.code) {
+    throw std::invalid_argument("JobInput needs a layout and a code");
+  }
+  if (input.layout->n() != input.code->n() ||
+      input.layout->k() != input.code->k()) {
+    throw std::invalid_argument("layout and code disagree on (n, k)");
+  }
+  JobState j;
+  j.spec = input.spec;
+  j.layout = input.layout;
+  j.code = input.code;
+  j.planner = std::make_unique<storage::DegradedReadPlanner>(
+      *j.layout, cfg_.topology, *j.code, source_selection_);
+  j.rng = rng_.fork();
+  j.metrics.id = j.spec.id;
+  j.metrics.submit_time = j.spec.submit_time;
+  j.pending_by_node.resize(
+      static_cast<std::size_t>(cfg_.topology.num_nodes()));
+  j.pending_count_by_node.assign(
+      static_cast<std::size_t>(cfg_.topology.num_nodes()), 0);
+  j.pending_by_rack.assign(
+      static_cast<std::size_t>(cfg_.topology.num_racks()), 0);
+  j.reduces.resize(static_cast<std::size_t>(j.spec.num_reducers));
+  jobs_.push_back(std::move(j));
+}
+
+void Master::activate_job(std::size_t index) {
+  JobState& j = jobs_[index];
+  assert(!j.active);
+  j.active = true;
+  // Split the job into map tasks: one per native block. A task whose input
+  // has no surviving readable copy becomes a degraded task (§II-B). For
+  // k == 1 layouts (replication), every surviving shard of the stripe is a
+  // readable copy, so the task stays "local" to all replica holders and a
+  // degraded task only arises when every copy is gone.
+  const int blocks = j.layout->num_native_blocks();
+  const bool replicated = j.layout->k() == 1;
+  j.maps.resize(static_cast<std::size_t>(blocks));
+  for (int i = 0; i < blocks; ++i) {
+    MapTaskState& t = j.maps[static_cast<std::size_t>(i)];
+    t.block = j.layout->native_block(i);
+    t.home = j.layout->node_of(t.block);
+    t.lost = failure_.is_failed(t.home);
+    if (replicated) {
+      for (int b = 0; b < j.layout->n(); ++b) {
+        const NodeId holder =
+            j.layout->node_of(storage::BlockId{t.block.stripe, b});
+        if (!failure_.is_failed(holder)) t.locations.push_back(holder);
+      }
+      t.lost = t.locations.empty();
+    } else if (!t.lost) {
+      t.locations.push_back(t.home);
+    }
+    if (t.locations.empty()) {
+      j.pending_degraded.push_back(i);
+      continue;
+    }
+    for (const NodeId loc : t.locations) {
+      j.pending_by_node[static_cast<std::size_t>(loc)].push_back(i);
+      ++j.pending_count_by_node[static_cast<std::size_t>(loc)];
+      const RackId rack = cfg_.topology.rack_of(loc);
+      if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
+          t.location_racks.end()) {
+        t.location_racks.push_back(rack);
+      }
+    }
+    for (const RackId rack : t.location_racks) {
+      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
+    }
+    ++j.pending_nondegraded;
+  }
+  j.total_m = blocks;
+  j.total_md = static_cast<long>(j.pending_degraded.size());
+}
+
+void Master::start() {
+  if (started_) throw std::logic_error("Master::start() called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    sim_.schedule_at(jobs_[i].spec.submit_time,
+                     [this, i] { activate_job(i); });
+  }
+  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
+    if (!slave(n).alive) continue;
+    const util::Seconds phase = rng_.uniform(0.0, cfg_.heartbeat_interval);
+    sim_.schedule_periodic(phase, cfg_.heartbeat_interval, [this, n] {
+      if (all_jobs_done()) return false;
+      on_heartbeat(n);
+      return true;
+    });
+  }
+}
+
+void Master::on_heartbeat(NodeId s) {
+  scheduler_.on_heartbeat(*this, s);
+  assign_reduce_tasks(s);
+  if (cfg_.speculative_execution) try_speculate(s);
+}
+
+// --- SchedulerContext queries --------------------------------------------------
+
+util::Seconds Master::now() const { return sim_.now(); }
+
+std::vector<core::JobId> Master::running_jobs() const {
+  std::vector<core::JobId> out;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobState& j = jobs_[i];
+    if (j.active && j.m < j.total_m) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Master::JobState& Master::job(core::JobId id) {
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+const Master::JobState& Master::job(core::JobId id) const {
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+int Master::free_map_slots(NodeId s) const {
+  return slaves_[static_cast<std::size_t>(s)].free_map_slots;
+}
+
+bool Master::has_unassigned_local(core::JobId id, NodeId s) const {
+  const JobState& j = job(id);
+  if (j.pending_count_by_node[static_cast<std::size_t>(s)] > 0) return true;
+  return j.pending_by_rack[static_cast<std::size_t>(
+             cfg_.topology.rack_of(s))] > 0;
+}
+
+bool Master::has_unassigned_remote(core::JobId id, NodeId s) const {
+  const JobState& j = job(id);
+  return j.pending_nondegraded >
+         j.pending_by_rack[static_cast<std::size_t>(cfg_.topology.rack_of(s))];
+}
+
+bool Master::has_unassigned_degraded(core::JobId id) const {
+  return !job(id).pending_degraded.empty();
+}
+
+int Master::degraded_affinity(core::JobId id, NodeId s) const {
+  const JobState& j = job(id);
+  if (j.pending_degraded.empty()) return 0;
+  const int map_idx = j.pending_degraded.front();
+  const storage::BlockId lost =
+      j.maps[static_cast<std::size_t>(map_idx)].block;
+  int count = 0;
+  for (int b = 0; b < j.layout->n(); ++b) {
+    if (b == lost.index) continue;
+    const NodeId holder =
+        j.layout->node_of(storage::BlockId{lost.stripe, b});
+    if (holder == s && !failure_.is_failed(holder)) ++count;
+  }
+  return count;
+}
+
+long Master::launched_maps(core::JobId id) const { return job(id).m; }
+
+long Master::running_maps(core::JobId id) const {
+  const JobState& j = job(id);
+  return j.m - j.maps_done;
+}
+long Master::total_maps(core::JobId id) const { return job(id).total_m; }
+long Master::launched_degraded(core::JobId id) const { return job(id).md; }
+long Master::total_degraded(core::JobId id) const { return job(id).total_md; }
+
+util::Seconds Master::local_work_seconds(NodeId s) const {
+  double work = 0.0;
+  for (const JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    work += static_cast<double>(
+                j.pending_count_by_node[static_cast<std::size_t>(s)]) *
+            j.spec.map_time.mean;
+  }
+  return work * cfg_.time_scale(s);
+}
+
+util::Seconds Master::mean_local_work_seconds() const {
+  double sum = 0.0;
+  int alive = 0;
+  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
+    if (!slaves_[static_cast<std::size_t>(n)].alive) continue;
+    sum += local_work_seconds(n);
+    ++alive;
+  }
+  return alive > 0 ? sum / alive : 0.0;
+}
+
+util::Seconds Master::time_since_last_degraded(RackId r) const {
+  return sim_.now() - last_degraded_assign_[static_cast<std::size_t>(r)];
+}
+
+util::Seconds Master::mean_time_since_last_degraded() const {
+  // Average over racks that can still run tasks: a fully-failed rack never
+  // launches a degraded task, and letting its stale timer inflate E[t_r]
+  // would pin the rack-awareness gate at its threshold and throttle
+  // degraded launches cluster-wide (pathological under rack failures).
+  double sum = 0.0;
+  int alive_racks = 0;
+  for (RackId r = 0; r < cfg_.topology.num_racks(); ++r) {
+    bool alive = false;
+    for (NodeId n : cfg_.topology.nodes_in_rack(r)) {
+      if (slaves_[static_cast<std::size_t>(n)].alive) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) continue;
+    sum += time_since_last_degraded(r);
+    ++alive_racks;
+  }
+  return alive_racks > 0 ? sum / alive_racks : 0.0;
+}
+
+util::Seconds Master::degraded_read_threshold() const {
+  const util::BytesPerSec w = net_.topology().num_racks() > 1
+                                  ? cfg_.links.rack_down
+                                  : util::kUnlimitedBandwidth;
+  if (w == util::kUnlimitedBandwidth) return 0.0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobState& j = jobs_[i];
+    if (j.active && j.m < j.total_m) {
+      return j.planner->expected_cross_rack_blocks() * cfg_.block_size / w;
+    }
+  }
+  return 0.0;
+}
+
+RackId Master::rack_of(NodeId s) const { return cfg_.topology.rack_of(s); }
+
+// --- assignment ----------------------------------------------------------------
+
+int Master::pop_pending(JobState& j, NodeId node) {
+  auto& dq = j.pending_by_node[static_cast<std::size_t>(node)];
+  while (!dq.empty()) {
+    const int map_idx = dq.front();
+    dq.pop_front();
+    if (!j.maps[static_cast<std::size_t>(map_idx)].assigned) return map_idx;
+    // Stale entry: the task was assigned through another replica's queue.
+  }
+  return -1;
+}
+
+void Master::retire_pending(JobState& j, int map_idx) {
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  assert(!t.assigned);
+  t.assigned = true;  // queue entries elsewhere become stale
+  for (const NodeId loc : t.locations) {
+    --j.pending_count_by_node[static_cast<std::size_t>(loc)];
+  }
+  for (const RackId rack : t.location_racks) {
+    --j.pending_by_rack[static_cast<std::size_t>(rack)];
+  }
+  --j.pending_nondegraded;
+}
+
+void Master::assign_local(core::JobId id, NodeId s) {
+  JobState& j = job(id);
+  if (j.pending_count_by_node[static_cast<std::size_t>(s)] > 0) {
+    const int map_idx = pop_pending(j, s);
+    assert(map_idx >= 0);
+    retire_pending(j, map_idx);
+    start_map(j, map_idx, s, MapTaskKind::kNodeLocal, s);
+    return;
+  }
+  // Rack-local: steal from the rack-mate with the largest backlog.
+  NodeId best = -1;
+  int best_len = 0;
+  for (NodeId peer : cfg_.topology.nodes_in_rack(cfg_.topology.rack_of(s))) {
+    const int len = j.pending_count_by_node[static_cast<std::size_t>(peer)];
+    if (len > best_len) {
+      best_len = len;
+      best = peer;
+    }
+  }
+  if (best < 0) throw std::logic_error("assign_local without a local task");
+  const int map_idx = pop_pending(j, best);
+  assert(map_idx >= 0);
+  retire_pending(j, map_idx);
+  start_map(j, map_idx, s, MapTaskKind::kRackLocal, best);
+}
+
+void Master::assign_remote(core::JobId id, NodeId s) {
+  JobState& j = job(id);
+  const RackId my_rack = cfg_.topology.rack_of(s);
+  NodeId best = -1;
+  int best_len = 0;
+  for (NodeId peer = 0; peer < cfg_.topology.num_nodes(); ++peer) {
+    if (cfg_.topology.rack_of(peer) == my_rack) continue;
+    const int len = j.pending_count_by_node[static_cast<std::size_t>(peer)];
+    if (len > best_len) {
+      best_len = len;
+      best = peer;
+    }
+  }
+  if (best < 0) throw std::logic_error("assign_remote without a remote task");
+  const int map_idx = pop_pending(j, best);
+  assert(map_idx >= 0);
+  retire_pending(j, map_idx);
+  start_map(j, map_idx, s, MapTaskKind::kRemote, best);
+}
+
+void Master::assign_degraded(core::JobId id, NodeId s) {
+  JobState& j = job(id);
+  if (j.pending_degraded.empty()) {
+    throw std::logic_error("assign_degraded without a degraded task");
+  }
+  const int map_idx = j.pending_degraded.front();
+  j.pending_degraded.pop_front();
+  j.maps[static_cast<std::size_t>(map_idx)].assigned = true;
+  last_degraded_assign_[static_cast<std::size_t>(cfg_.topology.rack_of(s))] =
+      sim_.now();
+  start_map(j, map_idx, s, MapTaskKind::kDegraded, -1);
+}
+
+// --- map task lifecycle ----------------------------------------------------------
+
+void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
+                       NodeId fetch_source, bool backup) {
+  SlaveState& sl = slave(s);
+  assert(sl.alive && sl.free_map_slots > 0);
+  --sl.free_map_slots;
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  assert(t.assigned);  // callers retire the task from the pending indexes
+
+  MapTaskRecord rec;
+  rec.id = static_cast<TaskId>(result_.map_tasks.size());
+  rec.job = j.spec.id;
+  rec.block = t.block;
+  rec.exec_node = s;
+  rec.source_node = fetch_source;
+  rec.kind = kind;
+  rec.assign_time = sim_.now();
+  rec.speculative = backup;
+  const int record_idx = static_cast<int>(result_.map_tasks.size());
+
+  if (!backup) {
+    // Backups are extra attempts: they never advance the pacing counters
+    // (m, m_d), the per-kind task counts, or the first-launch milestone.
+    t.record = record_idx;
+    ++j.m;
+    if (kind == MapTaskKind::kDegraded) ++j.md;
+    if (j.metrics.first_map_launch < 0.0) {
+      j.metrics.first_map_launch = sim_.now();
+    }
+    switch (kind) {
+      case MapTaskKind::kNodeLocal:
+      case MapTaskKind::kRackLocal:
+        ++j.metrics.local_tasks;
+        break;
+      case MapTaskKind::kRemote:
+        ++j.metrics.remote_tasks;
+        break;
+      case MapTaskKind::kDegraded:
+        ++j.metrics.degraded_tasks;
+        break;
+    }
+  }
+
+  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+
+  if (kind == MapTaskKind::kDegraded) {
+    auto sources = j.planner->plan(t.block, s, failure_, j.rng);
+    if (!sources) {
+      rec.unrecoverable = true;
+      rec.fetch_done_time = sim_.now();
+      rec.finish_time = sim_.now();
+      result_.map_tasks.push_back(std::move(rec));
+      result_.data_loss = true;
+      // Count it done so the job can still terminate.
+      sim_.schedule_in(0.0, [this, job_id, record_idx, map_idx] {
+        on_map_complete(job_id, record_idx, map_idx);
+      });
+      return;
+    }
+    rec.sources = *sources;
+    result_.map_tasks.push_back(std::move(rec));
+    // Fetch all source blocks in parallel; input ready when the last lands.
+    auto remaining = std::make_shared<int>(
+        static_cast<int>(result_.map_tasks[static_cast<std::size_t>(record_idx)]
+                             .sources.size()));
+    for (const auto& src :
+         result_.map_tasks[static_cast<std::size_t>(record_idx)].sources) {
+      net_.transfer(src.node, s, cfg_.block_size,
+                    [this, job_id, record_idx, map_idx, remaining] {
+                      if (--*remaining == 0) {
+                        on_map_input_ready(job_id, record_idx, map_idx);
+                      }
+                    });
+    }
+    return;
+  }
+
+  result_.map_tasks.push_back(std::move(rec));
+  if (kind == MapTaskKind::kNodeLocal) {
+    on_map_input_ready(job_id, record_idx, map_idx);
+  } else {
+    // Rack-local and remote tasks download the input block (or a replica)
+    // from the location the assignment chose.
+    assert(fetch_source >= 0);
+    net_.transfer(fetch_source, s, cfg_.block_size,
+                  [this, job_id, record_idx, map_idx] {
+                    on_map_input_ready(job_id, record_idx, map_idx);
+                  });
+  }
+}
+
+void Master::on_map_input_ready(core::JobId job_id, int record_idx,
+                                int map_idx) {
+  JobState& j = job(job_id);
+  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
+  rec.fetch_done_time = sim_.now();
+  if (j.maps[static_cast<std::size_t>(map_idx)].done) {
+    // Another attempt won while this one was still fetching; release the
+    // slot without burning processing time (the kill a TaskTracker applies).
+    rec.finish_time = sim_.now();
+    rec.winner = false;
+    ++slave(rec.exec_node).free_map_slots;
+    return;
+  }
+  util::Seconds duration =
+      j.rng.normal(j.spec.map_time.mean, j.spec.map_time.stddev) *
+      cfg_.time_scale(rec.exec_node);
+  if (rec.kind == MapTaskKind::kDegraded) duration += cfg_.decode_overhead;
+  sim_.schedule_in(duration, [this, job_id, record_idx, map_idx] {
+    on_map_complete(job_id, record_idx, map_idx);
+  });
+}
+
+void Master::on_map_complete(core::JobId job_id, int record_idx,
+                             int map_idx) {
+  JobState& j = job(job_id);
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
+  if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
+  ++slave(rec.exec_node).free_map_slots;
+  if (t.done) {
+    // A speculative race already produced this task's output; this attempt
+    // merely releases its slot.
+    rec.winner = false;
+    return;
+  }
+  t.done = true;
+  ++j.maps_done;
+  j.completed_map_runtime_sum += rec.runtime();
+  j.completed_map_records.push_back(record_idx);
+  if (hooks.on_map_finish && !rec.unrecoverable) hooks.on_map_finish(rec);
+
+  // Shuffle: push this map's partition to every already-assigned reducer.
+  for (int r = 0; r < j.spec.num_reducers; ++r) {
+    if (j.reduces[static_cast<std::size_t>(r)].assigned) {
+      start_partition_fetch(j, r, record_idx);
+    }
+  }
+  if (j.maps_done == j.total_m) {
+    j.metrics.map_phase_end = sim_.now();
+    maybe_finish_job(j);
+  }
+}
+
+void Master::try_speculate(NodeId s) {
+  SlaveState& sl = slave(s);
+  for (std::size_t ji = 0; ji < jobs_.size() && sl.free_map_slots > 0; ++ji) {
+    JobState& j = jobs_[ji];
+    if (!j.active || j.finished) continue;
+    if (j.m < j.total_m) continue;  // unassigned work takes precedence
+    if (j.maps_done >= j.total_m) continue;
+    if (static_cast<double>(j.maps_done) <
+        cfg_.speculation_min_completed_fraction * j.total_m) {
+      continue;
+    }
+    const double mean_runtime =
+        j.completed_map_runtime_sum / static_cast<double>(j.maps_done);
+    // Back up the longest-running attempt that is sufficiently overdue.
+    int candidate = -1;
+    double worst_elapsed = cfg_.speculation_slowdown * mean_runtime;
+    for (std::size_t i = 0; i < j.maps.size(); ++i) {
+      const MapTaskState& t = j.maps[i];
+      if (!t.assigned || t.done || t.has_backup) continue;
+      const auto& rec = result_.map_tasks[static_cast<std::size_t>(t.record)];
+      if (rec.exec_node == s) continue;  // back up on a *different* node
+      const double elapsed = sim_.now() - rec.assign_time;
+      if (elapsed > worst_elapsed) {
+        worst_elapsed = elapsed;
+        candidate = static_cast<int>(i);
+      }
+    }
+    if (candidate < 0) continue;
+    MapTaskState& t = j.maps[static_cast<std::size_t>(candidate)];
+    t.has_backup = true;
+    MapTaskKind kind;
+    NodeId source = -1;
+    if (t.lost) {
+      kind = MapTaskKind::kDegraded;
+    } else if (std::find(t.locations.begin(), t.locations.end(), s) !=
+               t.locations.end()) {
+      kind = MapTaskKind::kNodeLocal;
+      source = s;
+    } else {
+      source = t.locations.front();
+      for (const NodeId loc : t.locations) {
+        if (cfg_.topology.same_rack(loc, s)) {
+          source = loc;
+          break;
+        }
+      }
+      kind = cfg_.topology.same_rack(source, s) ? MapTaskKind::kRackLocal
+                                                : MapTaskKind::kRemote;
+    }
+    start_map(j, candidate, s, kind, source, /*backup=*/true);
+  }
+}
+
+// --- reduce task lifecycle --------------------------------------------------------
+
+void Master::assign_reduce_tasks(NodeId s) {
+  SlaveState& sl = slave(s);
+  for (std::size_t i = 0; i < jobs_.size() && sl.free_reduce_slots > 0; ++i) {
+    JobState& j = jobs_[i];
+    if (!j.active || j.finished) continue;
+    while (sl.free_reduce_slots > 0 &&
+           j.reduces_assigned < j.spec.num_reducers) {
+      const int r = j.reduces_assigned++;
+      ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
+      rt.assigned = true;
+      rt.node = s;
+      --sl.free_reduce_slots;
+
+      ReduceTaskRecord rec;
+      rec.id = static_cast<TaskId>(result_.reduce_tasks.size());
+      rec.job = j.spec.id;
+      rec.exec_node = s;
+      rec.assign_time = sim_.now();
+      rt.record = static_cast<int>(result_.reduce_tasks.size());
+      result_.reduce_tasks.push_back(rec);
+
+      // Pull the partitions of every map that has already finished.
+      for (const int map_record : j.completed_map_records) {
+        start_partition_fetch(j, r, map_record);
+      }
+    }
+  }
+}
+
+util::Bytes Master::partition_bytes(const JobState& j) const {
+  if (j.spec.num_reducers == 0) return 0.0;
+  return cfg_.block_size * j.spec.shuffle_ratio /
+         static_cast<double>(j.spec.num_reducers);
+}
+
+void Master::start_partition_fetch(JobState& j, int reduce_idx,
+                                   int map_record_idx) {
+  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+  const NodeId src =
+      result_.map_tasks[static_cast<std::size_t>(map_record_idx)].exec_node;
+  const NodeId dst = j.reduces[static_cast<std::size_t>(reduce_idx)].node;
+  net_.transfer(src, dst, partition_bytes(j), [this, job_id, reduce_idx] {
+    on_partition_fetched(job_id, reduce_idx);
+  });
+}
+
+void Master::on_partition_fetched(core::JobId job_id, int reduce_idx) {
+  JobState& j = job(job_id);
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  ++rt.partitions_fetched;
+  if (rt.partitions_fetched == j.total_m) {
+    result_.reduce_tasks[static_cast<std::size_t>(rt.record)]
+        .shuffle_done_time = sim_.now();
+    maybe_start_reduce_processing(j, reduce_idx);
+  }
+}
+
+void Master::maybe_start_reduce_processing(JobState& j, int reduce_idx) {
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  if (rt.processing || rt.partitions_fetched != j.total_m ||
+      j.maps_done != j.total_m) {
+    return;
+  }
+  rt.processing = true;
+  ReduceTaskRecord& rec =
+      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
+  rec.process_start_time = sim_.now();
+  const util::Seconds duration =
+      j.rng.normal(j.spec.reduce_time.mean, j.spec.reduce_time.stddev) *
+      cfg_.time_scale(rt.node);
+  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+  sim_.schedule_in(duration, [this, job_id, reduce_idx] {
+    on_reduce_complete(job_id, reduce_idx);
+  });
+}
+
+void Master::on_reduce_complete(core::JobId job_id, int reduce_idx) {
+  JobState& j = job(job_id);
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  ReduceTaskRecord& rec =
+      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
+  rec.finish_time = sim_.now();
+  ++slave(rt.node).free_reduce_slots;
+  ++j.reduces_done;
+  if (hooks.on_reduce_finish) hooks.on_reduce_finish(rec);
+  maybe_finish_job(j);
+}
+
+void Master::maybe_finish_job(JobState& j) {
+  if (j.finished || j.maps_done != j.total_m ||
+      j.reduces_done != j.spec.num_reducers) {
+    return;
+  }
+  j.finished = true;
+  j.metrics.finish_time = sim_.now();
+  ++jobs_done_;
+  if (hooks.on_job_finish) hooks.on_job_finish(j.metrics);
+}
+
+RunResult Master::take_result() {
+  result_.jobs.clear();
+  result_.jobs.reserve(jobs_.size());
+  for (const JobState& j : jobs_) result_.jobs.push_back(j.metrics);
+  result_.makespan = sim_.now();
+  return std::move(result_);
+}
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/config.h"
+#include "dfs/mapreduce/metrics.h"
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/failure.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::mapreduce {
+
+/// Optional callbacks fired at simulated task boundaries; the functional
+/// engine (dfs::engine) uses them to run real map/reduce work — including
+/// real erasure-decode for degraded tasks — at the times the simulator says
+/// those tasks execute.
+struct TaskHooks {
+  std::function<void(const MapTaskRecord&)> on_map_finish;
+  std::function<void(const ReduceTaskRecord&)> on_reduce_finish;
+  std::function<void(const JobMetrics&)> on_job_finish;
+};
+
+/// The MapReduce master (Hadoop's JobTracker): maintains the FIFO job queue,
+/// answers slave heartbeats by delegating map-task choice to the pluggable
+/// Scheduler (Algorithms 1-3 live in dfs::core), assigns reduce tasks, and
+/// drives task execution — input fetches and shuffle transfers through the
+/// flow-level network, processing through the event queue.
+class Master final : public core::SchedulerContext {
+ public:
+  Master(sim::Simulator& simulator, net::Network& network,
+         const ClusterConfig& config, const storage::FailureScenario& failure,
+         core::Scheduler& scheduler, util::Rng& rng,
+         storage::SourceSelection source_selection =
+             storage::SourceSelection::kRandom);
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  /// Register a job; it activates at spec.submit_time.
+  void submit(const JobInput& input);
+
+  /// Start the per-slave heartbeat loops. Call once, before Simulator::run.
+  void start();
+
+  bool all_jobs_done() const { return jobs_done_ == jobs_.size(); }
+
+  /// Collect the result after the simulation has drained.
+  RunResult take_result();
+
+  TaskHooks hooks;
+
+  // --- core::SchedulerContext --------------------------------------------------
+  util::Seconds now() const override;
+  std::vector<core::JobId> running_jobs() const override;
+  int free_map_slots(NodeId slave) const override;
+  bool has_unassigned_local(core::JobId job, NodeId slave) const override;
+  bool has_unassigned_remote(core::JobId job, NodeId slave) const override;
+  bool has_unassigned_degraded(core::JobId job) const override;
+  void assign_local(core::JobId job, NodeId slave) override;
+  void assign_remote(core::JobId job, NodeId slave) override;
+  void assign_degraded(core::JobId job, NodeId slave) override;
+  int degraded_affinity(core::JobId job, NodeId slave) const override;
+  long launched_maps(core::JobId job) const override;
+  long running_maps(core::JobId job) const override;
+  long total_maps(core::JobId job) const override;
+  long launched_degraded(core::JobId job) const override;
+  long total_degraded(core::JobId job) const override;
+  util::Seconds local_work_seconds(NodeId slave) const override;
+  util::Seconds mean_local_work_seconds() const override;
+  util::Seconds time_since_last_degraded(RackId rack) const override;
+  util::Seconds mean_time_since_last_degraded() const override;
+  util::Seconds degraded_read_threshold() const override;
+  RackId rack_of(NodeId slave) const override;
+
+ private:
+  struct MapTaskState {
+    storage::BlockId block{};
+    NodeId home = -1;  ///< node storing the native block (may be failed)
+    bool lost = false;
+    bool assigned = false;
+    bool done = false;        ///< some attempt has completed
+    bool has_backup = false;  ///< a speculative copy was launched
+    int record = -1;  ///< index into result_.map_tasks of the first attempt
+    /// Surviving nodes a readable copy of the input can be fetched from.
+    /// One entry (the native home) for k > 1 codes; every surviving shard
+    /// holder for k == 1 (replication) layouts, where any copy serves.
+    std::vector<NodeId> locations;
+    std::vector<RackId> location_racks;  ///< distinct racks of `locations`
+  };
+
+  struct ReduceTaskState {
+    bool assigned = false;
+    NodeId node = -1;
+    int partitions_fetched = 0;
+    bool processing = false;
+    int record = -1;
+  };
+
+  struct JobState {
+    JobSpec spec;
+    std::shared_ptr<const storage::StorageLayout> layout;
+    std::shared_ptr<const ec::ErasureCode> code;
+    std::unique_ptr<storage::DegradedReadPlanner> planner;
+    util::Rng rng;  ///< per-job stream for task-duration draws
+    bool active = false;
+    bool finished = false;
+
+    std::vector<MapTaskState> maps;
+    /// Per-node queues of pending map-task indices; a task appears in the
+    /// queue of every node holding a readable copy. Entries become stale
+    /// when the task is assigned elsewhere and are skipped lazily on pop;
+    /// `pending_count_by_node` stays exact.
+    std::vector<std::deque<int>> pending_by_node;
+    std::vector<int> pending_count_by_node;  ///< exact pending per node
+    std::vector<int> pending_by_rack;  ///< pending tasks with a copy in rack
+    std::deque<int> pending_degraded;
+    long pending_nondegraded = 0;
+    long m = 0;    ///< launched map tasks
+    long md = 0;   ///< launched degraded tasks
+    long total_m = 0;
+    long total_md = 0;
+    long maps_done = 0;
+    double completed_map_runtime_sum = 0.0;  ///< winners only, for speculation
+
+    std::vector<ReduceTaskState> reduces;
+    int reduces_assigned = 0;
+    int reduces_done = 0;
+    std::vector<int> completed_map_records;
+
+    JobMetrics metrics;
+  };
+
+  struct SlaveState {
+    bool alive = true;
+    int free_map_slots = 0;
+    int free_reduce_slots = 0;
+  };
+
+  JobState& job(core::JobId id);
+  const JobState& job(core::JobId id) const;
+  SlaveState& slave(NodeId id) { return slaves_[static_cast<std::size_t>(id)]; }
+
+  void activate_job(std::size_t index);
+  void on_heartbeat(NodeId s);
+  /// Pops the next pending (unassigned) task queued at `node`; -1 if none.
+  int pop_pending(JobState& j, NodeId node);
+  /// Marks a task assigned and updates every pending index.
+  void retire_pending(JobState& j, int map_idx);
+  void start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
+                 NodeId fetch_source, bool backup = false);
+  void on_map_input_ready(core::JobId job_id, int record_idx,
+                          int map_idx);
+  void on_map_complete(core::JobId job_id, int record_idx, int map_idx);
+  void assign_reduce_tasks(NodeId s);
+  void try_speculate(NodeId s);
+  void start_partition_fetch(JobState& j, int reduce_idx, int map_record_idx);
+  void on_partition_fetched(core::JobId job_id, int reduce_idx);
+  void maybe_start_reduce_processing(JobState& j, int reduce_idx);
+  void on_reduce_complete(core::JobId job_id, int reduce_idx);
+  void maybe_finish_job(JobState& j);
+  util::Bytes partition_bytes(const JobState& j) const;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const ClusterConfig& cfg_;
+  const storage::FailureScenario& failure_;
+  core::Scheduler& scheduler_;
+  util::Rng& rng_;
+  storage::SourceSelection source_selection_;
+
+  std::vector<JobState> jobs_;  ///< FIFO submission order
+  std::vector<SlaveState> slaves_;
+  std::vector<util::Seconds> last_degraded_assign_;  ///< per rack
+  std::size_t jobs_done_ = 0;
+  RunResult result_;
+  bool started_ = false;
+};
+
+}  // namespace dfs::mapreduce

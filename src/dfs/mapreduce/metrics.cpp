@@ -1,0 +1,96 @@
+#include "dfs/mapreduce/metrics.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dfs::mapreduce {
+
+const char* to_string(MapTaskKind kind) {
+  switch (kind) {
+    case MapTaskKind::kNodeLocal:
+      return "node-local";
+    case MapTaskKind::kRackLocal:
+      return "rack-local";
+    case MapTaskKind::kRemote:
+      return "remote";
+    case MapTaskKind::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+double RunResult::mean_map_runtime(MapTaskKind kind) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.kind != kind) continue;
+    sum += t.runtime();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double RunResult::mean_normal_map_runtime() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.kind == MapTaskKind::kDegraded) continue;
+    sum += t.runtime();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double RunResult::mean_degraded_read_time() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.kind != MapTaskKind::kDegraded) continue;
+    sum += t.degraded_read_time();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double RunResult::mean_reduce_runtime() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& t : reduce_tasks) {
+    sum += t.runtime();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+int RunResult::count_map_tasks(MapTaskKind kind) const {
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.kind == kind) ++count;
+  }
+  return count;
+}
+
+int RunResult::speculative_attempts() const {
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.speculative) ++count;
+  }
+  return count;
+}
+
+int RunResult::speculative_losses() const {
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (!t.winner) ++count;
+  }
+  return count;
+}
+
+util::Seconds RunResult::single_job_runtime() const {
+  if (jobs.size() != 1) {
+    throw std::logic_error("single_job_runtime requires exactly one job");
+  }
+  return jobs.front().runtime();
+}
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <vector>
+
+#include "dfs/mapreduce/types.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/units.h"
+
+namespace dfs::mapreduce {
+
+/// Everything recorded about one executed map task.
+struct MapTaskRecord {
+  TaskId id = -1;
+  JobId job = -1;
+  storage::BlockId block{};
+  NodeId exec_node = -1;
+  /// Where the input block (or replica) was fetched from; == exec_node for
+  /// node-local tasks, unset (-1) for degraded tasks (see `sources`).
+  NodeId source_node = -1;
+  MapTaskKind kind = MapTaskKind::kNodeLocal;
+  util::Seconds assign_time = -1.0;
+  util::Seconds fetch_done_time = -1.0;  ///< input available (== assign for node-local)
+  util::Seconds finish_time = -1.0;
+  std::vector<storage::DegradedSource> sources;  ///< degraded tasks only
+  bool unrecoverable = false;  ///< stripe lost more blocks than tolerable
+  bool speculative = false;    ///< backup copy launched by speculation
+  bool winner = true;          ///< finished first among its task's attempts
+
+  /// Paper definition (§VI): launch to completion, including transmission.
+  util::Seconds runtime() const { return finish_time - assign_time; }
+  /// Degraded read time (§V-C): request issue until the k-th block arrives.
+  util::Seconds degraded_read_time() const {
+    return fetch_done_time - assign_time;
+  }
+};
+
+/// Everything recorded about one executed reduce task.
+struct ReduceTaskRecord {
+  TaskId id = -1;
+  JobId job = -1;
+  NodeId exec_node = -1;
+  util::Seconds assign_time = -1.0;
+  util::Seconds shuffle_done_time = -1.0;  ///< all partitions fetched
+  util::Seconds process_start_time = -1.0;
+  util::Seconds finish_time = -1.0;
+
+  util::Seconds runtime() const { return finish_time - assign_time; }
+};
+
+/// Per-job milestones and counters.
+struct JobMetrics {
+  JobId id = -1;
+  util::Seconds submit_time = 0.0;
+  util::Seconds first_map_launch = -1.0;
+  util::Seconds map_phase_end = -1.0;
+  util::Seconds finish_time = -1.0;
+  int local_tasks = 0;   ///< node-local + rack-local
+  int remote_tasks = 0;
+  int degraded_tasks = 0;
+
+  /// The paper's MapReduce runtime: first map launch to last reduce end.
+  util::Seconds runtime() const { return finish_time - first_map_launch; }
+  /// Queueing-inclusive latency, used for multi-job fairness discussions.
+  util::Seconds latency() const { return finish_time - submit_time; }
+};
+
+/// Full outcome of one simulated run.
+struct RunResult {
+  std::vector<MapTaskRecord> map_tasks;
+  std::vector<ReduceTaskRecord> reduce_tasks;
+  std::vector<JobMetrics> jobs;
+  util::Seconds makespan = 0.0;
+  bool data_loss = false;  ///< some block was unrecoverable
+
+  // --- aggregation helpers used by the benches -------------------------------
+  /// Mean runtime of map tasks of the given kind (over all jobs); 0 if none.
+  double mean_map_runtime(MapTaskKind kind) const;
+  /// Mean runtime of "normal" map tasks: local + remote (Table I row 1).
+  double mean_normal_map_runtime() const;
+  /// Mean degraded read time over degraded tasks; 0 if none.
+  double mean_degraded_read_time() const;
+  double mean_reduce_runtime() const;
+  int count_map_tasks(MapTaskKind kind) const;
+  /// Speculative backup attempts launched / wasted (lost the race).
+  int speculative_attempts() const;
+  int speculative_losses() const;
+  /// Runtime of the single job in a single-job run.
+  util::Seconds single_job_runtime() const;
+};
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,84 @@
+#include "dfs/mapreduce/repair.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace dfs::mapreduce {
+
+RepairProcess::RepairProcess(sim::Simulator& simulator, net::Network& network,
+                             const storage::StorageLayout& layout,
+                             const ec::ErasureCode& code,
+                             const storage::FailureScenario& failure,
+                             Options options, util::Rng rng)
+    : sim_(simulator),
+      net_(network),
+      layout_(layout),
+      failure_(failure),
+      planner_(layout, network.topology(), code, options.selection),
+      options_(options),
+      rng_(rng),
+      block_size_(options.block_size) {
+  if (options_.concurrency < 1) {
+    throw std::invalid_argument("repair concurrency must be >= 1");
+  }
+}
+
+void RepairProcess::start() {
+  assert(!started_);
+  started_ = true;
+  for (const net::NodeId node : failure_.failed_nodes()) {
+    for (const storage::BlockId block : layout_.blocks_on_node(node)) {
+      pending_.push_back(block);
+    }
+  }
+  if (pending_.empty()) {
+    stats_.finish_time = sim_.now();
+    return;
+  }
+  sim_.schedule_at(options_.start_time, [this] {
+    for (int i = 0; i < options_.concurrency; ++i) launch_next();
+  });
+}
+
+void RepairProcess::launch_next() {
+  if (pending_.empty()) {
+    if (in_flight_ == 0 && stats_.finish_time < 0.0) {
+      stats_.finish_time = sim_.now();
+      if (on_complete) on_complete();
+    }
+    return;
+  }
+  const storage::BlockId block = pending_.front();
+  pending_.pop_front();
+  repair_block(block);
+}
+
+void RepairProcess::repair_block(storage::BlockId block) {
+  // Rebuild on a random surviving node; read the plan's source blocks there
+  // in parallel, decode (free in the timing model), and keep the result.
+  net::NodeId target;
+  do {
+    target = rng_.uniform_int(0, net_.topology().num_nodes() - 1);
+  } while (failure_.is_failed(target));
+
+  const auto sources = planner_.plan(block, target, failure_, rng_);
+  if (!sources) {
+    ++stats_.blocks_unrecoverable;
+    // Move on so one dead stripe cannot wedge the whole repair queue.
+    sim_.schedule_in(0.0, [this] { launch_next(); });
+    return;
+  }
+  ++in_flight_;
+  auto remaining = std::make_shared<int>(static_cast<int>(sources->size()));
+  for (const auto& src : *sources) {
+    net_.transfer(src.node, target, block_size_, [this, remaining] {
+      if (--*remaining > 0) return;
+      ++stats_.blocks_repaired;
+      --in_flight_;
+      launch_next();
+    });
+  }
+}
+
+}  // namespace dfs::mapreduce

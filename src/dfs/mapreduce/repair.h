@@ -1,0 +1,75 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::mapreduce {
+
+/// Background reconstruction of the blocks lost to a failure (what
+/// HDFS-RAID's RaidNode does): while MapReduce keeps running, every lost
+/// block — native and parity — is rebuilt on a surviving node by reading k
+/// surviving blocks of its stripe. Repairs proceed `concurrency` at a time
+/// and share the same flow-level network as the job's traffic, so this
+/// models the paper's real-world follow-on question: does degraded-first
+/// scheduling still help while recovery traffic is in flight?
+class RepairProcess {
+ public:
+  struct Options {
+    int concurrency = 1;           ///< simultaneous block repairs
+    util::Seconds start_time = 0;  ///< when the repair daemon kicks in
+    util::Bytes block_size = util::mebibytes(128);
+    storage::SourceSelection selection = storage::SourceSelection::kRandom;
+  };
+
+  struct Stats {
+    int blocks_repaired = 0;
+    int blocks_unrecoverable = 0;
+    util::Seconds finish_time = -1.0;  ///< when the last repair completed
+  };
+
+  RepairProcess(sim::Simulator& simulator, net::Network& network,
+                const storage::StorageLayout& layout,
+                const ec::ErasureCode& code,
+                const storage::FailureScenario& failure, Options options,
+                util::Rng rng);
+
+  /// Queues every lost block and schedules the first repairs. Call before
+  /// Simulator::run().
+  void start();
+
+  const Stats& stats() const { return stats_; }
+  bool done() const {
+    return started_ && pending_.empty() && in_flight_ == 0;
+  }
+
+  /// Invoked when the last block has been rebuilt.
+  std::function<void()> on_complete;
+
+ private:
+  void launch_next();
+  void repair_block(storage::BlockId block);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const storage::StorageLayout& layout_;
+  const storage::FailureScenario& failure_;
+  storage::DegradedReadPlanner planner_;
+  Options options_;
+  util::Rng rng_;
+  util::Bytes block_size_;
+
+  std::deque<storage::BlockId> pending_;
+  int in_flight_ = 0;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,87 @@
+#include "dfs/mapreduce/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfs::mapreduce {
+
+namespace {
+
+/// CSV-quotes nothing: every emitted field is numeric or a bare identifier.
+void write_row_end(std::ostream& os) { os << '\n'; }
+
+}  // namespace
+
+void write_map_task_csv(std::ostream& os, const RunResult& result) {
+  os << "task_id,job_id,stripe,block_index,kind,exec_node,source_node,"
+        "assign_time,fetch_done_time,finish_time,runtime,degraded_sources,"
+        "unrecoverable\n";
+  for (const auto& t : result.map_tasks) {
+    os << t.id << ',' << t.job << ',' << t.block.stripe << ','
+       << t.block.index << ',' << to_string(t.kind) << ',' << t.exec_node
+       << ',' << t.source_node << ',' << t.assign_time << ','
+       << t.fetch_done_time << ',' << t.finish_time << ',' << t.runtime()
+       << ',' << t.sources.size() << ',' << (t.unrecoverable ? 1 : 0);
+    write_row_end(os);
+  }
+}
+
+void write_reduce_task_csv(std::ostream& os, const RunResult& result) {
+  os << "task_id,job_id,exec_node,assign_time,shuffle_done_time,"
+        "process_start_time,finish_time,runtime\n";
+  for (const auto& t : result.reduce_tasks) {
+    os << t.id << ',' << t.job << ',' << t.exec_node << ',' << t.assign_time
+       << ',' << t.shuffle_done_time << ',' << t.process_start_time << ','
+       << t.finish_time << ',' << t.runtime();
+    write_row_end(os);
+  }
+}
+
+void write_job_csv(std::ostream& os, const RunResult& result) {
+  os << "job_id,submit_time,first_map_launch,map_phase_end,finish_time,"
+        "runtime,latency,local_tasks,remote_tasks,degraded_tasks\n";
+  for (const auto& j : result.jobs) {
+    os << j.id << ',' << j.submit_time << ',' << j.first_map_launch << ','
+       << j.map_phase_end << ',' << j.finish_time << ',' << j.runtime() << ','
+       << j.latency() << ',' << j.local_tasks << ',' << j.remote_tasks << ','
+       << j.degraded_tasks;
+    write_row_end(os);
+  }
+}
+
+void write_events_jsonl(std::ostream& os, const RunResult& result) {
+  for (const auto& t : result.map_tasks) {
+    os << "{\"type\":\"map\",\"id\":" << t.id << ",\"job\":" << t.job
+       << ",\"kind\":\"" << to_string(t.kind) << "\",\"node\":" << t.exec_node
+       << ",\"assign\":" << t.assign_time << ",\"fetch_done\":"
+       << t.fetch_done_time << ",\"finish\":" << t.finish_time << "}\n";
+  }
+  for (const auto& t : result.reduce_tasks) {
+    os << "{\"type\":\"reduce\",\"id\":" << t.id << ",\"job\":" << t.job
+       << ",\"node\":" << t.exec_node << ",\"assign\":" << t.assign_time
+       << ",\"shuffle_done\":" << t.shuffle_done_time
+       << ",\"finish\":" << t.finish_time << "}\n";
+  }
+  for (const auto& j : result.jobs) {
+    os << "{\"type\":\"job\",\"id\":" << j.id << ",\"submit\":"
+       << j.submit_time << ",\"finish\":" << j.finish_time
+       << ",\"runtime\":" << j.runtime() << "}\n";
+  }
+}
+
+void write_csv_files(const std::string& prefix, const RunResult& result) {
+  const auto open = [](const std::string& path) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    return f;
+  };
+  auto maps = open(prefix + "_map_tasks.csv");
+  write_map_task_csv(maps, result);
+  auto reduces = open(prefix + "_reduce_tasks.csv");
+  write_reduce_task_csv(reduces, result);
+  auto jobs = open(prefix + "_jobs.csv");
+  write_job_csv(jobs, result);
+}
+
+}  // namespace dfs::mapreduce

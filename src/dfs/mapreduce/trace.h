@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dfs/mapreduce/metrics.h"
+
+namespace dfs::mapreduce {
+
+/// CSV/JSONL exporters for run results, so traces can be analyzed with
+/// external tooling (pandas, gnuplot, ...). One row per task / job; columns
+/// documented in the header row.
+
+void write_map_task_csv(std::ostream& os, const RunResult& result);
+void write_reduce_task_csv(std::ostream& os, const RunResult& result);
+void write_job_csv(std::ostream& os, const RunResult& result);
+
+/// One JSON object per line, mixing task kinds (field "type" discriminates:
+/// "map" / "reduce" / "job").
+void write_events_jsonl(std::ostream& os, const RunResult& result);
+
+/// Writes all three CSVs to `<prefix>_map_tasks.csv`,
+/// `<prefix>_reduce_tasks.csv` and `<prefix>_jobs.csv`. Throws
+/// std::runtime_error if a file cannot be opened.
+void write_csv_files(const std::string& prefix, const RunResult& result);
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "dfs/net/topology.h"
+#include "dfs/util/units.h"
+
+namespace dfs::mapreduce {
+
+using JobId = int;
+using TaskId = int;
+using net::NodeId;
+using net::RackId;
+
+/// Classification of a map task by where its input comes from (§II-A).
+/// Node-local and rack-local are collectively "local" in the paper.
+enum class MapTaskKind {
+  kNodeLocal,  ///< input block stored on the executing node
+  kRackLocal,  ///< input block stored in the executing node's rack
+  kRemote,     ///< input block downloaded from another rack
+  kDegraded,   ///< input block lost; reconstructed via a degraded read
+};
+
+const char* to_string(MapTaskKind kind);
+
+/// A normal distribution, the paper's model for task processing times
+/// (e.g. map ~ N(20 s, 1 s), reduce ~ N(30 s, 2 s) in §V-B).
+/// stddev == 0 makes the draw deterministic (used by the Fig. 3 replay).
+struct Dist {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,278 @@
+#include "dfs/net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace dfs::net {
+
+namespace {
+// Flows whose residual drops below this many bytes are considered finished;
+// absorbs floating-point drift from repeated rate recomputations. Real block
+// and shuffle transfers are kilobytes to megabytes, so half a byte is noise.
+constexpr util::Bytes kFinishEpsilon = 0.5;
+
+// Lower bound on the time to the next completion event. Without it, a flow
+// whose residual is epsilon-small can yield a horizon below the floating-
+// point ULP of the current simulated time; now + horizon == now then loops
+// the event queue forever at a frozen timestamp. One nanosecond of simulated
+// time is far below anything the model measures and guarantees progress.
+constexpr util::Seconds kMinHorizon = 1e-9;
+}  // namespace
+
+Network::Network(sim::Simulator& simulator, const Topology& topology,
+                 const LinkConfig& links, ContentionModel model)
+    : sim_(simulator), topology_(topology), model_(model) {
+  links_.resize(static_cast<std::size_t>(core_link()) + 1);
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    links_[static_cast<std::size_t>(node_up_link(n))].capacity = links.node_up;
+    links_[static_cast<std::size_t>(node_down_link(n))].capacity =
+        links.node_down;
+  }
+  for (RackId r = 0; r < topology_.num_racks(); ++r) {
+    links_[static_cast<std::size_t>(rack_up_link(r))].capacity = links.rack_up;
+    links_[static_cast<std::size_t>(rack_down_link(r))].capacity =
+        links.rack_down;
+  }
+  links_[static_cast<std::size_t>(core_link())].capacity = links.core;
+}
+
+std::vector<int> Network::contended_path(NodeId src, NodeId dst) const {
+  std::vector<int> path;
+  if (src == dst) return path;
+  auto add_if_limited = [&](int link) {
+    if (links_[static_cast<std::size_t>(link)].capacity !=
+        util::kUnlimitedBandwidth) {
+      path.push_back(link);
+    }
+  };
+  add_if_limited(node_up_link(src));
+  if (!topology_.same_rack(src, dst)) {
+    add_if_limited(rack_up_link(topology_.rack_of(src)));
+    add_if_limited(core_link());
+    add_if_limited(rack_down_link(topology_.rack_of(dst)));
+  }
+  add_if_limited(node_down_link(dst));
+  return path;
+}
+
+util::Seconds Network::isolated_transfer_time(NodeId src, NodeId dst,
+                                              util::Bytes size) const {
+  util::BytesPerSec bottleneck = std::numeric_limits<double>::infinity();
+  for (int link : contended_path(src, dst)) {
+    bottleneck =
+        std::min(bottleneck, links_[static_cast<std::size_t>(link)].capacity);
+  }
+  if (bottleneck == std::numeric_limits<double>::infinity()) return 0.0;
+  return size / bottleneck;
+}
+
+FlowId Network::transfer(NodeId src, NodeId dst, util::Bytes size,
+                         std::function<void()> done) {
+  assert(size >= 0.0);
+  Flow flow;
+  flow.id = next_flow_id_++;
+  flow.src = src;
+  flow.dst = dst;
+  flow.size = size;
+  flow.remaining = size;
+  flow.links = contended_path(src, dst);
+  flow.done = std::move(done);
+  ++flows_started_;
+
+  if (flow.links.empty() || size <= kFinishEpsilon) {
+    // Uncontended (same node, or all segments unlimited): deliver on the
+    // next dispatch so callers never observe re-entrant completion.
+    sim_.schedule_in(0.0, [this, f = std::move(flow)]() mutable {
+      Flow local = std::move(f);
+      finish_flow(local);
+    });
+    return next_flow_id_ - 1;
+  }
+
+  if (model_ == ContentionModel::kMaxMinFairShare) {
+    fair_share_add(std::move(flow));
+  } else {
+    fifo_pending_.push_back(std::move(flow));
+    fifo_try_start_pending();
+  }
+  return next_flow_id_ - 1;
+}
+
+void Network::mark_links_active(const std::vector<int>& links, int delta) {
+  for (int link : links) {
+    Link& l = links_[static_cast<std::size_t>(link)];
+    if (delta > 0 && l.active_flows == 0) l.busy_since = sim_.now();
+    l.active_flows += delta;
+    assert(l.active_flows >= 0);
+    if (delta < 0 && l.active_flows == 0) {
+      l.busy_total += sim_.now() - l.busy_since;
+    }
+  }
+}
+
+void Network::finish_flow(Flow& flow) {
+  ++flows_completed_;
+  bytes_delivered_ += flow.size;
+  if (flow.done) flow.done();
+}
+
+util::Seconds Network::rack_down_busy_time(RackId r) const {
+  const Link& l = links_[static_cast<std::size_t>(rack_down_link(r))];
+  util::Seconds total = l.busy_total;
+  if (l.active_flows > 0) total += sim_.now() - l.busy_since;
+  return total;
+}
+
+// --- max-min fair share ------------------------------------------------------
+
+void Network::fair_share_add(Flow flow) {
+  fair_share_advance();
+  mark_links_active(flow.links, +1);
+  const FlowId id = flow.id;
+  active_.emplace(id, std::move(flow));
+  fair_share_recompute_and_arm();
+}
+
+void Network::fair_share_advance() {
+  const util::Seconds now = sim_.now();
+  const util::Seconds dt = now - last_advance_;
+  if (dt > 0.0) {
+    for (auto& [id, f] : active_) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  }
+  last_advance_ = now;
+}
+
+void Network::fair_share_recompute_and_arm() {
+  if (next_completion_.valid()) {
+    sim_.cancel(next_completion_);
+    next_completion_ = {};
+  }
+  if (active_.empty()) return;
+
+  // Progressive water-filling: repeatedly saturate the link with the lowest
+  // per-flow fair share and freeze the flows that cross it at that rate.
+  // Scratch buffers are members, reused across the ~10^5 recomputes per
+  // simulation run.
+  scratch_residual_.assign(links_.size(), 0.0);
+  scratch_count_.assign(links_.size(), 0);
+  scratch_touched_.clear();
+  scratch_link_flows_.resize(links_.size());
+  for (auto& [id, f] : active_) {
+    f.rate = -1.0;  // unfrozen marker
+    for (int link : f.links) {
+      const auto l = static_cast<std::size_t>(link);
+      if (scratch_count_[l] == 0) {
+        scratch_touched_.push_back(link);
+        scratch_residual_[l] = links_[l].capacity;
+        scratch_link_flows_[l].clear();
+      }
+      ++scratch_count_[l];
+      scratch_link_flows_[l].push_back(id);
+    }
+  }
+  std::size_t unfrozen = active_.size();
+  while (unfrozen > 0) {
+    int bottleneck = -1;
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const int link : scratch_touched_) {
+      const auto l = static_cast<std::size_t>(link);
+      if (scratch_count_[l] <= 0) continue;
+      const double share =
+          std::max(0.0, scratch_residual_[l]) / scratch_count_[l];
+      if (share < best_share) {
+        best_share = share;
+        bottleneck = link;
+      }
+    }
+    assert(bottleneck >= 0 && "every flow crosses at least one limited link");
+    for (FlowId id : scratch_link_flows_[static_cast<std::size_t>(bottleneck)]) {
+      Flow& f = active_[id];
+      if (f.rate >= 0.0) continue;  // already frozen via another link
+      f.rate = best_share;
+      --unfrozen;
+      for (int link : f.links) {
+        scratch_residual_[static_cast<std::size_t>(link)] -= best_share;
+        --scratch_count_[static_cast<std::size_t>(link)];
+      }
+    }
+  }
+
+  // Arm the next completion event. Flows frozen at a zero rate (possible
+  // only through floating-point drift on a saturated link) simply wait for
+  // the next recompute, when a competing flow's completion frees capacity.
+  util::Seconds horizon = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : active_) {
+    if (f.rate <= 0.0) continue;
+    horizon = std::min(horizon, f.remaining / f.rate);
+  }
+  assert(horizon < std::numeric_limits<double>::infinity());
+  next_completion_ = sim_.schedule_in(std::max(kMinHorizon, horizon), [this] {
+    next_completion_ = {};
+    fair_share_advance();
+    std::vector<Flow> finished;
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->second.remaining <= kFinishEpsilon) {
+        finished.push_back(std::move(it->second));
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (Flow& f : finished) mark_links_active(f.links, -1);
+    // Completion callbacks may start new flows re-entrantly; those calls
+    // each trigger their own recompute, and we do a final one below to
+    // cover the case where no new flow was started.
+    for (Flow& f : finished) finish_flow(f);
+    fair_share_recompute_and_arm();
+  });
+}
+
+// --- exclusive FIFO (the paper's NodeTree hold model) -------------------------
+
+void Network::fifo_try_start_pending() {
+  for (auto it = fifo_pending_.begin(); it != fifo_pending_.end();) {
+    const bool all_free = std::all_of(
+        it->links.begin(), it->links.end(), [this](int link) {
+          return !links_[static_cast<std::size_t>(link)].held;
+        });
+    if (!all_free) {
+      ++it;
+      continue;
+    }
+    Flow flow = std::move(*it);
+    it = fifo_pending_.erase(it);
+    for (int link : flow.links) {
+      links_[static_cast<std::size_t>(link)].held = true;
+    }
+    mark_links_active(flow.links, +1);
+    util::BytesPerSec bottleneck = std::numeric_limits<double>::infinity();
+    for (int link : flow.links) {
+      bottleneck = std::min(
+          bottleneck, links_[static_cast<std::size_t>(link)].capacity);
+    }
+    const util::Seconds duration = flow.remaining / bottleneck;
+    const FlowId id = flow.id;
+    active_.emplace(id, std::move(flow));
+    sim_.schedule_in(duration, [this, id] { fifo_complete(id); });
+  }
+}
+
+void Network::fifo_complete(FlowId id) {
+  auto it = active_.find(id);
+  assert(it != active_.end());
+  Flow flow = std::move(it->second);
+  active_.erase(it);
+  for (int link : flow.links) {
+    links_[static_cast<std::size_t>(link)].held = false;
+  }
+  mark_links_active(flow.links, -1);
+  flow.remaining = 0.0;
+  finish_flow(flow);
+  fifo_try_start_pending();
+}
+
+}  // namespace dfs::net

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/net/topology.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/util/units.h"
+
+namespace dfs::net {
+
+/// How concurrent transfers share a link.
+///
+/// The paper's simulator "notifies the NodeTree structure to hold the
+/// communication link for a duration needed for the data transmission" —
+/// i.e. exclusive FIFO holds. Real TCP flows approximate max–min fair
+/// sharing. Both reproduce the headline contention effect (two simultaneous
+/// cross-rack degraded reads into one rack finish in twice the time of one),
+/// so we support both and compare them in bench/ablation_contention.
+enum class ContentionModel {
+  kMaxMinFairShare,  ///< fluid-flow water-filling (default)
+  kExclusiveFifo,    ///< the paper's NodeTree hold model
+};
+
+/// Per-link bandwidths of the two-level tree. `util::kUnlimitedBandwidth`
+/// (0) removes a link from the contention set entirely. The paper's analysis
+/// and simulation contend only on the per-rack links (bandwidth W), so node
+/// links default to unlimited.
+struct LinkConfig {
+  util::BytesPerSec node_up = util::kUnlimitedBandwidth;
+  util::BytesPerSec node_down = util::kUnlimitedBandwidth;
+  util::BytesPerSec rack_up = util::gigabits_per_sec(1.0);
+  util::BytesPerSec rack_down = util::gigabits_per_sec(1.0);
+  util::BytesPerSec core = util::kUnlimitedBandwidth;  ///< aggregate core cap
+};
+
+using FlowId = std::uint64_t;
+
+/// Flow-level network model over a Topology, driven by a Simulator.
+///
+/// Transfers are fluid flows routed src-node-up → src-rack-up → core →
+/// dst-rack-down → dst-node-down (segments collapse away when the endpoints
+/// share a rack or a node, or when a segment is unlimited). Completion
+/// callbacks fire at the simulated completion time.
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const Topology& topology,
+          const LinkConfig& links,
+          ContentionModel model = ContentionModel::kMaxMinFairShare);
+
+  /// Start a transfer of `size` bytes from `src` to `dst`; `done` fires when
+  /// the last byte arrives. A transfer with an empty contended path (e.g.
+  /// src == dst, or all links on the path unlimited) completes after zero
+  /// simulated time, on the next event-loop dispatch.
+  FlowId transfer(NodeId src, NodeId dst, util::Bytes size,
+                  std::function<void()> done);
+
+  /// Lower bound on the completion time of one isolated transfer.
+  util::Seconds isolated_transfer_time(NodeId src, NodeId dst,
+                                       util::Bytes size) const;
+
+  ContentionModel model() const { return model_; }
+  const Topology& topology() const { return topology_; }
+
+  // --- observability -------------------------------------------------------
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  util::Bytes bytes_delivered() const { return bytes_delivered_; }
+  int active_flow_count() const { return static_cast<int>(active_.size()); }
+  /// Total time the given rack's downlink had at least one active flow.
+  util::Seconds rack_down_busy_time(RackId r) const;
+
+ private:
+  struct Link {
+    util::BytesPerSec capacity = util::kUnlimitedBandwidth;
+    int active_flows = 0;       // flows currently routed through (both models)
+    bool held = false;          // kExclusiveFifo: exclusively held
+    util::Seconds busy_since = 0.0;
+    util::Seconds busy_total = 0.0;
+  };
+
+  struct Flow {
+    FlowId id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    util::Bytes size = 0.0;
+    util::Bytes remaining = 0.0;
+    double rate = 0.0;  // bytes/sec, fair-share model only
+    std::vector<int> links;
+    std::function<void()> done;
+  };
+
+  std::vector<int> contended_path(NodeId src, NodeId dst) const;
+
+  // Fair-share model.
+  void fair_share_add(Flow flow);
+  void fair_share_advance();
+  void fair_share_recompute_and_arm();
+
+  // Exclusive-FIFO model.
+  void fifo_try_start_pending();
+  void fifo_complete(FlowId id);
+
+  void mark_links_active(const std::vector<int>& links, int delta);
+  void finish_flow(Flow& flow);
+
+  // Link index layout: [0, 2N) node up/down, [2N, 2N+2R) rack up/down,
+  // [2N+2R] core.
+  int node_up_link(NodeId n) const { return 2 * n; }
+  int node_down_link(NodeId n) const { return 2 * n + 1; }
+  int rack_up_link(RackId r) const { return 2 * topology_.num_nodes() + 2 * r; }
+  int rack_down_link(RackId r) const {
+    return 2 * topology_.num_nodes() + 2 * r + 1;
+  }
+  int core_link() const {
+    return 2 * topology_.num_nodes() + 2 * topology_.num_racks();
+  }
+
+  sim::Simulator& sim_;
+  const Topology& topology_;
+  ContentionModel model_;
+  std::vector<Link> links_;
+
+  FlowId next_flow_id_ = 1;
+  std::unordered_map<FlowId, Flow> active_;
+  std::deque<Flow> fifo_pending_;
+
+  // Fair-share bookkeeping.
+  util::Seconds last_advance_ = 0.0;
+  sim::EventId next_completion_{};
+  // Water-filling scratch buffers (see fair_share_recompute_and_arm).
+  std::vector<double> scratch_residual_;
+  std::vector<int> scratch_count_;
+  std::vector<int> scratch_touched_;
+  std::vector<std::vector<FlowId>> scratch_link_flows_;
+
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  util::Bytes bytes_delivered_ = 0.0;
+};
+
+}  // namespace dfs::net

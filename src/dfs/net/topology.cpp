@@ -1,0 +1,25 @@
+#include "dfs/net/topology.h"
+
+namespace dfs::net {
+
+Topology::Topology(int racks, int nodes_per_rack)
+    : Topology(std::vector<int>(static_cast<std::size_t>(racks),
+                                nodes_per_rack)) {}
+
+Topology::Topology(const std::vector<int>& rack_sizes) {
+  assert(!rack_sizes.empty());
+  NodeId next = 0;
+  racks_.reserve(rack_sizes.size());
+  for (std::size_t r = 0; r < rack_sizes.size(); ++r) {
+    assert(rack_sizes[r] > 0);
+    std::vector<NodeId> members;
+    members.reserve(static_cast<std::size_t>(rack_sizes[r]));
+    for (int i = 0; i < rack_sizes[r]; ++i) {
+      rack_of_.push_back(static_cast<RackId>(r));
+      members.push_back(next++);
+    }
+    racks_.push_back(std::move(members));
+  }
+}
+
+}  // namespace dfs::net

@@ -1,0 +1,56 @@
+#include "dfs/net/utilization.h"
+
+#include <utility>
+
+namespace dfs::net {
+
+UtilizationSampler::UtilizationSampler(sim::Simulator& simulator,
+                                       Network& network,
+                                       util::Seconds interval,
+                                       std::function<bool()> keep_going)
+    : sim_(simulator),
+      net_(network),
+      interval_(interval),
+      keep_going_(std::move(keep_going)) {
+  prev_busy_.assign(static_cast<std::size_t>(net_.topology().num_racks()),
+                    0.0);
+}
+
+void UtilizationSampler::start() {
+  prev_time_ = sim_.now();
+  for (RackId r = 0; r < net_.topology().num_racks(); ++r) {
+    prev_busy_[static_cast<std::size_t>(r)] = net_.rack_down_busy_time(r);
+  }
+  sim_.schedule_periodic(interval_, interval_, [this] {
+    const util::Seconds now = sim_.now();
+    const double dt = now - prev_time_;
+    double busy_fraction_sum = 0.0;
+    for (RackId r = 0; r < net_.topology().num_racks(); ++r) {
+      const double busy = net_.rack_down_busy_time(r);
+      busy_fraction_sum +=
+          dt > 0.0
+              ? (busy - prev_busy_[static_cast<std::size_t>(r)]) / dt
+              : 0.0;
+      prev_busy_[static_cast<std::size_t>(r)] = busy;
+    }
+    prev_time_ = now;
+    samples_.push_back(
+        Sample{now, busy_fraction_sum / net_.topology().num_racks()});
+    return keep_going_ ? keep_going_() : true;
+  });
+}
+
+double UtilizationSampler::mean_utilization(util::Seconds from,
+                                            util::Seconds to) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const Sample& s : samples_) {
+    if (s.time > from && s.time <= to) {
+      sum += s.utilization;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace dfs::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+
+namespace dfs::net {
+
+/// Samples the fraction of time the rack download links were busy in each
+/// interval — the quantity behind the paper's §III observation that "while
+/// local tasks are running, the MapReduce job does not fully utilize the
+/// available network resources". Locality-first leaves the links idle early
+/// and saturates them at the end of the map phase; degraded-first spreads
+/// the load.
+class UtilizationSampler {
+ public:
+  struct Sample {
+    util::Seconds time = 0.0;   ///< end of the interval
+    double utilization = 0.0;   ///< mean busy fraction of rack downlinks
+  };
+
+  /// Samples every `interval` seconds while `keep_going()` returns true
+  /// (pass e.g. [&] { return !master.all_jobs_done(); }).
+  UtilizationSampler(sim::Simulator& simulator, Network& network,
+                     util::Seconds interval,
+                     std::function<bool()> keep_going);
+
+  /// Arm the periodic sampling. Call before Simulator::run().
+  void start();
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Mean utilization over the samples in [from, to).
+  double mean_utilization(util::Seconds from, util::Seconds to) const;
+
+ private:
+  sim::Simulator& sim_;
+  Network& net_;
+  util::Seconds interval_;
+  std::function<bool()> keep_going_;
+  std::vector<double> prev_busy_;  ///< per rack, at the last sample
+  util::Seconds prev_time_ = 0.0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dfs::net

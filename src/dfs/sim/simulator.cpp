@@ -1,0 +1,73 @@
+#include "dfs/sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace dfs::sim {
+
+EventId Simulator::schedule_in(util::Seconds delay, Callback cb) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(util::Seconds at, Callback cb) {
+  assert(at >= now_);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void Simulator::schedule_periodic(util::Seconds phase, util::Seconds period,
+                                  std::function<bool()> cb) {
+  assert(period > 0.0);
+  // Self-rescheduling closure: each firing re-arms the next one so the
+  // period survives arbitrarily long simulations without pre-populating
+  // the queue.
+  auto driver = std::make_shared<std::function<void()>>();
+  *driver = [this, period, cb = std::move(cb), driver]() {
+    if (cb()) schedule_in(period, *driver);
+  };
+  schedule_in(phase, *driver);
+}
+
+util::Seconds Simulator::run(util::Seconds until) {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    if (until >= 0.0 && ev.time > until) {
+      now_ = until;
+      return now_;
+    }
+    heap_.pop();
+    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // defensive; should not happen
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++executed_;
+    cb();
+  }
+  return now_;
+}
+
+void Simulator::clear() {
+  while (!heap_.empty()) heap_.pop();
+  callbacks_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace dfs::sim

@@ -1,0 +1,53 @@
+#include "dfs/storage/degraded.h"
+
+#include <algorithm>
+
+namespace dfs::storage {
+
+DegradedReadPlanner::DegradedReadPlanner(const StorageLayout& layout,
+                                         const net::Topology& topo,
+                                         const ec::ErasureCode& code,
+                                         SourceSelection selection)
+    : layout_(layout), topo_(topo), code_(code), selection_(selection) {}
+
+std::optional<std::vector<DegradedSource>> DegradedReadPlanner::plan(
+    BlockId lost, NodeId reader, const FailureScenario& failure,
+    util::Rng& rng) const {
+  // Candidate survivors of the same stripe, in preference order.
+  std::vector<int> available;
+  available.reserve(static_cast<std::size_t>(layout_.n()));
+  for (int b = 0; b < layout_.n(); ++b) {
+    if (b == lost.index) continue;
+    const NodeId holder = layout_.node_of(BlockId{lost.stripe, b});
+    if (!failure.is_failed(holder)) available.push_back(b);
+  }
+  rng.shuffle(available);
+  if (selection_ == SourceSelection::kPreferSameRack) {
+    // Closest first: blocks already on the reader (free), then the reader's
+    // rack, then the rest — so stripe-affinity task placement pays off.
+    std::stable_partition(available.begin(), available.end(), [&](int b) {
+      return topo_.same_rack(layout_.node_of(BlockId{lost.stripe, b}),
+                             reader);
+    });
+    std::stable_partition(available.begin(), available.end(), [&](int b) {
+      return layout_.node_of(BlockId{lost.stripe, b}) == reader;
+    });
+  }
+  const auto chosen = code_.plan_read(available, lost.index);
+  if (!chosen) return std::nullopt;
+  std::vector<DegradedSource> sources;
+  sources.reserve(chosen->size());
+  for (int b : *chosen) {
+    const BlockId block{lost.stripe, b};
+    sources.push_back(DegradedSource{block, layout_.node_of(block)});
+  }
+  return sources;
+}
+
+double DegradedReadPlanner::expected_cross_rack_blocks() const {
+  const double r = topo_.num_racks();
+  return (r - 1.0) / r *
+         static_cast<double>(code_.single_failure_read_cost());
+}
+
+}  // namespace dfs::storage

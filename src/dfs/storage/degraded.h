@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dfs/ec/erasure_code.h"
+#include "dfs/net/topology.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::storage {
+
+/// One source fetch of a degraded read: which surviving block to download
+/// and from which node.
+struct DegradedSource {
+  BlockId block;
+  NodeId node = -1;
+};
+
+/// How a degraded read orders candidate source blocks before asking the
+/// erasure code which subset to fetch.
+enum class SourceSelection {
+  kRandom,          ///< random k of the survivors (the paper's §IV-B model)
+  kPreferSameRack,  ///< survivors in the reader's rack first (ablation)
+};
+
+/// Plans degraded reads: given a lost block, picks the surviving blocks (and
+/// the nodes holding them) that the degraded task must download.
+///
+/// For an MDS code this is "any k survivors" exactly as the paper models;
+/// for an LRC it defers to the code's locality-aware plan (footnote 1).
+class DegradedReadPlanner {
+ public:
+  DegradedReadPlanner(const StorageLayout& layout, const net::Topology& topo,
+                      const ec::ErasureCode& code,
+                      SourceSelection selection = SourceSelection::kRandom);
+
+  /// Sources for rebuilding `lost` at node `reader`. nullopt when the stripe
+  /// has lost more blocks than the code tolerates.
+  std::optional<std::vector<DegradedSource>> plan(
+      BlockId lost, NodeId reader, const FailureScenario& failure,
+      util::Rng& rng) const;
+
+  /// Expected cross-rack bytes one degraded read downloads, under random
+  /// source selection — the paper's (R-1)/R * k * S estimate divided out of
+  /// S. Used for the rack-awareness threshold.
+  double expected_cross_rack_blocks() const;
+
+ private:
+  const StorageLayout& layout_;
+  const net::Topology& topo_;
+  const ec::ErasureCode& code_;
+  SourceSelection selection_;
+};
+
+}  // namespace dfs::storage

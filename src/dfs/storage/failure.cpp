@@ -1,0 +1,52 @@
+#include "dfs/storage/failure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfs::storage {
+
+FailureScenario::FailureScenario(std::vector<net::NodeId> failed)
+    : failed_(std::move(failed)) {
+  std::sort(failed_.begin(), failed_.end());
+  failed_.erase(std::unique(failed_.begin(), failed_.end()), failed_.end());
+}
+
+bool FailureScenario::is_failed(net::NodeId node) const {
+  return std::binary_search(failed_.begin(), failed_.end(), node);
+}
+
+FailureScenario no_failure() { return FailureScenario{}; }
+
+FailureScenario single_node_failure(const net::Topology& topo,
+                                    util::Rng& rng) {
+  return FailureScenario({rng.uniform_int(0, topo.num_nodes() - 1)});
+}
+
+FailureScenario double_node_failure(const net::Topology& topo,
+                                    util::Rng& rng) {
+  if (topo.num_nodes() < 2) throw std::invalid_argument("need >= 2 nodes");
+  const auto picks = rng.sample_indices(
+      static_cast<std::size_t>(topo.num_nodes()), 2);
+  return FailureScenario(
+      {static_cast<net::NodeId>(picks[0]), static_cast<net::NodeId>(picks[1])});
+}
+
+FailureScenario rack_failure(const net::Topology& topo, util::Rng& rng) {
+  const net::RackId r = rng.uniform_int(0, topo.num_racks() - 1);
+  return FailureScenario(topo.nodes_in_rack(r));
+}
+
+FailureScenario single_node_failure_excluding(
+    const net::Topology& topo, util::Rng& rng,
+    const std::vector<net::NodeId>& exclude) {
+  std::vector<net::NodeId> eligible;
+  for (net::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (std::find(exclude.begin(), exclude.end(), n) == exclude.end()) {
+      eligible.push_back(n);
+    }
+  }
+  if (eligible.empty()) throw std::invalid_argument("no eligible node");
+  return FailureScenario({eligible[rng.index(eligible.size())]});
+}
+
+}  // namespace dfs::storage

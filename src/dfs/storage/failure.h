@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "dfs/net/topology.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::storage {
+
+/// The set of failed nodes while a MapReduce job runs. The paper's focus is
+/// a single failed node (the common case, §II-B); double-node and full-rack
+/// failures are evaluated in Fig. 7(d).
+class FailureScenario {
+ public:
+  FailureScenario() = default;
+  explicit FailureScenario(std::vector<net::NodeId> failed);
+
+  bool is_failed(net::NodeId node) const;
+  bool any() const { return !failed_.empty(); }
+  const std::vector<net::NodeId>& failed_nodes() const { return failed_; }
+
+ private:
+  std::vector<net::NodeId> failed_;  // sorted
+};
+
+FailureScenario no_failure();
+FailureScenario single_node_failure(const net::Topology& topo,
+                                    util::Rng& rng);
+FailureScenario double_node_failure(const net::Topology& topo,
+                                    util::Rng& rng);
+/// All nodes of one random rack fail (e.g. ToR switch loss).
+FailureScenario rack_failure(const net::Topology& topo, util::Rng& rng);
+/// Fail one random node that is NOT in `exclude` (Fig. 8(d) fails one of the
+/// regular nodes, never a "bad" node).
+FailureScenario single_node_failure_excluding(
+    const net::Topology& topo, util::Rng& rng,
+    const std::vector<net::NodeId>& exclude);
+
+}  // namespace dfs::storage

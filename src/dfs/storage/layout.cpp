@@ -1,0 +1,217 @@
+#include "dfs/storage/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dfs::storage {
+
+StorageLayout::StorageLayout(int n, int k,
+                             std::vector<std::vector<NodeId>> placement)
+    : n_(n), k_(k), placement_(std::move(placement)) {
+  if (k <= 0 || n <= k) throw std::invalid_argument("layout requires 0<k<n");
+  for (const auto& stripe : placement_) {
+    if (static_cast<int>(stripe.size()) != n) {
+      throw std::invalid_argument("each stripe must place n blocks");
+    }
+  }
+}
+
+std::vector<BlockId> StorageLayout::blocks_on_node(NodeId node) const {
+  std::vector<BlockId> out;
+  for (int s = 0; s < num_stripes(); ++s) {
+    for (int b = 0; b < n_; ++b) {
+      if (placement_[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)] ==
+          node) {
+        out.push_back(BlockId{s, b});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> StorageLayout::node_load(int num_nodes) const {
+  std::vector<int> load(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& stripe : placement_) {
+    for (NodeId node : stripe) {
+      assert(node >= 0 && node < num_nodes);
+      ++load[static_cast<std::size_t>(node)];
+    }
+  }
+  return load;
+}
+
+bool StorageLayout::satisfies_placement_rule(const net::Topology& topo,
+                                             int max_per_rack) const {
+  for (const auto& stripe : placement_) {
+    std::unordered_set<NodeId> nodes;
+    std::vector<int> per_rack(static_cast<std::size_t>(topo.num_racks()), 0);
+    for (NodeId node : stripe) {
+      if (!nodes.insert(node).second) return false;  // two blocks, one node
+      if (++per_rack[static_cast<std::size_t>(topo.rack_of(node))] >
+          max_per_rack) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+StorageLayout round_robin_layout(int num_native_blocks, int n, int k,
+                                 int num_nodes) {
+  if (num_native_blocks % k != 0) {
+    throw std::invalid_argument("native block count must be a multiple of k");
+  }
+  if (n > num_nodes) {
+    throw std::invalid_argument("round-robin needs at least n nodes");
+  }
+  const int stripes = num_native_blocks / k;
+  std::vector<std::vector<NodeId>> placement(
+      static_cast<std::size_t>(stripes));
+  for (int s = 0; s < stripes; ++s) {
+    auto& row = placement[static_cast<std::size_t>(s)];
+    row.resize(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      // Rotate each stripe's starting node so both natives and parities
+      // spread evenly (e.g. the §VI testbed: 240 natives under (12,10) on
+      // 12 slaves gives each slave exactly 20 natives + 4 parities).
+      row[static_cast<std::size_t>(b)] = (s + b) % num_nodes;
+    }
+  }
+  return StorageLayout(n, k, std::move(placement));
+}
+
+StorageLayout random_rack_constrained_layout(int num_native_blocks, int n,
+                                             int k, const net::Topology& topo,
+                                             util::Rng& rng) {
+  if (num_native_blocks % k != 0) {
+    throw std::invalid_argument("native block count must be a multiple of k");
+  }
+  const int max_per_rack = n - k;
+  int feasible = 0;
+  for (RackId r = 0; r < topo.num_racks(); ++r) {
+    feasible += std::min(static_cast<int>(topo.nodes_in_rack(r).size()),
+                         max_per_rack);
+  }
+  if (feasible < n) {
+    throw std::invalid_argument(
+        "topology cannot satisfy the rack placement rule for this (n,k)");
+  }
+
+  const int stripes = num_native_blocks / k;
+  const int num_nodes = topo.num_nodes();
+  std::vector<int> load(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<std::vector<NodeId>> placement(
+      static_cast<std::size_t>(stripes));
+
+  for (int s = 0; s < stripes; ++s) {
+    auto& row = placement[static_cast<std::size_t>(s)];
+    row.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> used(static_cast<std::size_t>(num_nodes), false);
+    std::vector<int> rack_count(static_cast<std::size_t>(topo.num_racks()), 0);
+    int attempts = 0;
+    for (int b = 0; b < n; ++b) {
+      // Greedy parity declustering: among nodes that keep the stripe legal,
+      // prefer the least-loaded, breaking ties randomly. After repeated dead
+      // ends, fall back to any legal node to guarantee termination (the rule
+      // was verified feasible above).
+      const bool ignore_load = attempts >= 8;
+      std::vector<NodeId> candidates;
+      int best_load = -1;
+      for (NodeId node = 0; node < num_nodes; ++node) {
+        if (used[static_cast<std::size_t>(node)]) continue;
+        if (rack_count[static_cast<std::size_t>(topo.rack_of(node))] >=
+            max_per_rack) {
+          continue;
+        }
+        const int l = ignore_load ? 0 : load[static_cast<std::size_t>(node)];
+        if (best_load < 0 || l < best_load) {
+          best_load = l;
+          candidates.assign(1, node);
+        } else if (l == best_load) {
+          candidates.push_back(node);
+        }
+      }
+      if (candidates.empty()) {
+        // Painted into a corner (possible with tiny racks): undo this
+        // stripe's choices and retry it.
+        for (NodeId node : row) --load[static_cast<std::size_t>(node)];
+        row.clear();
+        std::fill(used.begin(), used.end(), false);
+        std::fill(rack_count.begin(), rack_count.end(), 0);
+        ++attempts;
+        if (attempts >= 32) {
+          // Deterministic fallback that cannot dead-end: fill rack quotas
+          // (capped at max_per_rack) with that rack's least-loaded nodes.
+          for (RackId r = 0; r < topo.num_racks() &&
+                             static_cast<int>(row.size()) < n;
+               ++r) {
+            std::vector<NodeId> members = topo.nodes_in_rack(r);
+            std::sort(members.begin(), members.end(),
+                      [&](NodeId a, NodeId c) {
+                        return load[static_cast<std::size_t>(a)] <
+                               load[static_cast<std::size_t>(c)];
+                      });
+            const int take =
+                std::min({max_per_rack, static_cast<int>(members.size()),
+                          n - static_cast<int>(row.size())});
+            for (int i = 0; i < take; ++i) {
+              row.push_back(members[static_cast<std::size_t>(i)]);
+              ++load[static_cast<std::size_t>(members[static_cast<std::size_t>(i)])];
+            }
+          }
+          break;
+        }
+        b = -1;
+        continue;
+      }
+      const NodeId chosen = candidates[rng.index(candidates.size())];
+      row.push_back(chosen);
+      used[static_cast<std::size_t>(chosen)] = true;
+      ++rack_count[static_cast<std::size_t>(topo.rack_of(chosen))];
+      ++load[static_cast<std::size_t>(chosen)];
+    }
+  }
+  return StorageLayout(n, k, std::move(placement));
+}
+
+StorageLayout replicated_layout(int num_blocks, int replicas,
+                                const net::Topology& topo, util::Rng& rng) {
+  if (replicas < 2) throw std::invalid_argument("need >= 2 replicas");
+  if (topo.num_racks() < 2) {
+    throw std::invalid_argument("replication placement needs >= 2 racks");
+  }
+  bool feasible = false;
+  for (RackId r = 0; r < topo.num_racks(); ++r) {
+    if (static_cast<int>(topo.nodes_in_rack(r).size()) >= replicas - 1) {
+      feasible = true;
+      break;
+    }
+  }
+  if (!feasible) {
+    throw std::invalid_argument("no rack can host the remote replicas");
+  }
+  std::vector<std::vector<NodeId>> placement(
+      static_cast<std::size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    auto& row = placement[static_cast<std::size_t>(b)];
+    const NodeId first = rng.uniform_int(0, topo.num_nodes() - 1);
+    row.push_back(first);
+    // Pick a different rack large enough for the remaining copies.
+    RackId remote;
+    do {
+      remote = rng.uniform_int(0, topo.num_racks() - 1);
+    } while (remote == topo.rack_of(first) ||
+             static_cast<int>(topo.nodes_in_rack(remote).size()) <
+                 replicas - 1);
+    const auto& members = topo.nodes_in_rack(remote);
+    const auto picks = rng.sample_indices(
+        members.size(), static_cast<std::size_t>(replicas - 1));
+    for (const auto p : picks) row.push_back(members[p]);
+  }
+  return StorageLayout(replicas, 1, std::move(placement));
+}
+
+}  // namespace dfs::storage

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "dfs/net/topology.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::storage {
+
+using net::NodeId;
+using net::RackId;
+
+/// Identifies one block of one stripe. Indices [0, k) are native blocks,
+/// [k, n) are parity blocks (matching dfs::ec shard indices).
+struct BlockId {
+  int stripe = -1;
+  int index = -1;
+  auto operator<=>(const BlockId&) const = default;
+};
+
+/// Placement of an erasure-coded file: `num_stripes` stripes of n blocks
+/// (k native + n-k parity) mapped onto cluster nodes.
+///
+/// HDFS-RAID divides the file's native-block stream into groups of k and
+/// encodes each group into one stripe (paper §II-B); native block i of the
+/// file is stripe i/k, index i%k.
+class StorageLayout {
+ public:
+  /// `placement[s][b]` = node storing block b of stripe s.
+  StorageLayout(int n, int k, std::vector<std::vector<NodeId>> placement);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int num_stripes() const { return static_cast<int>(placement_.size()); }
+  int num_native_blocks() const { return num_stripes() * k_; }
+
+  NodeId node_of(BlockId b) const {
+    return placement_[static_cast<std::size_t>(b.stripe)]
+                     [static_cast<std::size_t>(b.index)];
+  }
+
+  /// Native block i of the file -> (stripe, index).
+  BlockId native_block(int i) const { return BlockId{i / k_, i % k_}; }
+
+  /// Blocks (native and parity) stored on a node.
+  std::vector<BlockId> blocks_on_node(NodeId node) const;
+
+  /// Number of blocks per node (load balance check).
+  std::vector<int> node_load(int num_nodes) const;
+
+  /// True if no stripe has more than `max_per_rack` blocks in one rack and
+  /// no node holds two blocks of the same stripe (the §III placement rule
+  /// uses max_per_rack = n - k).
+  bool satisfies_placement_rule(const net::Topology& topo,
+                                int max_per_rack) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::vector<NodeId>> placement_;
+};
+
+/// Round-robin placement (§VI testbed): block b of stripe s goes to node
+/// (s * n + b) mod num_nodes. Balanced, but does not enforce the rack rule.
+StorageLayout round_robin_layout(int num_native_blocks, int n, int k,
+                                 int num_nodes);
+
+/// Random placement under the §III rule: per stripe, n distinct nodes with
+/// at most n-k blocks of the stripe per rack, choosing least-loaded nodes
+/// first (parity declustering: stripes spread evenly over all nodes).
+/// Throws std::invalid_argument if the topology cannot satisfy the rule.
+StorageLayout random_rack_constrained_layout(int num_native_blocks, int n,
+                                             int k, const net::Topology& topo,
+                                             util::Rng& rng);
+
+/// HDFS's default replication placement (§III): each block is a k=1,
+/// n=`replicas` stripe; the first copy goes to a random node and the
+/// remaining copies to distinct random nodes of one *other* random rack —
+/// tolerating any double-node and any single-rack failure for replicas=3.
+/// Requires >= 2 racks and a remote rack with >= replicas-1 nodes.
+StorageLayout replicated_layout(int num_blocks, int replicas,
+                                const net::Topology& topo, util::Rng& rng);
+
+}  // namespace dfs::storage

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfs::util {
+
+/// Minimal command-line parser for the tools: GNU-style "--flag value" and
+/// "--flag=value" options plus positional arguments. Unknown flags are
+/// collected so tools can reject them with a useful message.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Value of --name, if present.
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were consumed by none of the accessors above; call after all
+  /// get()s to report typos. Accessors record the names they were asked for.
+  std::vector<std::string> unrecognized() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+  };
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> queried_;
+};
+
+/// Splits "a,b,c" into pieces (empty input -> empty vector).
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace dfs::util

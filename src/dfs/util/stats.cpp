@@ -1,0 +1,95 @@
+#include "dfs/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace dfs::util {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double acc = 0.0;
+    for (double x : xs) acc += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+namespace {
+
+// Percentile of a *sorted* sample using linear interpolation between closest
+// ranks (the "exclusive" variant is overkill for 30-sample boxplots).
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  assert(!sorted.empty());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> xs, double p) {
+  assert(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  return sorted_percentile(xs, p);
+}
+
+BoxPlot boxplot(std::vector<double> xs) {
+  BoxPlot b;
+  if (xs.empty()) return b;
+  std::sort(xs.begin(), xs.end());
+  b.q1 = sorted_percentile(xs, 25.0);
+  b.median = sorted_percentile(xs, 50.0);
+  b.q3 = sorted_percentile(xs, 75.0);
+  b.mean = summarize(xs).mean;
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.min = b.q1;
+  b.max = b.q3;
+  bool found_whisker = false;
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      b.outliers.push_back(x);
+    } else {
+      if (!found_whisker) {
+        b.min = x;
+        found_whisker = true;
+      }
+      b.max = x;
+    }
+  }
+  return b;
+}
+
+std::string to_string(const BoxPlot& b) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "med=" << b.median << " [q1=" << b.q1 << " q3=" << b.q3 << "]"
+     << " whiskers=[" << b.min << "," << b.max << "]"
+     << " mean=" << b.mean;
+  if (!b.outliers.empty()) os << " outliers=" << b.outliers.size();
+  return os.str();
+}
+
+double reduction_percent(double base, double ours) {
+  if (base == 0.0) return 0.0;
+  return (base - ours) / base * 100.0;
+}
+
+}  // namespace dfs::util

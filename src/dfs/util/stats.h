@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfs::util {
+
+/// Mean / stddev / extrema of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// The five-number summary the paper's boxplots report (Figs. 7 and 8),
+/// plus 1.5-IQR outliers.
+struct BoxPlot {
+  double min = 0.0;        ///< smallest non-outlier
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;        ///< largest non-outlier
+  double mean = 0.0;
+  std::vector<double> outliers;
+};
+
+BoxPlot boxplot(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. `xs` need not be sorted.
+double percentile(std::vector<double> xs, double p);
+
+/// Render like "med=1.32 [q1=1.25 q3=1.41] range=[1.10,1.60] mean=1.33".
+std::string to_string(const BoxPlot& b);
+
+/// Percentage reduction of `ours` relative to `base`: (base-ours)/base*100.
+double reduction_percent(double base, double ours);
+
+}  // namespace dfs::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfs::util {
+
+/// Minimal column-aligned plain-text table, used by the benchmark harnesses
+/// to print the same rows/series the paper's tables and figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Prints a "== title ==" section banner.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace dfs::util

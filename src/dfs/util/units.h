@@ -1,0 +1,39 @@
+#pragma once
+
+// Unit helpers for the quantities the paper's model is parameterized by:
+// time in seconds, data sizes in bytes, and bandwidth in bytes per second.
+//
+// We deliberately keep these as plain doubles with named constructor
+// functions rather than heavy strong types: every formula in the paper
+// (e.g. the degraded-read bound (R-1)kS/(RW)) mixes the three freely, and
+// the named constructors at the call sites make the units explicit where it
+// matters.
+
+namespace dfs::util {
+
+/// Simulated time, in seconds.
+using Seconds = double;
+
+/// Data size, in bytes.
+using Bytes = double;
+
+/// Bandwidth, in bytes per second.
+using BytesPerSec = double;
+
+/// Sentinel meaning "link with no bandwidth limit".
+inline constexpr BytesPerSec kUnlimitedBandwidth = 0.0;
+
+constexpr Bytes kilobytes(double v) { return v * 1e3; }
+constexpr Bytes megabytes(double v) { return v * 1e6; }
+constexpr Bytes gigabytes(double v) { return v * 1e9; }
+
+/// Binary block sizes, as used by HDFS ("128MB block" = 128 * 2^20 bytes).
+constexpr Bytes mebibytes(double v) { return v * 1024.0 * 1024.0; }
+constexpr Bytes gibibytes(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+/// Network bandwidths are quoted in bits per second in the paper
+/// ("1Gbps rack download bandwidth").
+constexpr BytesPerSec megabits_per_sec(double v) { return v * 1e6 / 8.0; }
+constexpr BytesPerSec gigabits_per_sec(double v) { return v * 1e9 / 8.0; }
+
+}  // namespace dfs::util

@@ -1,0 +1,80 @@
+#include "dfs/workload/text.h"
+
+#include <array>
+#include <vector>
+
+namespace dfs::workload {
+
+namespace {
+
+// A ~200-word vocabulary. Rank 1 is the most frequent under the Zipf draw.
+const std::vector<std::string>& vocabulary() {
+  static const std::vector<std::string> words = {
+      "the",     "of",       "and",      "to",        "a",
+      "in",      "that",     "is",       "was",       "he",
+      "for",     "it",       "with",     "as",        "his",
+      "on",      "be",       "at",       "by",        "i",
+      "this",    "had",      "not",      "are",       "but",
+      "from",    "or",       "have",     "an",        "they",
+      "which",   "one",      "you",      "were",      "her",
+      "all",     "she",      "there",    "would",     "their",
+      "we",      "him",      "been",     "has",       "when",
+      "who",     "will",     "more",     "no",        "if",
+      "out",     "so",       "said",     "what",      "up",
+      "its",     "about",    "into",     "than",      "them",
+      "can",     "only",     "other",    "new",       "some",
+      "could",   "time",     "these",    "two",       "may",
+      "then",    "do",       "first",    "any",       "my",
+      "now",     "such",     "like",     "our",       "over",
+      "man",     "me",       "even",     "most",      "made",
+      "after",   "also",     "did",      "many",      "before",
+      "must",    "through",  "years",    "where",     "much",
+      "your",    "way",      "well",     "down",      "should",
+      "because", "each",     "just",     "those",     "people",
+      "mr",      "how",      "too",      "little",    "state",
+      "good",    "very",     "make",     "world",     "still",
+      "own",     "see",      "men",      "work",      "long",
+      "get",     "here",     "between",  "both",      "life",
+      "being",   "under",    "never",    "day",       "same",
+      "another", "know",     "while",    "last",      "might",
+      "us",      "great",    "old",      "year",      "off",
+      "come",    "since",    "against",  "go",        "came",
+      "right",   "used",     "take",     "three",     "states",
+      "himself", "few",      "house",    "use",       "during",
+      "without", "again",    "place",    "american",  "around",
+      "however", "home",     "small",    "found",     "mrs",
+      "thought", "went",     "say",      "part",      "once",
+      "high",    "general",  "upon",     "school",    "every",
+      "dont",    "does",     "got",      "united",    "left",
+      "number",  "course",   "war",      "until",     "always",
+      "away",    "something", "fact",    "though",    "water",
+      "less",    "public",   "put",      "think",     "almost",
+      "hand",    "enough",   "far",      "took",      "head",
+  };
+  return words;
+}
+
+}  // namespace
+
+const std::string& vocabulary_word(std::size_t rank) {
+  return vocabulary()[rank % vocabulary().size()];
+}
+
+std::size_t vocabulary_size() { return vocabulary().size(); }
+
+std::string generate_text(util::Rng& rng, std::size_t approx_bytes) {
+  std::string out;
+  out.reserve(approx_bytes + 64);
+  while (out.size() < approx_bytes) {
+    const int words_in_line = rng.uniform_int(4, 12);
+    for (int w = 0; w < words_in_line; ++w) {
+      const std::size_t rank = rng.zipf(vocabulary_size(), 1.05);
+      if (w > 0) out.push_back(' ');
+      out += vocabulary_word(rank - 1);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dfs::workload

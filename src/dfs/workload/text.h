@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dfs/util/rng.h"
+
+namespace dfs::workload {
+
+/// Generates synthetic English-like plain text: Zipf-distributed words from
+/// a fixed vocabulary, arranged into lines of a few words each. Stands in
+/// for the paper's 15 GB Project Gutenberg corpus in the byte-backed
+/// examples; what matters for WordCount/Grep/LineCount is a realistic,
+/// skewed word/line distribution, which Zipf provides.
+std::string generate_text(util::Rng& rng, std::size_t approx_bytes);
+
+/// The vocabulary used by generate_text (rank order). Exposed so tests and
+/// examples can pick query words with known frequencies.
+const std::string& vocabulary_word(std::size_t rank);
+std::size_t vocabulary_size();
+
+}  // namespace dfs::workload

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "dfs/analysis/model.h"
+
+namespace dfs::analysis {
+namespace {
+
+TEST(Analysis, NormalModeRuntimeDefaults) {
+  const ModelParams p;  // paper defaults
+  // F*T/(N*L) = 1440*20/(40*4) = 180 s.
+  EXPECT_DOUBLE_EQ(normal_mode_runtime(p), 180.0);
+}
+
+TEST(Analysis, DegradedReadTimeFormula) {
+  const ModelParams p;
+  // (R-1)*k*S/(R*W) = 3*12*128MiB / (4*125MB/s).
+  const double expect = 3.0 * 12.0 * 128 * 1024 * 1024 / (4.0 * 125e6);
+  EXPECT_DOUBLE_EQ(degraded_read_time(p), expect);
+  EXPECT_NEAR(degraded_read_time(p), 9.66, 0.01);
+}
+
+TEST(Analysis, LocalityFirstComposition) {
+  const ModelParams p;
+  // 180 + 9 * 9.66 + 20.
+  EXPECT_NEAR(locality_first_runtime(p), 286.9, 0.1);
+}
+
+TEST(Analysis, DegradedFirstTakesMaxOfBounds) {
+  const ModelParams p;
+  // Processing bound: 1440*20/(39*4) + 20 = 204.6; transfer bound: 107.0.
+  EXPECT_NEAR(degraded_first_runtime(p), 204.6, 0.1);
+
+  // At W = 100 Mbps the transfer bound dominates.
+  ModelParams slow = p;
+  slow.rack_bandwidth = util::megabits_per_sec(100);
+  const double transfer =
+      static_cast<double>(slow.num_blocks) /
+          (slow.num_nodes * slow.num_racks) * degraded_read_time(slow) +
+      slow.map_task_time;
+  EXPECT_DOUBLE_EQ(degraded_first_runtime(slow), transfer);
+  EXPECT_GT(degraded_first_runtime(slow), degraded_first_runtime(p));
+}
+
+TEST(Analysis, DegradedFirstAlwaysBeatsLocalityFirst) {
+  // Property sweep over the paper's parameter ranges (Fig. 5).
+  for (const auto& [n, k] : {std::pair{8, 6}, {12, 9}, {16, 12}, {20, 15}}) {
+    for (const long f : {720L, 1440L, 2160L, 2880L}) {
+      for (const double wmbps : {100.0, 200.0, 500.0, 1000.0}) {
+        ModelParams p;
+        p.n = n;
+        p.k = k;
+        p.num_blocks = f;
+        p.rack_bandwidth = util::megabits_per_sec(wmbps);
+        EXPECT_LT(degraded_first_runtime(p), locality_first_runtime(p))
+            << "n=" << n << " F=" << f << " W=" << wmbps;
+        EXPECT_GT(runtime_reduction_percent(p), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Analysis, Figure5aShape) {
+  // LF grows with k; DF stays flat (all degraded reads fit in one round).
+  double prev_lf = 0.0;
+  double first_df = -1.0;
+  for (const auto& [n, k] : {std::pair{8, 6}, {12, 9}, {16, 12}, {20, 15}}) {
+    ModelParams p;
+    p.n = n;
+    p.k = k;
+    const double lf = normalized_locality_first(p);
+    const double df = normalized_degraded_first(p);
+    EXPECT_GT(lf, prev_lf);
+    prev_lf = lf;
+    if (first_df < 0) {
+      first_df = df;
+    } else {
+      EXPECT_DOUBLE_EQ(df, first_df);
+    }
+    // The paper reports 15%-32% reductions across these schemes.
+    const double red = runtime_reduction_percent(p);
+    EXPECT_GT(red, 10.0);
+    EXPECT_LT(red, 40.0);
+  }
+}
+
+TEST(Analysis, Figure5bShape) {
+  // Normalized runtimes of both schemes decrease with F; reduction 25-28%.
+  double prev_lf = 1e9;
+  double prev_df = 1e9;
+  for (const long f : {720L, 1440L, 2160L, 2880L}) {
+    ModelParams p;
+    p.num_blocks = f;
+    EXPECT_LT(normalized_locality_first(p), prev_lf);
+    EXPECT_LE(normalized_degraded_first(p), prev_df);
+    prev_lf = normalized_locality_first(p);
+    prev_df = normalized_degraded_first(p);
+    const double red = runtime_reduction_percent(p);
+    EXPECT_GT(red, 20.0);
+    EXPECT_LT(red, 35.0);
+  }
+}
+
+TEST(Analysis, Figure5cShape) {
+  // DF runtime is identical at 500 Mbps and 1 Gbps (degraded reads finish
+  // within one round), while LF keeps improving with bandwidth.
+  ModelParams p500;
+  p500.rack_bandwidth = util::megabits_per_sec(500);
+  ModelParams p1000;
+  p1000.rack_bandwidth = util::megabits_per_sec(1000);
+  EXPECT_DOUBLE_EQ(degraded_first_runtime(p500),
+                   degraded_first_runtime(p1000));
+  EXPECT_GT(locality_first_runtime(p500), locality_first_runtime(p1000));
+
+  ModelParams p100;
+  p100.rack_bandwidth = util::megabits_per_sec(100);
+  EXPECT_GT(degraded_first_runtime(p100), degraded_first_runtime(p500));
+}
+
+TEST(Analysis, NormalizedValuesAboveOne) {
+  const ModelParams p;
+  EXPECT_GT(normalized_locality_first(p), 1.0);
+  EXPECT_GT(normalized_degraded_first(p), 1.0);
+}
+
+}  // namespace
+}  // namespace dfs::analysis

@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/delay_scheduler.h"
+#include "dfs/core/fair_scheduler.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/core/scheduler.h"
+
+namespace dfs::core {
+namespace {
+
+/// A scripted SchedulerContext: the tests configure task pools, counters and
+/// heuristic inputs directly and record the exact assignment sequence each
+/// algorithm produces.
+class FakeContext : public SchedulerContext {
+ public:
+  struct JobCfg {
+    int local = 0;
+    int remote = 0;
+    int degraded = 0;
+    long m = 0;
+    long total_m = 0;
+    long md = 0;
+    long total_md = 0;
+    long running = 0;
+  };
+
+  std::vector<JobCfg> jobs;
+  int free_slots = 1;
+  std::vector<std::string> log;
+
+  util::Seconds sim_now = 0.0;  // advanced manually by the tests
+  util::Seconds ts = 0.0;       // t_s of the heartbeating slave
+  util::Seconds mean_ts = 0.0;  // E[t_s]
+  util::Seconds tr = 1.0e9;     // t_r of the slave's rack
+  util::Seconds mean_tr = 1.0e9;
+  util::Seconds threshold = 10.0;
+  int affinity = 0;  // degraded_affinity of the heartbeating slave
+
+  util::Seconds now() const override { return sim_now; }
+  std::vector<JobId> running_jobs() const override {
+    std::vector<JobId> out;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const JobCfg& j = jobs[i];
+      if (j.m < j.total_m) out.push_back(static_cast<JobId>(i));
+    }
+    return out;
+  }
+  int free_map_slots(NodeId) const override { return free_slots; }
+  bool has_unassigned_local(JobId j, NodeId) const override {
+    return jobs[static_cast<std::size_t>(j)].local > 0;
+  }
+  bool has_unassigned_remote(JobId j, NodeId) const override {
+    return jobs[static_cast<std::size_t>(j)].remote > 0;
+  }
+  bool has_unassigned_degraded(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].degraded > 0;
+  }
+  void assign_local(JobId j, NodeId) override {
+    auto& job = jobs[static_cast<std::size_t>(j)];
+    --job.local;
+    ++job.m;
+    --free_slots;
+    log.push_back("L" + std::to_string(j));
+  }
+  void assign_remote(JobId j, NodeId) override {
+    auto& job = jobs[static_cast<std::size_t>(j)];
+    --job.remote;
+    ++job.m;
+    --free_slots;
+    log.push_back("R" + std::to_string(j));
+  }
+  void assign_degraded(JobId j, NodeId) override {
+    auto& job = jobs[static_cast<std::size_t>(j)];
+    --job.degraded;
+    ++job.m;
+    ++job.md;
+    --free_slots;
+    log.push_back("D" + std::to_string(j));
+  }
+  int degraded_affinity(JobId, NodeId) const override { return affinity; }
+  long running_maps(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].running;
+  }
+  long launched_maps(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].m;
+  }
+  long total_maps(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].total_m;
+  }
+  long launched_degraded(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].md;
+  }
+  long total_degraded(JobId j) const override {
+    return jobs[static_cast<std::size_t>(j)].total_md;
+  }
+  util::Seconds local_work_seconds(NodeId) const override { return ts; }
+  util::Seconds mean_local_work_seconds() const override { return mean_ts; }
+  util::Seconds time_since_last_degraded(RackId) const override { return tr; }
+  util::Seconds mean_time_since_last_degraded() const override {
+    return mean_tr;
+  }
+  util::Seconds degraded_read_threshold() const override { return threshold; }
+  RackId rack_of(NodeId) const override { return 0; }
+};
+
+// --- locality-first (Algorithm 1) ------------------------------------------------
+
+TEST(LocalityFirst, PrefersLocalThenRemoteThenDegraded) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .remote = 1, .degraded = 1, .total_m = 3,
+                      .total_md = 1});
+  ctx.free_slots = 3;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "R0", "D0"}));
+}
+
+TEST(LocalityFirst, AssignsMultipleDegradedInOneHeartbeat) {
+  // The paper's pathology: with only degraded tasks left, LF launches them
+  // back-to-back, one per free slot.
+  FakeContext ctx;
+  ctx.jobs.push_back({.degraded = 4, .total_m = 4, .total_md = 4});
+  ctx.free_slots = 4;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0", "D0", "D0", "D0"}));
+}
+
+TEST(LocalityFirst, StopsWhenSlotsExhausted) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 5, .total_m = 5});
+  ctx.free_slots = 2;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log.size(), 2u);
+  EXPECT_EQ(ctx.jobs[0].local, 3);
+}
+
+TEST(LocalityFirst, FifoAcrossJobs) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  ctx.jobs.push_back({.local = 2, .total_m = 2});
+  ctx.free_slots = 3;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "L1", "L1"}));
+}
+
+TEST(LocalityFirst, NoTasksNoAssignments) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.total_m = 0});
+  ctx.free_slots = 2;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx, 0);
+  EXPECT_TRUE(ctx.log.empty());
+}
+
+// --- basic degraded-first (Algorithm 2) --------------------------------------------
+
+TEST(BasicDegradedFirst, LaunchesDegradedFirstWhenPacingAllows) {
+  // m/M = 0 >= m_d/M_d = 0 at the start: the very first assignment of the
+  // map phase is a degraded task.
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 3;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0", "L0", "L0"}));
+}
+
+TEST(BasicDegradedFirst, AtMostOneDegradedPerHeartbeat) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .degraded = 3, .total_m = 4, .total_md = 3});
+  ctx.free_slots = 4;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx, 0);
+  // One degraded, then locals; remaining slots stay free rather than taking
+  // a second degraded task (two degraded reads would contend on the node).
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0", "L0"}));
+  EXPECT_EQ(ctx.free_slots, 2);
+}
+
+TEST(BasicDegradedFirst, PacingBlocksWhenDegradedAhead) {
+  // m/M = 4/12, m_d/M_d = 2/3: degraded fraction ahead -> no degraded now.
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 3, .degraded = 1, .m = 4, .total_m = 12,
+                      .md = 2, .total_md = 3});
+  ctx.free_slots = 2;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "L0"}));
+}
+
+TEST(BasicDegradedFirst, PacingAllowsAtExactEquality) {
+  // m/M = 6/12 == m_d/M_d = 1/2 -> the >= comparison admits a degraded task.
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 3, .degraded = 1, .m = 6, .total_m = 12,
+                      .md = 1, .total_md = 2});
+  ctx.free_slots = 1;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(BasicDegradedFirst, NormalModeIdenticalToLocalityFirst) {
+  // No degraded tasks: Algorithm 2 degenerates to lines 12-18 == Algorithm 1.
+  FakeContext ctx_bdf;
+  ctx_bdf.jobs.push_back({.local = 2, .remote = 1, .total_m = 3});
+  ctx_bdf.free_slots = 3;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx_bdf, 0);
+
+  FakeContext ctx_lf;
+  ctx_lf.jobs.push_back({.local = 2, .remote = 1, .total_m = 3});
+  ctx_lf.free_slots = 3;
+  LocalityFirstScheduler lf;
+  lf.on_heartbeat(ctx_lf, 0);
+
+  EXPECT_EQ(ctx_bdf.log, ctx_lf.log);
+}
+
+TEST(BasicDegradedFirst, DegradedTasksNeverStarve) {
+  // Drive repeated heartbeats until everything is assigned: pacing must
+  // never leave degraded tasks unassigned once non-degraded tasks are gone.
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 9, .degraded = 3, .total_m = 12, .total_md = 3});
+  auto bdf = DegradedFirstScheduler::basic();
+  for (int hb = 0; hb < 50 && ctx.jobs[0].m < 12; ++hb) {
+    ctx.free_slots = 1;
+    bdf.on_heartbeat(ctx, 0);
+  }
+  EXPECT_EQ(ctx.jobs[0].degraded, 0);
+  EXPECT_EQ(ctx.jobs[0].local, 0);
+}
+
+TEST(BasicDegradedFirst, EvenPacingOverMapPhase) {
+  // 12 tasks, 3 degraded, one slot per heartbeat: degraded launches land at
+  // positions 1, 5, 9 of the launch sequence (the Fig. 4 schedule).
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 9, .degraded = 3, .total_m = 12, .total_md = 3});
+  auto bdf = DegradedFirstScheduler::basic();
+  for (int hb = 0; hb < 12; ++hb) {
+    ctx.free_slots = 1;
+    bdf.on_heartbeat(ctx, 0);
+  }
+  ASSERT_EQ(ctx.log.size(), 12u);
+  std::vector<int> degraded_positions;
+  for (std::size_t i = 0; i < ctx.log.size(); ++i) {
+    if (ctx.log[i] == "D0") degraded_positions.push_back(static_cast<int>(i));
+  }
+  EXPECT_EQ(degraded_positions, (std::vector<int>{0, 4, 8}));
+}
+
+TEST(BasicDegradedFirst, OneDegradedPerHeartbeatAcrossJobs) {
+  // The isDegradedTaskAssigned flag spans the whole job list.
+  FakeContext ctx;
+  ctx.jobs.push_back({.degraded = 1, .total_m = 1, .total_md = 1});
+  ctx.jobs.push_back({.degraded = 1, .total_m = 1, .total_md = 1});
+  ctx.free_slots = 2;
+  auto bdf = DegradedFirstScheduler::basic();
+  bdf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+// --- enhanced degraded-first (Algorithm 3) ------------------------------------------
+
+TEST(EnhancedDegradedFirst, LocalityPreservationBlocksBusySlave) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.ts = 100.0;      // this slave has an above-average local backlog
+  ctx.mean_ts = 50.0;
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+}
+
+TEST(EnhancedDegradedFirst, LocalityPreservationAdmitsIdleSlave) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.ts = 10.0;  // below-average backlog: spare capacity for a degraded task
+  ctx.mean_ts = 50.0;
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(EnhancedDegradedFirst, ListingVariantInvertsSlaveCheck) {
+  DegradedFirstOptions opts;
+  opts.assign_to_slave_listing_variant = true;
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.ts = 10.0;
+  ctx.mean_ts = 50.0;  // listing variant refuses t_s < E[t_s]
+  DegradedFirstScheduler edf(opts);
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+}
+
+TEST(EnhancedDegradedFirst, RackAwarenessBlocksRecentRack) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.tr = 2.0;  // a degraded task launched into this rack 2 s ago
+  ctx.mean_tr = 100.0;
+  ctx.threshold = 9.0;  // a degraded read takes ~9 s: still in flight
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+}
+
+TEST(EnhancedDegradedFirst, RackAwarenessAdmitsAfterThreshold) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.tr = 9.5;  // the previous degraded read should have finished
+  ctx.mean_tr = 100.0;
+  ctx.threshold = 9.0;
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(EnhancedDegradedFirst, RackAwarenessUsesMinOfMeanAndThreshold) {
+  // t_r = 5 < threshold = 9, but E[t_r] = 4 < t_r: min(E, thr) = 4 admits.
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.tr = 5.0;
+  ctx.mean_tr = 4.0;
+  ctx.threshold = 9.0;
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(EnhancedDegradedFirst, FallsBackToLocalWorkWhenHeuristicsBlock) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 3, .degraded = 1, .total_m = 4, .total_md = 1});
+  ctx.free_slots = 2;
+  ctx.ts = 100.0;
+  ctx.mean_ts = 1.0;
+  auto edf = DegradedFirstScheduler::enhanced();
+  edf.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "L0"}));
+}
+
+// --- stripe affinity (extension) ------------------------------------------------------
+
+TEST(StripeAffinity, BlocksSlavesWithoutStripeMates) {
+  DegradedFirstOptions opts;
+  opts.stripe_affinity = true;
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.affinity = 0;  // this slave holds no block of the lost stripe
+  DegradedFirstScheduler sched(opts);
+  sched.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+}
+
+TEST(StripeAffinity, AdmitsStripeMateHolders) {
+  DegradedFirstOptions opts;
+  opts.stripe_affinity = true;
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.affinity = 2;
+  DegradedFirstScheduler sched(opts);
+  sched.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(StripeAffinity, FallsBackWhenOnlyDegradedRemain) {
+  DegradedFirstOptions opts;
+  opts.stripe_affinity = true;
+  FakeContext ctx;
+  ctx.jobs.push_back({.degraded = 1, .total_m = 1, .total_md = 1});
+  ctx.free_slots = 1;
+  ctx.affinity = 0;  // nothing local anywhere: never starve the tail
+  DegradedFirstScheduler sched(opts);
+  sched.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+TEST(StripeAffinity, NameReflectsOption) {
+  DegradedFirstOptions opts;
+  opts.stripe_affinity = true;
+  EXPECT_EQ(DegradedFirstScheduler(opts).name(), "EDF+affinity");
+}
+
+// --- delay scheduling (related-work baseline) ---------------------------------------
+
+TEST(DelayScheduler, AssignsLocalImmediately) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .total_m = 2});
+  ctx.free_slots = 2;
+  DelayScheduler ds(5.0);
+  ds.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "L0"}));
+}
+
+TEST(DelayScheduler, DelaysRemoteUntilTimeout) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.remote = 1, .total_m = 1});
+  ctx.free_slots = 1;
+  DelayScheduler ds(5.0);
+  ds.on_heartbeat(ctx, 0);  // first skip: starts the timer
+  EXPECT_TRUE(ctx.log.empty());
+  ctx.sim_now = 3.0;
+  ds.on_heartbeat(ctx, 0);  // still within the delay window
+  EXPECT_TRUE(ctx.log.empty());
+  ctx.sim_now = 5.0;
+  ds.on_heartbeat(ctx, 0);  // waited long enough: give up on locality
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"R0"}));
+}
+
+TEST(DelayScheduler, LocalAssignmentResetsTimer) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 0, .remote = 2, .total_m = 3});
+  ctx.free_slots = 1;
+  DelayScheduler ds(5.0);
+  ds.on_heartbeat(ctx, 0);  // timer starts at t=0
+  ctx.sim_now = 4.0;
+  ctx.jobs[0].local = 1;    // a local task appears (e.g. another failure)
+  ds.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+  // The reset means remote tasks wait a fresh full delay again.
+  ctx.sim_now = 6.0;
+  ctx.free_slots = 1;
+  ds.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0"}));
+  ctx.sim_now = 11.0;
+  ds.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "R0"}));
+}
+
+TEST(DelayScheduler, DegradedTasksStillLast) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.degraded = 1, .total_m = 1, .total_md = 1});
+  ctx.free_slots = 1;
+  DelayScheduler ds(5.0);
+  ds.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0"}));
+}
+
+// --- fair scheduler (related-work baseline) --------------------------------------------
+
+TEST(FairScheduler, ServesJobWithFewestRunningTasks) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 3, .total_m = 10, .running = 8});
+  ctx.jobs.push_back({.local = 3, .total_m = 10, .running = 1});
+  ctx.free_slots = 2;
+  FairScheduler fair;
+  fair.on_heartbeat(ctx, 0);
+  // Job 1 (fewest running) drains first.
+  EXPECT_EQ(ctx.log[0], "L1");
+}
+
+TEST(FairScheduler, FifoStableAmongTies) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .total_m = 1, .running = 2});
+  ctx.jobs.push_back({.local = 1, .total_m = 1, .running = 2});
+  ctx.free_slots = 2;
+  FairScheduler fair;
+  fair.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "L1"}));
+}
+
+TEST(FairScheduler, DegradedFirstVariantPaces) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 2, .degraded = 1, .total_m = 3, .total_md = 1});
+  ctx.free_slots = 3;
+  FairScheduler fair(true);
+  fair.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"D0", "L0", "L0"}));
+}
+
+TEST(FairScheduler, PlainVariantLeavesDegradedLast) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .degraded = 1, .total_m = 2, .total_md = 1});
+  ctx.free_slots = 2;
+  FairScheduler fair(false);
+  fair.on_heartbeat(ctx, 0);
+  EXPECT_EQ(ctx.log, (std::vector<std::string>{"L0", "D0"}));
+}
+
+// --- factory & naming ------------------------------------------------------------
+
+TEST(SchedulerFactory, MakesAllSchedulers) {
+  EXPECT_EQ(make_scheduler("LF")->name(), "LF");
+  EXPECT_EQ(make_scheduler("BDF")->name(), "BDF");
+  EXPECT_EQ(make_scheduler("EDF")->name(), "EDF");
+  EXPECT_EQ(make_scheduler("DELAY")->name(), "DELAY");
+  EXPECT_EQ(make_scheduler("FAIR")->name(), "FAIR");
+  EXPECT_EQ(make_scheduler("FAIR+DF")->name(), "FAIR+DF");
+  EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(SchedulerNaming, PartialHeuristicNames) {
+  DegradedFirstOptions slave_only;
+  slave_only.locality_preservation = true;
+  slave_only.rack_awareness = false;
+  EXPECT_EQ(DegradedFirstScheduler(slave_only).name(), "DF(+slave)");
+  DegradedFirstOptions rack_only;
+  rack_only.locality_preservation = false;
+  rack_only.rack_awareness = true;
+  EXPECT_EQ(DegradedFirstScheduler(rack_only).name(), "DF(+rack)");
+}
+
+}  // namespace
+}  // namespace dfs::core

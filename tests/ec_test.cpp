@@ -1,0 +1,743 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <cstring>
+#include <tuple>
+
+#include "dfs/ec/cauchy.h"
+#include "dfs/ec/gf65536.h"
+#include "dfs/ec/gf256.h"
+#include "dfs/ec/linear_code.h"
+#include "dfs/ec/lrc.h"
+#include "dfs/ec/matrix.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/ec/registry.h"
+#include "dfs/ec/wide_rs.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::ec {
+namespace {
+
+std::vector<Shard> random_shards(util::Rng& rng, int count, std::size_t len) {
+  std::vector<Shard> shards(static_cast<std::size_t>(count), Shard(len));
+  for (auto& s : shards) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return shards;
+}
+
+/// All shards of a stripe: natives followed by parity.
+std::vector<Shard> full_stripe(const ErasureCode& code,
+                               const std::vector<Shard>& data) {
+  std::vector<Shard> all = data;
+  for (auto& p : code.encode(data)) all.push_back(std::move(p));
+  return all;
+}
+
+// --- gf256 ---------------------------------------------------------------------
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(x, 1), x);
+    EXPECT_EQ(gf256::mul(1, x), x);
+    EXPECT_EQ(gf256::mul(x, 0), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(gf256::mul(gf256::mul(a, b), c),
+              gf256::mul(a, gf256::mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverXor) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(x, gf256::inv(x)), 1) << a;
+    EXPECT_EQ(gf256::div(x, x), 1);
+  }
+}
+
+TEST(Gf256, DivIsMulByInverse) {
+  util::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    EXPECT_EQ(gf256::div(a, b), gf256::mul(a, gf256::inv(b)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 7) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 300; ++e) {
+      EXPECT_EQ(gf256::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, MulAddRegionMatchesScalar) {
+  util::Rng rng(5);
+  Shard dst(333), src(333), expect(333);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    src[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const std::uint8_t c = 0x57;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expect[i] = gf256::add(dst[i], gf256::mul(c, src[i]));
+  }
+  gf256::mul_add_region(dst.data(), src.data(), c, dst.size());
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, ExhaustiveAgainstCarrylessReference) {
+  // Reference: schoolbook polynomial multiplication mod x^8+x^4+x^3+x^2+1.
+  auto ref_mul = [](std::uint8_t a, std::uint8_t b) {
+    unsigned acc = 0;
+    unsigned aa = a;
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((b >> bit) & 1u) acc ^= aa << bit;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if ((acc >> bit) & 1u) acc ^= 0x11Du << (bit - 8);
+    }
+    return static_cast<std::uint8_t>(acc);
+  };
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(gf256::mul(static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)),
+                ref_mul(static_cast<std::uint8_t>(a),
+                        static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+// --- matrix ---------------------------------------------------------------------
+
+TEST(Matrix, IdentityInverse) {
+  const Matrix i = Matrix::identity(6);
+  const auto inv = i.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, i);
+}
+
+TEST(Matrix, InvertRoundTrip) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(5, 5);
+    for (int r = 0; r < 5; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        m.set(r, c, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+    }
+    const auto inv = m.inverted();
+    if (!inv) continue;  // singular random matrix; skip
+    EXPECT_EQ(m.multiply(*inv), Matrix::identity(5));
+    EXPECT_EQ(inv->multiply(m), Matrix::identity(5));
+  }
+}
+
+TEST(Matrix, SingularReturnsNullopt) {
+  Matrix m(3, 3);  // all zeros
+  EXPECT_FALSE(m.inverted().has_value());
+  Matrix dup(2, 2);  // duplicate rows
+  dup.set(0, 0, 7);
+  dup.set(0, 1, 9);
+  dup.set(1, 0, 7);
+  dup.set(1, 1, 9);
+  EXPECT_FALSE(dup.inverted().has_value());
+}
+
+TEST(Matrix, VandermondeSquareInvertible) {
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_TRUE(Matrix::vandermonde(k, k).inverted().has_value()) << k;
+  }
+}
+
+TEST(Matrix, CauchyAllEntriesNonzero) {
+  const Matrix c = Matrix::cauchy(8, 12);
+  for (int r = 0; r < 8; ++r) {
+    for (int col = 0; col < 12; ++col) EXPECT_NE(c.at(r, col), 0);
+  }
+}
+
+TEST(Matrix, RankOfProjection) {
+  Matrix m(3, 4);
+  m.set(0, 0, 1);
+  m.set(1, 1, 2);
+  m.set(2, 0, 1);  // row 2 == row 0
+  EXPECT_EQ(rank(m), 2);
+  EXPECT_EQ(rank(Matrix::identity(4)), 4);
+  EXPECT_EQ(rank(Matrix(3, 3)), 0);
+}
+
+TEST(Matrix, SelectRowsAndAppend) {
+  Matrix m = Matrix::vandermonde(4, 3);
+  const Matrix sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  EXPECT_EQ(sel.at(0, 1), m.at(2, 1));
+  EXPECT_EQ(sel.at(1, 1), m.at(0, 1));
+  Matrix top = Matrix::identity(3);
+  top.append_rows(sel);
+  EXPECT_EQ(top.rows(), 5);
+  EXPECT_EQ(top.at(4, 1), m.at(0, 1));
+}
+
+// --- Reed-Solomon (parameterized over the paper's coding schemes) ------------------
+
+class RsParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsParamTest, EncodeDecodeAllSingleLosses) {
+  const auto [n, k] = GetParam();
+  const ReedSolomonCode code(n, k);
+  util::Rng rng(100);
+  const auto data = random_shards(rng, k, 64);
+  const auto stripe = full_stripe(code, data);
+
+  for (int lost = 0; lost < n; ++lost) {
+    // Degraded read: any k survivors rebuild the lost shard.
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < n && static_cast<int>(present.size()) < k; ++i) {
+      if (i == lost) continue;
+      present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code.reconstruct(present, {lost});
+    ASSERT_TRUE(rebuilt.has_value()) << "lost=" << lost;
+    EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)]);
+  }
+}
+
+TEST_P(RsParamTest, ToleratesAnyNMinusKLossesSampled) {
+  const auto [n, k] = GetParam();
+  const ReedSolomonCode code(n, k);
+  util::Rng rng(200);
+  const auto data = random_shards(rng, k, 40);
+  const auto stripe = full_stripe(code, data);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto lost_idx =
+        rng.sample_indices(static_cast<std::size_t>(n),
+                           static_cast<std::size_t>(n - k));
+    std::vector<bool> is_lost(static_cast<std::size_t>(n), false);
+    std::vector<int> want;
+    for (auto l : lost_idx) {
+      is_lost[l] = true;
+      want.push_back(static_cast<int>(l));
+    }
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < n; ++i) {
+      if (!is_lost[static_cast<std::size_t>(i)]) {
+        present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto rebuilt = code.reconstruct(present, want);
+    ASSERT_TRUE(rebuilt.has_value());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      EXPECT_EQ((*rebuilt)[w],
+                stripe[static_cast<std::size_t>(want[w])]);
+    }
+  }
+}
+
+TEST_P(RsParamTest, PlanReadUsesKSources) {
+  const auto [n, k] = GetParam();
+  const ReedSolomonCode code(n, k);
+  std::vector<int> available;
+  for (int i = 1; i < n; ++i) available.push_back(i);
+  const auto plan = code.plan_read(available, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(static_cast<int>(plan->size()), k);
+  // Honors preference order: the first k available are chosen for MDS codes.
+  for (int i = 0; i < k; ++i) EXPECT_EQ((*plan)[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST_P(RsParamTest, TooFewSurvivorsUndecodable) {
+  const auto [n, k] = GetParam();
+  const ReedSolomonCode code(n, k);
+  util::Rng rng(300);
+  const auto data = random_shards(rng, k, 16);
+  const auto stripe = full_stripe(code, data);
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i = 1; i < k; ++i) {  // only k-1 survivors
+    present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(code.reconstruct(present, {0}).has_value());
+  std::vector<int> avail;
+  for (int i = 1; i < k; ++i) avail.push_back(i);
+  EXPECT_FALSE(code.plan_read(avail, 0).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCodingSchemes, RsParamTest,
+    ::testing::Values(std::make_tuple(4, 2), std::make_tuple(8, 6),
+                      std::make_tuple(12, 9), std::make_tuple(12, 10),
+                      std::make_tuple(16, 12), std::make_tuple(20, 15)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReedSolomon, IsMdsSmallCodes) {
+  EXPECT_TRUE(ReedSolomonCode(4, 2).is_mds());
+  EXPECT_TRUE(ReedSolomonCode(8, 6).is_mds());
+  EXPECT_TRUE(ReedSolomonCode(12, 9).is_mds());
+}
+
+TEST(ReedSolomon, SystematicPrefix) {
+  const ReedSolomonCode code(8, 6);
+  util::Rng rng(7);
+  const auto data = random_shards(rng, 6, 24);
+  // The first k shards of the stripe are the data itself (systematic).
+  const auto stripe = full_stripe(code, data);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(stripe[static_cast<std::size_t>(i)],
+              data[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ReedSolomon, RejectsBadShapes) {
+  EXPECT_THROW(ReedSolomonCode(2, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCode(2, 0), std::invalid_argument);
+  const ReedSolomonCode code(4, 2);
+  util::Rng rng(8);
+  auto data = random_shards(rng, 2, 16);
+  data[1].resize(8);
+  EXPECT_THROW(code.encode(data), std::invalid_argument);
+  EXPECT_THROW(code.encode({}), std::invalid_argument);
+}
+
+TEST(ReedSolomon, CanRegenerateParityShards) {
+  const ReedSolomonCode code(6, 4);
+  util::Rng rng(9);
+  const auto data = random_shards(rng, 4, 32);
+  const auto stripe = full_stripe(code, data);
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i = 0; i < 4; ++i) {
+    present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+  }
+  const auto parity = code.reconstruct(present, {4, 5});
+  ASSERT_TRUE(parity.has_value());
+  EXPECT_EQ((*parity)[0], stripe[4]);
+  EXPECT_EQ((*parity)[1], stripe[5]);
+}
+
+// --- GF(2^16) and wide Reed-Solomon -------------------------------------------------
+
+TEST(Gf65536, InverseRoundTripSampled) {
+  util::Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    EXPECT_EQ(gf65536::mul(a, gf65536::inv(a)), 1);
+  }
+}
+
+TEST(Gf65536, FieldAxiomsSampled) {
+  util::Rng rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    const auto b = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    const auto c = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    EXPECT_EQ(gf65536::mul(a, b), gf65536::mul(b, a));
+    EXPECT_EQ(gf65536::mul(gf65536::mul(a, b), c),
+              gf65536::mul(a, gf65536::mul(b, c)));
+    EXPECT_EQ(gf65536::mul(a, gf65536::add(b, c)),
+              gf65536::add(gf65536::mul(a, b), gf65536::mul(a, c)));
+  }
+}
+
+TEST(Gf65536, GeneratorHasFullOrder) {
+  // alpha = 2 generates the multiplicative group: 2^65535 == 1 and no
+  // smaller power among the factor-of-65535 checkpoints is 1.
+  EXPECT_EQ(gf65536::pow(2, 65535), 1);
+  for (const unsigned d : {3u, 5u, 17u, 257u, 13107u, 21845u, 3855u}) {
+    EXPECT_NE(gf65536::pow(2, 65535 / d), 1) << d;
+  }
+}
+
+TEST(Gf65536, MulAddRegionMatchesScalar) {
+  util::Rng rng(23);
+  Shard dst(128), src(128), expect(128);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    src[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  expect = dst;
+  const std::uint16_t c = 0x1e57;
+  for (std::size_t i = 0; i < src.size(); i += 2) {
+    std::uint16_t s, d;
+    std::memcpy(&s, &src[i], 2);
+    std::memcpy(&d, &expect[i], 2);
+    d = gf65536::add(d, gf65536::mul(c, s));
+    std::memcpy(&expect[i], &d, 2);
+  }
+  gf65536::mul_add_region(dst.data(), src.data(), c, dst.size());
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(WideRs, RoundTripBeyondGf256Limit) {
+  // n = 300 shards is impossible over GF(256); GF(2^16) handles it.
+  const WideReedSolomonCode code(300, 290);
+  util::Rng rng(24);
+  const auto data = random_shards(rng, 290, 16);
+  const auto stripe = full_stripe(code, data);
+  ASSERT_EQ(stripe.size(), 300u);
+  // Lose 10 random shards (the maximum) and rebuild them all.
+  const auto lost_idx = rng.sample_indices(300, 10);
+  std::vector<bool> is_lost(300, false);
+  std::vector<int> want;
+  for (auto l : lost_idx) {
+    is_lost[l] = true;
+    want.push_back(static_cast<int>(l));
+  }
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i = 0; i < 300; ++i) {
+    if (!is_lost[static_cast<std::size_t>(i)]) {
+      present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+  }
+  const auto rebuilt = code.reconstruct(present, want);
+  ASSERT_TRUE(rebuilt.has_value());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ((*rebuilt)[w], stripe[static_cast<std::size_t>(want[w])]);
+  }
+}
+
+TEST(WideRs, RejectsOddShardLength) {
+  const WideReedSolomonCode code(6, 4);
+  util::Rng rng(25);
+  const auto data = random_shards(rng, 4, 15);  // odd length
+  EXPECT_THROW(code.encode(data), std::invalid_argument);
+}
+
+TEST(WideRs, PlanReadUsesKSources) {
+  const WideReedSolomonCode code(40, 32);
+  std::vector<int> available;
+  for (int i = 1; i < 40; ++i) available.push_back(i);
+  const auto plan = code.plan_read(available, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(static_cast<int>(plan->size()), 32);
+}
+
+TEST(WideRs, AgreesWithGf256RsWhereBothApply) {
+  // For n <= 255 both constructions are MDS systematic RS; decodability and
+  // read-cost behaviour must match even though the symbols differ.
+  const WideReedSolomonCode wide(12, 9);
+  const ReedSolomonCode narrow(12, 9);
+  util::Rng rng(26);
+  const auto data = random_shards(rng, 9, 32);
+  const auto ws = full_stripe(wide, data);
+  const auto ns = full_stripe(narrow, data);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(ws[static_cast<std::size_t>(i)], ns[static_cast<std::size_t>(i)]);
+  }
+  // Parity bytes differ (different fields), but both rebuild identically.
+  for (const auto* stripe : {&ws, &ns}) {
+    const ErasureCode& code =
+        stripe == &ws ? static_cast<const ErasureCode&>(wide)
+                      : static_cast<const ErasureCode&>(narrow);
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 3; i < 12; ++i) {
+      present.emplace_back(i, &(*stripe)[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code.reconstruct(present, {0, 1, 2});
+    ASSERT_TRUE(rebuilt.has_value());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ((*rebuilt)[static_cast<std::size_t>(i)],
+                data[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+// --- single parity & replication ---------------------------------------------------
+
+TEST(SingleParity, XorRecoversAnyOne) {
+  const auto code = make_single_parity(5);
+  util::Rng rng(10);
+  const auto data = random_shards(rng, 5, 16);
+  const auto stripe = full_stripe(*code, data);
+  for (int lost = 0; lost < 6; ++lost) {
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < 6; ++i) {
+      if (i != lost) present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code->reconstruct(present, {lost});
+    ASSERT_TRUE(rebuilt.has_value());
+    EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)]);
+  }
+}
+
+TEST(Replication, CopiesAreIdentical) {
+  const auto code = make_replication(3);
+  util::Rng rng(11);
+  const auto data = random_shards(rng, 1, 16);
+  const auto parity = code->encode(data);
+  ASSERT_EQ(parity.size(), 2u);
+  EXPECT_EQ(parity[0], data[0]);
+  EXPECT_EQ(parity[1], data[0]);
+  // Reading a lost copy needs exactly one survivor.
+  const auto plan = code->plan_read({2}, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 1u);
+}
+
+// --- Cauchy Reed-Solomon (bit-matrix XOR path) --------------------------------------
+
+class CrsParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrsParamTest, RoundTripAllSingleLosses) {
+  const auto [n, k] = GetParam();
+  const CauchyReedSolomonCode code(n, k);
+  util::Rng rng(400);
+  const auto data = random_shards(rng, k, 64);  // multiple of 8
+  const auto stripe = full_stripe(code, data);
+  for (int lost = 0; lost < n; ++lost) {
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < n && static_cast<int>(present.size()) < k; ++i) {
+      if (i != lost) present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code.reconstruct(present, {lost});
+    ASSERT_TRUE(rebuilt.has_value()) << lost;
+    EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)]);
+  }
+}
+
+TEST_P(CrsParamTest, MultiLossSampled) {
+  const auto [n, k] = GetParam();
+  const CauchyReedSolomonCode code(n, k);
+  util::Rng rng(500);
+  const auto data = random_shards(rng, k, 32);
+  const auto stripe = full_stripe(code, data);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto lost_idx = rng.sample_indices(static_cast<std::size_t>(n),
+                                             static_cast<std::size_t>(n - k));
+    std::vector<bool> is_lost(static_cast<std::size_t>(n), false);
+    std::vector<int> want;
+    for (auto l : lost_idx) {
+      is_lost[l] = true;
+      want.push_back(static_cast<int>(l));
+    }
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < n; ++i) {
+      if (!is_lost[static_cast<std::size_t>(i)]) {
+        present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto rebuilt = code.reconstruct(present, want);
+    ASSERT_TRUE(rebuilt.has_value());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      EXPECT_EQ((*rebuilt)[w], stripe[static_cast<std::size_t>(want[w])]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CrsParamTest,
+    ::testing::Values(std::make_tuple(4, 2), std::make_tuple(8, 6),
+                      std::make_tuple(12, 10), std::make_tuple(14, 10)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Crs, RequiresAlignedShards) {
+  const CauchyReedSolomonCode code(6, 4);
+  util::Rng rng(12);
+  const auto data = random_shards(rng, 4, 12);  // not a multiple of 8
+  EXPECT_THROW(code.encode(data), std::invalid_argument);
+}
+
+TEST(Crs, PlanReadCostIsK) {
+  const CauchyReedSolomonCode code(12, 10);
+  std::vector<int> available;
+  for (int i = 1; i < 12; ++i) available.push_back(i);
+  const auto plan = code.plan_read(available, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 10u);
+  EXPECT_EQ(code.single_failure_read_cost(), 10);
+}
+
+TEST(Crs, AgreesWithMatrixRsOnDecodability) {
+  // Both are MDS: any k-subset decodes. Spot-check agreement of plan sizes.
+  const CauchyReedSolomonCode crs(10, 6);
+  const ReedSolomonCode rs(10, 6);
+  util::Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto avail = rng.sample_indices(10, 7);
+    std::vector<int> a;
+    for (auto v : avail) a.push_back(static_cast<int>(v));
+    const int lost = [&] {
+      for (int i = 0; i < 10; ++i) {
+        if (std::find(a.begin(), a.end(), i) == a.end()) return i;
+      }
+      return -1;
+    }();
+    const auto p1 = crs.plan_read(a, lost);
+    const auto p2 = rs.plan_read(a, lost);
+    ASSERT_TRUE(p1.has_value());
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p1->size(), p2->size());
+  }
+}
+
+// --- LRC -----------------------------------------------------------------------------
+
+TEST(Lrc, SingleDataLossUsesLocalGroup) {
+  // LRC(12, 2, 2): groups {0..5}, {6..11}; locals 12, 13; globals 14, 15.
+  const LocalReconstructionCode code(12, 2, 2);
+  EXPECT_EQ(code.n(), 16);
+  EXPECT_EQ(code.single_failure_read_cost(), 6);
+  std::vector<int> available;
+  for (int i = 0; i < 16; ++i) {
+    if (i != 3) available.push_back(i);
+  }
+  const auto plan = code.plan_read(available, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 6u);  // 5 group members + local parity
+  for (int src : *plan) {
+    EXPECT_TRUE((src >= 0 && src < 6) || src == 12) << src;
+  }
+}
+
+TEST(Lrc, LocalParityLossUsesGroupData) {
+  const LocalReconstructionCode code(12, 2, 2);
+  std::vector<int> available;
+  for (int i = 0; i < 16; ++i) {
+    if (i != 13) available.push_back(i);
+  }
+  const auto plan = code.plan_read(available, 13);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 6u);
+  for (int src : *plan) {
+    EXPECT_GE(src, 6);
+    EXPECT_LT(src, 12);
+  }
+}
+
+TEST(Lrc, FallsBackToGlobalDecodeWhenGroupBroken) {
+  const LocalReconstructionCode code(12, 2, 2);
+  // Lose shard 3 AND its local parity 12: the local repair path is gone.
+  std::vector<int> available;
+  for (int i = 0; i < 16; ++i) {
+    if (i != 3 && i != 12) available.push_back(i);
+  }
+  const auto plan = code.plan_read(available, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(plan->size(), 6u);
+}
+
+TEST(Lrc, ReconstructsRealBytesLocally) {
+  const LocalReconstructionCode code(8, 2, 2);
+  util::Rng rng(14);
+  const auto data = random_shards(rng, 8, 48);
+  const auto stripe = full_stripe(code, data);
+  // Lose data shard 1; rebuild from its group (0..3) + local parity 8.
+  std::vector<std::pair<int, const Shard*>> present;
+  for (int i : {0, 2, 3, 8}) {
+    present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+  }
+  const auto rebuilt = code.reconstruct(present, {1});
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->front(), stripe[1]);
+}
+
+TEST(Lrc, SurvivesUpToGlobalParityLosses) {
+  const LocalReconstructionCode code(8, 2, 2);
+  util::Rng rng(15);
+  const auto data = random_shards(rng, 8, 32);
+  const auto stripe = full_stripe(code, data);
+  // Lose one data shard per group plus one global: 3 losses, decodable via
+  // locals + remaining global.
+  std::vector<std::pair<int, const Shard*>> present;
+  std::vector<int> want = {0, 4, 10};
+  for (int i = 0; i < 12; ++i) {
+    if (std::find(want.begin(), want.end(), i) == want.end()) {
+      present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+  }
+  const auto rebuilt = code.reconstruct(present, want);
+  ASSERT_TRUE(rebuilt.has_value());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ((*rebuilt)[w], stripe[static_cast<std::size_t>(want[w])]);
+  }
+}
+
+TEST(Lrc, RejectsBadParameters) {
+  EXPECT_THROW(LocalReconstructionCode(12, 5, 2), std::invalid_argument);
+  EXPECT_THROW(LocalReconstructionCode(12, 0, 2), std::invalid_argument);
+}
+
+// --- code spec registry -----------------------------------------------------------
+
+TEST(Registry, ParsesEveryFamily) {
+  EXPECT_EQ(make_code_from_spec("rs:20,15")->name(), "RS(20,15)");
+  EXPECT_EQ(make_code_from_spec("rs16:300,290")->name(), "RS16(300,290)");
+  EXPECT_EQ(make_code_from_spec("crs:12,10")->name(), "CRS(12,10)");
+  EXPECT_EQ(make_code_from_spec("lrc:12,2,2")->name(), "LRC(k=12,l=2,r=2)");
+  EXPECT_EQ(make_code_from_spec("xor:5")->name(), "XOR(6,5)");
+  EXPECT_EQ(make_code_from_spec("rep:3")->name(), "REP(3)");
+}
+
+TEST(Registry, MalformedSpecsReturnNull) {
+  EXPECT_EQ(make_code_from_spec(""), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs:12"), nullptr);
+  EXPECT_EQ(make_code_from_spec("lrc:12,2"), nullptr);
+  EXPECT_EQ(make_code_from_spec("nope:1,2"), nullptr);
+}
+
+TEST(Registry, InvalidParametersThrow) {
+  EXPECT_THROW(make_code_from_spec("rs:2,5"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("lrc:12,5,2"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("rep:1"), std::invalid_argument);
+}
+
+TEST(Registry, ProducedCodesRoundTrip) {
+  util::Rng rng(33);
+  for (const char* spec : {"rs:6,4", "crs:6,4", "lrc:4,2,1", "xor:4"}) {
+    const auto code = make_code_from_spec(spec);
+    ASSERT_NE(code, nullptr) << spec;
+    const auto data = random_shards(rng, code->k(), 32);
+    const auto stripe = full_stripe(*code, data);
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 1; i < code->n(); ++i) {
+      present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code->reconstruct(present, {0});
+    ASSERT_TRUE(rebuilt.has_value()) << spec;
+    EXPECT_EQ(rebuilt->front(), stripe[0]) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace dfs::ec

@@ -1,0 +1,170 @@
+// Property-style invariant sweep: every scheduler x failure-pattern x
+// storage-scheme combination must satisfy the execution invariants of the
+// MapReduce model. Parameterized gtest generates the full cross product.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/ec/lrc.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+
+namespace dfs::mapreduce {
+namespace {
+
+enum class StorageScheme { kRs86, kLrc, kReplication };
+
+const char* to_string(StorageScheme s) {
+  switch (s) {
+    case StorageScheme::kRs86:
+      return "rs86";
+    case StorageScheme::kLrc:
+      return "lrc";
+    case StorageScheme::kReplication:
+      return "rep3";
+  }
+  return "?";
+}
+
+using Param = std::tuple<std::string, std::string, StorageScheme>;
+
+class InvariantTest : public ::testing::TestWithParam<Param> {
+ protected:
+  struct Setup {
+    ClusterConfig cfg;
+    JobInput job;
+    storage::FailureScenario failure;
+  };
+
+  Setup make_setup() const {
+    const auto& [sched_name, failure_name, scheme] = GetParam();
+    (void)sched_name;
+    Setup s;
+    s.cfg.topology = net::Topology(4, 5);
+    s.cfg.links.rack_up = 1000.0;
+    s.cfg.links.rack_down = 1000.0;
+    s.cfg.map_slots_per_node = 2;
+    s.cfg.block_size = 1000.0;
+    s.cfg.heartbeat_interval = 1.0;
+
+    util::Rng rng(17);
+    s.job.spec.map_time = {5.0, 0.5};
+    s.job.spec.reduce_time = {4.0, 0.4};
+    s.job.spec.num_reducers = 5;
+    s.job.spec.shuffle_ratio = 0.02;
+    switch (scheme) {
+      case StorageScheme::kRs86:
+        s.job.layout = std::make_shared<storage::StorageLayout>(
+            storage::random_rack_constrained_layout(120, 8, 6, s.cfg.topology,
+                                                    rng));
+        s.job.code = ec::make_reed_solomon(8, 6);
+        break;
+      case StorageScheme::kLrc:
+        // LRC(6,2,2): n = 10, n-k = 4 per rack allowed.
+        s.job.layout = std::make_shared<storage::StorageLayout>(
+            storage::random_rack_constrained_layout(120, 10, 6, s.cfg.topology,
+                                                    rng));
+        s.job.code = ec::make_lrc(6, 2, 2);
+        break;
+      case StorageScheme::kReplication:
+        s.job.layout = std::make_shared<storage::StorageLayout>(
+            storage::replicated_layout(120, 3, s.cfg.topology, rng));
+        s.job.code = ec::make_replication(3);
+        break;
+    }
+
+    util::Rng frng(23);
+    if (failure_name == "none") {
+      s.failure = storage::no_failure();
+    } else if (failure_name == "node") {
+      s.failure = storage::single_node_failure(s.cfg.topology, frng);
+    } else if (failure_name == "2node") {
+      s.failure = storage::double_node_failure(s.cfg.topology, frng);
+    } else {
+      s.failure = storage::rack_failure(s.cfg.topology, frng);
+    }
+    return s;
+  }
+};
+
+TEST_P(InvariantTest, ExecutionInvariantsHold) {
+  const auto& [sched_name, failure_name, scheme] = GetParam();
+  const Setup s = make_setup();
+  // LRC(6,2,2) stripes can lose at most 2 arbitrary blocks in general;
+  // whole-rack failures may exceed that, so data loss is permitted there.
+  const bool loss_allowed =
+      scheme == StorageScheme::kLrc && failure_name == "rack";
+
+  const auto scheduler = core::make_scheduler(sched_name);
+  const RunResult r = simulate(s.cfg, {s.job}, s.failure, *scheduler, 3);
+
+  // Every map task ran exactly once, each block exactly once.
+  EXPECT_EQ(r.map_tasks.size(), 120u);
+  std::set<std::pair<int, int>> blocks;
+  for (const auto& t : r.map_tasks) {
+    EXPECT_TRUE(blocks.insert({t.block.stripe, t.block.index}).second);
+  }
+  // Reduce tasks all ran.
+  EXPECT_EQ(r.reduce_tasks.size(), 5u);
+
+  // Timestamps are ordered and nothing ran on a failed node.
+  for (const auto& t : r.map_tasks) {
+    EXPECT_GE(t.fetch_done_time, t.assign_time);
+    EXPECT_GE(t.finish_time, t.fetch_done_time);
+    EXPECT_FALSE(s.failure.is_failed(t.exec_node));
+    if (t.kind == MapTaskKind::kDegraded && !t.unrecoverable) {
+      for (const auto& src : t.sources) {
+        EXPECT_FALSE(s.failure.is_failed(src.node));
+      }
+    }
+  }
+  for (const auto& t : r.reduce_tasks) {
+    EXPECT_FALSE(s.failure.is_failed(t.exec_node));
+    EXPECT_GT(t.finish_time, t.assign_time);
+  }
+
+  // Job accounting is conserved.
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const auto& m = r.jobs[0];
+  EXPECT_EQ(m.local_tasks + m.remote_tasks + m.degraded_tasks, 120);
+  EXPECT_GE(m.map_phase_end, m.first_map_launch);
+  EXPECT_GE(m.finish_time, m.map_phase_end);
+
+  if (!loss_allowed) {
+    EXPECT_FALSE(r.data_loss)
+        << sched_name << "/" << failure_name << "/" << to_string(scheme);
+  }
+
+  // Replication never needs degraded reads for node/rack failures under the
+  // HDFS placement rule.
+  if (scheme == StorageScheme::kReplication && failure_name != "2node") {
+    EXPECT_EQ(r.count_map_tasks(MapTaskKind::kDegraded), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, InvariantTest,
+    ::testing::Combine(::testing::Values("LF", "BDF", "EDF", "DELAY", "FAIR+DF"),
+                       ::testing::Values("none", "node", "2node", "rack"),
+                       ::testing::Values(StorageScheme::kRs86,
+                                         StorageScheme::kLrc,
+                                         StorageScheme::kReplication)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dfs::mapreduce

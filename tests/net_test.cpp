@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dfs/net/network.h"
+#include "dfs/net/topology.h"
+#include "dfs/net/utilization.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/util/rng.h"
+
+namespace dfs::net {
+namespace {
+
+// --- topology ----------------------------------------------------------------
+
+TEST(Topology, UniformRacks) {
+  const Topology t(4, 10);
+  EXPECT_EQ(t.num_nodes(), 40);
+  EXPECT_EQ(t.num_racks(), 4);
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(9), 0);
+  EXPECT_EQ(t.rack_of(10), 1);
+  EXPECT_EQ(t.rack_of(39), 3);
+  EXPECT_TRUE(t.same_rack(11, 19));
+  EXPECT_FALSE(t.same_rack(9, 10));
+}
+
+TEST(Topology, UnevenRacks) {
+  // The motivating example's cluster: rack 0 has 3 nodes, rack 1 has 2.
+  const Topology t(std::vector<int>{3, 2});
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_racks(), 2);
+  EXPECT_EQ(t.rack_of(2), 0);
+  EXPECT_EQ(t.rack_of(3), 1);
+  EXPECT_EQ(t.nodes_in_rack(1), (std::vector<NodeId>{3, 4}));
+}
+
+// --- network helpers -----------------------------------------------------------
+
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo{2, 2};  // nodes 0,1 in rack 0; nodes 2,3 in rack 1
+  LinkConfig links;
+
+  Fixture() {
+    links.node_up = util::kUnlimitedBandwidth;
+    links.node_down = util::kUnlimitedBandwidth;
+    links.rack_up = 100.0;    // bytes/sec — small numbers for easy math
+    links.rack_down = 100.0;
+  }
+};
+
+TEST(Network, IsolatedTransferTimeCrossRack) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  EXPECT_DOUBLE_EQ(net.isolated_transfer_time(0, 2, 1000.0), 10.0);
+}
+
+TEST(Network, IsolatedTransferTimeIntraRackUncontended) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  // Node links unlimited: intra-rack transfers cost no simulated time.
+  EXPECT_DOUBLE_EQ(net.isolated_transfer_time(0, 1, 1000.0), 0.0);
+}
+
+TEST(Network, IsolatedTimeUsesBottleneck) {
+  Fixture f;
+  f.links.node_down = 50.0;  // slower than the rack links
+  Network net(f.sim, f.topo, f.links);
+  EXPECT_DOUBLE_EQ(net.isolated_transfer_time(0, 2, 1000.0), 20.0);
+}
+
+TEST(Network, SingleTransferCompletesAtIsolatedTime) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  double done = -1.0;
+  net.transfer(0, 2, 1000.0, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(done, 10.0);
+  EXPECT_EQ(net.flows_completed(), 1u);
+  EXPECT_DOUBLE_EQ(net.bytes_delivered(), 1000.0);
+}
+
+TEST(Network, FairShareTwoFlowsSameRackDownlinkDouble) {
+  // The paper's motivating contention: two degraded reads into one rack
+  // double the download time (10 s -> 20 s).
+  Fixture f;
+  Network net(f.sim, f.topo, f.links, ContentionModel::kMaxMinFairShare);
+  std::vector<double> done;
+  net.transfer(0, 2, 1000.0, [&] { done.push_back(f.sim.now()); });
+  net.transfer(1, 3, 1000.0, [&] { done.push_back(f.sim.now()); });
+  f.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 20.0, 1e-6);
+  EXPECT_NEAR(done[1], 20.0, 1e-6);
+}
+
+TEST(Network, ExclusiveFifoSerializes) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links, ContentionModel::kExclusiveFifo);
+  std::vector<double> done;
+  net.transfer(0, 2, 1000.0, [&] { done.push_back(f.sim.now()); });
+  net.transfer(1, 3, 1000.0, [&] { done.push_back(f.sim.now()); });
+  f.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 10.0, 1e-6);
+  EXPECT_NEAR(done[1], 20.0, 1e-6);
+}
+
+TEST(Network, FairShareLateArrival) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  double done_a = -1, done_b = -1;
+  net.transfer(0, 2, 1000.0, [&] { done_a = f.sim.now(); });
+  f.sim.schedule_in(5.0, [&] {
+    net.transfer(1, 3, 1000.0, [&] { done_b = f.sim.now(); });
+  });
+  f.sim.run();
+  // A alone 0-5 (500 B done), shared 5-15 (remaining 500 at 50 B/s),
+  // then B alone 15-20.
+  EXPECT_NEAR(done_a, 15.0, 1e-6);
+  EXPECT_NEAR(done_b, 20.0, 1e-6);
+}
+
+TEST(Network, OppositeDirectionsDoNotContend) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  std::vector<double> done;
+  net.transfer(0, 2, 1000.0, [&] { done.push_back(f.sim.now()); });
+  net.transfer(2, 0, 1000.0, [&] { done.push_back(f.sim.now()); });
+  f.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 10.0, 1e-6);
+  EXPECT_NEAR(done[1], 10.0, 1e-6);
+}
+
+TEST(Network, SameNodeTransferInstant) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  double done = -1;
+  net.transfer(1, 1, 12345.0, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_DOUBLE_EQ(net.bytes_delivered(), 12345.0);
+}
+
+TEST(Network, ZeroByteTransferCompletes) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  bool done = false;
+  net.transfer(0, 2, 0.0, [&] { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Network, CompletionCallbackCanStartNewFlow) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  double second_done = -1;
+  net.transfer(0, 2, 1000.0, [&] {
+    net.transfer(0, 2, 1000.0, [&] { second_done = f.sim.now(); });
+  });
+  f.sim.run();
+  EXPECT_NEAR(second_done, 20.0, 1e-6);
+}
+
+TEST(Network, NodeLinkContentionAtDestination) {
+  // k source blocks converging on one reader saturate its node downlink.
+  Fixture f;
+  f.links.node_down = 100.0;
+  Network net(f.sim, f.topo, f.links);
+  int finished = 0;
+  double last = 0.0;
+  // Two intra-rack transfers into node 1: share node 1's downlink.
+  net.transfer(0, 1, 1000.0, [&] { ++finished; last = f.sim.now(); });
+  f.sim.schedule_in(0.0, [&] {
+    net.transfer(0, 1, 1000.0, [&] { ++finished; last = f.sim.now(); });
+  });
+  f.sim.run();
+  EXPECT_EQ(finished, 2);
+  EXPECT_NEAR(last, 20.0, 1e-6);
+}
+
+TEST(Network, ManyFlowsConservation) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    net.transfer(i % 2, 2 + (i % 2), 100.0, [&] { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 50);
+  EXPECT_DOUBLE_EQ(net.bytes_delivered(), 5000.0);
+  // 5000 bytes through a 100 B/s rack downlink: exactly 50 s busy.
+  EXPECT_NEAR(net.rack_down_busy_time(1), 50.0, 1e-6);
+}
+
+TEST(Network, FifoSkipsBlockedAndRunsDisjoint) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links, ContentionModel::kExclusiveFifo);
+  std::vector<int> order;
+  net.transfer(0, 2, 1000.0, [&] { order.push_back(0); });  // rack0->rack1
+  net.transfer(1, 3, 1000.0, [&] { order.push_back(1); });  // blocked (same links)
+  net.transfer(2, 0, 1000.0, [&] { order.push_back(2); });  // reverse: disjoint
+  f.sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  // Flow 2 uses the opposite-direction links and runs concurrently with 0.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(Network, FairShareRatesRespectEveryLink) {
+  // Three flows into rack 1: two from rack 0 (share rack0 uplink AND rack1
+  // downlink) plus one intra-rack... with node links enabled.
+  Fixture f;
+  f.links.node_up = 100.0;
+  f.links.node_down = 100.0;
+  Network net(f.sim, f.topo, f.links);
+  std::vector<double> done(3, -1);
+  net.transfer(0, 2, 1000.0, [&] { done[0] = f.sim.now(); });
+  net.transfer(1, 2, 1000.0, [&] { done[1] = f.sim.now(); });
+  net.transfer(3, 2, 1000.0, [&] { done[2] = f.sim.now(); });
+  f.sim.run();
+  // Node 2's downlink (100 B/s) carries all 3000 bytes: last finishes at 30.
+  const double latest = std::max({done[0], done[1], done[2]});
+  EXPECT_NEAR(latest, 30.0, 1e-6);
+}
+
+// --- utilization sampler --------------------------------------------------------------
+
+TEST(Utilization, MeasuresBusyFraction) {
+  sim::Simulator sim;
+  const Topology topo(2, 2);
+  LinkConfig links;
+  links.rack_up = 100.0;
+  links.rack_down = 100.0;
+  Network net(sim, topo, links);
+  // One 1000-byte flow into rack 1: its downlink is busy for 10 s.
+  net.transfer(0, 2, 1000.0, [] {});
+  bool keep = true;
+  UtilizationSampler sampler(sim, net, 5.0, [&keep] { return keep; });
+  sampler.start();
+  sim.schedule_at(40.0, [&keep] { keep = false; });
+  sim.run();
+  ASSERT_GE(sampler.samples().size(), 8u);
+  // First two intervals: rack 1's downlink busy -> mean over 2 racks = 0.5.
+  EXPECT_NEAR(sampler.samples()[0].utilization, 0.5, 1e-9);
+  EXPECT_NEAR(sampler.samples()[1].utilization, 0.5, 1e-9);
+  // After t=10 the network is idle.
+  EXPECT_NEAR(sampler.samples()[3].utilization, 0.0, 1e-9);
+  EXPECT_NEAR(sampler.mean_utilization(0.0, 10.0), 0.5, 1e-9);
+  EXPECT_NEAR(sampler.mean_utilization(10.0, 40.0), 0.0, 1e-9);
+}
+
+TEST(Utilization, StopsWhenPredicateFalse) {
+  sim::Simulator sim;
+  const Topology topo(2, 2);
+  Network net(sim, topo, LinkConfig{});
+  int allowed = 3;
+  UtilizationSampler sampler(sim, net, 1.0, [&allowed] { return --allowed > 0; });
+  sampler.start();
+  sim.run();
+  EXPECT_EQ(sampler.samples().size(), 3u);
+}
+
+// --- property sweep over both contention models -------------------------------------
+
+class ContentionParamTest
+    : public ::testing::TestWithParam<ContentionModel> {};
+
+TEST_P(ContentionParamTest, RandomFlowsConserveBytesAndRespectPhysics) {
+  sim::Simulator sim;
+  const Topology topo(3, 4);
+  LinkConfig links;
+  links.node_up = 500.0;
+  links.node_down = 500.0;
+  links.rack_up = 1000.0;
+  links.rack_down = 1000.0;
+  Network net(sim, topo, links, GetParam());
+
+  struct Probe {
+    double start = 0, end = -1, size = 0;
+    NodeId src = 0, dst = 0;
+  };
+  std::vector<Probe> probes(200);
+  util::Rng rng(77);
+  double total = 0;
+  for (auto& p : probes) {
+    p.src = rng.uniform_int(0, 11);
+    p.dst = rng.uniform_int(0, 11);
+    p.size = rng.uniform(100.0, 5000.0);
+    p.start = rng.uniform(0.0, 50.0);
+    total += p.size;
+    sim.schedule_at(p.start, [&net, &sim, &p] {
+      net.transfer(p.src, p.dst, p.size, [&sim, &p] { p.end = sim.now(); });
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(net.flows_completed(), 200u);
+  EXPECT_NEAR(net.bytes_delivered(), total, 1e-6);
+  for (const auto& p : probes) {
+    ASSERT_GE(p.end, 0.0) << "flow never completed";
+    // No flow can beat the uncontended bottleneck transfer time.
+    const double isolated = net.isolated_transfer_time(p.src, p.dst, p.size);
+    EXPECT_GE(p.end - p.start, isolated - 1e-6);
+  }
+  EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+TEST_P(ContentionParamTest, SequentialEqualsIsolated) {
+  // Back-to-back transfers on an otherwise idle network complete at the sum
+  // of their isolated times under either discipline.
+  sim::Simulator sim;
+  const Topology topo(2, 2);
+  LinkConfig links;
+  links.rack_up = 100.0;
+  links.rack_down = 100.0;
+  Network net(sim, topo, links, GetParam());
+  double done = -1;
+  net.transfer(0, 2, 500.0, [&] {
+    net.transfer(0, 2, 500.0, [&] { done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(done, 10.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, ContentionParamTest,
+                         ::testing::Values(ContentionModel::kMaxMinFairShare,
+                                           ContentionModel::kExclusiveFifo),
+                         [](const auto& info) {
+                           return info.param ==
+                                          ContentionModel::kMaxMinFairShare
+                                      ? "FairShare"
+                                      : "ExclusiveFifo";
+                         });
+
+}  // namespace
+}  // namespace dfs::net

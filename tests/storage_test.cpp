@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dfs/ec/lrc.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/ec/registry.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+
+namespace dfs::storage {
+namespace {
+
+// --- layout -------------------------------------------------------------------
+
+TEST(Layout, NativeBlockIndexing) {
+  const StorageLayout l = round_robin_layout(20, 4, 2, 8);
+  EXPECT_EQ(l.num_stripes(), 10);
+  EXPECT_EQ(l.num_native_blocks(), 20);
+  EXPECT_EQ(l.native_block(0), (BlockId{0, 0}));
+  EXPECT_EQ(l.native_block(1), (BlockId{0, 1}));
+  EXPECT_EQ(l.native_block(2), (BlockId{1, 0}));
+  EXPECT_EQ(l.native_block(19), (BlockId{9, 1}));
+}
+
+TEST(Layout, RoundRobinPlacesEvenly) {
+  // §VI testbed: 240 native blocks, (12,10), 12 nodes -> 20 native/slave.
+  const StorageLayout l = round_robin_layout(240, 12, 10, 12);
+  const auto load = l.node_load(12);
+  // 24 stripes * 12 blocks / 12 nodes = 24 blocks per node in total.
+  for (int n = 0; n < 12; ++n) EXPECT_EQ(load[static_cast<std::size_t>(n)], 24);
+  int native_on_node0 = 0;
+  for (const BlockId b : l.blocks_on_node(0)) {
+    if (b.index < 10) ++native_on_node0;
+  }
+  EXPECT_EQ(native_on_node0, 20);
+}
+
+TEST(Layout, RoundRobinDistinctNodesPerStripe) {
+  const StorageLayout l = round_robin_layout(100, 10, 5, 15);
+  for (int s = 0; s < l.num_stripes(); ++s) {
+    std::set<NodeId> nodes;
+    for (int b = 0; b < l.n(); ++b) nodes.insert(l.node_of(BlockId{s, b}));
+    EXPECT_EQ(nodes.size(), 10u);
+  }
+}
+
+TEST(Layout, RejectsIndivisibleBlockCount) {
+  EXPECT_THROW(round_robin_layout(21, 4, 2, 8), std::invalid_argument);
+}
+
+TEST(Layout, RandomRackConstrainedSatisfiesRule) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(42);
+  const StorageLayout l =
+      random_rack_constrained_layout(1440, 20, 15, topo, rng);
+  EXPECT_TRUE(l.satisfies_placement_rule(topo, 5));
+}
+
+TEST(Layout, RandomRackConstrainedBalanced) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(43);
+  const StorageLayout l =
+      random_rack_constrained_layout(720, 16, 12, topo, rng);
+  const auto load = l.node_load(40);
+  // 60 stripes * 16 blocks = 960 blocks over 40 nodes: 24 each, exactly,
+  // because the greedy chooses least-loaded first.
+  const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+  EXPECT_GE(*mn, 23);
+  EXPECT_LE(*mx, 25);
+}
+
+TEST(Layout, RandomRackConstrainedInfeasibleThrows) {
+  // A single-rack cluster can hold at most n-k=2 blocks of any stripe.
+  const net::Topology topo(1, 10);
+  util::Rng rng(1);
+  EXPECT_THROW(random_rack_constrained_layout(4, 4, 2, topo, rng),
+               std::invalid_argument);
+}
+
+TEST(Layout, MotivatingExampleTopologyFeasible) {
+  // §III example: 5 nodes in racks of 3+2, (4,2): <= 2 blocks per rack.
+  const net::Topology topo(std::vector<int>{3, 2});
+  util::Rng rng(7);
+  const StorageLayout l = random_rack_constrained_layout(12, 4, 2, topo, rng);
+  EXPECT_TRUE(l.satisfies_placement_rule(topo, 2));
+}
+
+TEST(Layout, PlacementRuleDetectsViolations) {
+  // Two blocks of a stripe on one node.
+  StorageLayout bad(4, 2, {{0, 0, 1, 2}});
+  const net::Topology topo(2, 2);
+  EXPECT_FALSE(bad.satisfies_placement_rule(topo, 2));
+  // Three blocks of a stripe in rack 0 (> n-k = 2).
+  StorageLayout bad2(4, 2, {{0, 1, 2, 3}});
+  const net::Topology topo2(std::vector<int>{3, 2});
+  EXPECT_FALSE(bad2.satisfies_placement_rule(topo2, 2));
+}
+
+TEST(Layout, ReplicatedPlacementRules) {
+  const net::Topology topo(3, 4);
+  util::Rng rng(11);
+  const StorageLayout l = replicated_layout(200, 3, topo, rng);
+  EXPECT_EQ(l.k(), 1);
+  EXPECT_EQ(l.n(), 3);
+  EXPECT_EQ(l.num_stripes(), 200);
+  for (int b = 0; b < 200; ++b) {
+    const NodeId first = l.node_of(BlockId{b, 0});
+    const NodeId second = l.node_of(BlockId{b, 1});
+    const NodeId third = l.node_of(BlockId{b, 2});
+    // Copies 2 and 3 share one rack, different from copy 1's rack.
+    EXPECT_NE(topo.rack_of(first), topo.rack_of(second));
+    EXPECT_EQ(topo.rack_of(second), topo.rack_of(third));
+    EXPECT_NE(second, third);
+  }
+  // Survives any double-node failure and any single-rack failure.
+  EXPECT_TRUE(l.satisfies_placement_rule(topo, 2));
+}
+
+TEST(Layout, ReplicatedRejectsBadTopologies) {
+  util::Rng rng(1);
+  EXPECT_THROW(replicated_layout(10, 3, net::Topology(1, 10), rng),
+               std::invalid_argument);
+  EXPECT_THROW(replicated_layout(10, 4, net::Topology(4, 2), rng),
+               std::invalid_argument);
+  EXPECT_THROW(replicated_layout(10, 1, net::Topology(2, 4), rng),
+               std::invalid_argument);
+}
+
+// --- failure ------------------------------------------------------------------
+
+TEST(Failure, SingleNode) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const FailureScenario f = single_node_failure(topo, rng);
+    EXPECT_EQ(f.failed_nodes().size(), 1u);
+    EXPECT_TRUE(f.any());
+    EXPECT_TRUE(f.is_failed(f.failed_nodes()[0]));
+  }
+}
+
+TEST(Failure, DoubleNodeDistinct) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const FailureScenario f = double_node_failure(topo, rng);
+    ASSERT_EQ(f.failed_nodes().size(), 2u);
+    EXPECT_NE(f.failed_nodes()[0], f.failed_nodes()[1]);
+  }
+}
+
+TEST(Failure, RackFailureKillsWholeRack) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(3);
+  const FailureScenario f = rack_failure(topo, rng);
+  ASSERT_EQ(f.failed_nodes().size(), 10u);
+  const net::RackId r = topo.rack_of(f.failed_nodes()[0]);
+  for (const NodeId n : f.failed_nodes()) EXPECT_EQ(topo.rack_of(n), r);
+}
+
+TEST(Failure, NoFailureIsEmpty) {
+  const FailureScenario f = no_failure();
+  EXPECT_FALSE(f.any());
+  EXPECT_FALSE(f.is_failed(0));
+}
+
+TEST(Failure, DeduplicatesNodes) {
+  const FailureScenario f(std::vector<NodeId>{3, 1, 3});
+  EXPECT_EQ(f.failed_nodes().size(), 2u);
+  EXPECT_TRUE(f.is_failed(1));
+  EXPECT_TRUE(f.is_failed(3));
+  EXPECT_FALSE(f.is_failed(2));
+}
+
+TEST(Failure, ExclusionRespected) {
+  const net::Topology topo(2, 3);
+  util::Rng rng(4);
+  const std::vector<NodeId> exclude = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 20; ++i) {
+    const FailureScenario f =
+        single_node_failure_excluding(topo, rng, exclude);
+    EXPECT_EQ(f.failed_nodes()[0], 5);
+  }
+}
+
+// --- degraded read planning ------------------------------------------------------
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : topo_(4, 10),
+        rng_(99),
+        layout_(random_rack_constrained_layout(720, 16, 12, topo_, rng_)),
+        code_(16, 12) {}
+
+  net::Topology topo_;
+  util::Rng rng_;
+  StorageLayout layout_;
+  ec::ReedSolomonCode code_;
+};
+
+TEST_F(PlannerTest, PlansKSurvivingSources) {
+  const DegradedReadPlanner planner(layout_, topo_, code_,
+                                    SourceSelection::kRandom);
+  const FailureScenario failure({0});
+  for (const BlockId b : layout_.blocks_on_node(0)) {
+    if (b.index >= layout_.k()) continue;
+    const auto plan = planner.plan(b, 5, failure, rng_);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->size(), 12u);
+    for (const auto& src : *plan) {
+      EXPECT_EQ(src.block.stripe, b.stripe);
+      EXPECT_NE(src.block.index, b.index);
+      EXPECT_NE(src.node, 0);  // never reads from the failed node
+      EXPECT_EQ(src.node, layout_.node_of(src.block));
+    }
+  }
+}
+
+TEST_F(PlannerTest, RandomSelectionVariesSources) {
+  const DegradedReadPlanner planner(layout_, topo_, code_,
+                                    SourceSelection::kRandom);
+  const FailureScenario failure({0});
+  BlockId lost{-1, -1};
+  for (const BlockId b : layout_.blocks_on_node(0)) {
+    if (b.index < layout_.k()) {
+      lost = b;
+      break;
+    }
+  }
+  ASSERT_GE(lost.stripe, 0);
+  std::set<std::vector<int>> distinct;
+  for (int i = 0; i < 20; ++i) {
+    const auto plan = planner.plan(lost, 5, failure, rng_);
+    ASSERT_TRUE(plan.has_value());
+    std::vector<int> ids;
+    for (const auto& s : *plan) ids.push_back(s.block.index);
+    std::sort(ids.begin(), ids.end());
+    distinct.insert(ids);
+  }
+  // Choosing 12 of 15 survivors at random should produce several distinct picks.
+  EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST_F(PlannerTest, PreferSameRackMaximizesLocalSources) {
+  const DegradedReadPlanner random_planner(layout_, topo_, code_,
+                                           SourceSelection::kRandom);
+  const DegradedReadPlanner local_planner(layout_, topo_, code_,
+                                          SourceSelection::kPreferSameRack);
+  const FailureScenario failure({0});
+  const NodeId reader = 5;
+  int local_src_pref = 0;
+  int local_src_rand = 0;
+  for (const BlockId b : layout_.blocks_on_node(0)) {
+    if (b.index >= layout_.k()) continue;
+    const auto p1 = local_planner.plan(b, reader, failure, rng_);
+    const auto p2 = random_planner.plan(b, reader, failure, rng_);
+    ASSERT_TRUE(p1 && p2);
+    for (const auto& s : *p1) {
+      if (topo_.same_rack(s.node, reader)) ++local_src_pref;
+    }
+    for (const auto& s : *p2) {
+      if (topo_.same_rack(s.node, reader)) ++local_src_rand;
+    }
+  }
+  EXPECT_GT(local_src_pref, local_src_rand);
+}
+
+TEST_F(PlannerTest, UnrecoverableStripeReturnsNullopt) {
+  // Kill the nodes holding the first n-k+1 blocks of stripe 0.
+  std::vector<NodeId> failed;
+  for (int b = 0; b <= layout_.n() - layout_.k(); ++b) {
+    failed.push_back(layout_.node_of(BlockId{0, b}));
+  }
+  const FailureScenario failure(failed);
+  const DegradedReadPlanner planner(layout_, topo_, code_,
+                                    SourceSelection::kRandom);
+  BlockId lost{-1, -1};
+  for (int b = 0; b < layout_.k(); ++b) {
+    if (failure.is_failed(layout_.node_of(BlockId{0, b}))) {
+      lost = BlockId{0, b};
+      break;
+    }
+  }
+  ASSERT_GE(lost.stripe, 0);
+  NodeId reader = 0;
+  while (failure.is_failed(reader)) ++reader;
+  EXPECT_FALSE(planner.plan(lost, reader, failure, rng_).has_value());
+}
+
+TEST_F(PlannerTest, ExpectedCrossRackBlocksMatchesFormula) {
+  const DegradedReadPlanner planner(layout_, topo_, code_,
+                                    SourceSelection::kRandom);
+  // (R-1)/R * k = 3/4 * 12 = 9.
+  EXPECT_DOUBLE_EQ(planner.expected_cross_rack_blocks(), 9.0);
+}
+
+TEST(PlannerLrc, LocalGroupReadCost) {
+  // LRC(12, 3, 2): a single lost data block reads its 3 surviving group
+  // members + the local parity = 4 blocks instead of 12 (footnote 1).
+  const net::Topology topo(4, 10);
+  util::Rng rng(17);
+  const ec::LocalReconstructionCode code(12, 3, 2);
+  const StorageLayout layout =
+      random_rack_constrained_layout(120, code.n(), code.k(), topo, rng);
+  const DegradedReadPlanner planner(layout, topo, code,
+                                    SourceSelection::kRandom);
+  const FailureScenario failure({layout.node_of(BlockId{0, 0})});
+  NodeId reader = 0;
+  while (failure.is_failed(reader)) ++reader;
+  const auto plan = planner.plan(BlockId{0, 0}, reader, failure, rng);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 4u);
+  EXPECT_DOUBLE_EQ(planner.expected_cross_rack_blocks(), 0.75 * 4.0);
+}
+
+// --- planner/code consistency property sweep ------------------------------------------
+
+class PlannerCodeProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlannerCodeProperty, EveryPlanIsActuallyDecodable) {
+  // Whatever the planner picks must suffice to rebuild the lost block —
+  // across codes, random failures, and both source-selection policies.
+  const auto code = ec::make_code_from_spec(GetParam());
+  ASSERT_NE(code, nullptr);
+  // Six racks of two: enough rack capacity even for xor:5 (n-k = 1 allows
+  // at most one block of a stripe per rack).
+  const net::Topology topo(6, 2);
+  util::Rng rng(55);
+  const StorageLayout layout = random_rack_constrained_layout(
+      10 * code->k(), code->n(), code->k(), topo, rng);
+  for (const auto selection :
+       {SourceSelection::kRandom, SourceSelection::kPreferSameRack}) {
+    const DegradedReadPlanner planner(layout, topo, *code, selection);
+    for (int trial = 0; trial < 10; ++trial) {
+      const FailureScenario failure = single_node_failure(topo, rng);
+      const NodeId victim = failure.failed_nodes().front();
+      NodeId reader = 0;
+      while (failure.is_failed(reader)) ++reader;
+      for (const BlockId lost : layout.blocks_on_node(victim)) {
+        if (lost.index >= layout.k()) continue;  // map tasks read natives
+        const auto plan = planner.plan(lost, reader, failure, rng);
+        ASSERT_TRUE(plan.has_value());
+        // The chosen generator rows must span the lost block's row: verify
+        // by asking the code to decode zero-filled shards of that shape.
+        std::vector<ec::Shard> bytes(plan->size(), ec::Shard(16, 0));
+        std::vector<std::pair<int, const ec::Shard*>> present;
+        for (std::size_t i = 0; i < plan->size(); ++i) {
+          present.emplace_back((*plan)[i].block.index, &bytes[i]);
+        }
+        EXPECT_TRUE(code->reconstruct(present, {lost.index}).has_value())
+            << GetParam() << " lost=" << lost.stripe << "," << lost.index;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, PlannerCodeProperty,
+                         ::testing::Values("rs:6,4", "crs:6,4", "lrc:4,2,1",
+                                           "rs16:8,6", "xor:5"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == ',') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dfs::storage

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "dfs/util/args.h"
+#include "dfs/util/rng.h"
+#include "dfs/util/stats.h"
+#include "dfs/util/table.h"
+#include "dfs/util/units.h"
+
+namespace dfs::util {
+namespace {
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, ByteConversions) {
+  EXPECT_DOUBLE_EQ(kilobytes(1), 1e3);
+  EXPECT_DOUBLE_EQ(megabytes(2), 2e6);
+  EXPECT_DOUBLE_EQ(gigabytes(1.5), 1.5e9);
+  EXPECT_DOUBLE_EQ(mebibytes(1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(gibibytes(1), 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Units, BandwidthConversions) {
+  // 1 Gbps = 125 MB/s.
+  EXPECT_DOUBLE_EQ(gigabits_per_sec(1), 125e6);
+  EXPECT_DOUBLE_EQ(megabits_per_sec(100), 12.5e6);
+}
+
+TEST(Units, PaperBlockTransferTime) {
+  // §III: a 128 MB block over 100 Mbps takes "around 10s".
+  const double t = mebibytes(128) / megabits_per_sec(100);
+  EXPECT_NEAR(t, 10.7, 0.1);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, NormalMeanAndClamp) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.normal(20.0, 1.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 20.0, 0.1);
+}
+
+TEST(Rng, NormalZeroStddevIsDeterministic) {
+  Rng r(7);
+  EXPECT_DOUBLE_EQ(r.normal(10.0, 0.0), 10.0);
+}
+
+TEST(Rng, NormalClampsAtFloor) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal(0.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += r.exponential(120.0);
+  EXPECT_NEAR(sum / 50000, 120.0, 3.0);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = r.sample_indices(10, 4);
+    ASSERT_EQ(s.size(), 4u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    for (auto v : s) EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, ZipfRankOneMostFrequent) {
+  Rng r(5);
+  std::vector<int> hits(21, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto z = r.zipf(20, 1.0);
+    ASSERT_GE(z, 1u);
+    ASSERT_LE(z, 20u);
+    ++hits[z];
+  }
+  EXPECT_GT(hits[1], hits[2]);
+  EXPECT_GT(hits[2], hits[10]);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // The child should not replay the parent's stream.
+  Rng parent_copy(9);
+  (void)parent_copy.fork();
+  EXPECT_DOUBLE_EQ(parent.uniform(0, 1), parent_copy.uniform(0, 1));
+  (void)child;
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({5}, 37), 5.0);
+}
+
+TEST(Stats, BoxplotQuartilesAndOutliers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 29; ++i) xs.push_back(i);
+  xs.push_back(1000.0);  // a clear outlier
+  const BoxPlot b = boxplot(xs);
+  EXPECT_NEAR(b.median, 15.5, 1e-9);
+  EXPECT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers.front(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 29.0);  // whisker excludes the outlier
+}
+
+TEST(Stats, ReductionPercent) {
+  EXPECT_DOUBLE_EQ(reduction_percent(200, 150), 25.0);
+  EXPECT_DOUBLE_EQ(reduction_percent(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(reduction_percent(100, 125), -25.0);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.2345, 2)});
+  t.add_row({"b", Table::pct(27.04, 1)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("27.0%"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+// --- args --------------------------------------------------------------------
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> parts) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), parts);
+  return v;
+}
+
+TEST(Args, ParsesSpaceAndEqualsForms) {
+  const auto v = argv_of({"--seeds", "12", "--code=rs:6,4", "file.txt"});
+  const Args args(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(args.get_int("seeds", 0), 12);
+  EXPECT_EQ(args.get_or("code", ""), "rs:6,4");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file.txt");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto v = argv_of({});
+  const Args args(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(args.get_int("seeds", 30), 30);
+  EXPECT_DOUBLE_EQ(args.get_double("shuffle", 0.01), 0.01);
+  EXPECT_FALSE(args.get("anything").has_value());
+  EXPECT_FALSE(args.has("flag"));
+}
+
+TEST(Args, BooleanFlagWithoutValue) {
+  const auto v = argv_of({"--normalize", "--seeds", "3"});
+  const Args args(static_cast<int>(v.size()), v.data());
+  EXPECT_TRUE(args.has("normalize"));
+  EXPECT_EQ(args.get_int("seeds", 0), 3);
+}
+
+TEST(Args, UnrecognizedReportsUnqueriedFlags) {
+  const auto v = argv_of({"--seeds", "3", "--tpyo", "x"});
+  const Args args(static_cast<int>(v.size()), v.data());
+  (void)args.get_int("seeds", 0);
+  const auto unknown = args.unrecognized();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(Args, SplitBasics) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("lone", ','), (std::vector<std::string>{"lone"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(split("x,,y", ','), (std::vector<std::string>{"x", "", "y"}));
+}
+
+}  // namespace
+}  // namespace dfs::util

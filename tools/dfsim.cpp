@@ -1,0 +1,271 @@
+// dfsim — drive MapReduce-over-erasure-coding simulations from the command
+// line, without writing any C++.
+//
+//   dfsim --scheduler EDF --failure node --seeds 10
+//   dfsim --racks 3 --nodes-per-rack 4 --code rs:12,10 --blocks 240
+//         --block-mb 64 --bandwidth-mbps 250 --scheduler LF --csv out/run
+//
+// Flags (defaults follow the paper's §V-B simulation setup):
+//   --racks N             racks in the cluster              [4]
+//   --nodes-per-rack N    nodes per rack                    [10]
+//   --map-slots N         map slots per node                [4]
+//   --reduce-slots N      reduce slots per node             [1]
+//   --block-mb N          block size in MiB                 [128]
+//   --bandwidth-mbps X    rack up/down bandwidth            [1000]
+//   --node-bandwidth-mbps X  node link bandwidth (0 = unlimited) [0]
+//   --contention MODEL    fair | fifo                       [fair]
+//   --heartbeat X         heartbeat interval in seconds     [3]
+//   --blocks F            native blocks (= map tasks)       [1440]
+//   --code SPEC           rs:n,k | crs:n,k | lrc:k,l,r | rep:r  [rs:20,15]
+//   --placement P         random | roundrobin | replicated  [random]
+//   --reducers N          reduce tasks                      [30]
+//   --shuffle X           shuffle ratio (fraction of block) [0.01]
+//   --map-time M,SD       map processing time, normal dist  [20,1]
+//   --reduce-time M,SD    reduce processing time            [30,2]
+//   --scheduler S         LF | BDF | EDF | DELAY            [LF]
+//   --failure F           none | node | 2node | rack        [node]
+//   --seeds N             independent runs                  [10]
+//   --sources POLICY      random | samerack                 [random]
+//   --hetero X            every other node is X times slower (1 = off)
+//   --speculate           enable Hadoop-style speculative execution
+//   --repair N            run background repair with concurrency N
+//   --utilization         print a rack-downlink utilization timeline
+//   --csv PREFIX          write per-task/job CSVs of the first run
+//   --normalize           also run normal mode and report ratios
+
+#include <iostream>
+#include <memory>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/ec/registry.h"
+#include "dfs/mapreduce/repair.h"
+#include "dfs/net/utilization.h"
+#include "dfs/mapreduce/simulation.h"
+#include "dfs/mapreduce/trace.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/args.h"
+#include "dfs/util/stats.h"
+#include "dfs/util/table.h"
+
+using namespace dfs;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "dfsim: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "dfsim - MapReduce-over-erasure-coding simulator\n"
+           "  --racks N --nodes-per-rack N --map-slots N --reduce-slots N\n"
+           "  --block-mb N --bandwidth-mbps X --node-bandwidth-mbps X\n"
+           "  --contention fair|fifo --heartbeat X\n"
+           "  --blocks F --code SPEC --placement random|roundrobin|replicated\n"
+           "  --reducers N --shuffle X --map-time M,SD --reduce-time M,SD\n"
+           "  --scheduler LF|BDF|EDF|DELAY|FAIR|FAIR+DF\n"
+           "  --failure none|node|2node|rack --sources random|samerack\n"
+           "  --seeds N --speculate --repair N --normalize --csv PREFIX\n"
+           "  code SPEC: "
+        << ec::code_spec_help() << "\n";
+    return 0;
+  }
+
+  mapreduce::ClusterConfig cfg;
+  cfg.topology = net::Topology(args.get_int("racks", 4),
+                               args.get_int("nodes-per-rack", 10));
+  cfg.map_slots_per_node = args.get_int("map-slots", 4);
+  cfg.reduce_slots_per_node = args.get_int("reduce-slots", 1);
+  cfg.block_size = util::mebibytes(args.get_double("block-mb", 128.0));
+  cfg.heartbeat_interval = args.get_double("heartbeat", 3.0);
+  const double rack_mbps = args.get_double("bandwidth-mbps", 1000.0);
+  cfg.links.rack_up = util::megabits_per_sec(rack_mbps);
+  cfg.links.rack_down = util::megabits_per_sec(rack_mbps);
+  const double node_mbps = args.get_double("node-bandwidth-mbps", 0.0);
+  cfg.links.node_up = node_mbps > 0 ? util::megabits_per_sec(node_mbps)
+                                    : util::kUnlimitedBandwidth;
+  cfg.links.node_down = cfg.links.node_up;
+  const std::string contention = args.get_or("contention", "fair");
+  if (contention == "fifo") {
+    cfg.contention = net::ContentionModel::kExclusiveFifo;
+  } else if (contention != "fair") {
+    return fail("unknown --contention " + contention);
+  }
+
+  const auto code = ec::make_code_from_spec(args.get_or("code", "rs:20,15"));
+  if (!code) {
+    return fail(std::string("bad --code spec (") + ec::code_spec_help() + ")");
+  }
+  const int blocks = args.get_int("blocks", 1440);
+
+  mapreduce::JobSpec spec;
+  spec.num_reducers = args.get_int("reducers", 30);
+  spec.shuffle_ratio = args.get_double("shuffle", 0.01);
+  const auto mt = util::split(args.get_or("map-time", "20,1"), ',');
+  const auto rt = util::split(args.get_or("reduce-time", "30,2"), ',');
+  if (mt.size() != 2 || rt.size() != 2) return fail("bad --map-time/--reduce-time");
+  spec.map_time = {std::atof(mt[0].c_str()), std::atof(mt[1].c_str())};
+  spec.reduce_time = {std::atof(rt[0].c_str()), std::atof(rt[1].c_str())};
+
+  std::unique_ptr<core::Scheduler> scheduler;
+  try {
+    scheduler = core::make_scheduler(args.get_or("scheduler", "LF"));
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  const std::string placement = args.get_or("placement", "random");
+  const std::string failure_kind = args.get_or("failure", "node");
+  const std::string sources = args.get_or("sources", "random");
+  const auto selection = sources == "samerack"
+                             ? storage::SourceSelection::kPreferSameRack
+                             : storage::SourceSelection::kRandom;
+  const int seeds = args.get_int("seeds", 10);
+  const bool normalize = args.has("normalize");
+  const auto csv_prefix = args.get("csv");
+  cfg.speculative_execution = args.has("speculate");
+  const int repair_concurrency = args.get_int("repair", 0);
+  const bool show_utilization = args.has("utilization");
+  const double hetero = args.get_double("hetero", 1.0);
+  if (hetero != 1.0) {
+    cfg.node_time_scale.assign(
+        static_cast<std::size_t>(cfg.topology.num_nodes()), 1.0);
+    for (net::NodeId n = 1; n < cfg.topology.num_nodes(); n += 2) {
+      cfg.node_time_scale[static_cast<std::size_t>(n)] = hetero;
+    }
+  }
+
+  if (const auto unknown = args.unrecognized(); !unknown.empty()) {
+    return fail("unknown flag --" + unknown.front());
+  }
+
+  util::Table table({"seed", "runtime(s)", "map_phase(s)", "degraded",
+                     "remote", "mean_drt(s)", "normalized"});
+  std::vector<double> runtimes, normalized;
+  for (int s = 0; s < seeds; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 100003 + 7);
+    mapreduce::JobInput job;
+    job.spec = spec;
+    job.code = code;
+    try {
+      if (placement == "roundrobin") {
+        job.layout = std::make_shared<storage::StorageLayout>(
+            storage::round_robin_layout(blocks, code->n(), code->k(),
+                                        cfg.topology.num_nodes()));
+      } else if (placement == "replicated") {
+        job.layout = std::make_shared<storage::StorageLayout>(
+            storage::replicated_layout(blocks, code->n(), cfg.topology, rng));
+      } else if (placement == "random") {
+        job.layout = std::make_shared<storage::StorageLayout>(
+            storage::random_rack_constrained_layout(blocks, code->n(),
+                                                    code->k(), cfg.topology,
+                                                    rng));
+      } else {
+        return fail("unknown --placement " + placement);
+      }
+    } catch (const std::exception& e) {
+      return fail(std::string("layout: ") + e.what());
+    }
+
+    storage::FailureScenario failure;
+    if (failure_kind == "node") {
+      failure = storage::single_node_failure(cfg.topology, rng);
+    } else if (failure_kind == "2node") {
+      failure = storage::double_node_failure(cfg.topology, rng);
+    } else if (failure_kind == "rack") {
+      failure = storage::rack_failure(cfg.topology, rng);
+    } else if (failure_kind != "none") {
+      return fail("unknown --failure " + failure_kind);
+    }
+
+    const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+    mapreduce::MapReduceSimulation simulation(cfg, {job}, failure, *scheduler,
+                                              seed, selection);
+    bool finished = false;
+    std::unique_ptr<net::UtilizationSampler> sampler;
+    if (show_utilization && s == 0) {
+      mapreduce::TaskHooks hooks;
+      hooks.on_job_finish =
+          [&finished](const mapreduce::JobMetrics&) { finished = true; };
+      simulation.set_hooks(std::move(hooks));
+      sampler = std::make_unique<net::UtilizationSampler>(
+          simulation.simulator(), simulation.network(), /*interval=*/10.0,
+          [&finished] { return !finished; });
+      sampler->start();
+    }
+    std::unique_ptr<mapreduce::RepairProcess> repair;
+    if (repair_concurrency > 0) {
+      mapreduce::RepairProcess::Options ropts;
+      ropts.concurrency = repair_concurrency;
+      ropts.block_size = cfg.block_size;
+      ropts.selection = selection;
+      repair = std::make_unique<mapreduce::RepairProcess>(
+          simulation.simulator(), simulation.network(), *job.layout,
+          *job.code, failure, ropts, util::Rng(seed * 31 + 3));
+      repair->start();
+    }
+    const auto result = simulation.run();
+    if (repair) {
+      std::cout << "seed " << s << ": repair rebuilt "
+                << repair->stats().blocks_repaired << " blocks by t="
+                << util::Table::num(repair->stats().finish_time, 1) << "s\n";
+    }
+    if (sampler) {
+      std::cout << "rack-downlink utilization (seed 0, 10 s buckets):\n";
+      for (const auto& sample : sampler->samples()) {
+        const int bars = static_cast<int>(sample.utilization * 40.0 + 0.5);
+        std::cout << "  " << util::Table::num(sample.time, 0) << "s\t"
+                  << std::string(static_cast<std::size_t>(bars), '#') << ' '
+                  << util::Table::pct(sample.utilization * 100.0, 0) << "\n";
+      }
+    }
+    const auto& m = result.jobs.front();
+    double norm = 0.0;
+    if (normalize) {
+      const auto base = mapreduce::simulate(cfg, {job}, storage::no_failure(),
+                                            *scheduler, seed, selection);
+      norm = m.runtime() / base.jobs.front().runtime();
+      normalized.push_back(norm);
+    }
+    if (result.speculative_attempts() > 0) {
+      std::cout << "seed " << s << ": " << result.speculative_attempts()
+                << " speculative attempts (" << result.speculative_losses()
+                << " wasted)\n";
+    }
+    runtimes.push_back(m.runtime());
+    table.add_row({std::to_string(s), util::Table::num(m.runtime(), 1),
+                   util::Table::num(m.map_phase_end - m.first_map_launch, 1),
+                   std::to_string(m.degraded_tasks),
+                   std::to_string(m.remote_tasks),
+                   util::Table::num(result.mean_degraded_read_time(), 1),
+                   normalize ? util::Table::num(norm, 3) : ""});
+    if (result.data_loss) {
+      std::cerr << "warning: seed " << s
+                << " had unrecoverable blocks (data loss)\n";
+    }
+    if (s == 0 && csv_prefix) {
+      mapreduce::write_csv_files(*csv_prefix, result);
+    }
+  }
+  std::cout << "dfsim: scheduler=" << scheduler->name() << " code="
+            << code->name() << " blocks=" << blocks << " failure="
+            << failure_kind << '\n'
+            << table;
+  const auto box = util::boxplot(runtimes);
+  std::cout << "runtime: " << util::to_string(box) << '\n';
+  if (normalize) {
+    std::cout << "normalized: " << util::to_string(util::boxplot(normalized))
+              << '\n';
+  }
+  if (csv_prefix) {
+    std::cout << "CSV trace of seed 0 written to " << *csv_prefix
+              << "_{map_tasks,reduce_tasks,jobs}.csv\n";
+  }
+  return 0;
+}
