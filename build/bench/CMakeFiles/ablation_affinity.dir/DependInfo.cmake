@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_affinity.cpp" "bench/CMakeFiles/ablation_affinity.dir/ablation_affinity.cpp.o" "gcc" "bench/CMakeFiles/ablation_affinity.dir/ablation_affinity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/engine/CMakeFiles/dfs_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/workload/CMakeFiles/dfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/analysis/CMakeFiles/dfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/mapreduce/CMakeFiles/dfs_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/core/CMakeFiles/dfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/storage/CMakeFiles/dfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/ec/CMakeFiles/dfs_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/net/CMakeFiles/dfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_affinity.dir/ablation_affinity.cpp.o"
+  "CMakeFiles/ablation_affinity.dir/ablation_affinity.cpp.o.d"
+  "ablation_affinity"
+  "ablation_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

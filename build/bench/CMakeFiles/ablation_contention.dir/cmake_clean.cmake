@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_contention.dir/ablation_contention.cpp.o"
+  "CMakeFiles/ablation_contention.dir/ablation_contention.cpp.o.d"
+  "ablation_contention"
+  "ablation_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay.dir/ablation_delay.cpp.o"
+  "CMakeFiles/ablation_delay.dir/ablation_delay.cpp.o.d"
+  "ablation_delay"
+  "ablation_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edf_knobs.dir/ablation_edf_knobs.cpp.o"
+  "CMakeFiles/ablation_edf_knobs.dir/ablation_edf_knobs.cpp.o.d"
+  "ablation_edf_knobs"
+  "ablation_edf_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edf_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

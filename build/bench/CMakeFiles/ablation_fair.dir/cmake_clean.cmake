@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fair.dir/ablation_fair.cpp.o"
+  "CMakeFiles/ablation_fair.dir/ablation_fair.cpp.o.d"
+  "ablation_fair"
+  "ablation_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

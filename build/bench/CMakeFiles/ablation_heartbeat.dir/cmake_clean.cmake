@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heartbeat.dir/ablation_heartbeat.cpp.o"
+  "CMakeFiles/ablation_heartbeat.dir/ablation_heartbeat.cpp.o.d"
+  "ablation_heartbeat"
+  "ablation_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lrc.dir/ablation_lrc.cpp.o"
+  "CMakeFiles/ablation_lrc.dir/ablation_lrc.cpp.o.d"
+  "ablation_lrc"
+  "ablation_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

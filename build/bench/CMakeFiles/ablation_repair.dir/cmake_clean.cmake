@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repair.dir/ablation_repair.cpp.o"
+  "CMakeFiles/ablation_repair.dir/ablation_repair.cpp.o.d"
+  "ablation_repair"
+  "ablation_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

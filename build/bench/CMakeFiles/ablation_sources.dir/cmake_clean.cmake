@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sources.dir/ablation_sources.cpp.o"
+  "CMakeFiles/ablation_sources.dir/ablation_sources.cpp.o.d"
+  "ablation_sources"
+  "ablation_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speculation.dir/ablation_speculation.cpp.o"
+  "CMakeFiles/ablation_speculation.dir/ablation_speculation.cpp.o.d"
+  "ablation_speculation"
+  "ablation_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

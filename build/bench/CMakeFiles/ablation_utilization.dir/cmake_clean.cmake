@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_utilization.dir/ablation_utilization.cpp.o"
+  "CMakeFiles/ablation_utilization.dir/ablation_utilization.cpp.o.d"
+  "ablation_utilization"
+  "ablation_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_motivating.dir/fig3_motivating.cpp.o"
+  "CMakeFiles/fig3_motivating.dir/fig3_motivating.cpp.o.d"
+  "fig3_motivating"
+  "fig3_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

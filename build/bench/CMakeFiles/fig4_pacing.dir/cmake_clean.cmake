@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pacing.dir/fig4_pacing.cpp.o"
+  "CMakeFiles/fig4_pacing.dir/fig4_pacing.cpp.o.d"
+  "fig4_pacing"
+  "fig4_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_analysis.dir/fig5_analysis.cpp.o"
+  "CMakeFiles/fig5_analysis.dir/fig5_analysis.cpp.o.d"
+  "fig5_analysis"
+  "fig5_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

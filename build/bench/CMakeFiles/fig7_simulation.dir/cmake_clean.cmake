@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_simulation.dir/fig7_simulation.cpp.o"
+  "CMakeFiles/fig7_simulation.dir/fig7_simulation.cpp.o.d"
+  "fig7_simulation"
+  "fig7_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bdf_edf.dir/fig8_bdf_edf.cpp.o"
+  "CMakeFiles/fig8_bdf_edf.dir/fig8_bdf_edf.cpp.o.d"
+  "fig8_bdf_edf"
+  "fig8_bdf_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bdf_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

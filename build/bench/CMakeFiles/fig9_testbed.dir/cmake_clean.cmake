@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_testbed.dir/fig9_testbed.cpp.o"
+  "CMakeFiles/fig9_testbed.dir/fig9_testbed.cpp.o.d"
+  "fig9_testbed"
+  "fig9_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

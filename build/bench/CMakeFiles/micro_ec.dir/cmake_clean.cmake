@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ec.dir/micro_ec.cpp.o"
+  "CMakeFiles/micro_ec.dir/micro_ec.cpp.o.d"
+  "micro_ec"
+  "micro_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

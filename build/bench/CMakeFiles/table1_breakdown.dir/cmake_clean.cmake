@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_breakdown.dir/table1_breakdown.cpp.o"
+  "CMakeFiles/table1_breakdown.dir/table1_breakdown.cpp.o.d"
+  "table1_breakdown"
+  "table1_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job.dir/multi_job.cpp.o"
+  "CMakeFiles/multi_job.dir/multi_job.cpp.o.d"
+  "multi_job"
+  "multi_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

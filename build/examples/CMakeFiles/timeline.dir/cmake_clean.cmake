@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline.dir/timeline.cpp.o"
+  "CMakeFiles/timeline.dir/timeline.cpp.o.d"
+  "timeline"
+  "timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

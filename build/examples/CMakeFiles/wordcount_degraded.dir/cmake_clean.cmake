@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_degraded.dir/wordcount_degraded.cpp.o"
+  "CMakeFiles/wordcount_degraded.dir/wordcount_degraded.cpp.o.d"
+  "wordcount_degraded"
+  "wordcount_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dfs/util")
+subdirs("dfs/sim")
+subdirs("dfs/net")
+subdirs("dfs/ec")
+subdirs("dfs/storage")
+subdirs("dfs/mapreduce")
+subdirs("dfs/core")
+subdirs("dfs/analysis")
+subdirs("dfs/workload")
+subdirs("dfs/engine")

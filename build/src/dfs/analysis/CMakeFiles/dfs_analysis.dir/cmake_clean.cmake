@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_analysis.dir/model.cpp.o"
+  "CMakeFiles/dfs_analysis.dir/model.cpp.o.d"
+  "libdfs_analysis.a"
+  "libdfs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfs_analysis.a"
+)

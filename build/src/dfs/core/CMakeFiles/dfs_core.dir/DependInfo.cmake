@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/core/degraded_first.cpp" "src/dfs/core/CMakeFiles/dfs_core.dir/degraded_first.cpp.o" "gcc" "src/dfs/core/CMakeFiles/dfs_core.dir/degraded_first.cpp.o.d"
+  "/root/repo/src/dfs/core/delay_scheduler.cpp" "src/dfs/core/CMakeFiles/dfs_core.dir/delay_scheduler.cpp.o" "gcc" "src/dfs/core/CMakeFiles/dfs_core.dir/delay_scheduler.cpp.o.d"
+  "/root/repo/src/dfs/core/fair_scheduler.cpp" "src/dfs/core/CMakeFiles/dfs_core.dir/fair_scheduler.cpp.o" "gcc" "src/dfs/core/CMakeFiles/dfs_core.dir/fair_scheduler.cpp.o.d"
+  "/root/repo/src/dfs/core/locality_first.cpp" "src/dfs/core/CMakeFiles/dfs_core.dir/locality_first.cpp.o" "gcc" "src/dfs/core/CMakeFiles/dfs_core.dir/locality_first.cpp.o.d"
+  "/root/repo/src/dfs/core/scheduler.cpp" "src/dfs/core/CMakeFiles/dfs_core.dir/scheduler.cpp.o" "gcc" "src/dfs/core/CMakeFiles/dfs_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/net/CMakeFiles/dfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

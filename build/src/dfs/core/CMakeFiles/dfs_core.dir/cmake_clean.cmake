@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_core.dir/degraded_first.cpp.o"
+  "CMakeFiles/dfs_core.dir/degraded_first.cpp.o.d"
+  "CMakeFiles/dfs_core.dir/delay_scheduler.cpp.o"
+  "CMakeFiles/dfs_core.dir/delay_scheduler.cpp.o.d"
+  "CMakeFiles/dfs_core.dir/fair_scheduler.cpp.o"
+  "CMakeFiles/dfs_core.dir/fair_scheduler.cpp.o.d"
+  "CMakeFiles/dfs_core.dir/locality_first.cpp.o"
+  "CMakeFiles/dfs_core.dir/locality_first.cpp.o.d"
+  "CMakeFiles/dfs_core.dir/scheduler.cpp.o"
+  "CMakeFiles/dfs_core.dir/scheduler.cpp.o.d"
+  "libdfs_core.a"
+  "libdfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/ec/cauchy.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/cauchy.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/cauchy.cpp.o.d"
+  "/root/repo/src/dfs/ec/erasure_code.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/erasure_code.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/erasure_code.cpp.o.d"
+  "/root/repo/src/dfs/ec/gf256.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/gf256.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/gf256.cpp.o.d"
+  "/root/repo/src/dfs/ec/gf65536.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/gf65536.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/gf65536.cpp.o.d"
+  "/root/repo/src/dfs/ec/lrc.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/lrc.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/lrc.cpp.o.d"
+  "/root/repo/src/dfs/ec/reed_solomon.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/reed_solomon.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/dfs/ec/registry.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/registry.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/registry.cpp.o.d"
+  "/root/repo/src/dfs/ec/wide_rs.cpp" "src/dfs/ec/CMakeFiles/dfs_ec.dir/wide_rs.cpp.o" "gcc" "src/dfs/ec/CMakeFiles/dfs_ec.dir/wide_rs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_ec.dir/cauchy.cpp.o"
+  "CMakeFiles/dfs_ec.dir/cauchy.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/erasure_code.cpp.o"
+  "CMakeFiles/dfs_ec.dir/erasure_code.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/gf256.cpp.o"
+  "CMakeFiles/dfs_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/gf65536.cpp.o"
+  "CMakeFiles/dfs_ec.dir/gf65536.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/lrc.cpp.o"
+  "CMakeFiles/dfs_ec.dir/lrc.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/dfs_ec.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/registry.cpp.o"
+  "CMakeFiles/dfs_ec.dir/registry.cpp.o.d"
+  "CMakeFiles/dfs_ec.dir/wide_rs.cpp.o"
+  "CMakeFiles/dfs_ec.dir/wide_rs.cpp.o.d"
+  "libdfs_ec.a"
+  "libdfs_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

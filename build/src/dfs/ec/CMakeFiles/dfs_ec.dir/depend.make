@@ -1,0 +1,2 @@
+# Empty dependencies file for dfs_ec.
+# This may be replaced when dependencies are built.

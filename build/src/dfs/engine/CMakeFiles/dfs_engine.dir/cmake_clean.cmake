@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_engine.dir/block_store.cpp.o"
+  "CMakeFiles/dfs_engine.dir/block_store.cpp.o.d"
+  "CMakeFiles/dfs_engine.dir/runner.cpp.o"
+  "CMakeFiles/dfs_engine.dir/runner.cpp.o.d"
+  "CMakeFiles/dfs_engine.dir/text_jobs.cpp.o"
+  "CMakeFiles/dfs_engine.dir/text_jobs.cpp.o.d"
+  "libdfs_engine.a"
+  "libdfs_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

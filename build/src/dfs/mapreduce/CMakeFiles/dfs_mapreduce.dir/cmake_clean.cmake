@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_mapreduce.dir/master.cpp.o"
+  "CMakeFiles/dfs_mapreduce.dir/master.cpp.o.d"
+  "CMakeFiles/dfs_mapreduce.dir/metrics.cpp.o"
+  "CMakeFiles/dfs_mapreduce.dir/metrics.cpp.o.d"
+  "CMakeFiles/dfs_mapreduce.dir/repair.cpp.o"
+  "CMakeFiles/dfs_mapreduce.dir/repair.cpp.o.d"
+  "CMakeFiles/dfs_mapreduce.dir/simulation.cpp.o"
+  "CMakeFiles/dfs_mapreduce.dir/simulation.cpp.o.d"
+  "CMakeFiles/dfs_mapreduce.dir/trace.cpp.o"
+  "CMakeFiles/dfs_mapreduce.dir/trace.cpp.o.d"
+  "libdfs_mapreduce.a"
+  "libdfs_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/net/network.cpp" "src/dfs/net/CMakeFiles/dfs_net.dir/network.cpp.o" "gcc" "src/dfs/net/CMakeFiles/dfs_net.dir/network.cpp.o.d"
+  "/root/repo/src/dfs/net/topology.cpp" "src/dfs/net/CMakeFiles/dfs_net.dir/topology.cpp.o" "gcc" "src/dfs/net/CMakeFiles/dfs_net.dir/topology.cpp.o.d"
+  "/root/repo/src/dfs/net/utilization.cpp" "src/dfs/net/CMakeFiles/dfs_net.dir/utilization.cpp.o" "gcc" "src/dfs/net/CMakeFiles/dfs_net.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

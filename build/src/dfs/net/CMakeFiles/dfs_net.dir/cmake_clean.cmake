@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_net.dir/network.cpp.o"
+  "CMakeFiles/dfs_net.dir/network.cpp.o.d"
+  "CMakeFiles/dfs_net.dir/topology.cpp.o"
+  "CMakeFiles/dfs_net.dir/topology.cpp.o.d"
+  "CMakeFiles/dfs_net.dir/utilization.cpp.o"
+  "CMakeFiles/dfs_net.dir/utilization.cpp.o.d"
+  "libdfs_net.a"
+  "libdfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dfs_sim.dir/simulator.cpp.o.d"
+  "libdfs_sim.a"
+  "libdfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

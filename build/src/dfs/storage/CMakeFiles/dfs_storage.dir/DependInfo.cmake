@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/storage/degraded.cpp" "src/dfs/storage/CMakeFiles/dfs_storage.dir/degraded.cpp.o" "gcc" "src/dfs/storage/CMakeFiles/dfs_storage.dir/degraded.cpp.o.d"
+  "/root/repo/src/dfs/storage/failure.cpp" "src/dfs/storage/CMakeFiles/dfs_storage.dir/failure.cpp.o" "gcc" "src/dfs/storage/CMakeFiles/dfs_storage.dir/failure.cpp.o.d"
+  "/root/repo/src/dfs/storage/layout.cpp" "src/dfs/storage/CMakeFiles/dfs_storage.dir/layout.cpp.o" "gcc" "src/dfs/storage/CMakeFiles/dfs_storage.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/net/CMakeFiles/dfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/ec/CMakeFiles/dfs_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_storage.dir/degraded.cpp.o"
+  "CMakeFiles/dfs_storage.dir/degraded.cpp.o.d"
+  "CMakeFiles/dfs_storage.dir/failure.cpp.o"
+  "CMakeFiles/dfs_storage.dir/failure.cpp.o.d"
+  "CMakeFiles/dfs_storage.dir/layout.cpp.o"
+  "CMakeFiles/dfs_storage.dir/layout.cpp.o.d"
+  "libdfs_storage.a"
+  "libdfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/util/args.cpp" "src/dfs/util/CMakeFiles/dfs_util.dir/args.cpp.o" "gcc" "src/dfs/util/CMakeFiles/dfs_util.dir/args.cpp.o.d"
+  "/root/repo/src/dfs/util/stats.cpp" "src/dfs/util/CMakeFiles/dfs_util.dir/stats.cpp.o" "gcc" "src/dfs/util/CMakeFiles/dfs_util.dir/stats.cpp.o.d"
+  "/root/repo/src/dfs/util/table.cpp" "src/dfs/util/CMakeFiles/dfs_util.dir/table.cpp.o" "gcc" "src/dfs/util/CMakeFiles/dfs_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

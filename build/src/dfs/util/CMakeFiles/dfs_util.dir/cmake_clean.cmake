@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_util.dir/args.cpp.o"
+  "CMakeFiles/dfs_util.dir/args.cpp.o.d"
+  "CMakeFiles/dfs_util.dir/stats.cpp.o"
+  "CMakeFiles/dfs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dfs_util.dir/table.cpp.o"
+  "CMakeFiles/dfs_util.dir/table.cpp.o.d"
+  "libdfs_util.a"
+  "libdfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

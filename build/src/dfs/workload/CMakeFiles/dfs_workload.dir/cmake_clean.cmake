@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/dfs_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/dfs_workload.dir/text.cpp.o"
+  "CMakeFiles/dfs_workload.dir/text.cpp.o.d"
+  "libdfs_workload.a"
+  "libdfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_test.dir/ec_test.cpp.o"
+  "CMakeFiles/ec_test.dir/ec_test.cpp.o.d"
+  "ec_test"
+  "ec_test.pdb"
+  "ec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

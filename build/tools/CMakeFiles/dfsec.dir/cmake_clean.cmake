@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsec.dir/dfsec.cpp.o"
+  "CMakeFiles/dfsec.dir/dfsec.cpp.o.d"
+  "dfsec"
+  "dfsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsim.dir/dfsim.cpp.o"
+  "CMakeFiles/dfsim.dir/dfsim.cpp.o.d"
+  "dfsim"
+  "dfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
