@@ -1,0 +1,50 @@
+// Steady-state comparison of LF vs DF vs EDF under sustained load: each
+// scheduler drives the same 2-hour online cluster scenario (open-loop
+// Poisson job stream, mid-run node failures and repairs) over several seeds,
+// and the table reports the latency percentiles and degraded-task share the
+// snapshot experiments (fig7_simulation) cannot measure.
+//
+//   cluster_steady_state [--seeds N]   (default 5; DFS_BENCH_SEEDS honored)
+
+#include "common.h"
+
+#include "dfs/cluster/simulation.h"
+
+using namespace dfs;
+
+int main(int argc, char** argv) {
+  const int seeds = bench::seeds_from_args(argc, argv, 5);
+
+  util::Table table({"scheduler", "p50(s)", "p95(s)", "p99(s)", "mean(s)",
+                     "degraded", "failures", "net util"});
+  for (const char* name : {"LF", "BDF", "EDF"}) {
+    const auto scheduler = core::make_scheduler(name);
+    std::vector<double> p50, p95, p99, mean, degraded, net_util;
+    int failures = 0;
+    for (int s = 0; s < seeds; ++s) {
+      cluster::ClusterOptions opts;  // the default steady-state scenario
+      cluster::ClusterSimulation simulation(
+          opts, *scheduler, static_cast<std::uint64_t>(s) + 1);
+      const auto result = simulation.run();
+      p50.push_back(result.summary.latency_p50);
+      p95.push_back(result.summary.latency_p95);
+      p99.push_back(result.summary.latency_p99);
+      mean.push_back(result.summary.latency_mean);
+      degraded.push_back(result.summary.degraded_task_fraction);
+      net_util.push_back(result.summary.mean_rack_down_utilization);
+      failures += result.summary.failures_injected;
+    }
+    table.add_row(
+        {name, util::Table::num(util::summarize(p50).mean, 1),
+         util::Table::num(util::summarize(p95).mean, 1),
+         util::Table::num(util::summarize(p99).mean, 1),
+         util::Table::num(util::summarize(mean).mean, 1),
+         util::Table::pct(util::summarize(degraded).mean * 100.0, 2),
+         std::to_string(failures),
+         util::Table::pct(util::summarize(net_util).mean * 100.0, 1)});
+  }
+  std::cout << "cluster_steady_state: 2 h horizon, Poisson arrivals, "
+            << seeds << " seeds (mean over seeds per cell)\n"
+            << table;
+  return 0;
+}

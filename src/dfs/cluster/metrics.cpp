@@ -1,0 +1,173 @@
+#include "dfs/cluster/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "dfs/util/stats.h"
+
+namespace dfs::cluster {
+
+ClusterSampler::ClusterSampler(sim::Simulator& simulator, net::Network& network,
+                               const mapreduce::Master& master,
+                               const LifecycleDriver& lifecycle,
+                               util::Seconds interval,
+                               std::function<bool()> keep_going)
+    : sim_(simulator),
+      net_(network),
+      master_(master),
+      lifecycle_(lifecycle),
+      interval_(interval),
+      keep_going_(std::move(keep_going)) {
+  prev_busy_.assign(static_cast<std::size_t>(net_.topology().num_racks()),
+                    0.0);
+}
+
+void ClusterSampler::start() {
+  prev_time_ = sim_.now();
+  sim_.schedule_periodic(interval_, interval_, [this] {
+    sample();
+    return keep_going_();
+  });
+}
+
+void ClusterSampler::sample() {
+  TimelineSample s;
+  s.time = sim_.now();
+  s.jobs_in_system = static_cast<int>(master_.jobs_submitted()) -
+                     static_cast<int>(master_.jobs_completed());
+  s.failed_nodes = lifecycle_.failed_node_count();
+  s.repair_backlog = lifecycle_.repair_backlog();
+  const double elapsed = sim_.now() - prev_time_;
+  double busy_sum = 0.0;
+  for (net::RackId r = 0; r < net_.topology().num_racks(); ++r) {
+    const double busy = net_.rack_down_busy_time(r);
+    busy_sum += busy - prev_busy_[static_cast<std::size_t>(r)];
+    prev_busy_[static_cast<std::size_t>(r)] = busy;
+  }
+  s.rack_down_utilization =
+      elapsed > 0.0
+          ? busy_sum / (elapsed * net_.topology().num_racks())
+          : 0.0;
+  prev_time_ = sim_.now();
+  samples_.push_back(s);
+}
+
+SteadyStateSummary summarize_steady_state(
+    const mapreduce::RunResult& run, const std::vector<FailureEvent>& failures,
+    const std::vector<TimelineSample>& timeline, util::Seconds warmup,
+    util::Seconds horizon) {
+  SteadyStateSummary s;
+  s.warmup = warmup;
+  s.horizon = horizon;
+  s.jobs_submitted = static_cast<int>(run.jobs.size());
+  s.data_loss = run.data_loss;
+
+  std::vector<double> latencies, runtimes;
+  long degraded = 0, total_tasks = 0;
+  for (const auto& j : run.jobs) {
+    if (j.finish_time >= 0.0) ++s.jobs_completed;
+    if (j.submit_time < warmup || j.submit_time > horizon ||
+        j.finish_time < 0.0) {
+      continue;
+    }
+    ++s.jobs_measured;
+    latencies.push_back(j.latency());
+    runtimes.push_back(j.runtime());
+    degraded += j.degraded_tasks;
+    total_tasks += j.local_tasks + j.remote_tasks + j.degraded_tasks;
+  }
+  if (!latencies.empty()) {
+    s.latency_p50 = util::percentile(latencies, 50.0);
+    s.latency_p95 = util::percentile(latencies, 95.0);
+    s.latency_p99 = util::percentile(latencies, 99.0);
+    s.latency_mean = util::summarize(latencies).mean;
+    s.mean_job_runtime = util::summarize(runtimes).mean;
+  }
+  if (total_tasks > 0) {
+    s.degraded_task_fraction =
+        static_cast<double>(degraded) / static_cast<double>(total_tasks);
+  }
+
+  s.failures_injected = static_cast<int>(failures.size());
+  for (const auto& f : failures) {
+    if (f.rack) ++s.rack_failures;
+    s.blocks_repaired += f.blocks_repaired;
+    s.blocks_unrecoverable += f.blocks_unrecoverable;
+  }
+  if (s.blocks_unrecoverable > 0) s.data_loss = true;
+
+  double util_sum = 0.0;
+  int util_count = 0;
+  for (const auto& t : timeline) {
+    s.max_repair_backlog = std::max(s.max_repair_backlog, t.repair_backlog);
+    if (t.time >= warmup && t.time <= horizon) {
+      util_sum += t.rack_down_utilization;
+      ++util_count;
+    }
+  }
+  if (util_count > 0) s.mean_rack_down_utilization = util_sum / util_count;
+  return s;
+}
+
+void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
+  const SteadyStateSummary& s = result.summary;
+  os << "{\"type\":\"summary\",\"warmup\":" << s.warmup
+     << ",\"horizon\":" << s.horizon
+     << ",\"jobs_submitted\":" << s.jobs_submitted
+     << ",\"jobs_completed\":" << s.jobs_completed
+     << ",\"jobs_measured\":" << s.jobs_measured
+     << ",\"latency_p50\":" << s.latency_p50
+     << ",\"latency_p95\":" << s.latency_p95
+     << ",\"latency_p99\":" << s.latency_p99
+     << ",\"latency_mean\":" << s.latency_mean
+     << ",\"mean_job_runtime\":" << s.mean_job_runtime
+     << ",\"degraded_task_fraction\":" << s.degraded_task_fraction
+     << ",\"failures_injected\":" << s.failures_injected
+     << ",\"rack_failures\":" << s.rack_failures
+     << ",\"blocks_repaired\":" << s.blocks_repaired
+     << ",\"blocks_unrecoverable\":" << s.blocks_unrecoverable
+     << ",\"max_repair_backlog\":" << s.max_repair_backlog
+     << ",\"mean_rack_down_utilization\":" << s.mean_rack_down_utilization
+     << ",\"data_loss\":" << (s.data_loss ? 1 : 0) << "}\n";
+  for (const auto& f : result.failures) {
+    os << "{\"type\":\"failure\",\"fail_time\":" << f.fail_time
+       << ",\"repair_start\":" << f.repair_start
+       << ",\"restore_time\":" << f.restore_time << ",\"rack\":"
+       << (f.rack ? 1 : 0) << ",\"nodes\":[";
+    for (std::size_t i = 0; i < f.nodes.size(); ++i) {
+      if (i > 0) os << ',';
+      os << f.nodes[i];
+    }
+    os << "],\"blocks_repaired\":" << f.blocks_repaired
+       << ",\"blocks_unrecoverable\":" << f.blocks_unrecoverable << "}\n";
+  }
+  for (const auto& t : result.timeline) {
+    os << "{\"type\":\"sample\",\"time\":" << t.time
+       << ",\"jobs_in_system\":" << t.jobs_in_system
+       << ",\"failed_nodes\":" << t.failed_nodes
+       << ",\"repair_backlog\":" << t.repair_backlog
+       << ",\"rack_down_utilization\":" << t.rack_down_utilization << "}\n";
+  }
+  for (const auto& j : result.run.jobs) {
+    if (j.submit_time < s.warmup || j.submit_time > s.horizon ||
+        j.finish_time < 0.0) {
+      continue;
+    }
+    os << "{\"type\":\"job\",\"id\":" << j.id << ",\"submit\":"
+       << j.submit_time << ",\"finish\":" << j.finish_time
+       << ",\"latency\":" << j.latency() << ",\"runtime\":" << j.runtime()
+       << ",\"local\":" << j.local_tasks << ",\"remote\":" << j.remote_tasks
+       << ",\"degraded\":" << j.degraded_tasks << "}\n";
+  }
+}
+
+void write_timeline_csv(std::ostream& os, const ClusterResult& result) {
+  os << "time,jobs_in_system,failed_nodes,repair_backlog,"
+        "rack_down_utilization\n";
+  for (const auto& t : result.timeline) {
+    os << t.time << ',' << t.jobs_in_system << ',' << t.failed_nodes << ','
+       << t.repair_backlog << ',' << t.rack_down_utilization << '\n';
+  }
+}
+
+}  // namespace dfs::cluster

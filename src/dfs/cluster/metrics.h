@@ -1,0 +1,106 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "dfs/cluster/lifecycle.h"
+#include "dfs/mapreduce/master.h"
+#include "dfs/mapreduce/metrics.h"
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+
+namespace dfs::cluster {
+
+/// One point of the per-interval cluster timeline.
+struct TimelineSample {
+  util::Seconds time = 0.0;          ///< end of the interval
+  int jobs_in_system = 0;            ///< submitted and not yet finished
+  int failed_nodes = 0;
+  int repair_backlog = 0;            ///< blocks queued or being rebuilt
+  /// Mean busy fraction of the rack downlinks over the interval (job,
+  /// shuffle, and repair traffic combined).
+  double rack_down_utilization = 0.0;
+};
+
+/// Periodically samples master / lifecycle / network state into a timeline.
+class ClusterSampler {
+ public:
+  ClusterSampler(sim::Simulator& simulator, net::Network& network,
+                 const mapreduce::Master& master,
+                 const LifecycleDriver& lifecycle, util::Seconds interval,
+                 std::function<bool()> keep_going);
+
+  /// Arms the periodic sampling. Call before Simulator::run(). One final
+  /// sample is taken when keep_going() first returns false.
+  void start();
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const mapreduce::Master& master_;
+  const LifecycleDriver& lifecycle_;
+  util::Seconds interval_;
+  std::function<bool()> keep_going_;
+  std::vector<double> prev_busy_;  ///< per-rack downlink busy time
+  util::Seconds prev_time_ = 0.0;
+  std::vector<TimelineSample> samples_;
+};
+
+/// Steady-state view of one long-horizon run: jobs submitted inside
+/// [warmup, horizon] form the measurement window (warm-up transients and the
+/// drain tail are excluded); the window's completion latencies give the
+/// percentiles.
+struct SteadyStateSummary {
+  util::Seconds warmup = 0.0;
+  util::Seconds horizon = 0.0;
+  int jobs_submitted = 0;  ///< whole run
+  int jobs_completed = 0;
+  int jobs_measured = 0;   ///< submitted inside the measurement window
+  double latency_p50 = 0.0;   ///< submit-to-finish, measured jobs
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_mean = 0.0;
+  double mean_job_runtime = 0.0;  ///< first-map-launch-to-finish
+  /// Fraction of the measured jobs' map tasks that ran degraded.
+  double degraded_task_fraction = 0.0;
+  int failures_injected = 0;
+  int rack_failures = 0;
+  int blocks_repaired = 0;
+  int blocks_unrecoverable = 0;
+  int max_repair_backlog = 0;
+  double mean_rack_down_utilization = 0.0;  ///< over the measurement window
+  bool data_loss = false;
+};
+
+/// Everything one cluster run produces: the raw per-task/job records (the
+/// same RunResult the snapshot simulations emit, so the existing
+/// mapreduce::trace writers apply), the steady-state summary, the sampled
+/// timeline, and the failure log.
+struct ClusterResult {
+  mapreduce::RunResult run;
+  SteadyStateSummary summary;
+  std::vector<TimelineSample> timeline;
+  std::vector<FailureEvent> failures;
+};
+
+/// Computes the summary from the run's records plus the lifecycle/timeline
+/// outputs. Exposed for tests; ClusterSimulation::run() calls it.
+SteadyStateSummary summarize_steady_state(
+    const mapreduce::RunResult& run, const std::vector<FailureEvent>& failures,
+    const std::vector<TimelineSample>& timeline, util::Seconds warmup,
+    util::Seconds horizon);
+
+/// One JSON object per line: a "summary" line, then "failure", "sample" and
+/// measured "job" lines in that order. Deterministic for a given seed —
+/// byte-identical across runs.
+void write_cluster_jsonl(std::ostream& os, const ClusterResult& result);
+
+/// CSV of the timeline (one row per sample interval).
+void write_timeline_csv(std::ostream& os, const ClusterResult& result);
+
+}  // namespace dfs::cluster

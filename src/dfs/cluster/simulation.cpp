@@ -1,0 +1,94 @@
+#include "dfs/cluster/simulation.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dfs/ec/registry.h"
+#include "dfs/workload/scenarios.h"
+
+namespace dfs::cluster {
+
+ClusterOptions::ClusterOptions() {
+  config = workload::default_sim_cluster();
+  // Lighter than the paper's §V-B job (1440 blocks) so the default stream
+  // keeps the cluster moderately loaded at one submission per minute: 240
+  // maps of ~20 s each is ~30 s of work for the 160 map slots, plus shuffle
+  // — roughly 40% network utilization, queueing but not saturation.
+  arrivals.job.num_blocks = 240;
+  arrivals.job.num_reducers = 10;
+}
+
+ClusterSimulation::ClusterSimulation(ClusterOptions options,
+                                     core::Scheduler& scheduler,
+                                     std::uint64_t seed)
+    : opts_(std::move(options)), rng_(seed) {
+  // ClusterOptions::horizon is authoritative for every component window.
+  opts_.arrivals.horizon = opts_.horizon;
+  opts_.lifecycle.horizon = opts_.horizon;
+  opts_.lifecycle.block_size = opts_.config.block_size;
+
+  net_ = std::make_unique<net::Network>(sim_, opts_.config.topology,
+                                        opts_.config.links,
+                                        opts_.config.contention);
+  master_ = std::make_unique<mapreduce::Master>(sim_, *net_, opts_.config,
+                                                failure_, scheduler, rng_,
+                                                opts_.source_selection);
+  master_->set_online(true);
+
+  // The cluster's archival data: what a failed node actually loses and a
+  // repair actually rebuilds. Shares the network with the job traffic.
+  archive_layout_ = std::make_shared<const storage::StorageLayout>(
+      storage::random_rack_constrained_layout(
+          opts_.archive_native_blocks, opts_.archive_n, opts_.archive_k,
+          opts_.config.topology, rng_));
+  archive_code_ = ec::make_code_from_spec(
+      "rs:" + std::to_string(opts_.archive_n) + "," +
+      std::to_string(opts_.archive_k));
+  if (!archive_code_) {
+    throw std::invalid_argument("bad archive code parameters");
+  }
+
+  lifecycle_ = std::make_unique<LifecycleDriver>(
+      sim_, *net_, *master_, failure_, *archive_layout_, *archive_code_,
+      opts_.lifecycle, rng_.fork());
+  arrivals_ = std::make_unique<ArrivalProcess>(
+      sim_, *master_, opts_.config.topology, opts_.arrivals, rng_.fork());
+  sampler_ = std::make_unique<ClusterSampler>(
+      sim_, *net_, *master_, *lifecycle_, opts_.sample_interval, [this] {
+        // Keep sampling through the drain tail: until admission has closed,
+        // the queue has emptied, and the last repair has finished.
+        return sim_.now() < opts_.horizon || !master_->all_jobs_done() ||
+               !lifecycle_->idle();
+      });
+}
+
+ClusterResult ClusterSimulation::run() {
+  if (ran_) throw std::logic_error("ClusterSimulation::run() called twice");
+  ran_ = true;
+
+  master_->start();
+  arrivals_->start();
+  lifecycle_->start();
+  sampler_->start();
+  sim_.schedule_at(opts_.horizon, [this] { master_->finish_admission(); });
+
+  sim_.run();
+
+  if (!master_->all_jobs_done()) {
+    throw std::runtime_error(
+        "cluster simulation drained its event queue with unfinished jobs "
+        "(scheduling starvation bug)");
+  }
+
+  ClusterResult result;
+  result.run = master_->take_result();
+  result.failures = lifecycle_->events();
+  result.timeline = sampler_->samples();
+  result.summary = summarize_steady_state(result.run, result.failures,
+                                          result.timeline, opts_.warmup,
+                                          opts_.horizon);
+  return result;
+}
+
+}  // namespace dfs::cluster

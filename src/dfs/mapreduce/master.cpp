@@ -36,8 +36,10 @@ Master::Master(sim::Simulator& simulator, net::Network& network,
 }
 
 void Master::submit(const JobInput& input) {
-  if (started_) {
-    throw std::logic_error("submit all jobs before Master::start()");
+  if (started_ && admission_closed_) {
+    throw std::logic_error(
+        "submit after Master::start() requires online mode "
+        "(set_online) and an open admission window");
   }
   if (!input.layout || !input.code) {
     throw std::invalid_argument("JobInput needs a layout and a code");
@@ -63,6 +65,11 @@ void Master::submit(const JobInput& input) {
       static_cast<std::size_t>(cfg_.topology.num_racks()), 0);
   j.reduces.resize(static_cast<std::size_t>(j.spec.num_reducers));
   jobs_.push_back(std::move(j));
+  if (started_) {
+    const std::size_t index = jobs_.size() - 1;
+    sim_.schedule_at(std::max(sim_.now(), jobs_.back().spec.submit_time),
+                     [this, index] { activate_job(index); });
+  }
 }
 
 void Master::activate_job(std::size_t index) {
@@ -123,19 +130,139 @@ void Master::start() {
   }
   for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
     if (!slave(n).alive) continue;
-    const util::Seconds phase = rng_.uniform(0.0, cfg_.heartbeat_interval);
-    sim_.schedule_periodic(phase, cfg_.heartbeat_interval, [this, n] {
-      if (all_jobs_done()) return false;
-      on_heartbeat(n);
-      return true;
-    });
+    start_heartbeat(n);
   }
+}
+
+void Master::start_heartbeat(NodeId n) {
+  const util::Seconds phase = rng_.uniform(0.0, cfg_.heartbeat_interval);
+  sim_.schedule_periodic(phase, cfg_.heartbeat_interval, [this, n] {
+    if (admission_closed_ && all_jobs_done()) return false;
+    if (!slave(n).alive) return false;  // rearmed by on_node_repaired
+    on_heartbeat(n);
+    return true;
+  });
 }
 
 void Master::on_heartbeat(NodeId s) {
   scheduler_.on_heartbeat(*this, s);
   assign_reduce_tasks(s);
   if (cfg_.speculative_execution) try_speculate(s);
+}
+
+// --- dynamic cluster health ----------------------------------------------------
+
+void Master::on_node_failed(NodeId node) {
+  SlaveState& s = slave(node);
+  if (!s.alive) return;
+  s.alive = false;  // its heartbeat loop unregisters itself on the next fire
+  for (JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    reclassify_after_failure(j, node);
+  }
+}
+
+void Master::on_node_repaired(NodeId node) {
+  SlaveState& s = slave(node);
+  if (s.alive) return;
+  s.alive = true;
+  for (JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    reclassify_after_repair(j, node);
+  }
+  if (started_) start_heartbeat(node);
+}
+
+void Master::reclassify_after_failure(JobState& j, NodeId node) {
+  for (std::size_t i = 0; i < j.maps.size(); ++i) {
+    MapTaskState& t = j.maps[i];
+    if (t.done) continue;
+    const auto it = std::find(t.locations.begin(), t.locations.end(), node);
+    if (it == t.locations.end()) continue;
+    t.locations.erase(it);
+    if (t.assigned) {
+      // Attempts in flight keep running: the model is a storage (DataNode)
+      // loss, not a TaskTracker death. Only the copy list shrinks, so any
+      // later speculative backup runs degraded.
+      if (t.locations.empty()) t.lost = true;
+      continue;
+    }
+    --j.pending_count_by_node[static_cast<std::size_t>(node)];
+    const RackId rack = cfg_.topology.rack_of(node);
+    bool rack_still_has_copy = false;
+    for (const NodeId loc : t.locations) {
+      if (cfg_.topology.rack_of(loc) == rack) {
+        rack_still_has_copy = true;
+        break;
+      }
+    }
+    if (!rack_still_has_copy) {
+      const auto rit =
+          std::find(t.location_racks.begin(), t.location_racks.end(), rack);
+      if (rit != t.location_racks.end()) {
+        t.location_racks.erase(rit);
+        --j.pending_by_rack[static_cast<std::size_t>(rack)];
+      }
+    }
+    if (t.locations.empty()) {
+      // Last readable copy gone: the task joins the degraded pool and the
+      // pacing totals (M_d) grow to match. Queue entries elsewhere go stale
+      // and are skipped by pop_pending's location check.
+      t.lost = true;
+      --j.pending_nondegraded;
+      ++j.total_md;
+      j.pending_degraded.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+void Master::reclassify_after_repair(JobState& j, NodeId node) {
+  const bool replicated = j.layout->k() == 1;
+  for (std::size_t i = 0; i < j.maps.size(); ++i) {
+    MapTaskState& t = j.maps[i];
+    if (t.done) continue;
+    bool holds_copy = false;
+    if (replicated) {
+      for (int b = 0; b < j.layout->n() && !holds_copy; ++b) {
+        holds_copy =
+            j.layout->node_of(storage::BlockId{t.block.stripe, b}) == node;
+      }
+    } else {
+      holds_copy = t.home == node;
+    }
+    if (!holds_copy) continue;
+    if (std::find(t.locations.begin(), t.locations.end(), node) !=
+        t.locations.end()) {
+      continue;
+    }
+    if (t.assigned) {
+      // The running attempt keeps its classification; restoring the copy
+      // list lets later speculative backups read the block again.
+      t.locations.push_back(node);
+      t.lost = false;
+      continue;
+    }
+    if (t.locations.empty()) {
+      // Leaves the degraded pool: its input is readable again.
+      const auto it = std::find(j.pending_degraded.begin(),
+                                j.pending_degraded.end(), static_cast<int>(i));
+      assert(it != j.pending_degraded.end());
+      j.pending_degraded.erase(it);
+      t.lost = false;
+      ++j.pending_nondegraded;
+      --j.total_md;
+    }
+    t.locations.push_back(node);
+    j.pending_by_node[static_cast<std::size_t>(node)].push_back(
+        static_cast<int>(i));
+    ++j.pending_count_by_node[static_cast<std::size_t>(node)];
+    const RackId rack = cfg_.topology.rack_of(node);
+    if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
+        t.location_racks.end()) {
+      t.location_racks.push_back(rack);
+      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
+    }
+  }
 }
 
 // --- SchedulerContext queries --------------------------------------------------
@@ -277,8 +404,15 @@ int Master::pop_pending(JobState& j, NodeId node) {
   while (!dq.empty()) {
     const int map_idx = dq.front();
     dq.pop_front();
-    if (!j.maps[static_cast<std::size_t>(map_idx)].assigned) return map_idx;
-    // Stale entry: the task was assigned through another replica's queue.
+    const MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+    // Stale entries: the task was assigned through another replica's queue,
+    // or this node's copy was lost to a mid-run failure.
+    if (t.assigned) continue;
+    if (std::find(t.locations.begin(), t.locations.end(), node) ==
+        t.locations.end()) {
+      continue;
+    }
+    return map_idx;
   }
   return -1;
 }

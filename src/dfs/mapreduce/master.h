@@ -42,13 +42,37 @@ class Master final : public core::SchedulerContext {
   Master(const Master&) = delete;
   Master& operator=(const Master&) = delete;
 
-  /// Register a job; it activates at spec.submit_time.
+  /// Register a job; it activates at spec.submit_time. In online mode this
+  /// may also be called after start() — the cluster arrival generator admits
+  /// jobs into the FIFO queue while the simulation runs.
   void submit(const JobInput& input);
 
   /// Start the per-slave heartbeat loops. Call once, before Simulator::run.
   void start();
 
+  /// Online mode: heartbeats keep running (and submit() stays legal) after
+  /// the current jobs drain, until finish_admission() is called. Call before
+  /// start().
+  void set_online(bool online) { admission_closed_ = !online; }
+
+  /// No further submissions will arrive; heartbeat loops stop once the
+  /// remaining jobs drain.
+  void finish_admission() { admission_closed_ = true; }
+
+  /// A node's storage and task slots went away (cluster lifecycle event).
+  /// Pending map tasks whose last readable copy was on `node` become
+  /// degraded; tasks already running are allowed to finish (the failure
+  /// model is a DataNode/storage loss, as in the paper).
+  void on_node_failed(NodeId node);
+
+  /// The node's blocks have been rebuilt: it serves reads and heartbeats
+  /// again. Pending degraded tasks whose input lived on `node` regain their
+  /// locality.
+  void on_node_repaired(NodeId node);
+
   bool all_jobs_done() const { return jobs_done_ == jobs_.size(); }
+  std::size_t jobs_submitted() const { return jobs_.size(); }
+  std::size_t jobs_completed() const { return jobs_done_; }
 
   /// Collect the result after the simulation has drained.
   RunResult take_result();
@@ -147,7 +171,14 @@ class Master final : public core::SchedulerContext {
   SlaveState& slave(NodeId id) { return slaves_[static_cast<std::size_t>(id)]; }
 
   void activate_job(std::size_t index);
+  void start_heartbeat(NodeId s);
   void on_heartbeat(NodeId s);
+  /// Removes `node` as a readable location of job `j`'s pending tasks;
+  /// tasks left with no location join the degraded pool.
+  void reclassify_after_failure(JobState& j, NodeId node);
+  /// Re-adds `node` as a readable location; pending degraded tasks whose
+  /// input is back become local again.
+  void reclassify_after_repair(JobState& j, NodeId node);
   /// Pops the next pending (unassigned) task queued at `node`; -1 if none.
   int pop_pending(JobState& j, NodeId node);
   /// Marks a task assigned and updates every pending index.
@@ -180,6 +211,9 @@ class Master final : public core::SchedulerContext {
   std::size_t jobs_done_ = 0;
   RunResult result_;
   bool started_ = false;
+  /// True once no more submissions can arrive (always true in snapshot
+  /// runs); heartbeat loops stop when this holds and all jobs are done.
+  bool admission_closed_ = true;
 };
 
 }  // namespace dfs::mapreduce

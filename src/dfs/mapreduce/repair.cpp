@@ -25,18 +25,25 @@ RepairProcess::RepairProcess(sim::Simulator& simulator, net::Network& network,
 }
 
 void RepairProcess::start() {
-  assert(!started_);
-  started_ = true;
+  std::vector<storage::BlockId> blocks;
   for (const net::NodeId node : failure_.failed_nodes()) {
     for (const storage::BlockId block : layout_.blocks_on_node(node)) {
-      pending_.push_back(block);
+      blocks.push_back(block);
     }
   }
+  start(std::move(blocks));
+}
+
+void RepairProcess::start(std::vector<storage::BlockId> blocks) {
+  assert(!started_);
+  started_ = true;
+  pending_.insert(pending_.end(), blocks.begin(), blocks.end());
   if (pending_.empty()) {
     stats_.finish_time = sim_.now();
+    if (on_complete) on_complete();
     return;
   }
-  sim_.schedule_at(options_.start_time, [this] {
+  sim_.schedule_at(std::max(options_.start_time, sim_.now()), [this] {
     for (int i = 0; i < options_.concurrency; ++i) launch_next();
   });
 }

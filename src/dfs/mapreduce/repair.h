@@ -45,10 +45,19 @@ class RepairProcess {
   /// Simulator::run().
   void start();
 
+  /// Queues exactly `blocks` instead of enumerating the failure's nodes —
+  /// the cluster lifecycle driver repairs one failure event at a time while
+  /// the shared FailureScenario may already list other, separately-repaired
+  /// nodes. May be called mid-run; repairs begin at options.start_time (or
+  /// immediately if that time has passed).
+  void start(std::vector<storage::BlockId> blocks);
+
   const Stats& stats() const { return stats_; }
   bool done() const {
     return started_ && pending_.empty() && in_flight_ == 0;
   }
+  /// Blocks queued or being rebuilt right now (the repair backlog).
+  int backlog() const { return static_cast<int>(pending_.size()) + in_flight_; }
 
   /// Invoked when the last block has been rebuilt.
   std::function<void()> on_complete;

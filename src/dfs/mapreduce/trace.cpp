@@ -8,10 +8,20 @@ namespace dfs::mapreduce {
 
 namespace {
 
-/// CSV-quotes nothing: every emitted field is numeric or a bare identifier.
 void write_row_end(std::ostream& os) { os << '\n'; }
 
 }  // namespace
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
 
 void write_map_task_csv(std::ostream& os, const RunResult& result) {
   os << "task_id,job_id,stripe,block_index,kind,exec_node,source_node,"
@@ -19,7 +29,8 @@ void write_map_task_csv(std::ostream& os, const RunResult& result) {
         "unrecoverable\n";
   for (const auto& t : result.map_tasks) {
     os << t.id << ',' << t.job << ',' << t.block.stripe << ','
-       << t.block.index << ',' << to_string(t.kind) << ',' << t.exec_node
+       << t.block.index << ',' << csv_escape(to_string(t.kind)) << ','
+       << t.exec_node
        << ',' << t.source_node << ',' << t.assign_time << ','
        << t.fetch_done_time << ',' << t.finish_time << ',' << t.runtime()
        << ',' << t.sources.size() << ',' << (t.unrecoverable ? 1 : 0);

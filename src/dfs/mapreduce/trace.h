@@ -11,6 +11,13 @@ namespace dfs::mapreduce {
 /// external tooling (pandas, gnuplot, ...). One row per task / job; columns
 /// documented in the header row.
 
+/// RFC-4180 field escaping: wraps the field in double quotes (doubling any
+/// inner quotes) when it contains a comma, quote, or line break; returns it
+/// unchanged otherwise. The built-in columns are numeric or bare
+/// identifiers, so today's traces are unchanged — the helper keeps any
+/// future string column (job names, file paths) from corrupting rows.
+std::string csv_escape(const std::string& field);
+
 void write_map_task_csv(std::ostream& os, const RunResult& result);
 void write_reduce_task_csv(std::ostream& os, const RunResult& result);
 void write_job_csv(std::ostream& os, const RunResult& result);

@@ -15,6 +15,16 @@ bool FailureScenario::is_failed(net::NodeId node) const {
   return std::binary_search(failed_.begin(), failed_.end(), node);
 }
 
+void FailureScenario::fail(net::NodeId node) {
+  const auto it = std::lower_bound(failed_.begin(), failed_.end(), node);
+  if (it == failed_.end() || *it != node) failed_.insert(it, node);
+}
+
+void FailureScenario::restore(net::NodeId node) {
+  const auto it = std::lower_bound(failed_.begin(), failed_.end(), node);
+  if (it != failed_.end() && *it == node) failed_.erase(it);
+}
+
 FailureScenario no_failure() { return FailureScenario{}; }
 
 FailureScenario single_node_failure(const net::Topology& topo,

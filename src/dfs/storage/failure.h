@@ -10,6 +10,12 @@ namespace dfs::storage {
 /// The set of failed nodes while a MapReduce job runs. The paper's focus is
 /// a single failed node (the common case, §II-B); double-node and full-rack
 /// failures are evaluated in Fig. 7(d).
+///
+/// Snapshot runs build one immutable instance up front. The dfs::cluster
+/// lifecycle driver instead treats a shared instance as the cluster's
+/// time-varying health view: `fail()` / `restore()` mutate it mid-run, and
+/// everything holding a reference (master, degraded-read planners, repair
+/// processes) sees the current state on its next query.
 class FailureScenario {
  public:
   FailureScenario() = default;
@@ -18,6 +24,11 @@ class FailureScenario {
   bool is_failed(net::NodeId node) const;
   bool any() const { return !failed_.empty(); }
   const std::vector<net::NodeId>& failed_nodes() const { return failed_; }
+
+  /// Add `node` to the failed set. Idempotent.
+  void fail(net::NodeId node);
+  /// Remove `node` from the failed set (repair completed). Idempotent.
+  void restore(net::NodeId node);
 
  private:
   std::vector<net::NodeId> failed_;  // sorted

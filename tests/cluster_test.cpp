@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "dfs/cluster/simulation.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/core/scheduler.h"
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/mapreduce/master.h"
+#include "dfs/storage/layout.h"
+
+namespace dfs::cluster {
+namespace {
+
+using mapreduce::MapTaskKind;
+
+/// A small online cluster under direct control: the tests drive failure and
+/// repair at exact times instead of drawing them from MTTF clocks.
+struct OnlineHarness {
+  mapreduce::ClusterConfig cfg;
+  mapreduce::JobInput job;
+  util::Rng rng{99};
+  sim::Simulator sim;
+  storage::FailureScenario failure;
+  core::LocalityFirstScheduler lf;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<mapreduce::Master> master;
+
+  OnlineHarness() {
+    cfg.topology = net::Topology(4, 5);
+    cfg.links.rack_up = 1000.0;  // bytes/sec; block = 1000 bytes -> 1 s
+    cfg.links.rack_down = 1000.0;
+    cfg.map_slots_per_node = 2;
+    cfg.reduce_slots_per_node = 1;
+    cfg.block_size = 1000.0;
+    cfg.heartbeat_interval = 1.0;
+
+    util::Rng placement(7);
+    job.spec.map_time = {5.0, 0.5};
+    job.spec.reduce_time = {4.0, 0.4};
+    job.spec.num_reducers = 5;
+    job.spec.shuffle_ratio = 0.01;
+    job.layout = std::make_shared<storage::StorageLayout>(
+        storage::random_rack_constrained_layout(120, 8, 6, cfg.topology,
+                                                placement));
+    job.code = ec::make_reed_solomon(8, 6);
+
+    net = std::make_unique<net::Network>(sim, cfg.topology, cfg.links,
+                                         cfg.contention);
+    master = std::make_unique<mapreduce::Master>(sim, *net, cfg, failure, lf,
+                                                 rng);
+  }
+};
+
+// --- mid-run failure injection ------------------------------------------------
+
+TEST(Cluster, MidRunFailureReclassifiesPendingTasksAsDegraded) {
+  OnlineHarness h;
+  h.master->submit(h.job);
+  const util::Seconds fail_at = 2.5;
+  h.sim.schedule_at(fail_at, [&h] {
+    h.failure.fail(3);
+    h.master->on_node_failed(3);
+  });
+  h.master->start();
+  h.sim.run();
+  ASSERT_TRUE(h.master->all_jobs_done());
+  const auto r = h.master->take_result();
+
+  // The cluster was healthy at submission, yet tasks ran degraded: only the
+  // mid-run reclassification can have produced them.
+  EXPECT_GT(r.count_map_tasks(MapTaskKind::kDegraded), 0);
+  EXPECT_FALSE(r.data_loss);
+  // The failed node stops receiving work; tasks assigned to it earlier are
+  // allowed to finish (the failure takes its storage, not its progress).
+  for (const auto& t : r.map_tasks) {
+    if (t.assign_time > fail_at) EXPECT_NE(t.exec_node, 3) << t.id;
+  }
+  for (const auto& t : r.map_tasks) {
+    if (t.kind == MapTaskKind::kDegraded) {
+      for (const auto& src : t.sources) EXPECT_NE(src.node, 3);
+    }
+  }
+}
+
+// --- repair completion restores locality --------------------------------------
+
+TEST(Cluster, RepairRestoresFullLocality) {
+  OnlineHarness h;
+  h.failure.fail(3);
+  h.master->on_node_failed(3);
+  h.master->set_online(true);
+  h.master->submit(h.job);  // activates at t=0, while node 3 is down
+
+  h.sim.schedule_at(2.5, [&h] {
+    h.failure.restore(3);
+    h.master->on_node_repaired(3);
+  });
+  mapreduce::JobInput job2 = h.job;
+  job2.spec.id = 1;
+  job2.spec.submit_time = 40.0;  // healthy cluster by then
+  h.sim.schedule_at(job2.spec.submit_time,
+                    [&h, job2] { h.master->submit(job2); });
+  h.sim.schedule_at(41.0, [&h] { h.master->finish_admission(); });
+
+  h.master->start();
+  h.sim.run();
+  ASSERT_TRUE(h.master->all_jobs_done());
+  const auto r = h.master->take_result();
+  ASSERT_EQ(r.jobs.size(), 2u);
+
+  // Job 0's tasks on node 3 were degraded at activation; the repair at
+  // t=2.5 re-promoted every one still pending, and locality-first had no
+  // reason to launch any of them degraded that early.
+  EXPECT_EQ(r.jobs[0].degraded_tasks, 0);
+  // Job 1 never saw a failure, and node 3 is a first-class slave again:
+  // it executes map tasks and serves reads.
+  EXPECT_EQ(r.jobs[1].degraded_tasks, 0);
+  const bool node3_worked =
+      std::any_of(r.map_tasks.begin(), r.map_tasks.end(), [](const auto& t) {
+        return t.job == 1 && t.exec_node == 3;
+      });
+  EXPECT_TRUE(node3_worked);
+  EXPECT_EQ(r.count_map_tasks(MapTaskKind::kDegraded), 0);
+}
+
+// --- the full lifecycle simulation --------------------------------------------
+
+ClusterOptions fast_options() {
+  ClusterOptions opts;
+  opts.horizon = 1800.0;
+  opts.warmup = 300.0;
+  opts.lifecycle.node_mttf_hours = 1.0;  // several failures in half an hour
+  return opts;
+}
+
+TEST(Cluster, LifecycleInjectsFailuresAndRepairsThemAll) {
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterSimulation simulation(fast_options(), *scheduler, 11);
+  const ClusterResult result = simulation.run();
+
+  EXPECT_GT(result.summary.failures_injected, 0);
+  EXPECT_GT(result.summary.blocks_repaired, 0);
+  EXPECT_EQ(result.summary.blocks_unrecoverable, 0);
+  // Every failure happened mid-run and was fully repaired: the cluster ends
+  // with all nodes healthy.
+  for (const auto& f : result.failures) {
+    EXPECT_GE(f.fail_time, 0.0);
+    EXPECT_GE(f.repair_start, f.fail_time);
+    EXPECT_GE(f.restore_time, f.repair_start);
+  }
+  EXPECT_TRUE(simulation.failure().failed_nodes().empty());
+  EXPECT_EQ(simulation.lifecycle().failed_node_count(), 0);
+  EXPECT_EQ(simulation.lifecycle().repair_backlog(), 0);
+  // The open-loop stream kept submitting while failures were in flight, and
+  // everything drained.
+  EXPECT_GT(result.summary.jobs_measured, 0);
+  EXPECT_EQ(result.summary.jobs_submitted, result.summary.jobs_completed);
+  EXPECT_GT(result.summary.degraded_task_fraction, 0.0);
+}
+
+TEST(Cluster, RackFailuresFireAndStayRecoverable) {
+  ClusterOptions opts = fast_options();
+  opts.lifecycle.rack_failure_fraction = 1.0;  // every event takes a rack
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterSimulation simulation(opts, *scheduler, 21);
+  const ClusterResult result = simulation.run();
+  EXPECT_GT(result.summary.rack_failures, 0);
+  // The §III placement rule caps one rack's share of a stripe at n - k, so
+  // a lone rack failure never loses data.
+  EXPECT_EQ(result.summary.blocks_unrecoverable, 0);
+  EXPECT_TRUE(simulation.failure().failed_nodes().empty());
+}
+
+TEST(Cluster, DegradedFirstTailLatencyNoWorseThanLocalityFirst) {
+  const auto lf = core::make_scheduler("LF");
+  const auto df = core::make_scheduler("BDF");
+  ClusterSimulation lf_sim(ClusterOptions{}, *lf, 1);
+  ClusterSimulation df_sim(ClusterOptions{}, *df, 1);
+  const double lf_p99 = lf_sim.run().summary.latency_p99;
+  const double df_p99 = df_sim.run().summary.latency_p99;
+  EXPECT_GT(lf_p99, 0.0);
+  EXPECT_GT(df_p99, 0.0);
+  EXPECT_LE(df_p99, lf_p99);
+}
+
+TEST(Cluster, SameSeedProducesByteIdenticalJsonl) {
+  const auto scheduler = core::make_scheduler("BDF");
+  std::ostringstream first, second;
+  {
+    ClusterSimulation simulation(fast_options(), *scheduler, 5);
+    write_cluster_jsonl(first, simulation.run());
+  }
+  {
+    ClusterSimulation simulation(fast_options(), *scheduler, 5);
+    write_cluster_jsonl(second, simulation.run());
+  }
+  ASSERT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// --- exporters ----------------------------------------------------------------
+
+TEST(Cluster, JsonlIsOneObjectPerLine) {
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterSimulation simulation(fast_options(), *scheduler, 3);
+  std::ostringstream os;
+  write_cluster_jsonl(os, simulation.run());
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"type\":"), std::string::npos) << line;
+    ++lines;
+  }
+  EXPECT_GT(lines, 1);
+  EXPECT_EQ(os.str().substr(0, 17), "{\"type\":\"summary\"");
+}
+
+TEST(Cluster, TimelineCsvHeaderIsStable) {
+  std::ostringstream os;
+  write_timeline_csv(os, ClusterResult{});
+  EXPECT_EQ(os.str(),
+            "time,jobs_in_system,failed_nodes,repair_backlog,"
+            "rack_down_utilization\n");
+}
+
+// --- steady-state summary -----------------------------------------------------
+
+TEST(Cluster, SummaryMeasuresOnlyJobsSubmittedInsideTheWindow) {
+  mapreduce::RunResult run;
+  const auto add_job = [&run](int id, double submit, double finish) {
+    mapreduce::JobMetrics j;
+    j.id = id;
+    j.submit_time = submit;
+    j.first_map_launch = submit;
+    j.finish_time = finish;
+    j.local_tasks = 8;
+    j.degraded_tasks = 2;
+    run.jobs.push_back(j);
+  };
+  add_job(0, 10.0, 50.0);     // before warm-up: excluded
+  add_job(1, 150.0, 160.0);   // latency 10
+  add_job(2, 200.0, 220.0);   // latency 20
+  add_job(3, 250.0, 280.0);   // latency 30
+  add_job(4, 600.0, 700.0);   // after the horizon: excluded
+  add_job(5, 300.0, -1.0);    // never finished: excluded
+
+  const SteadyStateSummary s =
+      summarize_steady_state(run, {}, {}, /*warmup=*/100.0, /*horizon=*/500.0);
+  EXPECT_EQ(s.jobs_submitted, 6);
+  EXPECT_EQ(s.jobs_completed, 5);
+  EXPECT_EQ(s.jobs_measured, 3);
+  EXPECT_DOUBLE_EQ(s.latency_p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.latency_mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.degraded_task_fraction, 0.2);
+}
+
+// --- arrival models -----------------------------------------------------------
+
+TEST(Cluster, ArrivalModelNamesRoundTrip) {
+  for (const auto model : {ArrivalModel::kPoisson, ArrivalModel::kPareto,
+                           ArrivalModel::kDiurnal}) {
+    EXPECT_EQ(parse_arrival_model(to_string(model)), model);
+  }
+  EXPECT_THROW(parse_arrival_model("weibull"), std::invalid_argument);
+}
+
+TEST(Cluster, ArrivalOptionsAreValidated) {
+  OnlineHarness h;
+  ArrivalOptions bad;
+  bad.mean_interarrival = 0.0;
+  EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
+                              util::Rng(1)),
+               std::invalid_argument);
+  bad = ArrivalOptions{};
+  bad.pareto_alpha = 1.0;
+  EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
+                              util::Rng(1)),
+               std::invalid_argument);
+  bad = ArrivalOptions{};
+  bad.diurnal_amplitude = 1.0;
+  EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
+                              util::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfs::cluster
