@@ -87,6 +87,16 @@ void LifecycleDriver::trigger_failure(std::vector<net::NodeId> nodes,
     clocks_[static_cast<std::size_t>(n)] = sim::EventId{};
     failure_.fail(n);
     master_.on_node_failed(n);
+    if (options_.compute_failures) {
+      master_.on_compute_failed(n);
+      // Other events' in-flight repairs may be reading from or rebuilding
+      // onto the newly-dead node.
+      for (const auto& prior : events_) {
+        if (prior->repair && !prior->repair->done()) {
+          prior->repair->on_node_failed(n);
+        }
+      }
+    }
     const auto blocks = archive_layout_.blocks_on_node(n);
     lost_blocks.insert(lost_blocks.end(), blocks.begin(), blocks.end());
   }

@@ -40,6 +40,11 @@ struct LifecycleOptions {
   /// No new failures are injected after the horizon; repairs already
   /// running still complete.
   util::Seconds horizon = 2.0 * 3600.0;
+  /// Fault layer: a failure also kills the node's TaskTracker (the master
+  /// detects it by heartbeat expiry and reschedules its attempts), and
+  /// failures are forwarded to in-flight repairs so transfers touching the
+  /// dead node are re-planned. Requires ClusterConfig::fault to match.
+  bool compute_failures = false;
 };
 
 /// One node- or rack-failure event and its repair outcome.

@@ -65,6 +65,10 @@ SteadyStateSummary summarize_steady_state(
   std::vector<double> latencies, runtimes;
   long degraded = 0, total_tasks = 0;
   for (const auto& j : run.jobs) {
+    if (j.failed) {
+      ++s.jobs_failed;
+      continue;  // an abort is not a completion and has no useful latency
+    }
     if (j.finish_time >= 0.0) ++s.jobs_completed;
     if (j.submit_time < warmup || j.submit_time > horizon ||
         j.finish_time < 0.0) {
@@ -114,8 +118,10 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
   os << "{\"type\":\"summary\",\"warmup\":" << s.warmup
      << ",\"horizon\":" << s.horizon
      << ",\"jobs_submitted\":" << s.jobs_submitted
-     << ",\"jobs_completed\":" << s.jobs_completed
-     << ",\"jobs_measured\":" << s.jobs_measured
+     << ",\"jobs_completed\":" << s.jobs_completed;
+  // Gated so fault-off runs stay byte-identical to pre-fault-layer output.
+  if (s.jobs_failed > 0) os << ",\"jobs_failed\":" << s.jobs_failed;
+  os << ",\"jobs_measured\":" << s.jobs_measured
      << ",\"latency_p50\":" << s.latency_p50
      << ",\"latency_p95\":" << s.latency_p95
      << ",\"latency_p99\":" << s.latency_p99
@@ -149,7 +155,7 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
        << ",\"rack_down_utilization\":" << t.rack_down_utilization << "}\n";
   }
   for (const auto& j : result.run.jobs) {
-    if (j.submit_time < s.warmup || j.submit_time > s.horizon ||
+    if (j.failed || j.submit_time < s.warmup || j.submit_time > s.horizon ||
         j.finish_time < 0.0) {
       continue;
     }

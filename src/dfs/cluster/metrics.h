@@ -60,6 +60,10 @@ struct SteadyStateSummary {
   util::Seconds horizon = 0.0;
   int jobs_submitted = 0;  ///< whole run
   int jobs_completed = 0;
+  /// Jobs aborted after a task exhausted its attempts (fault layer; 0
+  /// otherwise). Failed jobs count in neither jobs_completed nor the
+  /// latency percentiles.
+  int jobs_failed = 0;
   int jobs_measured = 0;   ///< submitted inside the measurement window
   double latency_p50 = 0.0;   ///< submit-to-finish, measured jobs
   double latency_p95 = 0.0;

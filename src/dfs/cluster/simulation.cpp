@@ -27,6 +27,7 @@ ClusterSimulation::ClusterSimulation(ClusterOptions options,
   opts_.arrivals.horizon = opts_.horizon;
   opts_.lifecycle.horizon = opts_.horizon;
   opts_.lifecycle.block_size = opts_.config.block_size;
+  opts_.lifecycle.compute_failures = opts_.config.fault.compute_failures;
 
   net_ = std::make_unique<net::Network>(sim_, opts_.config.topology,
                                         opts_.config.links,

@@ -12,6 +12,49 @@
 
 namespace dfs::mapreduce {
 
+/// Compute-failure fault tolerance (Hadoop's JobTracker semantics). All
+/// knobs default to off: with this struct untouched the master behaves
+/// exactly as the storage-only failure model — no extra RNG draws, no extra
+/// events — so existing runs stay byte-identical.
+struct FaultConfig {
+  /// Master switch for TaskTracker-death semantics: heartbeats stop when a
+  /// node's compute fails, the master declares it dead only after the expiry
+  /// window, kills its in-flight attempts, requeues their tasks, and
+  /// re-executes completed maps whose shuffle outputs died with the node.
+  /// Off reproduces the paper's oracle model (storage loss only; attempts on
+  /// a failed node are allowed to finish).
+  bool compute_failures = false;
+  /// A slave is declared dead once its last heartbeat is older than
+  /// expiry_multiplier * heartbeat_interval (Hadoop-style expiry).
+  double expiry_multiplier = 10.0;
+  /// Per-attempt probability of a transient mid-run crash (maps and
+  /// reduces). 0 disables injection entirely.
+  double attempt_failure_prob = 0.0;
+  /// Restrict crash injection to these nodes; empty means every node is
+  /// eligible. Lets tests and ablations model one flaky machine.
+  std::vector<NodeId> flaky_nodes;
+  /// Attempts per task before its job is aborted and marked failed.
+  int max_attempts = 4;
+  /// Delay before a failed task re-enters the pending pools; doubles with
+  /// each prior failure of the same task (exponential backoff).
+  util::Seconds retry_backoff = 1.0;
+  /// Attempt failures on one slave before it is blacklisted (<= 0 disables
+  /// blacklisting) ...
+  int blacklist_threshold = 3;
+  /// ... and for how long: a blacklisted slave advertises zero free slots
+  /// until the window passes.
+  util::Seconds blacklist_duration = 300.0;
+
+  bool injection_enabled() const { return attempt_failure_prob > 0.0; }
+  bool node_flaky(NodeId node) const {
+    if (flaky_nodes.empty()) return true;
+    for (const NodeId n : flaky_nodes) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+};
+
 /// Static description of the simulated cluster (§V-B defaults).
 struct ClusterConfig {
   net::Topology topology{4, 10};  ///< 40 nodes in 4 racks by default
@@ -44,6 +87,9 @@ struct ClusterConfig {
   /// Fraction of the job's maps that must have completed before runtimes
   /// are considered representative enough to speculate against.
   double speculation_min_completed_fraction = 0.1;
+
+  /// Compute-failure fault tolerance; inert at its defaults.
+  FaultConfig fault;
 
   double time_scale(NodeId node) const {
     if (node_time_scale.empty()) return 1.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace dfs::mapreduce {
@@ -136,15 +137,19 @@ void Master::start() {
 
 void Master::start_heartbeat(NodeId n) {
   const util::Seconds phase = rng_.uniform(0.0, cfg_.heartbeat_interval);
+  slave(n).last_heartbeat = sim_.now();
   sim_.schedule_periodic(phase, cfg_.heartbeat_interval, [this, n] {
     if (admission_closed_ && all_jobs_done()) return false;
-    if (!slave(n).alive) return false;  // rearmed by on_node_repaired
+    // Rearmed by on_node_repaired. A compute-failed slave stops heartbeating
+    // immediately even though the master still believes it alive.
+    if (!slave(n).alive || !slave(n).heartbeating) return false;
     on_heartbeat(n);
     return true;
   });
 }
 
 void Master::on_heartbeat(NodeId s) {
+  slave(s).last_heartbeat = sim_.now();
   scheduler_.on_heartbeat(*this, s);
   assign_reduce_tasks(s);
   if (cfg_.speculative_execution) try_speculate(s);
@@ -160,11 +165,90 @@ void Master::on_node_failed(NodeId node) {
     if (!j.active || j.finished) continue;
     reclassify_after_failure(j, node);
   }
+  if (cfg_.fault.compute_failures) replan_inflight_reads(node);
+}
+
+void Master::on_compute_failed(NodeId node) {
+  if (!cfg_.fault.compute_failures) {
+    throw std::logic_error(
+        "on_compute_failed requires FaultConfig::compute_failures");
+  }
+  SlaveState& s = slave(node);
+  // alive is not consulted: it tracks storage death, which normally happens
+  // in the same failure event just before this call.
+  if (!s.heartbeating) return;
+  s.heartbeating = false;
+  s.compute_fail_time = sim_.now();
+
+  // The attempts physically die now: cancel their transfers and mark them
+  // doomed so they never produce output. The master's view (slot counts,
+  // pending pools, records) only changes at detection.
+  for (const int record_idx : sorted_attempt_records()) {
+    MapAttempt& a = map_attempts_.at(record_idx);
+    const MapTaskRecord& rec =
+        result_.map_tasks[static_cast<std::size_t>(record_idx)];
+    if (rec.exec_node != node) continue;
+    a.doomed = true;
+    for (const net::FlowId f : a.flows) net_.cancel(f);
+    a.flows.clear();
+  }
+  for (JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    for (std::size_t r = 0; r < j.reduces.size(); ++r) {
+      ReduceTaskState& rt = j.reduces[r];
+      if (!rt.assigned) continue;
+      if (rt.node == node &&
+          result_.reduce_tasks[static_cast<std::size_t>(rt.record)]
+                  .finish_time < 0.0) {
+        rt.doomed = true;
+        for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
+        rt.inflight.clear();
+      } else {
+        // Shuffle fetches sourced from the dead node stall: the serving map
+        // output is gone. Drop them; reap_dead_node re-executes the maps.
+        for (auto it = rt.inflight.begin(); it != rt.inflight.end();) {
+          if (it->src == node) {
+            net_.cancel(it->flow);
+            it = rt.inflight.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+
+  // Hadoop-style expiry: declared dead once the last heartbeat is older than
+  // the expiry window.
+  const int inc = s.incarnation;
+  const util::Seconds detect_at =
+      std::max(sim_.now(), s.last_heartbeat + cfg_.fault.expiry_multiplier *
+                                                  cfg_.heartbeat_interval);
+  sim_.schedule_at(detect_at, [this, node, inc] {
+    const SlaveState& sl = slave(node);
+    if (sl.incarnation != inc || sl.heartbeating) return;
+    declare_slave_dead(node);
+  });
 }
 
 void Master::on_node_repaired(NodeId node) {
   SlaveState& s = slave(node);
-  if (s.alive) return;
+  const bool compute_died = cfg_.fault.compute_failures && !s.heartbeating;
+  if (s.alive && !compute_died) return;
+  if (compute_died) {
+    // The node comes back with a fresh TaskTracker: doomed attempts and map
+    // outputs are gone regardless of whether the expiry fired. Reaping is
+    // idempotent, so a death the master already detected reaps to a no-op;
+    // a repair that beats the expiry window does the real work here.
+    reap_dead_node(node);
+    ++s.incarnation;  // stale detection / unblacklist timers now no-op
+    s.heartbeating = true;
+    s.compute_fail_time = -1.0;
+    s.recent_failures = 0;
+    s.blacklisted = false;
+    s.free_map_slots = cfg_.map_slots_per_node;
+    s.free_reduce_slots = cfg_.reduce_slots_per_node;
+  }
   s.alive = true;
   for (JobState& j : jobs_) {
     if (!j.active || j.finished) continue;
@@ -246,7 +330,15 @@ void Master::reclassify_after_repair(JobState& j, NodeId node) {
       // Leaves the degraded pool: its input is readable again.
       const auto it = std::find(j.pending_degraded.begin(),
                                 j.pending_degraded.end(), static_cast<int>(i));
-      assert(it != j.pending_degraded.end());
+      if (it == j.pending_degraded.end()) {
+        // A pending task with no readable copy must be in the degraded pool;
+        // anything else means the pending indexes are corrupt. Fail loudly
+        // in release builds too — silently continuing would let the pacing
+        // counters drift.
+        throw std::logic_error(
+            "reclassify_after_repair: pending task with no locations is "
+            "missing from the degraded pool");
+      }
       j.pending_degraded.erase(it);
       t.lost = false;
       ++j.pending_nondegraded;
@@ -273,7 +365,9 @@ std::vector<core::JobId> Master::running_jobs() const {
   std::vector<core::JobId> out;
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const JobState& j = jobs_[i];
-    if (j.active && j.m < j.total_m) out.push_back(static_cast<int>(i));
+    if (j.active && !j.finished && j.m < j.total_m) {
+      out.push_back(static_cast<int>(i));
+    }
   }
   return out;
 }
@@ -287,7 +381,9 @@ const Master::JobState& Master::job(core::JobId id) const {
 }
 
 int Master::free_map_slots(NodeId s) const {
-  return slaves_[static_cast<std::size_t>(s)].free_map_slots;
+  const SlaveState& sl = slaves_[static_cast<std::size_t>(s)];
+  if (sl.blacklisted) return 0;  // fault layer: advertise no capacity
+  return sl.free_map_slots;
 }
 
 bool Master::has_unassigned_local(core::JobId id, NodeId s) const {
@@ -503,6 +599,8 @@ void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
   rec.id = static_cast<TaskId>(result_.map_tasks.size());
   rec.job = j.spec.id;
   rec.block = t.block;
+  rec.map_index = map_idx;
+  rec.attempt = t.attempts++;
   rec.exec_node = s;
   rec.source_node = fetch_source;
   rec.kind = kind;
@@ -514,6 +612,7 @@ void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
     // Backups are extra attempts: they never advance the pacing counters
     // (m, m_d), the per-kind task counts, or the first-launch milestone.
     t.record = record_idx;
+    t.launched_kind = kind;
     ++j.m;
     if (kind == MapTaskKind::kDegraded) ++j.md;
     if (j.metrics.first_map_launch < 0.0) {
@@ -534,6 +633,15 @@ void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
   }
 
   const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+  // Register the live attempt. Pure bookkeeping (no events, no RNG), so it
+  // is maintained whether or not the fault layer is on; every lifecycle
+  // callback looks the attempt up first and no-ops once it is finalized.
+  MapAttempt attempt;
+  attempt.job = job_id;
+  attempt.map_idx = map_idx;
+  attempt.backup = backup;
+  MapAttempt& reg = map_attempts_.emplace(record_idx, std::move(attempt))
+                        .first->second;
 
   if (kind == MapTaskKind::kDegraded) {
     auto sources = j.planner->plan(t.block, s, failure_, j.rng);
@@ -557,12 +665,14 @@ void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
                              .sources.size()));
     for (const auto& src :
          result_.map_tasks[static_cast<std::size_t>(record_idx)].sources) {
-      net_.transfer(src.node, s, cfg_.block_size,
-                    [this, job_id, record_idx, map_idx, remaining] {
-                      if (--*remaining == 0) {
-                        on_map_input_ready(job_id, record_idx, map_idx);
-                      }
-                    });
+      const net::FlowId flow = net_.transfer(
+          src.node, s, cfg_.block_size,
+          [this, job_id, record_idx, map_idx, remaining] {
+            if (--*remaining == 0) {
+              on_map_input_ready(job_id, record_idx, map_idx);
+            }
+          });
+      reg.flows.push_back(flow);
     }
     return;
   }
@@ -574,15 +684,24 @@ void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
     // Rack-local and remote tasks download the input block (or a replica)
     // from the location the assignment chose.
     assert(fetch_source >= 0);
-    net_.transfer(fetch_source, s, cfg_.block_size,
-                  [this, job_id, record_idx, map_idx] {
-                    on_map_input_ready(job_id, record_idx, map_idx);
-                  });
+    const net::FlowId flow = net_.transfer(
+        fetch_source, s, cfg_.block_size,
+        [this, job_id, record_idx, map_idx] {
+          on_map_input_ready(job_id, record_idx, map_idx);
+        });
+    reg.flows.push_back(flow);
   }
 }
 
 void Master::on_map_input_ready(core::JobId job_id, int record_idx,
                                 int map_idx) {
+  const auto reg = map_attempts_.find(record_idx);
+  if (reg == map_attempts_.end() || reg->second.doomed) {
+    // The attempt was killed (or its node compute-failed) while the input
+    // was in flight; an uncancellable zero-time flow delivered anyway.
+    return;
+  }
+  reg->second.flows.clear();  // fetches landed; nothing left to cancel
   JobState& j = job(job_id);
   MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
   rec.fetch_done_time = sim_.now();
@@ -591,13 +710,24 @@ void Master::on_map_input_ready(core::JobId job_id, int record_idx,
     // slot without burning processing time (the kill a TaskTracker applies).
     rec.finish_time = sim_.now();
     rec.winner = false;
+    rec.outcome = AttemptOutcome::kLostRace;
     ++slave(rec.exec_node).free_map_slots;
+    map_attempts_.erase(record_idx);
     return;
   }
   util::Seconds duration =
       j.rng.normal(j.spec.map_time.mean, j.spec.map_time.stddev) *
       cfg_.time_scale(rec.exec_node);
   if (rec.kind == MapTaskKind::kDegraded) duration += cfg_.decode_overhead;
+  if (cfg_.fault.injection_enabled() && cfg_.fault.node_flaky(rec.exec_node) &&
+      j.rng.uniform(0.0, 1.0) < cfg_.fault.attempt_failure_prob) {
+    // Transient crash partway through processing.
+    const double frac = j.rng.uniform(0.0, 1.0);
+    sim_.schedule_in(duration * frac, [this, job_id, record_idx, map_idx] {
+      on_map_attempt_failed(job_id, record_idx, map_idx);
+    });
+    return;
+  }
   sim_.schedule_in(duration, [this, job_id, record_idx, map_idx] {
     on_map_complete(job_id, record_idx, map_idx);
   });
@@ -605,6 +735,12 @@ void Master::on_map_input_ready(core::JobId job_id, int record_idx,
 
 void Master::on_map_complete(core::JobId job_id, int record_idx,
                              int map_idx) {
+  const auto reg = map_attempts_.find(record_idx);
+  if (reg == map_attempts_.end() || reg->second.doomed) {
+    // Finalized (killed / failed) before this completion event fired.
+    return;
+  }
+  map_attempts_.erase(reg);
   JobState& j = job(job_id);
   MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
   MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
@@ -614,6 +750,7 @@ void Master::on_map_complete(core::JobId job_id, int record_idx,
     // A speculative race already produced this task's output; this attempt
     // merely releases its slot.
     rec.winner = false;
+    rec.outcome = AttemptOutcome::kLostRace;
     return;
   }
   t.done = true;
@@ -622,20 +759,35 @@ void Master::on_map_complete(core::JobId job_id, int record_idx,
   j.completed_map_records.push_back(record_idx);
   if (hooks.on_map_finish && !rec.unrecoverable) hooks.on_map_finish(rec);
 
-  // Shuffle: push this map's partition to every already-assigned reducer.
+  // Shuffle: push this map's partition to every already-assigned reducer
+  // (skipping doomed attempts and partitions a reducer already holds from a
+  // previous incarnation of this map task).
   for (int r = 0; r < j.spec.num_reducers; ++r) {
-    if (j.reduces[static_cast<std::size_t>(r)].assigned) {
-      start_partition_fetch(j, r, record_idx);
+    ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
+    if (!rt.assigned || rt.doomed) continue;
+    if (!rt.fetched.empty() && rt.fetched[static_cast<std::size_t>(map_idx)]) {
+      continue;
     }
+    start_partition_fetch(j, r, record_idx);
   }
   if (j.maps_done == j.total_m) {
     j.metrics.map_phase_end = sim_.now();
+    // A re-executed map (lost-output recovery) can be the last barrier both
+    // for reducers that were already fully fetched and for the job itself.
+    for (int r = 0; r < j.spec.num_reducers; ++r) {
+      ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
+      if (rt.assigned && !rt.doomed && !rt.processing &&
+          rt.partitions_fetched == j.total_m) {
+        maybe_start_reduce_processing(j, r);
+      }
+    }
     maybe_finish_job(j);
   }
 }
 
 void Master::try_speculate(NodeId s) {
   SlaveState& sl = slave(s);
+  if (sl.blacklisted) return;
   for (std::size_t ji = 0; ji < jobs_.size() && sl.free_map_slots > 0; ++ji) {
     JobState& j = jobs_[ji];
     if (!j.active || j.finished) continue;
@@ -691,24 +843,40 @@ void Master::try_speculate(NodeId s) {
 
 void Master::assign_reduce_tasks(NodeId s) {
   SlaveState& sl = slave(s);
+  if (sl.blacklisted) return;
   for (std::size_t i = 0; i < jobs_.size() && sl.free_reduce_slots > 0; ++i) {
     JobState& j = jobs_[i];
     if (!j.active || j.finished) continue;
     while (sl.free_reduce_slots > 0 &&
            j.reduces_assigned < j.spec.num_reducers) {
-      const int r = j.reduces_assigned++;
+      // First unassigned reduce task. Without failures tasks are assigned in
+      // index order, so this is the scan-free `reduces_assigned` of old; a
+      // reset task (its node died) reopens a hole the scan finds first.
+      int r = -1;
+      for (int cand = 0; cand < j.spec.num_reducers; ++cand) {
+        if (!j.reduces[static_cast<std::size_t>(cand)].assigned) {
+          r = cand;
+          break;
+        }
+      }
+      assert(r >= 0);  // reduces_assigned < num_reducers guarantees a hole
       ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
       rt.assigned = true;
       rt.node = s;
+      rt.doomed = false;
+      ++j.reduces_assigned;
       --sl.free_reduce_slots;
 
       ReduceTaskRecord rec;
       rec.id = static_cast<TaskId>(result_.reduce_tasks.size());
       rec.job = j.spec.id;
+      rec.attempt = rt.attempts++;
       rec.exec_node = s;
       rec.assign_time = sim_.now();
       rt.record = static_cast<int>(result_.reduce_tasks.size());
       result_.reduce_tasks.push_back(rec);
+      rt.fetched.assign(static_cast<std::size_t>(j.total_m), 0);
+      rt.partitions_fetched = 0;
 
       // Pull the partitions of every map that has already finished.
       for (const int map_record : j.completed_map_records) {
@@ -727,17 +895,33 @@ util::Bytes Master::partition_bytes(const JobState& j) const {
 void Master::start_partition_fetch(JobState& j, int reduce_idx,
                                    int map_record_idx) {
   const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  const NodeId src =
-      result_.map_tasks[static_cast<std::size_t>(map_record_idx)].exec_node;
-  const NodeId dst = j.reduces[static_cast<std::size_t>(reduce_idx)].node;
-  net_.transfer(src, dst, partition_bytes(j), [this, job_id, reduce_idx] {
-    on_partition_fetched(job_id, reduce_idx);
-  });
+  const MapTaskRecord& map_rec =
+      result_.map_tasks[static_cast<std::size_t>(map_record_idx)];
+  const NodeId src = map_rec.exec_node;
+  const int map_idx = map_rec.map_index;
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  const NodeId dst = rt.node;
+  const int epoch = rt.epoch;
+  const net::FlowId flow = net_.transfer(
+      src, dst, partition_bytes(j), [this, job_id, reduce_idx, map_idx, epoch] {
+        on_partition_fetched(job_id, reduce_idx, map_idx, epoch);
+      });
+  rt.inflight.push_back(InflightFetch{flow, map_idx, src});
 }
 
-void Master::on_partition_fetched(core::JobId job_id, int reduce_idx) {
+void Master::on_partition_fetched(core::JobId job_id, int reduce_idx,
+                                  int map_idx, int epoch) {
   JobState& j = job(job_id);
   ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  if (rt.epoch != epoch || rt.doomed) return;  // attempt was torn down
+  for (auto it = rt.inflight.begin(); it != rt.inflight.end(); ++it) {
+    if (it->map_idx == map_idx) {
+      rt.inflight.erase(it);
+      break;
+    }
+  }
+  if (rt.fetched[static_cast<std::size_t>(map_idx)]) return;
+  rt.fetched[static_cast<std::size_t>(map_idx)] = 1;
   ++rt.partitions_fetched;
   if (rt.partitions_fetched == j.total_m) {
     result_.reduce_tasks[static_cast<std::size_t>(rt.record)]
@@ -748,7 +932,7 @@ void Master::on_partition_fetched(core::JobId job_id, int reduce_idx) {
 
 void Master::maybe_start_reduce_processing(JobState& j, int reduce_idx) {
   ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  if (rt.processing || rt.partitions_fetched != j.total_m ||
+  if (rt.processing || rt.doomed || rt.partitions_fetched != j.total_m ||
       j.maps_done != j.total_m) {
     return;
   }
@@ -760,14 +944,24 @@ void Master::maybe_start_reduce_processing(JobState& j, int reduce_idx) {
       j.rng.normal(j.spec.reduce_time.mean, j.spec.reduce_time.stddev) *
       cfg_.time_scale(rt.node);
   const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  sim_.schedule_in(duration, [this, job_id, reduce_idx] {
-    on_reduce_complete(job_id, reduce_idx);
+  const int epoch = rt.epoch;
+  if (cfg_.fault.injection_enabled() && cfg_.fault.node_flaky(rt.node) &&
+      j.rng.uniform(0.0, 1.0) < cfg_.fault.attempt_failure_prob) {
+    const double frac = j.rng.uniform(0.0, 1.0);
+    sim_.schedule_in(duration * frac, [this, job_id, reduce_idx, epoch] {
+      on_reduce_attempt_failed(job_id, reduce_idx, epoch);
+    });
+    return;
+  }
+  sim_.schedule_in(duration, [this, job_id, reduce_idx, epoch] {
+    on_reduce_complete(job_id, reduce_idx, epoch);
   });
 }
 
-void Master::on_reduce_complete(core::JobId job_id, int reduce_idx) {
+void Master::on_reduce_complete(core::JobId job_id, int reduce_idx, int epoch) {
   JobState& j = job(job_id);
   ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  if (rt.epoch != epoch || rt.doomed) return;  // attempt was torn down
   ReduceTaskRecord& rec =
       result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
   rec.finish_time = sim_.now();
@@ -775,6 +969,401 @@ void Master::on_reduce_complete(core::JobId job_id, int reduce_idx) {
   ++j.reduces_done;
   if (hooks.on_reduce_finish) hooks.on_reduce_finish(rec);
   maybe_finish_job(j);
+}
+
+// --- fault layer ---------------------------------------------------------------
+
+std::vector<int> Master::sorted_attempt_records() const {
+  // The registry is an unordered_map; every kill/replan sweep walks a sorted
+  // key snapshot so same-seed runs process attempts in the same order.
+  std::vector<int> keys;
+  keys.reserve(map_attempts_.size());
+  for (const auto& [record_idx, a] : map_attempts_) keys.push_back(record_idx);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+int Master::find_running_attempt(core::JobId job_id, int map_idx) const {
+  for (const int record_idx : sorted_attempt_records()) {
+    const MapAttempt& a = map_attempts_.at(record_idx);
+    if (a.job == job_id && a.map_idx == map_idx && !a.doomed) {
+      return record_idx;
+    }
+  }
+  return -1;
+}
+
+void Master::unlaunch_map(JobState& j, MapTaskState& t) {
+  --j.m;
+  if (t.launched_kind == MapTaskKind::kDegraded) --j.md;
+}
+
+void Master::requeue_map_task(JobState& j, int map_idx) {
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  const bool was_degraded = t.launched_kind == MapTaskKind::kDegraded;
+  t.assigned = false;
+  t.has_backup = false;
+  t.record = -1;
+  if (t.locations.empty()) {
+    // No readable copy anymore: the task re-enters as degraded. It joins
+    // M_d unless its launch already counted there.
+    t.lost = true;
+    if (!was_degraded) ++j.total_md;
+    j.pending_degraded.push_back(map_idx);
+    return;
+  }
+  // A readable copy exists (possibly repaired while the attempt ran): the
+  // task re-enters the per-node pools. If it launched as degraded it leaves
+  // the M_d population.
+  if (was_degraded) --j.total_md;
+  t.lost = false;
+  // The rack list goes stale for assigned tasks (reclassify_after_failure
+  // skips them before rack maintenance); rebuild it from the live locations.
+  t.location_racks.clear();
+  for (const NodeId loc : t.locations) {
+    j.pending_by_node[static_cast<std::size_t>(loc)].push_back(map_idx);
+    ++j.pending_count_by_node[static_cast<std::size_t>(loc)];
+    const RackId rack = cfg_.topology.rack_of(loc);
+    if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
+        t.location_racks.end()) {
+      t.location_racks.push_back(rack);
+      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
+    }
+  }
+  ++j.pending_nondegraded;
+}
+
+void Master::revert_completed_map(JobState& j, int map_idx, int record_idx) {
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
+  rec.output_lost = true;
+  t.done = false;
+  --j.maps_done;
+  j.completed_map_runtime_sum -= rec.runtime();
+  const auto it = std::find(j.completed_map_records.begin(),
+                            j.completed_map_records.end(), record_idx);
+  if (it != j.completed_map_records.end()) j.completed_map_records.erase(it);
+  j.metrics.map_phase_end = -1.0;  // the map phase reopened
+  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+  const int runner = find_running_attempt(job_id, map_idx);
+  if (runner >= 0) {
+    // A speculative copy is still running elsewhere: promote it to primary.
+    // The task stays assigned and the pacing counters keep the original
+    // launch, so nothing to reverse.
+    t.record = runner;
+    t.has_backup = false;
+    map_attempts_.at(runner).backup = false;
+    return;
+  }
+  unlaunch_map(j, t);
+  requeue_map_task(j, map_idx);
+}
+
+void Master::declare_slave_dead(NodeId node) {
+  SlaveState& s = slave(node);
+  DetectionRecord det;
+  det.node = node;
+  det.fail_time = s.compute_fail_time;
+  det.detect_time = sim_.now();
+  result_.detections.push_back(det);
+  s.alive = false;  // may already be false (storage failed alongside)
+  reap_dead_node(node);
+  // The dead TaskTracker's slot ledger is void; a repaired node restarts
+  // with a full complement.
+  s.free_map_slots = cfg_.map_slots_per_node;
+  s.free_reduce_slots = cfg_.reduce_slots_per_node;
+}
+
+void Master::reap_dead_node(NodeId node) {
+  // (1) Finalize the doomed map attempts on the node; requeue their tasks
+  // or promote a surviving speculative copy.
+  for (const int record_idx : sorted_attempt_records()) {
+    const auto it = map_attempts_.find(record_idx);
+    if (it == map_attempts_.end()) continue;
+    MapTaskRecord& rec =
+        result_.map_tasks[static_cast<std::size_t>(record_idx)];
+    if (rec.exec_node != node || !it->second.doomed) continue;
+    const core::JobId job_id = it->second.job;
+    const int map_idx = it->second.map_idx;
+    const bool backup = it->second.backup;
+    if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
+    rec.winner = false;
+    rec.outcome = AttemptOutcome::kKilled;
+    map_attempts_.erase(it);
+    JobState& j = job(job_id);
+    if (j.finished) continue;
+    MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+    if (t.done || backup) {
+      // Losers and backups leave the task itself untouched.
+      if (backup) t.has_backup = false;
+      continue;
+    }
+    const int runner = find_running_attempt(job_id, map_idx);
+    if (runner >= 0) {
+      t.record = runner;
+      t.has_backup = false;
+      map_attempts_.at(runner).backup = false;
+      continue;
+    }
+    unlaunch_map(j, t);
+    requeue_map_task(j, map_idx);
+  }
+
+  // (2) Kill the reduce attempts that were running on the node.
+  for (JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    for (std::size_t r = 0; r < j.reduces.size(); ++r) {
+      ReduceTaskState& rt = j.reduces[r];
+      if (!rt.assigned || rt.node != node) continue;
+      ReduceTaskRecord& rec =
+          result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
+      if (rec.finish_time >= 0.0) continue;  // finished before the death
+      rec.finish_time = sim_.now();
+      rec.outcome = AttemptOutcome::kKilled;
+      reset_reduce_attempt(j, static_cast<int>(r));
+    }
+  }
+
+  // (3) Lost-map-output re-execution: completed maps of unfinished jobs ran
+  // on the dead node and their shuffle outputs died with it. Re-execute the
+  // ones some reducer still needs.
+  for (JobState& j : jobs_) {
+    if (!j.active || j.finished) continue;
+    if (j.spec.num_reducers == 0) continue;
+    const std::vector<int> completed = j.completed_map_records;  // snapshot
+    for (const int record_idx : completed) {
+      const MapTaskRecord& rec =
+          result_.map_tasks[static_cast<std::size_t>(record_idx)];
+      if (rec.exec_node != node || rec.output_lost) continue;
+      bool needed = false;
+      for (const ReduceTaskState& rt : j.reduces) {
+        if (rt.processing) continue;  // already pulled everything it needs
+        if (!rt.assigned || rt.doomed ||
+            !rt.fetched[static_cast<std::size_t>(rec.map_index)]) {
+          needed = true;
+          break;
+        }
+      }
+      if (needed) revert_completed_map(j, rec.map_index, record_idx);
+    }
+  }
+}
+
+void Master::on_map_attempt_failed(core::JobId job_id, int record_idx,
+                                   int map_idx) {
+  const auto it = map_attempts_.find(record_idx);
+  if (it == map_attempts_.end() || it->second.doomed) return;
+  const bool backup = it->second.backup;
+  map_attempts_.erase(it);
+  JobState& j = job(job_id);
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
+  rec.finish_time = sim_.now();
+  rec.winner = false;
+  rec.outcome = AttemptOutcome::kFailed;
+  ++slave(rec.exec_node).free_map_slots;
+  note_attempt_failure(rec.exec_node);
+  if (t.done) return;  // a winner already exists; the crash is moot
+  if (backup) {
+    t.has_backup = false;  // speculation may retry later
+    return;
+  }
+  ++t.failures;
+  if (t.failures >= cfg_.fault.max_attempts) {
+    abort_job(j);
+    return;
+  }
+  // The task sits out an exponential backoff before re-entering the pending
+  // pools; it stays `assigned` meanwhile so nothing double-launches it.
+  unlaunch_map(j, t);
+  const util::Seconds backoff =
+      cfg_.fault.retry_backoff * std::pow(2.0, t.failures - 1);
+  sim_.schedule_in(backoff, [this, job_id, map_idx] {
+    JobState& j2 = job(job_id);
+    if (j2.finished) return;
+    MapTaskState& t2 = j2.maps[static_cast<std::size_t>(map_idx)];
+    if (t2.done || !t2.assigned) return;
+    if (find_running_attempt(job_id, map_idx) >= 0) return;
+    requeue_map_task(j2, map_idx);
+  });
+}
+
+void Master::on_reduce_attempt_failed(core::JobId job_id, int reduce_idx,
+                                      int epoch) {
+  JobState& j = job(job_id);
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  if (rt.epoch != epoch || rt.doomed) return;
+  ReduceTaskRecord& rec =
+      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
+  rec.finish_time = sim_.now();
+  rec.outcome = AttemptOutcome::kFailed;
+  ++slave(rt.node).free_reduce_slots;
+  note_attempt_failure(rt.node);
+  for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
+  rt.inflight.clear();
+  ++rt.failures;
+  if (rt.failures >= cfg_.fault.max_attempts) {
+    abort_job(j);
+    return;
+  }
+  ++rt.epoch;  // neutralizes any stale events of the dead attempt
+  rt.processing = false;
+  const int armed_epoch = rt.epoch;
+  const util::Seconds backoff =
+      cfg_.fault.retry_backoff * std::pow(2.0, rt.failures - 1);
+  // `assigned` stays true through the backoff so the task is not handed out
+  // again before it elapses.
+  sim_.schedule_in(backoff, [this, job_id, reduce_idx, armed_epoch] {
+    JobState& j2 = job(job_id);
+    ReduceTaskState& rt2 = j2.reduces[static_cast<std::size_t>(reduce_idx)];
+    if (j2.finished || rt2.epoch != armed_epoch || rt2.doomed ||
+        !rt2.assigned) {
+      return;
+    }
+    reset_reduce_attempt(j2, reduce_idx);
+  });
+}
+
+void Master::reset_reduce_attempt(JobState& j, int reduce_idx) {
+  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
+  ++rt.epoch;
+  rt.doomed = false;
+  rt.assigned = false;
+  rt.node = -1;
+  rt.partitions_fetched = 0;
+  rt.fetched.clear();
+  rt.processing = false;
+  rt.record = -1;
+  for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
+  rt.inflight.clear();
+  --j.reduces_assigned;
+}
+
+void Master::abort_job(JobState& j) {
+  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
+  for (const int record_idx : sorted_attempt_records()) {
+    const auto it = map_attempts_.find(record_idx);
+    if (it == map_attempts_.end() || it->second.job != job_id) continue;
+    MapTaskRecord& rec =
+        result_.map_tasks[static_cast<std::size_t>(record_idx)];
+    if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
+    rec.winner = false;
+    rec.outcome = AttemptOutcome::kKilled;
+    // Doomed attempts sit on a dead node whose slot ledger is void.
+    if (!it->second.doomed) ++slave(rec.exec_node).free_map_slots;
+    for (const net::FlowId f : it->second.flows) net_.cancel(f);
+    map_attempts_.erase(it);
+  }
+  for (std::size_t r = 0; r < j.reduces.size(); ++r) {
+    ReduceTaskState& rt = j.reduces[r];
+    if (!rt.assigned) continue;
+    ReduceTaskRecord& rec =
+        result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
+    if (rec.finish_time >= 0.0) continue;
+    rec.finish_time = sim_.now();
+    rec.outcome = AttemptOutcome::kKilled;
+    ++rt.epoch;  // neutralizes pending completion / fetch events
+    for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
+    rt.inflight.clear();
+    if (!rt.doomed) ++slave(rt.node).free_reduce_slots;
+  }
+  // The job leaves the FIFO queue as failed; no completion hook fires.
+  j.finished = true;
+  j.metrics.failed = true;
+  j.metrics.finish_time = sim_.now();
+  ++jobs_done_;
+}
+
+void Master::note_attempt_failure(NodeId node) {
+  if (cfg_.fault.blacklist_threshold <= 0) return;
+  SlaveState& s = slave(node);
+  if (!s.alive || !s.heartbeating || s.blacklisted) return;
+  if (++s.recent_failures < cfg_.fault.blacklist_threshold) return;
+  s.blacklisted = true;
+  ++result_.blacklist_events;
+  const int inc = s.incarnation;
+  sim_.schedule_in(cfg_.fault.blacklist_duration, [this, node, inc] {
+    SlaveState& sl = slave(node);
+    if (sl.incarnation != inc || !sl.blacklisted) return;
+    sl.blacklisted = false;
+    sl.recent_failures = 0;
+  });
+}
+
+void Master::replan_inflight_reads(NodeId node) {
+  for (const int record_idx : sorted_attempt_records()) {
+    const auto it = map_attempts_.find(record_idx);
+    if (it == map_attempts_.end()) continue;
+    MapAttempt& a = it->second;
+    if (a.doomed) continue;
+    MapTaskRecord& rec =
+        result_.map_tasks[static_cast<std::size_t>(record_idx)];
+    if (rec.exec_node == node) continue;  // the compute-death path owns it
+    if (a.flows.empty()) continue;        // input already landed
+    const core::JobId job_id = a.job;
+    const int map_idx = a.map_idx;
+    JobState& j = job(job_id);
+    MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+    if (rec.kind == MapTaskKind::kDegraded) {
+      bool uses_node = false;
+      for (const auto& src : rec.sources) {
+        if (src.node == node) {
+          uses_node = true;
+          break;
+        }
+      }
+      if (!uses_node) continue;
+      // Re-plan the degraded read from the surviving stripe blocks and
+      // restart the whole fetch (partially-arrived shares of a different
+      // source set do not compose).
+      for (const net::FlowId f : a.flows) net_.cancel(f);
+      a.flows.clear();
+      auto sources = j.planner->plan(t.block, rec.exec_node, failure_, j.rng);
+      if (!sources) {
+        rec.unrecoverable = true;
+        rec.fetch_done_time = sim_.now();
+        rec.finish_time = sim_.now();
+        result_.data_loss = true;
+        sim_.schedule_in(0.0, [this, job_id, record_idx, map_idx] {
+          on_map_complete(job_id, record_idx, map_idx);
+        });
+        continue;
+      }
+      rec.sources = *sources;
+      auto remaining = std::make_shared<int>(
+          static_cast<int>(rec.sources.size()));
+      for (const auto& src : rec.sources) {
+        const net::FlowId flow = net_.transfer(
+            src.node, rec.exec_node, cfg_.block_size,
+            [this, job_id, record_idx, map_idx, remaining] {
+              if (--*remaining == 0) {
+                on_map_input_ready(job_id, record_idx, map_idx);
+              }
+            });
+        a.flows.push_back(flow);
+      }
+      continue;
+    }
+    // Rack-local / remote input fetch from the dead node: the attempt is
+    // killed and its task requeued immediately (no transient-failure charge
+    // — nothing is wrong with the executing slave).
+    if (rec.source_node != node) continue;
+    for (const net::FlowId f : a.flows) net_.cancel(f);
+    a.flows.clear();
+    const bool backup = a.backup;
+    rec.finish_time = sim_.now();
+    rec.winner = false;
+    rec.outcome = AttemptOutcome::kKilled;
+    ++slave(rec.exec_node).free_map_slots;
+    map_attempts_.erase(it);
+    if (j.finished) continue;
+    if (t.done || backup) {
+      if (backup) t.has_backup = false;
+      continue;
+    }
+    unlaunch_map(j, t);
+    requeue_map_task(j, map_idx);
+  }
 }
 
 void Master::maybe_finish_job(JobState& j) {

@@ -3,6 +3,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "dfs/core/scheduler.h"
@@ -62,8 +63,19 @@ class Master final : public core::SchedulerContext {
   /// A node's storage and task slots went away (cluster lifecycle event).
   /// Pending map tasks whose last readable copy was on `node` become
   /// degraded; tasks already running are allowed to finish (the failure
-  /// model is a DataNode/storage loss, as in the paper).
+  /// model is a DataNode/storage loss, as in the paper). With the fault
+  /// layer on, in-flight degraded reads sourced from `node` are re-planned
+  /// from the surviving stripe blocks, and non-degraded input fetches from
+  /// it are killed and requeued.
   void on_node_failed(NodeId node);
+
+  /// Fault layer only: the node's TaskTracker died too. Its heartbeats stop
+  /// immediately; attempts running there are doomed (they will never finish)
+  /// and their transfers cancelled, but the master only learns of the death
+  /// — kills the attempts, requeues the tasks, re-executes lost map outputs
+  /// — once the heartbeat-expiry window passes. Call right after
+  /// on_node_failed(node).
+  void on_compute_failed(NodeId node);
 
   /// The node's blocks have been rebuilt: it serves reads and heartbeats
   /// again. Pending degraded tasks whose input lived on `node` regain their
@@ -73,6 +85,11 @@ class Master final : public core::SchedulerContext {
   bool all_jobs_done() const { return jobs_done_ == jobs_.size(); }
   std::size_t jobs_submitted() const { return jobs_.size(); }
   std::size_t jobs_completed() const { return jobs_done_; }
+
+  /// Fault layer: is the slave currently blacklisted (advertises no slots)?
+  bool blacklisted(NodeId node) const {
+    return slaves_[static_cast<std::size_t>(node)].blacklisted;
+  }
 
   /// Collect the result after the simulation has drained.
   RunResult take_result();
@@ -111,11 +128,26 @@ class Master final : public core::SchedulerContext {
     bool done = false;        ///< some attempt has completed
     bool has_backup = false;  ///< a speculative copy was launched
     int record = -1;  ///< index into result_.map_tasks of the first attempt
+    int attempts = 0;  ///< attempts launched (fault layer; backups excluded)
+    int failures = 0;  ///< transient attempt failures so far
+    /// Kind the current non-backup attempt launched as; all pacing-counter
+    /// (m/m_d) unlaunch accounting uses this, so a task whose classification
+    /// drifts while running (e.g. its copy fails mid-attempt) still reverses
+    /// exactly what its launch added.
+    MapTaskKind launched_kind = MapTaskKind::kNodeLocal;
     /// Surviving nodes a readable copy of the input can be fetched from.
     /// One entry (the native home) for k > 1 codes; every surviving shard
     /// holder for k == 1 (replication) layouts, where any copy serves.
     std::vector<NodeId> locations;
     std::vector<RackId> location_racks;  ///< distinct racks of `locations`
+  };
+
+  /// One in-flight shuffle fetch of a reduce attempt (fault layer): enough
+  /// to cancel it when either endpoint dies and to retry it later.
+  struct InflightFetch {
+    net::FlowId flow = 0;
+    int map_idx = -1;
+    NodeId src = -1;
   };
 
   struct ReduceTaskState {
@@ -124,6 +156,18 @@ class Master final : public core::SchedulerContext {
     int partitions_fetched = 0;
     bool processing = false;
     int record = -1;
+    int attempts = 0;  ///< attempts launched (fault layer)
+    int failures = 0;  ///< transient attempt failures so far
+    /// Bumped whenever the current attempt is torn down; scheduled events
+    /// carry the epoch they were armed under and no-op on a mismatch.
+    int epoch = 0;
+    /// The attempt's node compute-failed but the master has not yet noticed;
+    /// new work (fetch starts, processing) is suppressed until reaped.
+    bool doomed = false;
+    /// Per-map-task fetched flags (sized total_m when the attempt starts);
+    /// partitions_fetched counts the set entries.
+    std::vector<char> fetched;
+    std::vector<InflightFetch> inflight;
   };
 
   struct JobState {
@@ -164,6 +208,29 @@ class Master final : public core::SchedulerContext {
     bool alive = true;
     int free_map_slots = 0;
     int free_reduce_slots = 0;
+    // Fault layer only (inert otherwise):
+    bool heartbeating = true;  ///< compute alive; false between death & detection
+    /// Bumped on repair; pending detection/unblacklist timers armed under an
+    /// older incarnation no-op.
+    int incarnation = 0;
+    util::Seconds last_heartbeat = 0.0;
+    util::Seconds compute_fail_time = -1.0;
+    int recent_failures = 0;  ///< attempt failures since last (un)blacklist
+    bool blacklisted = false;
+  };
+
+  /// A live map attempt (fault layer bookkeeping; maintained even when the
+  /// layer is off — pure state, no events). Keyed by record index in
+  /// map_attempts_; an entry is erased when the attempt finishes, loses its
+  /// race, fails, or is killed — stale scheduled callbacks look the key up
+  /// and no-op when it is gone.
+  struct MapAttempt {
+    core::JobId job = -1;
+    int map_idx = -1;
+    bool backup = false;
+    /// Node compute-failed; attempt will be finalized (killed) at detection.
+    bool doomed = false;
+    std::vector<net::FlowId> flows;  ///< in-flight input fetches
   };
 
   JobState& job(core::JobId id);
@@ -191,11 +258,44 @@ class Master final : public core::SchedulerContext {
   void assign_reduce_tasks(NodeId s);
   void try_speculate(NodeId s);
   void start_partition_fetch(JobState& j, int reduce_idx, int map_record_idx);
-  void on_partition_fetched(core::JobId job_id, int reduce_idx);
+  void on_partition_fetched(core::JobId job_id, int reduce_idx, int map_idx,
+                            int epoch);
   void maybe_start_reduce_processing(JobState& j, int reduce_idx);
-  void on_reduce_complete(core::JobId job_id, int reduce_idx);
+  void on_reduce_complete(core::JobId job_id, int reduce_idx, int epoch);
   void maybe_finish_job(JobState& j);
   util::Bytes partition_bytes(const JobState& j) const;
+
+  // --- fault layer ---------------------------------------------------------
+  /// Heartbeat expiry fired: the master now knows `node` is dead.
+  void declare_slave_dead(NodeId node);
+  /// Kill doomed attempts on `node`, requeue their tasks, re-execute
+  /// completed maps whose outputs died with the node.
+  void reap_dead_node(NodeId node);
+  /// Reverse what a non-backup launch added to the pacing counters.
+  void unlaunch_map(JobState& j, MapTaskState& t);
+  /// Return a task to the correct pending pools (degraded vs per-node),
+  /// keeping total_md and the rack indexes exact.
+  void requeue_map_task(JobState& j, int map_idx);
+  /// A completed map's output died with its node: undo the completion so the
+  /// task runs again (or promote a still-running backup attempt to primary).
+  void revert_completed_map(JobState& j, int map_idx, int record_idx);
+  /// Record index of a live non-finalized attempt of (job, map_idx), or -1.
+  int find_running_attempt(core::JobId job_id, int map_idx) const;
+  void on_map_attempt_failed(core::JobId job_id, int record_idx, int map_idx);
+  void on_reduce_attempt_failed(core::JobId job_id, int reduce_idx, int epoch);
+  /// Tear the current reduce attempt down so the task can be reassigned.
+  void reset_reduce_attempt(JobState& j, int reduce_idx);
+  /// Abort the job after a task exhausted max_attempts: kill every live
+  /// attempt, mark the job failed, keep the FIFO queue moving.
+  void abort_job(JobState& j);
+  /// Count an attempt failure on `node` toward its blacklist threshold.
+  void note_attempt_failure(NodeId node);
+  /// Re-plan in-flight degraded reads (and kill doomed input fetches) that
+  /// were sourcing data from the newly-failed `node`.
+  void replan_inflight_reads(NodeId node);
+  /// map_attempts_ keys (== record indexes) sorted ascending, optionally
+  /// filtered; sorted iteration keeps the failure paths deterministic.
+  std::vector<int> sorted_attempt_records() const;
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -207,6 +307,8 @@ class Master final : public core::SchedulerContext {
 
   std::vector<JobState> jobs_;  ///< FIFO submission order
   std::vector<SlaveState> slaves_;
+  /// Live map attempts by record index (see MapAttempt).
+  std::unordered_map<int, MapAttempt> map_attempts_;
   std::vector<util::Seconds> last_degraded_assign_;  ///< per rack
   std::size_t jobs_done_ = 0;
   RunResult result_;

@@ -19,6 +19,20 @@ const char* to_string(MapTaskKind kind) {
   return "?";
 }
 
+const char* to_string(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kSuccess:
+      return "success";
+    case AttemptOutcome::kLostRace:
+      return "lost-race";
+    case AttemptOutcome::kKilled:
+      return "killed";
+    case AttemptOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 double RunResult::mean_map_runtime(MapTaskKind kind) const {
   double sum = 0.0;
   int count = 0;
@@ -91,6 +105,37 @@ util::Seconds RunResult::single_job_runtime() const {
     throw std::logic_error("single_job_runtime requires exactly one job");
   }
   return jobs.front().runtime();
+}
+
+int RunResult::count_map_attempts(AttemptOutcome outcome) const {
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+int RunResult::count_reduce_attempts(AttemptOutcome outcome) const {
+  int count = 0;
+  for (const auto& t : reduce_tasks) {
+    if (t.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+int RunResult::jobs_failed() const {
+  int count = 0;
+  for (const auto& j : jobs) {
+    if (j.failed) ++count;
+  }
+  return count;
+}
+
+util::Seconds RunResult::mean_detection_latency() const {
+  if (detections.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& d : detections) sum += d.latency();
+  return sum / static_cast<double>(detections.size());
 }
 
 }  // namespace dfs::mapreduce

@@ -9,11 +9,13 @@
 
 namespace dfs::mapreduce {
 
-/// Everything recorded about one executed map task.
+/// Everything recorded about one executed map task attempt.
 struct MapTaskRecord {
   TaskId id = -1;
   JobId job = -1;
   storage::BlockId block{};
+  int map_index = -1;  ///< the task's index within its job
+  int attempt = 0;     ///< 0 for the first attempt of the task
   NodeId exec_node = -1;
   /// Where the input block (or replica) was fetched from; == exec_node for
   /// node-local tasks, unset (-1) for degraded tasks (see `sources`).
@@ -26,6 +28,10 @@ struct MapTaskRecord {
   bool unrecoverable = false;  ///< stripe lost more blocks than tolerable
   bool speculative = false;    ///< backup copy launched by speculation
   bool winner = true;          ///< finished first among its task's attempts
+  AttemptOutcome outcome = AttemptOutcome::kSuccess;
+  /// The attempt won, but its map output later died with its node and the
+  /// task was re-executed (lost-map-output recovery).
+  bool output_lost = false;
 
   /// Paper definition (§VI): launch to completion, including transmission.
   util::Seconds runtime() const { return finish_time - assign_time; }
@@ -35,15 +41,17 @@ struct MapTaskRecord {
   }
 };
 
-/// Everything recorded about one executed reduce task.
+/// Everything recorded about one executed reduce task attempt.
 struct ReduceTaskRecord {
   TaskId id = -1;
   JobId job = -1;
+  int attempt = 0;  ///< 0 for the first attempt of the task
   NodeId exec_node = -1;
   util::Seconds assign_time = -1.0;
   util::Seconds shuffle_done_time = -1.0;  ///< all partitions fetched
   util::Seconds process_start_time = -1.0;
   util::Seconds finish_time = -1.0;
+  AttemptOutcome outcome = AttemptOutcome::kSuccess;
 
   util::Seconds runtime() const { return finish_time - assign_time; }
 };
@@ -58,6 +66,9 @@ struct JobMetrics {
   int local_tasks = 0;   ///< node-local + rack-local
   int remote_tasks = 0;
   int degraded_tasks = 0;
+  /// Aborted after a task exhausted its attempts; finish_time is the abort
+  /// time and the job produced no output.
+  bool failed = false;
 
   /// The paper's MapReduce runtime: first map launch to last reduce end.
   util::Seconds runtime() const { return finish_time - first_map_launch; }
@@ -65,11 +76,23 @@ struct JobMetrics {
   util::Seconds latency() const { return finish_time - submit_time; }
 };
 
+/// One heartbeat-expiry detection: a slave's compute died at fail_time and
+/// the master noticed (declared it dead, reaped its attempts) at detect_time.
+struct DetectionRecord {
+  NodeId node = -1;
+  util::Seconds fail_time = -1.0;
+  util::Seconds detect_time = -1.0;
+
+  util::Seconds latency() const { return detect_time - fail_time; }
+};
+
 /// Full outcome of one simulated run.
 struct RunResult {
   std::vector<MapTaskRecord> map_tasks;
   std::vector<ReduceTaskRecord> reduce_tasks;
   std::vector<JobMetrics> jobs;
+  std::vector<DetectionRecord> detections;  ///< declared slave deaths
+  int blacklist_events = 0;  ///< slaves blacklisted (re-blacklists count)
   util::Seconds makespan = 0.0;
   bool data_loss = false;  ///< some block was unrecoverable
 
@@ -87,6 +110,13 @@ struct RunResult {
   int speculative_losses() const;
   /// Runtime of the single job in a single-job run.
   util::Seconds single_job_runtime() const;
+  // Fault-tolerance accounting (all zero when the fault layer is off).
+  int count_map_attempts(AttemptOutcome outcome) const;
+  int count_reduce_attempts(AttemptOutcome outcome) const;
+  int jobs_failed() const;
+  /// Mean heartbeat-expiry detection latency; 0 if no slave death was
+  /// detected.
+  util::Seconds mean_detection_latency() const;
 };
 
 }  // namespace dfs::mapreduce

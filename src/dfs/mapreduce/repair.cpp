@@ -1,5 +1,6 @@
 #include "dfs/mapreduce/repair.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <stdexcept>
@@ -77,14 +78,83 @@ void RepairProcess::repair_block(storage::BlockId block) {
     return;
   }
   ++in_flight_;
-  auto remaining = std::make_shared<int>(static_cast<int>(sources->size()));
-  for (const auto& src : *sources) {
-    net_.transfer(src.node, target, block_size_, [this, remaining] {
-      if (--*remaining > 0) return;
-      ++stats_.blocks_repaired;
+  const int rid = next_repair_id_++;
+  InFlightRepair rep;
+  rep.block = block;
+  rep.target = target;
+  for (const auto& src : *sources) rep.sources.push_back(src.node);
+  rep.remaining = static_cast<int>(rep.sources.size());
+  active_repairs_.emplace(rid, std::move(rep));
+  start_repair_transfers(rid);
+}
+
+void RepairProcess::start_repair_transfers(int rid) {
+  InFlightRepair& rep = active_repairs_.at(rid);
+  for (const net::NodeId src : rep.sources) {
+    const net::FlowId flow =
+        net_.transfer(src, rep.target, block_size_, [this, rid] {
+          const auto it = active_repairs_.find(rid);
+          // The repair was abandoned or re-planned under a new id while
+          // this (uncancellable zero-time) transfer was in flight.
+          if (it == active_repairs_.end()) return;
+          if (--it->second.remaining > 0) return;
+          active_repairs_.erase(it);
+          ++stats_.blocks_repaired;
+          --in_flight_;
+          launch_next();
+        });
+    rep.flows.push_back(flow);
+  }
+}
+
+void RepairProcess::on_node_failed(net::NodeId node) {
+  // Sorted id sweep for deterministic processing order.
+  std::vector<int> ids;
+  ids.reserve(active_repairs_.size());
+  for (const auto& [rid, rep] : active_repairs_) ids.push_back(rid);
+  std::sort(ids.begin(), ids.end());
+  for (const int rid : ids) {
+    const auto it = active_repairs_.find(rid);
+    if (it == active_repairs_.end()) continue;
+    InFlightRepair& rep = it->second;
+    if (rep.target == node) {
+      // The rebuild destination died: abandon and requeue the block onto a
+      // fresh target.
+      for (const net::FlowId f : rep.flows) net_.cancel(f);
+      const storage::BlockId block = rep.block;
+      active_repairs_.erase(it);
+      --in_flight_;
+      ++stats_.blocks_requeued;
+      pending_.push_back(block);
+      launch_next();
+      continue;
+    }
+    if (std::find(rep.sources.begin(), rep.sources.end(), node) ==
+        rep.sources.end()) {
+      continue;
+    }
+    // A read source died: re-plan from the surviving stripe blocks. The old
+    // id is retired so stale transfer callbacks cannot touch the new plan.
+    for (const net::FlowId f : rep.flows) net_.cancel(f);
+    const storage::BlockId block = rep.block;
+    const net::NodeId target = rep.target;
+    active_repairs_.erase(it);
+    const auto sources = planner_.plan(block, target, failure_, rng_);
+    if (!sources) {
+      ++stats_.blocks_unrecoverable;
       --in_flight_;
       launch_next();
-    });
+      continue;
+    }
+    ++stats_.replans;
+    const int new_rid = next_repair_id_++;
+    InFlightRepair fresh;
+    fresh.block = block;
+    fresh.target = target;
+    for (const auto& src : *sources) fresh.sources.push_back(src.node);
+    fresh.remaining = static_cast<int>(fresh.sources.size());
+    active_repairs_.emplace(new_rid, std::move(fresh));
+    start_repair_transfers(new_rid);
   }
 }
 

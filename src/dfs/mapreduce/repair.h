@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "dfs/net/network.h"
@@ -32,6 +33,8 @@ class RepairProcess {
   struct Stats {
     int blocks_repaired = 0;
     int blocks_unrecoverable = 0;
+    int blocks_requeued = 0;  ///< repair target died mid-rebuild; retried
+    int replans = 0;          ///< repair source died mid-read; re-planned
     util::Seconds finish_time = -1.0;  ///< when the last repair completed
   };
 
@@ -62,9 +65,27 @@ class RepairProcess {
   /// Invoked when the last block has been rebuilt.
   std::function<void()> on_complete;
 
+  /// Fault layer: `node` just failed. In-flight repairs rebuilding ONTO it
+  /// are abandoned and their blocks requeued; repairs reading FROM it are
+  /// re-planned from the surviving stripe blocks (or counted unrecoverable
+  /// when no plan survives).
+  void on_node_failed(net::NodeId node);
+
  private:
+  /// One block rebuild in flight: enough to cancel and retry it when either
+  /// endpoint dies. Keyed by a private id so a stale transfer callback of a
+  /// superseded plan cannot touch the replanned attempt.
+  struct InFlightRepair {
+    storage::BlockId block{};
+    net::NodeId target = -1;
+    std::vector<net::NodeId> sources;
+    std::vector<net::FlowId> flows;
+    int remaining = 0;
+  };
+
   void launch_next();
   void repair_block(storage::BlockId block);
+  void start_repair_transfers(int rid);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -76,6 +97,8 @@ class RepairProcess {
   util::Bytes block_size_;
 
   std::deque<storage::BlockId> pending_;
+  std::unordered_map<int, InFlightRepair> active_repairs_;
+  int next_repair_id_ = 0;
   int in_flight_ = 0;
   bool started_ = false;
   Stats stats_;

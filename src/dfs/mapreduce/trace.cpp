@@ -61,6 +61,26 @@ void write_job_csv(std::ostream& os, const RunResult& result) {
   }
 }
 
+void write_attempt_csv(std::ostream& os, const RunResult& result) {
+  os << "phase,task_id,job_id,attempt,stripe,block_index,exec_node,kind,"
+        "assign_time,finish_time,outcome,speculative,output_lost\n";
+  for (const auto& t : result.map_tasks) {
+    os << "map," << t.id << ',' << t.job << ',' << t.attempt << ','
+       << t.block.stripe << ',' << t.block.index << ',' << t.exec_node << ','
+       << csv_escape(to_string(t.kind)) << ',' << t.assign_time << ','
+       << t.finish_time << ',' << csv_escape(to_string(t.outcome)) << ','
+       << (t.speculative ? 1 : 0) << ',' << (t.output_lost ? 1 : 0);
+    write_row_end(os);
+  }
+  for (const auto& t : result.reduce_tasks) {
+    os << "reduce," << t.id << ',' << t.job << ',' << t.attempt << ','
+       << -1 << ',' << -1 << ',' << t.exec_node << ",-," << t.assign_time
+       << ',' << t.finish_time << ',' << csv_escape(to_string(t.outcome))
+       << ",0,0";
+    write_row_end(os);
+  }
+}
+
 void write_events_jsonl(std::ostream& os, const RunResult& result) {
   for (const auto& t : result.map_tasks) {
     os << "{\"type\":\"map\",\"id\":" << t.id << ",\"job\":" << t.job

@@ -22,6 +22,12 @@ void write_map_task_csv(std::ostream& os, const RunResult& result);
 void write_reduce_task_csv(std::ostream& os, const RunResult& result);
 void write_job_csv(std::ostream& os, const RunResult& result);
 
+/// Attempt-level trace: one row per map AND reduce attempt, with the
+/// attempt number and its outcome (success / lost-race / killed / failed).
+/// Reduce rows carry "-" for the kind and -1 for the block columns. This is
+/// a separate writer so the per-task CSVs above keep their exact columns.
+void write_attempt_csv(std::ostream& os, const RunResult& result);
+
 /// One JSON object per line, mixing task kinds (field "type" discriminates:
 /// "map" / "reduce" / "job").
 void write_events_jsonl(std::ostream& os, const RunResult& result);

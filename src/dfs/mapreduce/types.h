@@ -21,6 +21,18 @@ enum class MapTaskKind {
 
 const char* to_string(MapTaskKind kind);
 
+/// How one task attempt ended. Every MapTaskRecord / ReduceTaskRecord is one
+/// attempt; the fault-tolerance layer (heartbeat-expiry detection, transient
+/// attempt failures) adds the non-success outcomes.
+enum class AttemptOutcome {
+  kSuccess,   ///< produced the task's output
+  kLostRace,  ///< finished after another attempt had already won
+  kKilled,    ///< killed by the master (TaskTracker death, job abort)
+  kFailed,    ///< crashed mid-run (transient attempt failure)
+};
+
+const char* to_string(AttemptOutcome outcome);
+
 /// A normal distribution, the paper's model for task processing times
 /// (e.g. map ~ N(20 s, 1 s), reduce ~ N(30 s, 2 s) in §V-B).
 /// stddev == 0 makes the draw deterministic (used by the Fig. 3 replay).

@@ -100,6 +100,37 @@ FlowId Network::transfer(NodeId src, NodeId dst, util::Bytes size,
   return next_flow_id_ - 1;
 }
 
+bool Network::cancel(FlowId id) {
+  // Not started yet (FIFO queue): just drop it.
+  for (auto it = fifo_pending_.begin(); it != fifo_pending_.end(); ++it) {
+    if (it->id != id) continue;
+    fifo_pending_.erase(it);
+    ++flows_cancelled_;
+    return true;
+  }
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  if (model_ == ContentionModel::kMaxMinFairShare) {
+    fair_share_advance();
+    Flow flow = std::move(it->second);
+    active_.erase(it);
+    mark_links_active(flow.links, -1);
+    ++flows_cancelled_;
+    fair_share_recompute_and_arm();
+  } else {
+    Flow flow = std::move(it->second);
+    active_.erase(it);
+    sim_.cancel(flow.completion);
+    for (int link : flow.links) {
+      links_[static_cast<std::size_t>(link)].held = false;
+    }
+    mark_links_active(flow.links, -1);
+    ++flows_cancelled_;
+    fifo_try_start_pending();
+  }
+  return true;
+}
+
 void Network::mark_links_active(const std::vector<int>& links, int delta) {
   for (int link : links) {
     Link& l = links_[static_cast<std::size_t>(link)];
@@ -256,8 +287,10 @@ void Network::fifo_try_start_pending() {
     }
     const util::Seconds duration = flow.remaining / bottleneck;
     const FlowId id = flow.id;
-    active_.emplace(id, std::move(flow));
-    sim_.schedule_in(duration, [this, id] { fifo_complete(id); });
+    auto [slot, inserted] = active_.emplace(id, std::move(flow));
+    assert(inserted);
+    slot->second.completion =
+        sim_.schedule_in(duration, [this, id] { fifo_complete(id); });
   }
 }
 

@@ -58,6 +58,13 @@ class Network {
   FlowId transfer(NodeId src, NodeId dst, util::Bytes size,
                   std::function<void()> done);
 
+  /// Cancel an in-flight transfer: its callback never fires and its share of
+  /// every link is released immediately. Returns false when the flow is not
+  /// cancellable — already completed, unknown, or uncontended (uncontended
+  /// flows complete on the next dispatch and are never tracked; callers must
+  /// guard their callbacks instead).
+  bool cancel(FlowId id);
+
   /// Lower bound on the completion time of one isolated transfer.
   util::Seconds isolated_transfer_time(NodeId src, NodeId dst,
                                        util::Bytes size) const;
@@ -68,6 +75,7 @@ class Network {
   // --- observability -------------------------------------------------------
   std::uint64_t flows_started() const { return flows_started_; }
   std::uint64_t flows_completed() const { return flows_completed_; }
+  std::uint64_t flows_cancelled() const { return flows_cancelled_; }
   util::Bytes bytes_delivered() const { return bytes_delivered_; }
   int active_flow_count() const { return static_cast<int>(active_.size()); }
   /// Total time the given rack's downlink had at least one active flow.
@@ -91,6 +99,7 @@ class Network {
     double rate = 0.0;  // bytes/sec, fair-share model only
     std::vector<int> links;
     std::function<void()> done;
+    sim::EventId completion{};  // kExclusiveFifo: armed completion event
   };
 
   std::vector<int> contended_path(NodeId src, NodeId dst) const;
@@ -139,6 +148,7 @@ class Network {
 
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_cancelled_ = 0;
   util::Bytes bytes_delivered_ = 0.0;
 };
 

@@ -35,8 +35,11 @@ void Simulator::schedule_periodic(util::Seconds phase, util::Seconds period,
   // period survives arbitrarily long simulations without pre-populating
   // the queue.
   auto driver = std::make_shared<std::function<void()>>();
-  *driver = [this, period, cb = std::move(cb), driver]() {
-    if (cb()) schedule_in(period, *driver);
+  periodic_drivers_.push_back(driver);
+  *driver = [this, period, cb = std::move(cb),
+             weak = std::weak_ptr<std::function<void()>>(driver)]() {
+    if (!cb()) return;
+    if (const auto self = weak.lock()) schedule_in(period, *self);
   };
   schedule_in(phase, *driver);
 }

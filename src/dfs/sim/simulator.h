@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -81,6 +82,10 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::unordered_set<std::uint64_t> cancelled_;
+  // Self-rescheduling periodic drivers; owned here (the closures hold only
+  // weak refs) so they are reclaimed with the simulator instead of leaking
+  // through a shared_ptr cycle.
+  std::vector<std::shared_ptr<Callback>> periodic_drivers_;
 };
 
 }  // namespace dfs::sim

@@ -25,7 +25,10 @@ void FailureScenario::restore(net::NodeId node) {
   if (it != failed_.end() && *it == node) failed_.erase(it);
 }
 
-FailureScenario no_failure() { return FailureScenario{}; }
+const FailureScenario& no_failure() {
+  static const FailureScenario kNone{};
+  return kNone;
+}
 
 FailureScenario single_node_failure(const net::Topology& topo,
                                     util::Rng& rng) {

@@ -34,7 +34,10 @@ class FailureScenario {
   std::vector<net::NodeId> failed_;  // sorted
 };
 
-FailureScenario no_failure();
+/// The empty scenario, as a long-lived reference: callers routinely hand it
+/// straight to constructors that retain a `const FailureScenario&`, which
+/// would dangle if this returned a temporary by value.
+const FailureScenario& no_failure();
 FailureScenario single_node_failure(const net::Topology& topo,
                                     util::Rng& rng);
 FailureScenario double_node_failure(const net::Topology& topo,

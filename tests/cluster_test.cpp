@@ -9,6 +9,7 @@
 #include "dfs/core/locality_first.h"
 #include "dfs/core/scheduler.h"
 #include "dfs/ec/reed_solomon.h"
+#include "dfs/ec/registry.h"
 #include "dfs/mapreduce/master.h"
 #include "dfs/storage/layout.h"
 
@@ -125,6 +126,62 @@ TEST(Cluster, RepairRestoresFullLocality) {
       });
   EXPECT_TRUE(node3_worked);
   EXPECT_EQ(r.count_map_tasks(MapTaskKind::kDegraded), 0);
+}
+
+TEST(Cluster, RepairReclassifiesReplicatedLayouts) {
+  // The k == 1 branch of reclassify_after_repair: with a replicated layout
+  // the repaired node holds whole copies, not stripe shards, so membership
+  // is decided by scanning the stripe's replica list.
+  const auto make_job = [](const OnlineHarness& h) {
+    mapreduce::JobInput job = h.job;
+    util::Rng placement(11);
+    job.layout = std::make_shared<storage::StorageLayout>(
+        storage::replicated_layout(60, 2, h.cfg.topology, placement));
+    job.code = ec::make_code_from_spec("rep:2");
+    return job;
+  };
+
+  // Fail both replica holders of stripe 0 before the job activates, then
+  // bring one back before any task launches: every pending task regains a
+  // readable copy, so nothing runs degraded and nothing is lost.
+  OnlineHarness h;
+  const mapreduce::JobInput job = make_job(h);
+  const auto a = job.layout->node_of(storage::BlockId{0, 0});
+  const auto b = job.layout->node_of(storage::BlockId{0, 1});
+  ASSERT_NE(a, b);
+  h.failure.fail(a);
+  h.master->on_node_failed(a);
+  h.failure.fail(b);
+  h.master->on_node_failed(b);
+  h.master->set_online(true);
+  h.master->submit(job);
+  h.sim.schedule_at(0.5, [&h, a] {
+    h.failure.restore(a);
+    h.master->on_node_repaired(a);
+  });
+  h.sim.schedule_at(1.5, [&h] { h.master->finish_admission(); });
+  h.master->start();
+  h.sim.run();
+  ASSERT_TRUE(h.master->all_jobs_done());
+  const auto r = h.master->take_result();
+  EXPECT_FALSE(r.data_loss);
+  EXPECT_EQ(r.count_map_tasks(MapTaskKind::kDegraded), 0);
+
+  // Control: without the repair, stripe 0 has no readable copy at all and a
+  // 2-way replicated block cannot be rebuilt from survivors.
+  OnlineHarness h2;
+  const mapreduce::JobInput job2 = make_job(h2);
+  h2.failure.fail(a);
+  h2.master->on_node_failed(a);
+  h2.failure.fail(b);
+  h2.master->on_node_failed(b);
+  h2.master->set_online(true);
+  h2.master->submit(job2);
+  h2.sim.schedule_at(1.5, [&h2] { h2.master->finish_admission(); });
+  h2.master->start();
+  h2.sim.run();
+  ASSERT_TRUE(h2.master->all_jobs_done());
+  EXPECT_TRUE(h2.master->take_result().data_loss);
 }
 
 // --- the full lifecycle simulation --------------------------------------------

@@ -26,6 +26,17 @@
 //   --sample-interval X   timeline sampling period, seconds   [60]
 //   --jsonl PATH          write the full run as JSON lines
 //   --csv PATH            write the sampled timeline as CSV
+//
+// Fault layer (compute-failure fault tolerance; everything below is inert
+// unless --faults is given):
+//   --faults                   failures also kill the TaskTracker
+//   --expiry X                 heartbeat-expiry multiplier          [10]
+//   --attempt-failure-prob X   per-attempt transient failure prob   [0]
+//   --max-attempts N           attempts per task before job abort   [4]
+//   --retry-backoff X          base retry backoff, seconds          [1]
+//   --blacklist-threshold N    failures before a slave is shunned   [3]
+//   --blacklist-duration X     blacklist residence time, seconds    [300]
+//   --attempts-csv PATH        write the attempt-level trace as CSV
 
 #include <fstream>
 #include <iostream>
@@ -34,6 +45,7 @@
 
 #include "dfs/cluster/simulation.h"
 #include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/trace.h"
 #include "dfs/util/args.h"
 #include "dfs/util/table.h"
 
@@ -66,7 +78,11 @@ int main(int argc, char** argv) {
            "  --pareto-alpha X --diurnal-amplitude X --diurnal-period X\n"
            "  --blocks N --reducers N\n"
            "  --mttf-hours X --repair-delay X --rack-failures X --repair N\n"
-           "  --sample-interval X --jsonl PATH --csv PATH\n";
+           "  --sample-interval X --jsonl PATH --csv PATH\n"
+           "  --faults --expiry X --attempt-failure-prob X --max-attempts N\n"
+           "  --retry-backoff X --blacklist-threshold N "
+           "--blacklist-duration X\n"
+           "  --attempts-csv PATH\n";
     return 0;
   }
 
@@ -87,11 +103,64 @@ int main(int argc, char** argv) {
   opts.lifecycle.rack_failure_fraction = args.get_double("rack-failures", 0.0);
   opts.lifecycle.repair_concurrency = args.get_int("repair", 4);
 
+  mapreduce::FaultConfig& fault = opts.config.fault;
+  fault.compute_failures = args.has("faults");
+  fault.expiry_multiplier = args.get_double("expiry", 10.0);
+  fault.attempt_failure_prob = args.get_double("attempt-failure-prob", 0.0);
+  fault.max_attempts = args.get_int("max-attempts", 4);
+  fault.retry_backoff = args.get_double("retry-backoff", 1.0);
+  fault.blacklist_threshold = args.get_int("blacklist-threshold", 3);
+  fault.blacklist_duration = args.get_double("blacklist-duration", 300.0);
+
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string scheduler_flag = args.get_or("scheduler", "df");
   const auto jsonl_path = args.get("jsonl");
   const auto csv_path = args.get("csv");
+  const auto attempts_csv_path = args.get("attempts-csv");
+
+  if (opts.horizon <= 0.0) return fail("--hours must be > 0");
+  if (opts.warmup < 0.0) return fail("--warmup must be >= 0");
+  if (opts.sample_interval <= 0.0) return fail("--sample-interval must be > 0");
+  if (opts.arrivals.mean_interarrival <= 0.0) {
+    return fail("--interarrival must be > 0");
+  }
+  if (opts.arrivals.pareto_alpha <= 1.0) {
+    return fail("--pareto-alpha must be > 1");
+  }
+  if (opts.arrivals.diurnal_amplitude < 0.0 ||
+      opts.arrivals.diurnal_amplitude >= 1.0) {
+    return fail("--diurnal-amplitude must be in [0, 1)");
+  }
+  if (opts.arrivals.diurnal_period <= 0.0) {
+    return fail("--diurnal-period must be > 0");
+  }
+  if (opts.arrivals.job.num_blocks < 1) return fail("--blocks must be >= 1");
+  if (opts.arrivals.job.num_reducers < 0) {
+    return fail("--reducers must be >= 0");
+  }
+  if (opts.lifecycle.node_mttf_hours <= 0.0) {
+    return fail("--mttf-hours must be > 0");
+  }
+  if (opts.lifecycle.mean_repair_delay < 0.0) {
+    return fail("--repair-delay must be >= 0");
+  }
+  if (opts.lifecycle.rack_failure_fraction < 0.0 ||
+      opts.lifecycle.rack_failure_fraction > 1.0) {
+    return fail("--rack-failures must be in [0, 1]");
+  }
+  if (opts.lifecycle.repair_concurrency < 1) {
+    return fail("--repair must be >= 1");
+  }
+  if (fault.expiry_multiplier <= 0.0) return fail("--expiry must be > 0");
+  if (fault.attempt_failure_prob < 0.0 || fault.attempt_failure_prob > 1.0) {
+    return fail("--attempt-failure-prob must be in [0, 1]");
+  }
+  if (fault.max_attempts < 1) return fail("--max-attempts must be >= 1");
+  if (fault.retry_backoff < 0.0) return fail("--retry-backoff must be >= 0");
+  if (fault.blacklist_duration < 0.0) {
+    return fail("--blacklist-duration must be >= 0");
+  }
 
   std::unique_ptr<core::Scheduler> scheduler;
   try {
@@ -140,6 +209,23 @@ int main(int argc, char** argv) {
   table.add_row({"rack downlink utilization",
                  util::Table::pct(s.mean_rack_down_utilization * 100.0, 1)});
   std::cout << table;
+  if (opts.config.fault.compute_failures) {
+    const auto& run = result.run;
+    std::cout << "faults: "
+              << run.count_map_attempts(mapreduce::AttemptOutcome::kKilled) +
+                     run.count_reduce_attempts(
+                         mapreduce::AttemptOutcome::kKilled)
+              << " attempts killed, "
+              << run.count_map_attempts(mapreduce::AttemptOutcome::kFailed) +
+                     run.count_reduce_attempts(
+                         mapreduce::AttemptOutcome::kFailed)
+              << " failed, " << run.blacklist_events
+              << " blacklist events, " << run.jobs_failed()
+              << " jobs aborted\n";
+    std::cout << "faults: " << run.detections.size()
+              << " slave deaths detected, mean detection latency "
+              << util::Table::num(run.mean_detection_latency(), 1) << " s\n";
+  }
   if (s.blocks_unrecoverable > 0) {
     std::cerr << "warning: " << s.blocks_unrecoverable
               << " blocks were unrecoverable (data loss)\n";
@@ -156,6 +242,13 @@ int main(int argc, char** argv) {
     if (!out) return fail("cannot write " + *csv_path);
     cluster::write_timeline_csv(out, result);
     std::cout << "timeline CSV written to " << *csv_path << '\n';
+  }
+  if (attempts_csv_path) {
+    std::ofstream out(*attempts_csv_path);
+    if (!out) return fail("cannot write " + *attempts_csv_path);
+    mapreduce::write_attempt_csv(out, result.run);
+    std::cout << "attempt trace CSV written to " << *attempts_csv_path
+              << '\n';
   }
   return 0;
 }

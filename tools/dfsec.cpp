@@ -235,8 +235,12 @@ int main(int argc, char** argv) {
   if (!code) {
     return fail(std::string("bad --code spec (") + ec::code_spec_help() + ")");
   }
-  const std::size_t block_bytes =
-      static_cast<std::size_t>(args.get_int("block-kb", 64)) * 1024;
+  const int block_kb = args.get_int("block-kb", 64);
+  if (block_kb < 1) return fail("--block-kb must be >= 1");
+  if (const auto unknown = args.unrecognized(); !unknown.empty()) {
+    return fail("unknown flag --" + unknown.front());
+  }
+  const std::size_t block_bytes = static_cast<std::size_t>(block_kb) * 1024;
 
   const std::string& cmd = pos[0];
   if (cmd == "encode" && pos.size() == 3) {

@@ -145,6 +145,25 @@ int main(int argc, char** argv) {
     return fail("unknown flag --" + unknown.front());
   }
 
+  if (cfg.map_slots_per_node < 0) return fail("--map-slots must be >= 0");
+  if (cfg.reduce_slots_per_node < 0) return fail("--reduce-slots must be >= 0");
+  if (cfg.block_size <= 0.0) return fail("--block-mb must be > 0");
+  if (cfg.heartbeat_interval <= 0.0) return fail("--heartbeat must be > 0");
+  if (rack_mbps <= 0.0) return fail("--bandwidth-mbps must be > 0");
+  if (node_mbps < 0.0) return fail("--node-bandwidth-mbps must be >= 0");
+  if (blocks < 1) return fail("--blocks must be >= 1");
+  if (spec.num_reducers < 0) return fail("--reducers must be >= 0");
+  if (spec.shuffle_ratio < 0.0) return fail("--shuffle must be >= 0");
+  if (spec.map_time.mean <= 0.0 || spec.map_time.stddev < 0.0) {
+    return fail("--map-time needs mean > 0 and stddev >= 0");
+  }
+  if (spec.reduce_time.mean <= 0.0 || spec.reduce_time.stddev < 0.0) {
+    return fail("--reduce-time needs mean > 0 and stddev >= 0");
+  }
+  if (seeds < 1) return fail("--seeds must be >= 1");
+  if (repair_concurrency < 0) return fail("--repair must be >= 0");
+  if (hetero <= 0.0) return fail("--hetero must be > 0");
+
   util::Table table({"seed", "runtime(s)", "map_phase(s)", "degraded",
                      "remote", "mean_drt(s)", "normalized"});
   std::vector<double> runtimes, normalized;
