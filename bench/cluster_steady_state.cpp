@@ -4,7 +4,8 @@
 // and the table reports the latency percentiles and degraded-task share the
 // snapshot experiments (fig7_simulation) cannot measure.
 //
-//   cluster_steady_state [--seeds N]   (default 5; DFS_BENCH_SEEDS honored)
+//   cluster_steady_state [--seeds N] [--jobs N]
+//   (default 5 seeds; DFS_BENCH_SEEDS / DFS_BENCH_JOBS honored)
 
 #include "common.h"
 
@@ -14,18 +15,23 @@ using namespace dfs;
 
 int main(int argc, char** argv) {
   const int seeds = bench::seeds_from_args(argc, argv, 5);
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   util::Table table({"scheduler", "p50(s)", "p95(s)", "p99(s)", "mean(s)",
                      "degraded", "failures", "net util"});
   for (const char* name : {"LF", "BDF", "EDF"}) {
-    const auto scheduler = core::make_scheduler(name);
-    std::vector<double> p50, p95, p99, mean, degraded, net_util;
-    int failures = 0;
-    for (int s = 0; s < seeds; ++s) {
+    const auto results = bench::sweep_seeds(jobs, seeds, [&](int s) {
+      // Every cell owns its scheduler: make_scheduler variants carry
+      // mutable per-run state (e.g. DelayScheduler::skip_since_).
+      const auto scheduler = core::make_scheduler(name);
       cluster::ClusterOptions opts;  // the default steady-state scenario
       cluster::ClusterSimulation simulation(
           opts, *scheduler, static_cast<std::uint64_t>(s) + 1);
-      const auto result = simulation.run();
+      return simulation.run();
+    });
+    std::vector<double> p50, p95, p99, mean, degraded, net_util;
+    int failures = 0;
+    for (const auto& result : results) {
       p50.push_back(result.summary.latency_p50);
       p95.push_back(result.summary.latency_p95);
       p99.push_back(result.summary.latency_p99);

@@ -10,6 +10,8 @@
 
 #include "dfs/core/scheduler.h"
 #include "dfs/mapreduce/simulation.h"
+#include "dfs/runner/jobs_flag.h"
+#include "dfs/runner/sweep.h"
 #include "dfs/storage/failure.h"
 #include "dfs/util/stats.h"
 #include "dfs/util/table.h"
@@ -26,6 +28,40 @@ inline int seeds_from_args(int argc, char** argv, int def = 30) {
   const char* env = std::getenv("DFS_BENCH_SEEDS");
   if (env != nullptr) return std::atoi(env);
   return def;
+}
+
+/// Parses "--jobs N" for the sweep harnesses (default: every hardware
+/// thread; DFS_BENCH_JOBS honored like DFS_BENCH_SEEDS). Exits with a usage
+/// error on 0 / negative / non-numeric input, matching the tools.
+inline int jobs_from_args(int argc, char** argv) {
+  const char* text = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) text = argv[i + 1];
+  }
+  if (text == nullptr) text = std::getenv("DFS_BENCH_JOBS");
+  if (text == nullptr) return runner::default_jobs();
+  const auto jobs = runner::parse_jobs(text);
+  if (!jobs) {
+    std::cerr << "bench: " << runner::jobs_error() << "\n";
+    std::exit(2);
+  }
+  return *jobs;
+}
+
+/// Process-wide sweep pool, sized by the first call (pass the value from
+/// jobs_from_args). Later calls reuse the same pool whatever they pass.
+inline runner::ThreadPool& sweep_pool(int jobs) {
+  static runner::ThreadPool pool(jobs);
+  return pool;
+}
+
+/// Fan `fn(seed)` over seeds 0..n-1 across the shared pool; results come
+/// back in seed order, so tables built from them are byte-identical to a
+/// serial run. Each cell must build its own scheduler/Rng/simulation stack.
+template <typename Fn>
+auto sweep_seeds(int jobs, int n, Fn&& fn) {
+  return runner::sweep(sweep_pool(jobs), static_cast<std::size_t>(n),
+                       [&](std::size_t i) { return fn(static_cast<int>(i)); });
 }
 
 /// Renders a five-number summary the way the paper's boxplots report it.

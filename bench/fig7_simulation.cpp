@@ -11,7 +11,10 @@
 //   (e) vs shuffle volume                    — paper: 20.0%-33.2%
 //   (f) multiple jobs (10, FIFO)             — paper: 28.6%-48.6% per job
 //
-// Usage: fig7_simulation [--seeds N]   (default 30)
+// Usage: fig7_simulation [--seeds N] [--jobs N]
+//   --seeds: configurations per setting (default 30)
+//   --jobs:  worker threads for the seed sweep (default: all hardware
+//            threads; output is byte-identical for any value)
 
 #include <functional>
 #include <iostream>
@@ -27,24 +30,34 @@ using bench::boxplot_header;
 namespace {
 
 int g_seeds = 30;
+int g_jobs = 1;
 
 /// Runs one panel setting for both schedulers and appends two table rows.
+/// Seeds fan out across the sweep pool; every cell builds its own scheduler
+/// pair so no state is shared between concurrent simulations.
 void panel_rows(
     util::Table& table, const std::string& label,
     const mapreduce::ClusterConfig& cfg, const workload::SimJobOptions& opts,
     const std::function<storage::FailureScenario(util::Rng&)>& make_failure) {
-  core::LocalityFirstScheduler lf;
-  auto edf = core::DegradedFirstScheduler::enhanced();
-  std::vector<double> lf_norm, edf_norm;
-  for (int s = 0; s < g_seeds; ++s) {
+  struct Sample {
+    double lf = 0.0;
+    double edf = 0.0;
+  };
+  const auto samples = bench::sweep_seeds(g_jobs, g_seeds, [&](int s) {
     util::Rng rng(static_cast<std::uint64_t>(s) * 7919 + 17);
     const auto job = workload::make_sim_job(0, opts, cfg.topology, rng);
     const auto failure = make_failure(rng);
     const std::uint64_t sim_seed = static_cast<std::uint64_t>(s) + 1;
-    lf_norm.push_back(
-        bench::normalized_runtime_sample(cfg, job, failure, lf, sim_seed));
-    edf_norm.push_back(
-        bench::normalized_runtime_sample(cfg, job, failure, edf, sim_seed));
+    core::LocalityFirstScheduler lf;
+    auto edf = core::DegradedFirstScheduler::enhanced();
+    return Sample{
+        bench::normalized_runtime_sample(cfg, job, failure, lf, sim_seed),
+        bench::normalized_runtime_sample(cfg, job, failure, edf, sim_seed)};
+  });
+  std::vector<double> lf_norm, edf_norm;
+  for (const Sample& s : samples) {
+    lf_norm.push_back(s.lf);
+    edf_norm.push_back(s.edf);
   }
   const auto lf_box = util::boxplot(lf_norm);
   const auto edf_box = util::boxplot(edf_norm);
@@ -76,6 +89,7 @@ std::function<storage::FailureScenario(util::Rng&)> single_failure(
 
 int main(int argc, char** argv) {
   g_seeds = bench::seeds_from_args(argc, argv);
+  g_jobs = bench::jobs_from_args(argc, argv);
   std::cout << "Figure 7: simulation, normalized runtimes over " << g_seeds
             << " random configurations per setting\n"
             << "Cluster: 40 nodes / 4 racks, 1 Gbps racks, 128 MB blocks, "
@@ -158,26 +172,42 @@ int main(int argc, char** argv) {
   util::print_section(std::cout,
                       "Fig 7(f): multiple jobs (10 jobs, exp(120s) arrivals)");
   {
-    core::LocalityFirstScheduler lf;
-    auto edf = core::DegradedFirstScheduler::enhanced();
     const int kJobs = 10;
     // Normalized per-job runtimes over the same workload in normal mode.
     std::vector<std::vector<double>> lf_norm(kJobs), edf_norm(kJobs);
     const int multi_seeds = std::max(1, g_seeds / 3);
-    for (int s = 0; s < multi_seeds; ++s) {
-      util::Rng rng(static_cast<std::uint64_t>(s) * 104729 + 5);
-      const auto jobs = workload::make_multi_job_workload(
-          kJobs, 120.0, workload::SimJobOptions{}, cfg.topology, rng);
-      const auto failure = storage::single_node_failure(cfg.topology, rng);
-      const std::uint64_t sim_seed = static_cast<std::uint64_t>(s) + 1;
-      const auto rl = mapreduce::simulate(cfg, jobs, failure, lf, sim_seed);
-      const auto re = mapreduce::simulate(cfg, jobs, failure, edf, sim_seed);
-      const auto rn =
-          mapreduce::simulate(cfg, jobs, storage::no_failure(), lf, sim_seed);
+    struct MultiSample {
+      std::vector<double> lf, edf;  // one entry per job
+    };
+    const auto samples =
+        bench::sweep_seeds(g_jobs, multi_seeds, [&](int s) {
+          util::Rng rng(static_cast<std::uint64_t>(s) * 104729 + 5);
+          const auto jobs = workload::make_multi_job_workload(
+              kJobs, 120.0, workload::SimJobOptions{}, cfg.topology, rng);
+          const auto failure = storage::single_node_failure(cfg.topology, rng);
+          const std::uint64_t sim_seed = static_cast<std::uint64_t>(s) + 1;
+          core::LocalityFirstScheduler lf;
+          auto edf = core::DegradedFirstScheduler::enhanced();
+          const auto rl =
+              mapreduce::simulate(cfg, jobs, failure, lf, sim_seed);
+          const auto re =
+              mapreduce::simulate(cfg, jobs, failure, edf, sim_seed);
+          const auto rn = mapreduce::simulate(cfg, jobs,
+                                              storage::no_failure(), lf,
+                                              sim_seed);
+          MultiSample out;
+          for (int j = 0; j < kJobs; ++j) {
+            const auto ji = static_cast<std::size_t>(j);
+            out.lf.push_back(rl.jobs[ji].runtime() / rn.jobs[ji].runtime());
+            out.edf.push_back(re.jobs[ji].runtime() / rn.jobs[ji].runtime());
+          }
+          return out;
+        });
+    for (const MultiSample& s : samples) {
       for (int j = 0; j < kJobs; ++j) {
         const auto ji = static_cast<std::size_t>(j);
-        lf_norm[ji].push_back(rl.jobs[ji].runtime() / rn.jobs[ji].runtime());
-        edf_norm[ji].push_back(re.jobs[ji].runtime() / rn.jobs[ji].runtime());
+        lf_norm[ji].push_back(s.lf[ji]);
+        edf_norm[ji].push_back(s.edf[ji]);
       }
     }
     util::Table t({"job", "LF median", "EDF median", "EDF cut (means)"});

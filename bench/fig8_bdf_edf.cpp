@@ -11,7 +11,10 @@
 //                                                   EDF 34.0%/27.9%
 //   (d) extreme case runtime reduction     — paper: BDF 11.7%, EDF 32.6%
 //
-// Usage: fig8_bdf_edf [--seeds N]   (default 30)
+// Usage: fig8_bdf_edf [--seeds N] [--jobs N]
+//   --seeds: samples per setting (default 30)
+//   --jobs:  worker threads for the seed sweep (default: all hardware
+//            threads; output is byte-identical for any value)
 
 #include <iostream>
 
@@ -24,6 +27,7 @@ using namespace dfs;
 namespace {
 
 int g_seeds = 30;
+int g_jobs = 1;
 
 struct SchemeStats {
   std::vector<double> remote_change;  // % vs LF
@@ -35,10 +39,10 @@ void collect(const mapreduce::ClusterConfig& cfg,
              const workload::SimJobOptions& opts, SchemeStats& bdf_stats,
              SchemeStats& edf_stats,
              const std::vector<net::NodeId>& exclude_from_failure = {}) {
-  core::LocalityFirstScheduler lf;
-  auto bdf = core::DegradedFirstScheduler::basic();
-  auto edf = core::DegradedFirstScheduler::enhanced();
-  for (int s = 0; s < g_seeds; ++s) {
+  struct Sample {
+    mapreduce::RunResult lf, bdf, edf;
+  };
+  const auto samples = bench::sweep_seeds(g_jobs, g_seeds, [&](int s) {
     util::Rng rng(static_cast<std::uint64_t>(s) * 6151 + 3);
     const auto job = workload::make_sim_job(0, opts, cfg.topology, rng);
     const auto failure =
@@ -47,9 +51,17 @@ void collect(const mapreduce::ClusterConfig& cfg,
             : storage::single_node_failure_excluding(cfg.topology, rng,
                                                      exclude_from_failure);
     const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
-    const auto rl = mapreduce::simulate(cfg, {job}, failure, lf, seed);
-    const auto rb = mapreduce::simulate(cfg, {job}, failure, bdf, seed);
-    const auto re = mapreduce::simulate(cfg, {job}, failure, edf, seed);
+    core::LocalityFirstScheduler lf;
+    auto bdf = core::DegradedFirstScheduler::basic();
+    auto edf = core::DegradedFirstScheduler::enhanced();
+    Sample out;
+    out.lf = mapreduce::simulate(cfg, {job}, failure, lf, seed);
+    out.bdf = mapreduce::simulate(cfg, {job}, failure, bdf, seed);
+    out.edf = mapreduce::simulate(cfg, {job}, failure, edf, seed);
+    return out;
+  });
+  for (const Sample& sample : samples) {
+    const auto& rl = sample.lf;
     auto record = [&](const mapreduce::RunResult& r, SchemeStats& out) {
       if (rl.jobs[0].remote_tasks > 0) {
         out.remote_change.push_back(
@@ -62,8 +74,8 @@ void collect(const mapreduce::ClusterConfig& cfg,
       out.runtime_reduction.push_back(util::reduction_percent(
           rl.jobs[0].runtime(), r.jobs[0].runtime()));
     };
-    record(rb, bdf_stats);
-    record(re, edf_stats);
+    record(sample.bdf, bdf_stats);
+    record(sample.edf, edf_stats);
   }
 }
 
@@ -92,6 +104,7 @@ void print_panel(const std::string& title, const SchemeStats& homo_bdf,
 
 int main(int argc, char** argv) {
   g_seeds = bench::seeds_from_args(argc, argv);
+  g_jobs = bench::jobs_from_args(argc, argv);
   std::cout << "Figure 8: BDF vs EDF vs LF, single-node failure, " << g_seeds
             << " samples per setting\n";
 

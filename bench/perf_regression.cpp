@@ -1,0 +1,354 @@
+// perf_regression — machine-readable performance harness guarding the two
+// hot paths this repo optimizes: the discrete-event kernel (slab-allocated
+// events + small-buffer callbacks) and the parallel sweep runner.
+//
+// It measures, in one process:
+//   * kernel micro: events/sec through sim::Simulator for a schedule+drain
+//     workload and a schedule+cancel churn workload, each also run through
+//     an embedded copy of the pre-optimization kernel (LegacySimulator,
+//     heap-allocated std::function callbacks and hash-map bookkeeping) so
+//     every run reports a live pre/post comparison on the same hardware.
+//   * macro: wall-clock for a fig7-style LF-vs-EDF seed sweep, serial
+//     (--jobs 1) and parallel (--jobs N), and checks the two produce
+//     identical results.
+//
+// The JSON report goes to --out (default BENCH_perf.json). With --baseline
+// PATH the run compares its kernel events/sec against the committed
+// baseline and exits 1 if either workload regressed by more than
+// --max-regress (default 0.25, i.e. 25%) — the CI perf gate.
+//
+// Usage: perf_regression [--quick] [--out PATH] [--baseline PATH]
+//        [--max-regress X] [--jobs N] [--seeds N]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common.h"
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/util/args.h"
+
+using namespace dfs;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LegacySimulator: frozen copy of the event kernel as it was before the slab
+// rewrite (std::function callbacks allocated per event, callbacks_ /
+// cancelled_ hash maps consulted on every pop). Kept verbatim so the micro
+// numbers are a true pre/post comparison on the machine running the harness,
+// not a stale constant measured elsewhere. Do not "improve" this class.
+// ---------------------------------------------------------------------------
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+  struct EventId {
+    std::uint64_t value = 0;
+    bool valid() const { return value != 0; }
+  };
+
+  util::Seconds now() const { return now_; }
+
+  EventId schedule_in(util::Seconds delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  EventId schedule_at(util::Seconds at, Callback cb) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(Event{at, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return EventId{id};
+  }
+
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    auto it = callbacks_.find(id.value);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id.value);
+    return true;
+  }
+
+  util::Seconds run(util::Seconds until = -1.0) {
+    while (!heap_.empty()) {
+      Event ev = heap_.top();
+      if (until >= 0.0 && ev.time > until) {
+        now_ = until;
+        return now_;
+      }
+      heap_.pop();
+      if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+        cancelled_.erase(c);
+        continue;
+      }
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) continue;
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = ev.time;
+      ++executed_;
+      cb();
+    }
+    return now_;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    util::Seconds time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Schedule `events` no-op events across a 1000 s window, then drain.
+template <typename Sim>
+void schedule_run_workload(int events) {
+  Sim sim;
+  volatile int sink = 0;
+  for (int i = 0; i < events; ++i) {
+    sim.schedule_in((i * 31) % 1000, [&sink] { sink = sink + 1; });
+  }
+  sim.run();
+}
+
+/// Same, but 3 of every 4 events are cancelled before they fire — the
+/// timer-heavy pattern the MapReduce layer produces (heartbeats and
+/// completion timers that are usually re-armed before expiring).
+template <typename Sim>
+void churn_workload(int events) {
+  Sim sim;
+  volatile int sink = 0;
+  for (int i = 0; i < events; ++i) {
+    const auto id = sim.schedule_in((i * 31) % 1000, [&sink] { sink = sink + 1; });
+    if (i % 4 != 0) sim.cancel(id);
+  }
+  sim.run();
+}
+
+/// Best-of-`reps` throughput in operations/sec for `workload(ops)`.
+double best_rate(int reps, int ops, const std::function<void(int)>& workload) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    workload(ops);
+    const double elapsed = seconds_since(start);
+    if (elapsed > 0.0) best = std::max(best, ops / elapsed);
+  }
+  return best;
+}
+
+/// One macro sweep cell: the fig7 default-cluster LF + EDF normalized
+/// runtime pair for one seed (4 full MapReduce simulations).
+std::pair<double, double> macro_cell(const mapreduce::ClusterConfig& cfg,
+                                     int s) {
+  util::Rng rng(static_cast<std::uint64_t>(s) * 7919 + 17);
+  const auto job = workload::make_sim_job(0, workload::SimJobOptions{},
+                                          cfg.topology, rng);
+  const auto failure = storage::single_node_failure(cfg.topology, rng);
+  const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+  core::LocalityFirstScheduler lf;
+  auto edf = core::DegradedFirstScheduler::enhanced();
+  return {bench::normalized_runtime_sample(cfg, job, failure, lf, seed),
+          bench::normalized_runtime_sample(cfg, job, failure, edf, seed)};
+}
+
+/// Crude but sufficient extraction of `"key": <number>` following
+/// `"section"` in a JSON report this harness wrote. Returns 0 when absent.
+double extract_number(const std::string& json, const std::string& section,
+                      const std::string& key) {
+  const auto sec = json.find('"' + section + '"');
+  if (sec == std::string::npos) return 0.0;
+  const auto pos = json.find('"' + key + "\":", sec);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+}
+
+int usage_error(const std::string& message) {
+  std::cerr << "perf_regression: " << message << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "perf_regression - event-kernel + sweep-runner perf harness\n"
+                 "  --quick            smaller workloads (CI-sized)\n"
+                 "  --out PATH         JSON report path [BENCH_perf.json]\n"
+                 "  --baseline PATH    compare kernel events/sec against a\n"
+                 "                     committed report; exit 1 on regression\n"
+                 "  --max-regress X    allowed fractional regression [0.25]\n"
+                 "  --jobs N           parallel sweep width [hardware]\n"
+                 "  --seeds N          macro sweep cells [8, quick: 4]\n";
+    return 0;
+  }
+  const bool quick = args.has("quick");
+  const std::string out_path = args.get_or("out", "BENCH_perf.json");
+  const auto baseline_path = args.get("baseline");
+  const double max_regress = args.get_double("max-regress", 0.25);
+  const auto jobs = runner::jobs_from_args(args);
+  if (!jobs) return usage_error(runner::jobs_error());
+  const int seeds = args.get_int("seeds", quick ? 4 : 8);
+  if (seeds < 1) return usage_error("--seeds must be >= 1");
+  if (max_regress < 0.0 || max_regress >= 1.0) {
+    return usage_error("--max-regress must be in [0, 1)");
+  }
+  if (const auto unknown = args.unrecognized(); !unknown.empty()) {
+    return usage_error("unknown flag --" + unknown.front());
+  }
+
+  // --- kernel micro ---------------------------------------------------------
+  const int events = quick ? 100000 : 200000;
+  const int reps = quick ? 3 : 5;
+  std::cerr << "kernel: schedule+drain, " << events << " events x " << reps
+            << " reps\n";
+  const double legacy_sched =
+      best_rate(reps, events, schedule_run_workload<LegacySimulator>);
+  const double current_sched =
+      best_rate(reps, events, schedule_run_workload<sim::Simulator>);
+  std::cerr << "kernel: churn (75% cancelled), " << events << " events x "
+            << reps << " reps\n";
+  const double legacy_churn =
+      best_rate(reps, events, churn_workload<LegacySimulator>);
+  const double current_churn =
+      best_rate(reps, events, churn_workload<sim::Simulator>);
+
+  // --- macro sweep ----------------------------------------------------------
+  const auto cfg = workload::default_sim_cluster();
+  std::cerr << "macro: fig7-style LF/EDF sweep, " << seeds
+            << " seeds, serial then --jobs " << *jobs << "\n";
+  runner::ThreadPool serial_pool(1);
+  const auto serial_start = Clock::now();
+  const auto serial_results =
+      runner::sweep(serial_pool, static_cast<std::size_t>(seeds),
+                    [&](std::size_t i) {
+                      return macro_cell(cfg, static_cast<int>(i));
+                    });
+  const double serial_seconds = seconds_since(serial_start);
+
+  runner::ThreadPool parallel_pool(*jobs);
+  const auto parallel_start = Clock::now();
+  const auto parallel_results =
+      runner::sweep(parallel_pool, static_cast<std::size_t>(seeds),
+                    [&](std::size_t i) {
+                      return macro_cell(cfg, static_cast<int>(i));
+                    });
+  const double parallel_seconds = seconds_since(parallel_start);
+  const bool deterministic = serial_results == parallel_results;
+
+  const auto improvement_pct = [](double before, double after) {
+    return before > 0.0 ? 100.0 * (after - before) / before : 0.0;
+  };
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+
+  std::ostringstream json;
+  json << std::setprecision(10);
+  json << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << runner::default_jobs() << ",\n"
+       << "  \"kernel\": {\n"
+       << "    \"schedule_run\": {\n"
+       << "      \"events\": " << events << ",\n"
+       << "      \"legacy_events_per_sec\": " << legacy_sched << ",\n"
+       << "      \"events_per_sec\": " << current_sched << ",\n"
+       << "      \"improvement_pct\": "
+       << improvement_pct(legacy_sched, current_sched) << "\n"
+       << "    },\n"
+       << "    \"churn\": {\n"
+       << "      \"events\": " << events << ",\n"
+       << "      \"legacy_events_per_sec\": " << legacy_churn << ",\n"
+       << "      \"events_per_sec\": " << current_churn << ",\n"
+       << "      \"improvement_pct\": "
+       << improvement_pct(legacy_churn, current_churn) << "\n"
+       << "    }\n"
+       << "  },\n"
+       << "  \"macro\": {\n"
+       << "    \"seeds\": " << seeds << ",\n"
+       << "    \"serial_seconds\": " << serial_seconds << ",\n"
+       << "    \"parallel_jobs\": " << *jobs << ",\n"
+       << "    \"parallel_seconds\": " << parallel_seconds << ",\n"
+       << "    \"speedup\": " << speedup << ",\n"
+       << "    \"deterministic\": " << (deterministic ? "true" : "false")
+       << "\n"
+       << "  }\n"
+       << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) return usage_error("cannot write " + out_path);
+  out << json.str();
+  out.close();
+  std::cout << json.str();
+  std::cerr << "report written to " << out_path << "\n";
+
+  if (!deterministic) {
+    std::cerr << "FAIL: parallel sweep results differ from serial\n";
+    return 1;
+  }
+
+  if (baseline_path) {
+    std::ifstream in(*baseline_path);
+    if (!in) return usage_error("cannot read baseline " + *baseline_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string base = buf.str();
+    bool failed = false;
+    const auto gate = [&](const std::string& section, double current) {
+      const double ref = extract_number(base, section, "events_per_sec");
+      if (ref <= 0.0) {
+        std::cerr << "baseline: no " << section << " events_per_sec; skipped\n";
+        return;
+      }
+      const double floor = ref * (1.0 - max_regress);
+      std::cerr << "baseline " << section << ": " << std::fixed
+                << std::setprecision(0) << current << " vs " << ref
+                << " (floor " << floor << ")\n";
+      if (current < floor) {
+        std::cerr << "FAIL: " << section << " events/sec regressed more than "
+                  << max_regress * 100.0 << "%\n";
+        failed = true;
+      }
+    };
+    gate("schedule_run", current_sched);
+    gate("churn", current_churn);
+    if (failed) return 1;
+    std::cerr << "baseline check passed\n";
+  }
+  return 0;
+}

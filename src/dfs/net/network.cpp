@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace dfs::net {
@@ -36,6 +39,12 @@ Network::Network(sim::Simulator& simulator, const Topology& topology,
         links.rack_down;
   }
   links_[static_cast<std::size_t>(core_link())].capacity = links.core;
+  // Water-filling scratch is sized once here; fair_share_compute_rates
+  // maintains the invariant that every touched count returns to zero, so
+  // recomputes never pay an O(links) clear.
+  scratch_residual_.assign(links_.size(), 0.0);
+  scratch_count_.assign(links_.size(), 0);
+  scratch_link_flows_.resize(links_.size());
 }
 
 std::vector<int> Network::contended_path(NodeId src, NodeId dst) const {
@@ -116,7 +125,16 @@ bool Network::cancel(FlowId id) {
     active_.erase(it);
     mark_links_active(flow.links, -1);
     ++flows_cancelled_;
-    fair_share_recompute_and_arm();
+    if (fair_share_links_idle(flow.links)) {
+      // The cancelled flow shared no link with any survivor, so the max-min
+      // allocation of the survivors is untouched; only the completion
+      // horizon needs re-arming.
+      ++fast_paths_;
+      if (cross_check_) fair_share_cross_check("cancel");
+    } else {
+      fair_share_compute_rates();
+    }
+    fair_share_arm();
   } else {
     Flow flow = std::move(it->second);
     active_.erase(it);
@@ -162,8 +180,39 @@ void Network::fair_share_add(Flow flow) {
   fair_share_advance();
   mark_links_active(flow.links, +1);
   const FlowId id = flow.id;
-  active_.emplace(id, std::move(flow));
-  fair_share_recompute_and_arm();
+  auto [it, inserted] = active_.emplace(id, std::move(flow));
+  assert(inserted);
+  Flow& f = it->second;
+  bool isolated = true;
+  for (int link : f.links) {
+    if (links_[static_cast<std::size_t>(link)].active_flows != 1) {
+      isolated = false;
+      break;
+    }
+  }
+  if (isolated) {
+    // Fast path: the new flow shares no link with any active flow. Max-min
+    // fairness decomposes over connected components of the flow/link graph,
+    // so every existing rate is unchanged and the new flow gets its path
+    // bottleneck to itself — identical to what the full pass would produce.
+    double rate = std::numeric_limits<double>::infinity();
+    for (int link : f.links) {
+      rate = std::min(rate, links_[static_cast<std::size_t>(link)].capacity);
+    }
+    f.rate = rate;
+    ++fast_paths_;
+    if (cross_check_) fair_share_cross_check("add");
+  } else {
+    fair_share_compute_rates();
+  }
+  fair_share_arm();
+}
+
+bool Network::fair_share_links_idle(const std::vector<int>& links) const {
+  for (int link : links) {
+    if (links_[static_cast<std::size_t>(link)].active_flows != 0) return false;
+  }
+  return true;
 }
 
 void Network::fair_share_advance() {
@@ -177,21 +226,17 @@ void Network::fair_share_advance() {
   last_advance_ = now;
 }
 
-void Network::fair_share_recompute_and_arm() {
-  if (next_completion_.valid()) {
-    sim_.cancel(next_completion_);
-    next_completion_ = {};
-  }
+void Network::fair_share_compute_rates() {
+  ++full_recomputes_;
   if (active_.empty()) return;
 
   // Progressive water-filling: repeatedly saturate the link with the lowest
   // per-flow fair share and freeze the flows that cross it at that rate.
   // Scratch buffers are members, reused across the ~10^5 recomputes per
-  // simulation run.
-  scratch_residual_.assign(links_.size(), 0.0);
-  scratch_count_.assign(links_.size(), 0);
+  // simulation run; counts return to zero by construction (one increment
+  // while seeding, one decrement when the flow freezes), so only the
+  // touched-links list needs clearing here.
   scratch_touched_.clear();
-  scratch_link_flows_.resize(links_.size());
   for (auto& [id, f] : active_) {
     f.rate = -1.0;  // unfrozen marker
     for (int link : f.links) {
@@ -221,7 +266,9 @@ void Network::fair_share_recompute_and_arm() {
     }
     assert(bottleneck >= 0 && "every flow crosses at least one limited link");
     for (FlowId id : scratch_link_flows_[static_cast<std::size_t>(bottleneck)]) {
-      Flow& f = active_[id];
+      auto fit = active_.find(id);
+      assert(fit != active_.end() && "water-filling indexed an unknown flow");
+      Flow& f = fit->second;
       if (f.rate >= 0.0) continue;  // already frozen via another link
       f.rate = best_share;
       --unfrozen;
@@ -231,6 +278,14 @@ void Network::fair_share_recompute_and_arm() {
       }
     }
   }
+}
+
+void Network::fair_share_arm() {
+  if (next_completion_.valid()) {
+    sim_.cancel(next_completion_);
+    next_completion_ = {};
+  }
+  if (active_.empty()) return;
 
   // Arm the next completion event. Flows frozen at a zero rate (possible
   // only through floating-point drift on a saturated link) simply wait for
@@ -241,25 +296,72 @@ void Network::fair_share_recompute_and_arm() {
     horizon = std::min(horizon, f.remaining / f.rate);
   }
   assert(horizon < std::numeric_limits<double>::infinity());
-  next_completion_ = sim_.schedule_in(std::max(kMinHorizon, horizon), [this] {
-    next_completion_ = {};
-    fair_share_advance();
-    std::vector<Flow> finished;
-    for (auto it = active_.begin(); it != active_.end();) {
-      if (it->second.remaining <= kFinishEpsilon) {
-        finished.push_back(std::move(it->second));
-        it = active_.erase(it);
-      } else {
-        ++it;
-      }
+  next_completion_ = sim_.schedule_in(std::max(kMinHorizon, horizon),
+                                      [this] { fair_share_on_completion(); });
+}
+
+void Network::fair_share_on_completion() {
+  next_completion_ = {};
+  fair_share_advance();
+  std::vector<Flow> finished;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.remaining <= kFinishEpsilon) {
+      finished.push_back(std::move(it->second));
+      it = active_.erase(it);
+    } else {
+      ++it;
     }
-    for (Flow& f : finished) mark_links_active(f.links, -1);
-    // Completion callbacks may start new flows re-entrantly; those calls
-    // each trigger their own recompute, and we do a final one below to
-    // cover the case where no new flow was started.
-    for (Flow& f : finished) finish_flow(f);
-    fair_share_recompute_and_arm();
-  });
+  }
+  for (Flow& f : finished) mark_links_active(f.links, -1);
+  // If every finished flow's links are now idle, the finished flows shared
+  // no link with any survivor and the survivors' allocation is unchanged —
+  // the water-filling pass can be skipped outright.
+  bool idle = true;
+  for (const Flow& f : finished) {
+    if (!fair_share_links_idle(f.links)) {
+      idle = false;
+      break;
+    }
+  }
+  if (!active_.empty()) {
+    if (idle) {
+      ++fast_paths_;
+      if (cross_check_) fair_share_cross_check("completion");
+    } else {
+      fair_share_compute_rates();
+    }
+  }
+  // Completion callbacks may start new flows re-entrantly; survivor rates
+  // are already correct at this point, so each re-entrant add updates the
+  // allocation incrementally (fast path or full pass) and re-arms itself.
+  // The final arm below covers the case where no new flow was started.
+  for (Flow& f : finished) finish_flow(f);
+  fair_share_arm();
+}
+
+void Network::fair_share_cross_check(const char* where) {
+  // Save the fast path's rates, run the full water-filling pass over the
+  // same active set, and demand agreement (up to floating-point noise: the
+  // full pass accumulates link residuals in a different order). The fast
+  // path's values are restored afterwards so the production code path stays
+  // the one under test downstream.
+  std::vector<std::pair<FlowId, double>> saved;
+  saved.reserve(active_.size());
+  for (const auto& [id, f] : active_) saved.emplace_back(id, f.rate);
+  fair_share_compute_rates();
+  for (const auto& [id, rate] : saved) {
+    const auto it = active_.find(id);
+    assert(it != active_.end());
+    const double full = it->second.rate;
+    const double tol = 1e-9 * std::max(1.0, std::abs(full));
+    if (std::abs(full - rate) > tol) {
+      throw std::logic_error(
+          std::string("fair-share fast path diverged from full recompute at ") +
+          where + ": flow " + std::to_string(id) + " fast=" +
+          std::to_string(rate) + " full=" + std::to_string(full));
+    }
+  }
+  for (const auto& [id, rate] : saved) active_.find(id)->second.rate = rate;
 }
 
 // --- exclusive FIFO (the paper's NodeTree hold model) -------------------------

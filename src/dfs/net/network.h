@@ -72,10 +72,21 @@ class Network {
   ContentionModel model() const { return model_; }
   const Topology& topology() const { return topology_; }
 
+  /// Debug mode: after every fair-share fast path, re-run the full
+  /// water-filling pass and verify the fast path produced the same rates
+  /// (throws std::logic_error on divergence). Costs a full recompute per
+  /// fast path — for tests only.
+  void set_fair_share_cross_check(bool on) { cross_check_ = on; }
+
   // --- observability -------------------------------------------------------
   std::uint64_t flows_started() const { return flows_started_; }
   std::uint64_t flows_completed() const { return flows_completed_; }
   std::uint64_t flows_cancelled() const { return flows_cancelled_; }
+  /// Fair-share allocation updates that skipped the water-filling pass
+  /// because the arriving/departing flows shared no link with the rest.
+  std::uint64_t fair_share_fast_paths() const { return fast_paths_; }
+  /// Full water-filling passes executed (includes cross-check re-runs).
+  std::uint64_t fair_share_full_recomputes() const { return full_recomputes_; }
   util::Bytes bytes_delivered() const { return bytes_delivered_; }
   int active_flow_count() const { return static_cast<int>(active_.size()); }
   /// Total time the given rack's downlink had at least one active flow.
@@ -107,7 +118,13 @@ class Network {
   // Fair-share model.
   void fair_share_add(Flow flow);
   void fair_share_advance();
-  void fair_share_recompute_and_arm();
+  void fair_share_compute_rates();
+  void fair_share_arm();
+  void fair_share_on_completion();
+  void fair_share_cross_check(const char* where);
+  /// True when none of `links` carries an active flow (used after removal:
+  /// the departed flows were isolated, so survivor rates are unchanged).
+  bool fair_share_links_idle(const std::vector<int>& links) const;
 
   // Exclusive-FIFO model.
   void fifo_try_start_pending();
@@ -149,6 +166,9 @@ class Network {
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_cancelled_ = 0;
+  std::uint64_t fast_paths_ = 0;
+  std::uint64_t full_recomputes_ = 0;
+  bool cross_check_ = false;
   util::Bytes bytes_delivered_ = 0.0;
 };
 

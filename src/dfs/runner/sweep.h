@@ -1,0 +1,69 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "dfs/runner/thread_pool.h"
+
+namespace dfs::runner {
+
+/// Run `fn(cell)` for every cell index in [0, cells) and return the results
+/// indexed by cell.
+///
+/// This is the deterministic fan-out primitive behind every `--jobs N`
+/// sweep: each cell owns its whole simulation stack (Simulator, Network,
+/// Master, Rng, scheduler), so cells share no mutable state, and results
+/// land in a pre-sized vector slot keyed by cell index — the output a
+/// caller assembles from them is byte-identical whatever the thread
+/// interleaving was. On an inline pool (threads() == 0, i.e. --jobs 1) the
+/// loop runs on the caller's thread: exactly the serial program, no atomics,
+/// no pool.
+///
+/// `fn` must be invocable with a std::size_t and its result type
+/// default-constructible and movable. The first exception thrown by any
+/// cell is rethrown on the caller after the sweep stops launching new
+/// cells; cells already running complete normally.
+template <typename Fn>
+auto sweep(ThreadPool& pool, std::size_t cells, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "sweep() results are collected into a pre-sized vector");
+  std::vector<Result> results(cells);
+  if (pool.threads() == 0 || cells <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const int drainers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(pool.threads()), cells));
+  for (int d = 0; d < drainers; ++d) {
+    pool.submit([&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace dfs::runner

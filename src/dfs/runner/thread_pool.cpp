@@ -1,0 +1,60 @@
+#include "dfs/runner/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dfs::runner {
+
+int default_jobs() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 1) return;  // inline pool: sweep() runs cells on the caller
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  assert(!workers_.empty() && "submit() on an inline pool");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_, queue drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --busy_;
+    if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+  }
+}
+
+}  // namespace dfs::runner

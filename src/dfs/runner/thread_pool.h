@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfs::runner {
+
+/// Worker count to use when the user didn't say: every hardware thread.
+/// Never returns less than 1 (hardware_concurrency() may report 0).
+int default_jobs();
+
+/// Fixed-size worker pool for fanning independent simulation cells across
+/// cores. Deliberately minimal: submit closures, then wait_idle() for the
+/// queue to drain. Determinism is the caller's job (see sweep.h, which
+/// assigns results to slots by cell index so output order never depends on
+/// thread interleaving).
+///
+/// A pool constructed with `threads <= 1` spawns no workers at all;
+/// sweep() then runs cells inline on the caller, making `--jobs 1` exactly
+/// today's serial behavior rather than "parallelism with one worker".
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (0 when the pool runs everything inline).
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Must not be called on an inline (threads()==0) pool.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  int busy_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dfs::runner

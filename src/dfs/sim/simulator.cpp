@@ -6,6 +6,33 @@
 
 namespace dfs::sim {
 
+std::uint32_t Simulator::allocate_slot(Callback cb) {
+  std::uint32_t index;
+  if (free_head_ != kFreeListEnd) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(cb);
+  slot.next_free = kOccupied;
+  ++pending_;
+  return index;
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  assert(slot.next_free == kOccupied);
+  slot.fn.reset();
+  if (++slot.gen == 0) slot.gen = 1;  // keep EventId::value != 0
+  slot.next_free = free_head_;
+  free_head_ = index;
+  assert(pending_ > 0);
+  --pending_;
+}
+
 EventId Simulator::schedule_in(util::Seconds delay, Callback cb) {
   assert(delay >= 0.0);
   return schedule_at(now_ + delay, std::move(cb));
@@ -13,18 +40,22 @@ EventId Simulator::schedule_in(util::Seconds delay, Callback cb) {
 
 EventId Simulator::schedule_at(util::Seconds at, Callback cb) {
   assert(at >= now_);
-  const std::uint64_t id = next_id_++;
-  heap_.push(Event{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventId{id};
+  const std::uint32_t index = allocate_slot(std::move(cb));
+  const std::uint32_t gen = slots_[index].gen;
+  heap_.push(Event{at, next_seq_++, index, gen});
+  return make_id(index, gen);
 }
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  const auto index = static_cast<std::uint32_t>(id.value >> 32);
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (slot.gen != gen || slot.next_free != kOccupied) return false;
+  // The heap entry stays behind as a stale (slot, gen) pair; run() skips it
+  // when it surfaces because the generation no longer matches.
+  release_slot(index);
   return true;
 }
 
@@ -46,31 +77,31 @@ void Simulator::schedule_periodic(util::Seconds phase, util::Seconds period,
 
 util::Seconds Simulator::run(util::Seconds until) {
   while (!heap_.empty()) {
-    Event ev = heap_.top();
+    const Event ev = heap_.top();
     if (until >= 0.0 && ev.time > until) {
       now_ = until;
       return now_;
     }
     heap_.pop();
-    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
+    Slot& slot = slots_[ev.slot];
+    if (slot.gen != ev.gen || slot.next_free != kOccupied) {
+      continue;  // cancelled (slot released, possibly recycled since)
     }
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // defensive; should not happen
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    SmallFn fn = std::move(slot.fn);
+    release_slot(ev.slot);
     now_ = ev.time;
     ++executed_;
-    cb();
+    if (fn) fn();
   }
   return now_;
 }
 
 void Simulator::clear() {
   while (!heap_.empty()) heap_.pop();
-  callbacks_.clear();
-  cancelled_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].next_free == kOccupied) release_slot(i);
+  }
+  assert(pending_ == 0);
 }
 
 }  // namespace dfs::sim

@@ -4,15 +4,18 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "dfs/sim/small_fn.h"
 #include "dfs/util/units.h"
 
 namespace dfs::sim {
 
 /// Handle to a scheduled event; lets the owner cancel it before it fires.
+///
+/// Encodes a slab slot index plus a per-slot generation tag, so a handle to
+/// an event that already fired (or whose slot was recycled for a newer
+/// event) is detected in O(1) without any lookup table.
 struct EventId {
   std::uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -25,9 +28,15 @@ struct EventId {
 /// times; `run()` drains the queue in time order. Ties are broken by
 /// scheduling order (FIFO), which keeps runs fully deterministic for a given
 /// seed — a property the simulation experiments and tests depend on.
+///
+/// Events live in a slab of generation-tagged slots: scheduling an event
+/// whose closure fits SmallFn's inline buffer performs no heap allocation,
+/// and firing or cancelling one is a direct indexed access instead of the
+/// hash-map lookups the kernel used to pay per event (see
+/// docs/performance.md and bench/perf_regression.cpp).
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Current simulated time in seconds.
   util::Seconds now() const { return now_; }
@@ -57,16 +66,17 @@ class Simulator {
   /// Number of events executed so far (for microbenchmarks / sanity checks).
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Number of events currently pending.
-  std::size_t events_pending() const {
-    return heap_.size() - cancelled_.size();
-  }
+  /// Number of events currently pending. Exact: cancellation releases the
+  /// slot immediately, so cancelled events never inflate the count (stale
+  /// heap entries are skipped on pop and were already uncounted).
+  std::size_t events_pending() const { return pending_; }
 
  private:
   struct Event {
     util::Seconds time;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -75,17 +85,35 @@ class Simulator {
     }
   };
 
+  /// One slab cell. `gen` is bumped every time the slot is released, so an
+  /// EventId minted for an earlier occupancy can never match again; the heap
+  /// may keep a stale Event for a cancelled id, which pop simply skips.
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kOccupied;
+  };
+  static constexpr std::uint32_t kOccupied = 0xffffffffu;
+  static constexpr std::uint32_t kFreeListEnd = 0xfffffffeu;
+
+  std::uint32_t allocate_slot(Callback cb);
+  void release_slot(std::uint32_t index);
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{(static_cast<std::uint64_t>(slot) << 32) | gen};
+  }
+
   util::Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kFreeListEnd;
   // Self-rescheduling periodic drivers; owned here (the closures hold only
   // weak refs) so they are reclaimed with the simulator instead of leaking
   // through a shared_ptr cycle.
-  std::vector<std::shared_ptr<Callback>> periodic_drivers_;
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_drivers_;
 };
 
 }  // namespace dfs::sim

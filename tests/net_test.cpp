@@ -326,6 +326,56 @@ TEST_P(ContentionParamTest, SequentialEqualsIsolated) {
   EXPECT_NEAR(done, 10.0, 1e-6);
 }
 
+// --- fair-share fast paths vs full water-filling ----------------------------
+
+TEST(Network, FairShareFastPathsMatchFullRecomputeUnderChurn) {
+  // Randomized flow churn with the debug cross-check on: every fast-path
+  // allocation decision (isolated-flow add, idle-links removal) is re-derived
+  // by a full water-filling pass inside the Network, which throws
+  // std::logic_error if the rates diverge. The workload mixes contended and
+  // isolated flows plus mid-flight cancellations so both fast paths and the
+  // full pass are exercised.
+  sim::Simulator sim;
+  const Topology topo(4, 10);
+  LinkConfig links;
+  links.rack_up = util::megabits_per_sec(800.0);
+  links.rack_down = util::megabits_per_sec(800.0);
+  links.node_up = util::megabits_per_sec(400.0);
+  links.node_down = util::megabits_per_sec(400.0);
+  Network net(sim, topo, links);
+  net.set_fair_share_cross_check(true);
+
+  util::Rng rng(12345);
+  int done = 0;
+  std::vector<FlowId> started;
+  for (int i = 0; i < 160; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, 39));
+    const auto dst = static_cast<NodeId>(rng.uniform_int(0, 39));
+    const double size = rng.uniform(1e5, 5e6);
+    const double at = rng.uniform(0.0, 40.0);
+    sim.schedule_in(at, [&net, &done, &started, src, dst, size] {
+      started.push_back(net.transfer(src, dst, size, [&done] { ++done; }));
+    });
+    if (i % 5 == 0) {
+      // Cancel some random earlier flow mid-flight (whichever is still
+      // active by then; cancel() returning false is fine).
+      sim.schedule_in(at + rng.uniform(0.1, 5.0), [&net, &started, i] {
+        if (!started.empty()) {
+          net.cancel(started[static_cast<std::size_t>(i) % started.size()]);
+        }
+      });
+    }
+  }
+  sim.run();
+
+  EXPECT_EQ(net.active_flow_count(), 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(done) + net.flows_cancelled(),
+            net.flows_started());
+  // The whole point of the cross-check run: both strategies actually ran.
+  EXPECT_GT(net.fair_share_fast_paths(), 0u);
+  EXPECT_GT(net.fair_share_full_recomputes(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothModels, ContentionParamTest,
                          ::testing::Values(ContentionModel::kMaxMinFairShare,
                                            ContentionModel::kExclusiveFifo),

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "dfs/sim/simulator.h"
@@ -131,6 +132,76 @@ TEST(Simulator, ClearDropsPending) {
   sim.clear();
   sim.run();
   EXPECT_FALSE(ran);
+}
+
+// --- slab kernel: exact pending counts and generation-tagged handles --------
+
+TEST(Simulator, EventsPendingExactAcrossCancelAndRun) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(sim.schedule_in(i + 1.0, [] {}));
+  EXPECT_EQ(sim.events_pending(), 6u);
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[4]));
+  // Exact count, not heap size: the two cancelled entries are gone.
+  EXPECT_EQ(sim.events_pending(), 4u);
+  sim.run(3.5);  // fires t=1 and t=3 (t=2 was cancelled)
+  EXPECT_EQ(sim.events_pending(), 2u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 4u);
+}
+
+TEST(Simulator, EventsPendingZeroAfterClear) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.schedule_in(1.0, [] {});
+  sim.clear();
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelReusedSlot) {
+  Simulator sim;
+  const EventId a = sim.schedule_in(1.0, [] {});
+  ASSERT_TRUE(sim.cancel(a));
+  // b reuses a's freed slot under a bumped generation; the stale handle to
+  // a must not reach it.
+  bool b_ran = false;
+  const EventId b = sim.schedule_in(2.0, [&] { b_ran = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(sim.cancel(b));          // already fired
+  EXPECT_FALSE(sim.cancel(EventId{}));  // null handle
+}
+
+TEST(Simulator, SlotReuseKeepsFifoOrderAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_in(5.0, [&] { order.push_back(0); });
+  sim.schedule_in(5.0, [&] { order.push_back(1); });
+  sim.cancel(a);
+  // Reuses a's slot but must still fire after event 1 (later seq).
+  sim.schedule_in(5.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, LargeCallbackFallsBackToHeap) {
+  // 256-byte capture: beyond SmallFn's inline buffer, exercising the heap
+  // storage path.
+  Simulator sim;
+  std::array<double, 32> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<double>(i);
+  }
+  double sum = 0.0;
+  sim.schedule_in(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 496.0);
 }
 
 TEST(Simulator, ManyEventsStressOrder) {

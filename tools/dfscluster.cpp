@@ -11,7 +11,12 @@
 //   --hours X             admission + failure window          [2]
 //   --warmup X            warm-up cutoff in seconds           [600]
 //   --scheduler S         lf | df | edf (or any dfsim name)   [df]
-//   --seed N              RNG seed                            [1]
+//   --seed N              base RNG seed                       [1]
+//   --seeds N             independent runs (seed, seed+1, …)  [1]
+//   --jobs N              worker threads for the seed sweep
+//                         [all hardware threads; per-seed reports and JSONL
+//                          records always come out in seed order, so output
+//                          is byte-identical for any value]
 //   --arrivals M          poisson | pareto | diurnal          [poisson]
 //   --interarrival X      mean gap between jobs, seconds      [60]
 //   --pareto-alpha X      Pareto shape (> 1)                  [1.5]
@@ -41,11 +46,14 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "dfs/cluster/simulation.h"
 #include "dfs/core/scheduler.h"
 #include "dfs/mapreduce/trace.h"
+#include "dfs/runner/jobs_flag.h"
+#include "dfs/runner/sweep.h"
 #include "dfs/util/args.h"
 #include "dfs/util/table.h"
 
@@ -73,7 +81,8 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::cout
         << "dfscluster - online cluster lifecycle simulator\n"
-           "  --hours X --warmup X --scheduler lf|df|edf --seed N\n"
+           "  --hours X --warmup X --scheduler lf|df|edf\n"
+           "  --seed N --seeds N --jobs N\n"
            "  --arrivals poisson|pareto|diurnal --interarrival X\n"
            "  --pareto-alpha X --diurnal-amplitude X --diurnal-period X\n"
            "  --blocks N --reducers N\n"
@@ -114,11 +123,15 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int seeds = args.get_int("seeds", 1);
+  const auto jobs = runner::jobs_from_args(args);
   const std::string scheduler_flag = args.get_or("scheduler", "df");
   const auto jsonl_path = args.get("jsonl");
   const auto csv_path = args.get("csv");
   const auto attempts_csv_path = args.get("attempts-csv");
 
+  if (seeds < 1) return fail("--seeds must be >= 1");
+  if (!jobs) return fail(runner::jobs_error());
   if (opts.horizon <= 0.0) return fail("--hours must be > 0");
   if (opts.warmup < 0.0) return fail("--warmup must be >= 0");
   if (opts.sample_interval <= 0.0) return fail("--sample-interval must be > 0");
@@ -175,80 +188,116 @@ int main(int argc, char** argv) {
     return fail("unknown flag --" + unknown.front());
   }
 
-  cluster::ClusterResult result;
+  // Each seed is one sweep cell; every cell owns its scheduler and
+  // simulation and renders its report into a string, so the per-seed blocks
+  // (and the JSONL records appended below) come out in seed order whatever
+  // --jobs is — byte-identical output for any thread count.
+  struct SeedOutcome {
+    std::string report;
+    std::string warn;
+    cluster::ClusterResult result;
+  };
+  runner::ThreadPool pool(*jobs);
+  std::vector<SeedOutcome> outcomes;
   try {
-    cluster::ClusterSimulation simulation(opts, *scheduler, seed);
-    result = simulation.run();
+    outcomes = runner::sweep(
+        pool, static_cast<std::size_t>(seeds), [&](std::size_t cell) {
+          const std::uint64_t cell_seed = seed + cell;
+          const auto sched = core::make_scheduler(
+              scheduler_name(scheduler_flag));
+          cluster::ClusterSimulation simulation(opts, *sched, cell_seed);
+          SeedOutcome out;
+          out.result = simulation.run();
+          const auto& s = out.result.summary;
+          std::ostringstream rep;
+          rep << "dfscluster: scheduler=" << sched->name()
+              << " arrivals=" << to_string(opts.arrivals.model)
+              << " horizon=" << util::Table::num(opts.horizon / 3600.0, 2)
+              << "h warmup=" << util::Table::num(opts.warmup, 0)
+              << "s seed=" << cell_seed << '\n';
+          rep << "jobs: " << s.jobs_submitted << " submitted, "
+              << s.jobs_completed << " completed, " << s.jobs_measured
+              << " in the measurement window\n";
+          util::Table table({"metric", "value"});
+          table.add_row({"latency p50 (s)", util::Table::num(s.latency_p50, 1)});
+          table.add_row({"latency p95 (s)", util::Table::num(s.latency_p95, 1)});
+          table.add_row({"latency p99 (s)", util::Table::num(s.latency_p99, 1)});
+          table.add_row({"latency mean (s)",
+                         util::Table::num(s.latency_mean, 1)});
+          table.add_row({"job runtime mean (s)",
+                         util::Table::num(s.mean_job_runtime, 1)});
+          table.add_row({"degraded task fraction",
+                         util::Table::pct(s.degraded_task_fraction * 100.0, 2)});
+          table.add_row({"failures injected",
+                         std::to_string(s.failures_injected) + " (" +
+                             std::to_string(s.rack_failures) + " rack)"});
+          table.add_row({"blocks repaired", std::to_string(s.blocks_repaired)});
+          table.add_row({"max repair backlog",
+                         std::to_string(s.max_repair_backlog)});
+          table.add_row({"rack downlink utilization",
+                         util::Table::pct(s.mean_rack_down_utilization * 100.0,
+                                          1)});
+          rep << table;
+          if (opts.config.fault.compute_failures) {
+            const auto& run = out.result.run;
+            rep << "faults: "
+                << run.count_map_attempts(mapreduce::AttemptOutcome::kKilled) +
+                       run.count_reduce_attempts(
+                           mapreduce::AttemptOutcome::kKilled)
+                << " attempts killed, "
+                << run.count_map_attempts(mapreduce::AttemptOutcome::kFailed) +
+                       run.count_reduce_attempts(
+                           mapreduce::AttemptOutcome::kFailed)
+                << " failed, " << run.blacklist_events
+                << " blacklist events, " << run.jobs_failed()
+                << " jobs aborted\n";
+            rep << "faults: " << run.detections.size()
+                << " slave deaths detected, mean detection latency "
+                << util::Table::num(run.mean_detection_latency(), 1) << " s\n";
+          }
+          if (s.blocks_unrecoverable > 0) {
+            std::ostringstream warn;
+            warn << "warning: " << s.blocks_unrecoverable
+                 << " blocks were unrecoverable (data loss)";
+            if (seeds > 1) warn << " (seed " << cell_seed << ")";
+            warn << '\n';
+            out.warn = warn.str();
+          }
+          out.report = rep.str();
+          return out;
+        });
   } catch (const std::exception& e) {
     return fail(e.what());
   }
-  const auto& s = result.summary;
-
-  std::cout << "dfscluster: scheduler=" << scheduler->name()
-            << " arrivals=" << to_string(opts.arrivals.model)
-            << " horizon=" << util::Table::num(opts.horizon / 3600.0, 2)
-            << "h warmup=" << util::Table::num(opts.warmup, 0)
-            << "s seed=" << seed << '\n';
-  std::cout << "jobs: " << s.jobs_submitted << " submitted, "
-            << s.jobs_completed << " completed, " << s.jobs_measured
-            << " in the measurement window\n";
-  util::Table table({"metric", "value"});
-  table.add_row({"latency p50 (s)", util::Table::num(s.latency_p50, 1)});
-  table.add_row({"latency p95 (s)", util::Table::num(s.latency_p95, 1)});
-  table.add_row({"latency p99 (s)", util::Table::num(s.latency_p99, 1)});
-  table.add_row({"latency mean (s)", util::Table::num(s.latency_mean, 1)});
-  table.add_row({"job runtime mean (s)",
-                 util::Table::num(s.mean_job_runtime, 1)});
-  table.add_row({"degraded task fraction",
-                 util::Table::pct(s.degraded_task_fraction * 100.0, 2)});
-  table.add_row({"failures injected",
-                 std::to_string(s.failures_injected) + " (" +
-                     std::to_string(s.rack_failures) + " rack)"});
-  table.add_row({"blocks repaired", std::to_string(s.blocks_repaired)});
-  table.add_row({"max repair backlog", std::to_string(s.max_repair_backlog)});
-  table.add_row({"rack downlink utilization",
-                 util::Table::pct(s.mean_rack_down_utilization * 100.0, 1)});
-  std::cout << table;
-  if (opts.config.fault.compute_failures) {
-    const auto& run = result.run;
-    std::cout << "faults: "
-              << run.count_map_attempts(mapreduce::AttemptOutcome::kKilled) +
-                     run.count_reduce_attempts(
-                         mapreduce::AttemptOutcome::kKilled)
-              << " attempts killed, "
-              << run.count_map_attempts(mapreduce::AttemptOutcome::kFailed) +
-                     run.count_reduce_attempts(
-                         mapreduce::AttemptOutcome::kFailed)
-              << " failed, " << run.blacklist_events
-              << " blacklist events, " << run.jobs_failed()
-              << " jobs aborted\n";
-    std::cout << "faults: " << run.detections.size()
-              << " slave deaths detected, mean detection latency "
-              << util::Table::num(run.mean_detection_latency(), 1) << " s\n";
-  }
-  if (s.blocks_unrecoverable > 0) {
-    std::cerr << "warning: " << s.blocks_unrecoverable
-              << " blocks were unrecoverable (data loss)\n";
+  for (const auto& out : outcomes) {
+    std::cout << out.report;
+    std::cerr << out.warn;
   }
 
   if (jsonl_path) {
     std::ofstream out(*jsonl_path);
     if (!out) return fail("cannot write " + *jsonl_path);
-    cluster::write_cluster_jsonl(out, result);
+    // One record stream, seeds concatenated in seed order.
+    for (const auto& outcome : outcomes) {
+      cluster::write_cluster_jsonl(out, outcome.result);
+    }
     std::cout << "JSONL run record written to " << *jsonl_path << '\n';
   }
   if (csv_path) {
     std::ofstream out(*csv_path);
     if (!out) return fail("cannot write " + *csv_path);
-    cluster::write_timeline_csv(out, result);
-    std::cout << "timeline CSV written to " << *csv_path << '\n';
+    cluster::write_timeline_csv(out, outcomes.front().result);
+    std::cout << "timeline CSV written to " << *csv_path;
+    if (seeds > 1) std::cout << " (first seed only)";
+    std::cout << '\n';
   }
   if (attempts_csv_path) {
     std::ofstream out(*attempts_csv_path);
     if (!out) return fail("cannot write " + *attempts_csv_path);
-    mapreduce::write_attempt_csv(out, result.run);
-    std::cout << "attempt trace CSV written to " << *attempts_csv_path
-              << '\n';
+    mapreduce::write_attempt_csv(out, outcomes.front().result.run);
+    std::cout << "attempt trace CSV written to " << *attempts_csv_path;
+    if (seeds > 1) std::cout << " (first seed only)";
+    std::cout << '\n';
   }
   return 0;
 }

@@ -25,6 +25,9 @@
 //   --scheduler S         LF | BDF | EDF | DELAY            [LF]
 //   --failure F           none | node | 2node | rack        [node]
 //   --seeds N             independent runs                  [10]
+//   --jobs N              worker threads for the seed sweep
+//                         [all hardware threads; output is byte-identical
+//                          for any value — seeds are independent cells]
 //   --sources POLICY      random | samerack                 [random]
 //   --hetero X            every other node is X times slower (1 = off)
 //   --speculate           enable Hadoop-style speculative execution
@@ -35,6 +38,8 @@
 
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 
 #include "dfs/core/scheduler.h"
 #include "dfs/ec/registry.h"
@@ -42,6 +47,8 @@
 #include "dfs/net/utilization.h"
 #include "dfs/mapreduce/simulation.h"
 #include "dfs/mapreduce/trace.h"
+#include "dfs/runner/jobs_flag.h"
+#include "dfs/runner/sweep.h"
 #include "dfs/storage/failure.h"
 #include "dfs/storage/layout.h"
 #include "dfs/util/args.h"
@@ -71,7 +78,8 @@ int main(int argc, char** argv) {
            "  --reducers N --shuffle X --map-time M,SD --reduce-time M,SD\n"
            "  --scheduler LF|BDF|EDF|DELAY|FAIR|FAIR+DF\n"
            "  --failure none|node|2node|rack --sources random|samerack\n"
-           "  --seeds N --speculate --repair N --normalize --csv PREFIX\n"
+           "  --seeds N --jobs N --speculate --repair N --normalize\n"
+           "  --csv PREFIX\n"
            "  code SPEC: "
         << ec::code_spec_help() << "\n";
     return 0;
@@ -113,9 +121,13 @@ int main(int argc, char** argv) {
   spec.map_time = {std::atof(mt[0].c_str()), std::atof(mt[1].c_str())};
   spec.reduce_time = {std::atof(rt[0].c_str()), std::atof(rt[1].c_str())};
 
+  // Validate the scheduler spec once up front; every sweep cell builds its
+  // own instance from the same name (schedulers like DELAY carry mutable
+  // state, so one instance must never be shared across concurrent seeds).
+  const std::string scheduler_name = args.get_or("scheduler", "LF");
   std::unique_ptr<core::Scheduler> scheduler;
   try {
-    scheduler = core::make_scheduler(args.get_or("scheduler", "LF"));
+    scheduler = core::make_scheduler(scheduler_name);
   } catch (const std::exception& e) {
     return fail(e.what());
   }
@@ -127,6 +139,7 @@ int main(int argc, char** argv) {
                              ? storage::SourceSelection::kPreferSameRack
                              : storage::SourceSelection::kRandom;
   const int seeds = args.get_int("seeds", 10);
+  const auto jobs = runner::jobs_from_args(args);
   const bool normalize = args.has("normalize");
   const auto csv_prefix = args.get("csv");
   cfg.speculative_execution = args.has("speculate");
@@ -161,116 +174,151 @@ int main(int argc, char** argv) {
     return fail("--reduce-time needs mean > 0 and stddev >= 0");
   }
   if (seeds < 1) return fail("--seeds must be >= 1");
+  if (!jobs) return fail(runner::jobs_error());
   if (repair_concurrency < 0) return fail("--repair must be >= 0");
   if (hetero <= 0.0) return fail("--hetero must be > 0");
+  if (placement != "random" && placement != "roundrobin" &&
+      placement != "replicated") {
+    return fail("unknown --placement " + placement);
+  }
+  if (failure_kind != "none" && failure_kind != "node" &&
+      failure_kind != "2node" && failure_kind != "rack") {
+    return fail("unknown --failure " + failure_kind);
+  }
 
   util::Table table({"seed", "runtime(s)", "map_phase(s)", "degraded",
                      "remote", "mean_drt(s)", "normalized"});
-  std::vector<double> runtimes, normalized;
-  for (int s = 0; s < seeds; ++s) {
-    util::Rng rng(static_cast<std::uint64_t>(s) * 100003 + 7);
-    mapreduce::JobInput job;
-    job.spec = spec;
-    job.code = code;
-    try {
-      if (placement == "roundrobin") {
-        job.layout = std::make_shared<storage::StorageLayout>(
-            storage::round_robin_layout(blocks, code->n(), code->k(),
-                                        cfg.topology.num_nodes()));
-      } else if (placement == "replicated") {
-        job.layout = std::make_shared<storage::StorageLayout>(
-            storage::replicated_layout(blocks, code->n(), cfg.topology, rng));
-      } else if (placement == "random") {
-        job.layout = std::make_shared<storage::StorageLayout>(
-            storage::random_rack_constrained_layout(blocks, code->n(),
-                                                    code->k(), cfg.topology,
-                                                    rng));
-      } else {
-        return fail("unknown --placement " + placement);
-      }
-    } catch (const std::exception& e) {
-      return fail(std::string("layout: ") + e.what());
-    }
+  // Each seed is one sweep cell. A cell owns its entire stack (Rng, layout,
+  // scheduler, simulation) and buffers its stdout/stderr text; the buffers
+  // are flushed in seed order below, so the streams are byte-identical for
+  // any --jobs value.
+  struct SeedOutcome {
+    std::string log;   // per-seed stdout lines
+    std::string warn;  // per-seed stderr lines
+    std::vector<std::string> row;
+    double runtime = 0.0;
+    double norm = 0.0;
+  };
+  runner::ThreadPool pool(*jobs);
+  std::vector<SeedOutcome> outcomes;
+  try {
+    outcomes = runner::sweep(
+        pool, static_cast<std::size_t>(seeds), [&](std::size_t cell) {
+          const int s = static_cast<int>(cell);
+          SeedOutcome out;
+          std::ostringstream log, warn;
+          const auto sched = core::make_scheduler(scheduler_name);
+          util::Rng rng(static_cast<std::uint64_t>(s) * 100003 + 7);
+          mapreduce::JobInput job;
+          job.spec = spec;
+          job.code = code;
+          try {
+            if (placement == "roundrobin") {
+              job.layout = std::make_shared<storage::StorageLayout>(
+                  storage::round_robin_layout(blocks, code->n(), code->k(),
+                                              cfg.topology.num_nodes()));
+            } else if (placement == "replicated") {
+              job.layout = std::make_shared<storage::StorageLayout>(
+                  storage::replicated_layout(blocks, code->n(), cfg.topology,
+                                             rng));
+            } else {
+              job.layout = std::make_shared<storage::StorageLayout>(
+                  storage::random_rack_constrained_layout(
+                      blocks, code->n(), code->k(), cfg.topology, rng));
+            }
+          } catch (const std::exception& e) {
+            throw std::runtime_error(std::string("layout: ") + e.what());
+          }
 
-    storage::FailureScenario failure;
-    if (failure_kind == "node") {
-      failure = storage::single_node_failure(cfg.topology, rng);
-    } else if (failure_kind == "2node") {
-      failure = storage::double_node_failure(cfg.topology, rng);
-    } else if (failure_kind == "rack") {
-      failure = storage::rack_failure(cfg.topology, rng);
-    } else if (failure_kind != "none") {
-      return fail("unknown --failure " + failure_kind);
-    }
+          storage::FailureScenario failure;
+          if (failure_kind == "node") {
+            failure = storage::single_node_failure(cfg.topology, rng);
+          } else if (failure_kind == "2node") {
+            failure = storage::double_node_failure(cfg.topology, rng);
+          } else if (failure_kind == "rack") {
+            failure = storage::rack_failure(cfg.topology, rng);
+          }
 
-    const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
-    mapreduce::MapReduceSimulation simulation(cfg, {job}, failure, *scheduler,
-                                              seed, selection);
-    bool finished = false;
-    std::unique_ptr<net::UtilizationSampler> sampler;
-    if (show_utilization && s == 0) {
-      mapreduce::TaskHooks hooks;
-      hooks.on_job_finish =
-          [&finished](const mapreduce::JobMetrics&) { finished = true; };
-      simulation.set_hooks(std::move(hooks));
-      sampler = std::make_unique<net::UtilizationSampler>(
-          simulation.simulator(), simulation.network(), /*interval=*/10.0,
-          [&finished] { return !finished; });
-      sampler->start();
-    }
-    std::unique_ptr<mapreduce::RepairProcess> repair;
-    if (repair_concurrency > 0) {
-      mapreduce::RepairProcess::Options ropts;
-      ropts.concurrency = repair_concurrency;
-      ropts.block_size = cfg.block_size;
-      ropts.selection = selection;
-      repair = std::make_unique<mapreduce::RepairProcess>(
-          simulation.simulator(), simulation.network(), *job.layout,
-          *job.code, failure, ropts, util::Rng(seed * 31 + 3));
-      repair->start();
-    }
-    const auto result = simulation.run();
-    if (repair) {
-      std::cout << "seed " << s << ": repair rebuilt "
+          const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+          mapreduce::MapReduceSimulation simulation(cfg, {job}, failure,
+                                                    *sched, seed, selection);
+          bool finished = false;
+          std::unique_ptr<net::UtilizationSampler> sampler;
+          if (show_utilization && s == 0) {
+            mapreduce::TaskHooks hooks;
+            hooks.on_job_finish =
+                [&finished](const mapreduce::JobMetrics&) { finished = true; };
+            simulation.set_hooks(std::move(hooks));
+            sampler = std::make_unique<net::UtilizationSampler>(
+                simulation.simulator(), simulation.network(),
+                /*interval=*/10.0, [&finished] { return !finished; });
+            sampler->start();
+          }
+          std::unique_ptr<mapreduce::RepairProcess> repair;
+          if (repair_concurrency > 0) {
+            mapreduce::RepairProcess::Options ropts;
+            ropts.concurrency = repair_concurrency;
+            ropts.block_size = cfg.block_size;
+            ropts.selection = selection;
+            repair = std::make_unique<mapreduce::RepairProcess>(
+                simulation.simulator(), simulation.network(), *job.layout,
+                *job.code, failure, ropts, util::Rng(seed * 31 + 3));
+            repair->start();
+          }
+          const auto result = simulation.run();
+          if (repair) {
+            log << "seed " << s << ": repair rebuilt "
                 << repair->stats().blocks_repaired << " blocks by t="
                 << util::Table::num(repair->stats().finish_time, 1) << "s\n";
-    }
-    if (sampler) {
-      std::cout << "rack-downlink utilization (seed 0, 10 s buckets):\n";
-      for (const auto& sample : sampler->samples()) {
-        const int bars = static_cast<int>(sample.utilization * 40.0 + 0.5);
-        std::cout << "  " << util::Table::num(sample.time, 0) << "s\t"
+          }
+          if (sampler) {
+            log << "rack-downlink utilization (seed 0, 10 s buckets):\n";
+            for (const auto& sample : sampler->samples()) {
+              const int bars = static_cast<int>(sample.utilization * 40.0 + 0.5);
+              log << "  " << util::Table::num(sample.time, 0) << "s\t"
                   << std::string(static_cast<std::size_t>(bars), '#') << ' '
                   << util::Table::pct(sample.utilization * 100.0, 0) << "\n";
-      }
-    }
-    const auto& m = result.jobs.front();
-    double norm = 0.0;
-    if (normalize) {
-      const auto base = mapreduce::simulate(cfg, {job}, storage::no_failure(),
-                                            *scheduler, seed, selection);
-      norm = m.runtime() / base.jobs.front().runtime();
-      normalized.push_back(norm);
-    }
-    if (result.speculative_attempts() > 0) {
-      std::cout << "seed " << s << ": " << result.speculative_attempts()
+            }
+          }
+          const auto& m = result.jobs.front();
+          if (normalize) {
+            const auto base = mapreduce::simulate(
+                cfg, {job}, storage::no_failure(), *sched, seed, selection);
+            out.norm = m.runtime() / base.jobs.front().runtime();
+          }
+          if (result.speculative_attempts() > 0) {
+            log << "seed " << s << ": " << result.speculative_attempts()
                 << " speculative attempts (" << result.speculative_losses()
                 << " wasted)\n";
-    }
-    runtimes.push_back(m.runtime());
-    table.add_row({std::to_string(s), util::Table::num(m.runtime(), 1),
-                   util::Table::num(m.map_phase_end - m.first_map_launch, 1),
-                   std::to_string(m.degraded_tasks),
-                   std::to_string(m.remote_tasks),
-                   util::Table::num(result.mean_degraded_read_time(), 1),
-                   normalize ? util::Table::num(norm, 3) : ""});
-    if (result.data_loss) {
-      std::cerr << "warning: seed " << s
-                << " had unrecoverable blocks (data loss)\n";
-    }
-    if (s == 0 && csv_prefix) {
-      mapreduce::write_csv_files(*csv_prefix, result);
-    }
+          }
+          out.runtime = m.runtime();
+          out.row = {std::to_string(s), util::Table::num(m.runtime(), 1),
+                     util::Table::num(m.map_phase_end - m.first_map_launch, 1),
+                     std::to_string(m.degraded_tasks),
+                     std::to_string(m.remote_tasks),
+                     util::Table::num(result.mean_degraded_read_time(), 1),
+                     normalize ? util::Table::num(out.norm, 3) : ""};
+          if (result.data_loss) {
+            warn << "warning: seed " << s
+                 << " had unrecoverable blocks (data loss)\n";
+          }
+          if (s == 0 && csv_prefix) {
+            mapreduce::write_csv_files(*csv_prefix, result);
+          }
+          out.log = log.str();
+          out.warn = warn.str();
+          return out;
+        });
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  std::vector<double> runtimes, normalized;
+  for (auto& out : outcomes) {
+    std::cout << out.log;
+    std::cerr << out.warn;
+    runtimes.push_back(out.runtime);
+    if (normalize) normalized.push_back(out.norm);
+    table.add_row(std::move(out.row));
   }
   std::cout << "dfsim: scheduler=" << scheduler->name() << " code="
             << code->name() << " blocks=" << blocks << " failure="
