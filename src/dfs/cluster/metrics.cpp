@@ -135,6 +135,20 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
      << ",\"max_repair_backlog\":" << s.max_repair_backlog
      << ",\"mean_rack_down_utilization\":" << s.mean_rack_down_utilization
      << ",\"data_loss\":" << (s.data_loss ? 1 : 0) << "}\n";
+  // Gated behind the tool flag (--net-stats) so default output stays
+  // byte-identical to earlier versions, like jobs_failed above.
+  if (result.report_net_stats) {
+    const net::Network::Stats& n = result.net_stats;
+    os << "{\"type\":\"net_stats\",\"flows_started\":" << n.flows_started
+       << ",\"flows_completed\":" << n.flows_completed
+       << ",\"flows_cancelled\":" << n.flows_cancelled
+       << ",\"fast_paths\":" << n.fast_paths
+       << ",\"full_recomputes\":" << n.full_recomputes
+       << ",\"batched_recomputes\":" << n.batched_recomputes
+       << ",\"component_recomputes\":" << n.component_recomputes
+       << ",\"classes_active\":" << n.classes_active
+       << ",\"bytes_delivered\":" << n.bytes_delivered << "}\n";
+  }
   for (const auto& f : result.failures) {
     os << "{\"type\":\"failure\",\"fail_time\":" << f.fail_time
        << ",\"repair_start\":" << f.repair_start

@@ -90,6 +90,12 @@ struct ClusterResult {
   SteadyStateSummary summary;
   std::vector<TimelineSample> timeline;
   std::vector<FailureEvent> failures;
+  /// Network engine counters for the run (flow totals, recompute/fast-path
+  /// breakdown — see net::Network::Stats). Only written to JSONL when
+  /// `report_net_stats` is set, so default output stays byte-identical to
+  /// earlier versions.
+  net::Network::Stats net_stats;
+  bool report_net_stats = false;
 };
 
 /// Computes the summary from the run's records plus the lifecycle/timeline

@@ -86,6 +86,7 @@ ClusterResult ClusterSimulation::run() {
   result.run = master_->take_result();
   result.failures = lifecycle_->events();
   result.timeline = sampler_->samples();
+  result.net_stats = net_->stats();
   result.summary = summarize_steady_state(result.run, result.failures,
                                           result.timeline, opts_.warmup,
                                           opts_.horizon);

@@ -101,7 +101,7 @@ void Master::activate_job(std::size_t index) {
       t.locations.push_back(t.home);
     }
     if (t.locations.empty()) {
-      j.pending_degraded.push_back(i);
+      push_degraded(j, static_cast<int>(i));
       continue;
     }
     for (const NodeId loc : t.locations) {
@@ -119,7 +119,7 @@ void Master::activate_job(std::size_t index) {
     ++j.pending_nondegraded;
   }
   j.total_m = blocks;
-  j.total_md = static_cast<long>(j.pending_degraded.size());
+  j.total_md = j.pending_degraded_count;
 }
 
 void Master::start() {
@@ -295,7 +295,7 @@ void Master::reclassify_after_failure(JobState& j, NodeId node) {
       t.lost = true;
       --j.pending_nondegraded;
       ++j.total_md;
-      j.pending_degraded.push_back(static_cast<int>(i));
+      push_degraded(j, static_cast<int>(i));
     }
   }
 }
@@ -327,10 +327,10 @@ void Master::reclassify_after_repair(JobState& j, NodeId node) {
       continue;
     }
     if (t.locations.empty()) {
-      // Leaves the degraded pool: its input is readable again.
-      const auto it = std::find(j.pending_degraded.begin(),
-                                j.pending_degraded.end(), static_cast<int>(i));
-      if (it == j.pending_degraded.end()) {
+      // Leaves the degraded pool: its input is readable again. O(1): the
+      // membership flag is cleared and the deque entry goes stale, skipped
+      // on a later pop (repairs used to pay an O(n) find+erase here).
+      if (!t.in_degraded_pool) {
         // A pending task with no readable copy must be in the degraded pool;
         // anything else means the pending indexes are corrupt. Fail loudly
         // in release builds too — silently continuing would let the pacing
@@ -339,7 +339,8 @@ void Master::reclassify_after_repair(JobState& j, NodeId node) {
             "reclassify_after_repair: pending task with no locations is "
             "missing from the degraded pool");
       }
-      j.pending_degraded.erase(it);
+      t.in_degraded_pool = false;
+      --j.pending_degraded_count;
       t.lost = false;
       ++j.pending_nondegraded;
       --j.total_md;
@@ -400,13 +401,23 @@ bool Master::has_unassigned_remote(core::JobId id, NodeId s) const {
 }
 
 bool Master::has_unassigned_degraded(core::JobId id) const {
-  return !job(id).pending_degraded.empty();
+  return job(id).pending_degraded_count > 0;
 }
 
 int Master::degraded_affinity(core::JobId id, NodeId s) const {
   const JobState& j = job(id);
-  if (j.pending_degraded.empty()) return 0;
-  const int map_idx = j.pending_degraded.front();
+  // Front of the pool, skipping entries whose task a repair already
+  // reclassified or re-entered under a newer generation (const path: read
+  // past the stale prefix without popping; assign_degraded trims it).
+  int map_idx = -1;
+  for (const auto& [idx, gen] : j.pending_degraded) {
+    const MapTaskState& t = j.maps[static_cast<std::size_t>(idx)];
+    if (t.in_degraded_pool && t.degraded_pool_gen == gen) {
+      map_idx = idx;
+      break;
+    }
+  }
+  if (map_idx < 0) return 0;
   const storage::BlockId lost =
       j.maps[static_cast<std::size_t>(map_idx)].block;
   int count = 0;
@@ -572,13 +583,42 @@ void Master::assign_remote(core::JobId id, NodeId s) {
   start_map(j, map_idx, s, MapTaskKind::kRemote, best);
 }
 
+void Master::push_degraded(JobState& j, int map_idx) {
+  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
+  assert(!t.in_degraded_pool && "task is already in the degraded pool");
+  t.in_degraded_pool = true;
+  // A fresh generation makes any earlier stale entry for this task dead for
+  // good: a task that left the pool (repair) and re-enters (new failure)
+  // joins at the back, exactly like the old erase-based bookkeeping.
+  ++t.degraded_pool_gen;
+  j.pending_degraded.emplace_back(map_idx, t.degraded_pool_gen);
+  ++j.pending_degraded_count;
+}
+
 void Master::assign_degraded(core::JobId id, NodeId s) {
   JobState& j = job(id);
-  if (j.pending_degraded.empty()) {
+  if (j.pending_degraded_count <= 0) {
     throw std::logic_error("assign_degraded without a degraded task");
   }
-  const int map_idx = j.pending_degraded.front();
-  j.pending_degraded.pop_front();
+  int map_idx = -1;
+  while (!j.pending_degraded.empty()) {
+    const auto [idx, gen] = j.pending_degraded.front();
+    j.pending_degraded.pop_front();
+    const MapTaskState& t = j.maps[static_cast<std::size_t>(idx)];
+    if (t.in_degraded_pool && t.degraded_pool_gen == gen) {
+      map_idx = idx;
+      break;
+    }
+    // Stale entry: the task left the pool via reclassify_after_repair, or
+    // re-entered it later under a newer generation.
+  }
+  if (map_idx < 0) {
+    throw std::logic_error(
+        "assign_degraded: pending_degraded_count says a task exists but the "
+        "pool holds only stale entries");
+  }
+  j.maps[static_cast<std::size_t>(map_idx)].in_degraded_pool = false;
+  --j.pending_degraded_count;
   j.maps[static_cast<std::size_t>(map_idx)].assigned = true;
   last_degraded_assign_[static_cast<std::size_t>(cfg_.topology.rack_of(s))] =
       sim_.now();
@@ -1009,7 +1049,7 @@ void Master::requeue_map_task(JobState& j, int map_idx) {
     // M_d unless its launch already counted there.
     t.lost = true;
     if (!was_degraded) ++j.total_md;
-    j.pending_degraded.push_back(map_idx);
+    push_degraded(j, map_idx);
     return;
   }
   // A readable copy exists (possibly repaired while the attempt ran): the

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dfs/core/scheduler.h"
@@ -125,6 +126,15 @@ class Master final : public core::SchedulerContext {
     NodeId home = -1;  ///< node storing the native block (may be failed)
     bool lost = false;
     bool assigned = false;
+    /// Membership flag for JobState::pending_degraded: O(1) to test and to
+    /// clear. Cleared entries stay in the deque as stale and are skipped
+    /// lazily on pop (same scheme as pending_by_node).
+    bool in_degraded_pool = false;
+    /// Bumped on every pool push; a deque entry is live only when its
+    /// recorded generation matches. Without it, a task that left the pool
+    /// (repair) and re-entered (new failure) would revive its old stale
+    /// entry and jump the queue instead of re-joining at the back.
+    unsigned degraded_pool_gen = 0;
     bool done = false;        ///< some attempt has completed
     bool has_backup = false;  ///< a speculative copy was launched
     int record = -1;  ///< index into result_.map_tasks of the first attempt
@@ -187,7 +197,14 @@ class Master final : public core::SchedulerContext {
     std::vector<std::deque<int>> pending_by_node;
     std::vector<int> pending_count_by_node;  ///< exact pending per node
     std::vector<int> pending_by_rack;  ///< pending tasks with a copy in rack
-    std::deque<int> pending_degraded;
+    /// Queue of degraded pending map tasks (index, push generation).
+    /// Entries go stale when a repair reclassifies the task (its
+    /// `in_degraded_pool` flag is cleared in O(1) instead of an O(n) deque
+    /// erase) or when the task re-enters the pool under a newer generation;
+    /// stale entries are skipped lazily on pop and
+    /// `pending_degraded_count` stays exact.
+    std::deque<std::pair<int, unsigned>> pending_degraded;
+    long pending_degraded_count = 0;  ///< exact live entries in the pool
     long pending_nondegraded = 0;
     long m = 0;    ///< launched map tasks
     long md = 0;   ///< launched degraded tasks
@@ -276,6 +293,9 @@ class Master final : public core::SchedulerContext {
   /// Return a task to the correct pending pools (degraded vs per-node),
   /// keeping total_md and the rack indexes exact.
   void requeue_map_task(JobState& j, int map_idx);
+  /// Enqueue a task into the degraded pool, keeping the membership flag and
+  /// the exact count in sync.
+  void push_degraded(JobState& j, int map_idx);
   /// A completed map's output died with its node: undo the completion so the
   /// task runs again (or promote a still-running backup attempt to primary).
   void revert_completed_map(JobState& j, int map_idx, int record_idx);

@@ -90,6 +90,8 @@ void RepairProcess::repair_block(storage::BlockId block) {
 
 void RepairProcess::start_repair_transfers(int rid) {
   InFlightRepair& rep = active_repairs_.at(rid);
+  // All k fetches start at one timestamp, so the fair-share engine folds
+  // them into a single batched rate recompute rather than k successive ones.
   for (const net::NodeId src : rep.sources) {
     const net::FlowId flow =
         net_.transfer(src, rep.target, block_size_, [this, rid] {

@@ -39,9 +39,13 @@ Network::Network(sim::Simulator& simulator, const Topology& topology,
         links.rack_down;
   }
   links_[static_cast<std::size_t>(core_link())].capacity = links.core;
-  // Water-filling scratch is sized once here; fair_share_compute_rates
-  // maintains the invariant that every touched count returns to zero, so
-  // recomputes never pay an O(links) clear.
+  // All per-link side tables are sized once here. The water-filling scratch
+  // maintains the invariant that every seeded count returns to zero, so
+  // recomputes never pay an O(links) clear; the flood-fill marks are
+  // versioned by visit_epoch_ for the same reason.
+  link_classes_.resize(links_.size());
+  link_dirty_.assign(links_.size(), 0);
+  link_visit_.assign(links_.size(), 0);
   scratch_residual_.assign(links_.size(), 0.0);
   scratch_count_.assign(links_.size(), 0);
   scratch_link_flows_.resize(links_.size());
@@ -125,16 +129,8 @@ bool Network::cancel(FlowId id) {
     active_.erase(it);
     mark_links_active(flow.links, -1);
     ++flows_cancelled_;
-    if (fair_share_links_idle(flow.links)) {
-      // The cancelled flow shared no link with any survivor, so the max-min
-      // allocation of the survivors is untouched; only the completion
-      // horizon needs re-arming.
-      ++fast_paths_;
-      if (cross_check_) fair_share_cross_check("cancel");
-    } else {
-      fair_share_compute_rates();
-    }
-    fair_share_arm();
+    fair_share_leave_class(flow);
+    fair_share_mark_dirty(flow.links);
   } else {
     Flow flow = std::move(it->second);
     active_.erase(it);
@@ -174,45 +170,110 @@ util::Seconds Network::rack_down_busy_time(RackId r) const {
   return total;
 }
 
+Network::Stats Network::stats() const {
+  Stats s;
+  s.flows_started = flows_started_;
+  s.flows_completed = flows_completed_;
+  s.flows_cancelled = flows_cancelled_;
+  s.fast_paths = fast_paths_;
+  s.full_recomputes = full_recomputes_;
+  s.batched_recomputes = batched_recomputes_;
+  s.component_recomputes = component_recomputes_;
+  s.classes_active = fair_share_classes_active();
+  s.bytes_delivered = bytes_delivered_;
+  return s;
+}
+
 // --- max-min fair share ------------------------------------------------------
+//
+// Rates change only inside fair_share_batched_recompute(), the single
+// zero-delay event every mutation coalesces into. Flow residuals, link busy
+// accounting, and the active set itself are still updated eagerly at each
+// mutation, so nothing observable depends on when (within the timestamp) the
+// recompute runs — and since the simulator's FIFO tie-break runs the
+// recompute after every already-queued event at the same timestamp, no
+// simulated time ever passes under stale rates.
 
 void Network::fair_share_add(Flow flow) {
   fair_share_advance();
   mark_links_active(flow.links, +1);
+  flow.cls = fair_share_class_for(flow.links);
+  ++classes_[static_cast<std::size_t>(flow.cls)].count;
   const FlowId id = flow.id;
   auto [it, inserted] = active_.emplace(id, std::move(flow));
   assert(inserted);
-  Flow& f = it->second;
-  bool isolated = true;
-  for (int link : f.links) {
-    if (links_[static_cast<std::size_t>(link)].active_flows != 1) {
-      isolated = false;
-      break;
-    }
-  }
-  if (isolated) {
-    // Fast path: the new flow shares no link with any active flow. Max-min
-    // fairness decomposes over connected components of the flow/link graph,
-    // so every existing rate is unchanged and the new flow gets its path
-    // bottleneck to itself — identical to what the full pass would produce.
-    double rate = std::numeric_limits<double>::infinity();
-    for (int link : f.links) {
-      rate = std::min(rate, links_[static_cast<std::size_t>(link)].capacity);
-    }
-    f.rate = rate;
-    ++fast_paths_;
-    if (cross_check_) fair_share_cross_check("add");
-  } else {
-    fair_share_compute_rates();
-  }
-  fair_share_arm();
+  fair_share_mark_dirty(it->second.links);
 }
 
-bool Network::fair_share_links_idle(const std::vector<int>& links) const {
-  for (int link : links) {
-    if (links_[static_cast<std::size_t>(link)].active_flows != 0) return false;
+int Network::fair_share_class_for(const std::vector<int>& path) {
+  const auto found = class_by_path_.find(path);
+  if (found != class_by_path_.end()) return found->second;
+  int cid;
+  if (!free_classes_.empty()) {
+    cid = free_classes_.back();
+    free_classes_.pop_back();
+  } else {
+    cid = static_cast<int>(classes_.size());
+    classes_.emplace_back();
   }
-  return true;
+  FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+  c.links = path;
+  c.link_pos.resize(path.size());
+  c.count = 0;
+  c.rate = 0.0;
+  for (std::size_t s = 0; s < path.size(); ++s) {
+    auto& lc = link_classes_[static_cast<std::size_t>(path[s])];
+    c.link_pos[s] = static_cast<int>(lc.size());
+    lc.emplace_back(cid, static_cast<int>(s));
+  }
+  class_by_path_.emplace(path, cid);
+  return cid;
+}
+
+void Network::fair_share_leave_class(const Flow& flow) {
+  FlowClass& c = classes_[static_cast<std::size_t>(flow.cls)];
+  assert(c.count > 0);
+  if (--c.count > 0) return;
+  // Last member gone: unlink the class from every link's membership list
+  // (swap-removal; the back-reference in the moved entry is patched) and
+  // recycle the slot.
+  for (std::size_t s = 0; s < c.links.size(); ++s) {
+    auto& lc = link_classes_[static_cast<std::size_t>(c.links[s])];
+    const auto pos = static_cast<std::size_t>(c.link_pos[s]);
+    const std::pair<int, int> moved = lc.back();
+    lc[pos] = moved;
+    lc.pop_back();
+    if (pos < lc.size()) {
+      classes_[static_cast<std::size_t>(moved.first)]
+          .link_pos[static_cast<std::size_t>(moved.second)] =
+          static_cast<int>(pos);
+    }
+  }
+  class_by_path_.erase(c.links);
+  c.links.clear();
+  c.link_pos.clear();
+  free_classes_.push_back(flow.cls);
+}
+
+void Network::fair_share_mark_dirty(const std::vector<int>& links) {
+  for (const int l : links) {
+    if (!link_dirty_[static_cast<std::size_t>(l)]) {
+      link_dirty_[static_cast<std::size_t>(l)] = 1;
+      dirty_links_.push_back(l);
+    }
+  }
+  // The armed completion horizon was computed from the pre-change rates;
+  // disarm it and let the batched recompute re-arm from fresh ones (exactly
+  // what the old per-mutation recompute did with its cancel-and-rearm). The
+  // recompute runs at the current timestamp, so no time passes in between.
+  if (next_completion_.valid()) {
+    sim_.cancel(next_completion_);
+    next_completion_ = {};
+  }
+  if (!recompute_scheduled_) {
+    recompute_scheduled_ = true;
+    sim_.schedule_now([this] { fair_share_batched_recompute(); });
+  }
 }
 
 void Network::fair_share_advance() {
@@ -220,25 +281,188 @@ void Network::fair_share_advance() {
   const util::Seconds dt = now - last_advance_;
   if (dt > 0.0) {
     for (auto& [id, f] : active_) {
-      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+      f.remaining = std::max(
+          0.0, f.remaining -
+                   classes_[static_cast<std::size_t>(f.cls)].rate * dt);
     }
   }
   last_advance_ = now;
 }
 
-void Network::fair_share_compute_rates() {
-  ++full_recomputes_;
+void Network::fair_share_batched_recompute() {
+  recompute_scheduled_ = false;
+  ++batched_recomputes_;
+  fair_share_advance();
+  // Flood-fill the class/link sharing graph from every dirty link; each
+  // fill is one connected component, water-filled in isolation (max–min
+  // allocations decompose over components, so everyone outside keeps their
+  // rate). A dirty link with no classes left is the old idle-removal case:
+  // its departures shared nothing with any survivor.
+  ++visit_epoch_;
+  const int epoch = visit_epoch_;
+  for (const int seed : dirty_links_) {
+    link_dirty_[static_cast<std::size_t>(seed)] = 0;
+    if (link_visit_[static_cast<std::size_t>(seed)] == epoch) continue;
+    link_visit_[static_cast<std::size_t>(seed)] = epoch;
+    if (link_classes_[static_cast<std::size_t>(seed)].empty()) continue;
+    comp_links_.clear();
+    comp_classes_.clear();
+    comp_links_.push_back(seed);
+    for (std::size_t qi = 0; qi < comp_links_.size(); ++qi) {
+      const auto l = static_cast<std::size_t>(comp_links_[qi]);
+      for (const auto& entry : link_classes_[l]) {
+        FlowClass& c = classes_[static_cast<std::size_t>(entry.first)];
+        if (c.visit == epoch) continue;
+        c.visit = epoch;
+        comp_classes_.push_back(entry.first);
+        for (const int l2 : c.links) {
+          if (link_visit_[static_cast<std::size_t>(l2)] == epoch) continue;
+          link_visit_[static_cast<std::size_t>(l2)] = epoch;
+          comp_links_.push_back(l2);
+        }
+      }
+    }
+    fair_share_waterfill_component();
+  }
+  dirty_links_.clear();
+  if (cross_check_) fair_share_cross_check();
+  fair_share_arm();
+}
+
+void Network::fair_share_waterfill_component() {
+  if (comp_classes_.size() == 1) {
+    // Single class: progressive filling would run exactly one round and
+    // freeze it at its path bottleneck share. Computing that share directly
+    // subsumes the old isolated-flow fast path and generalizes it to any
+    // multiplicity.
+    ++fast_paths_;
+    FlowClass& c = classes_[static_cast<std::size_t>(comp_classes_[0])];
+    double best = std::numeric_limits<double>::infinity();
+    for (const int l : c.links) {
+      const double share =
+          std::max(0.0, links_[static_cast<std::size_t>(l)].capacity) /
+          c.count;
+      best = std::min(best, share);
+    }
+    c.rate = best;
+    return;
+  }
+  ++component_recomputes_;
+  // Progressive water-filling over classes: repeatedly saturate the link
+  // with the lowest per-flow fair share and freeze the classes that cross
+  // it at that share.
+  for (const int l : comp_links_) {
+    scratch_residual_[static_cast<std::size_t>(l)] =
+        links_[static_cast<std::size_t>(l)].capacity;
+    scratch_count_[static_cast<std::size_t>(l)] = 0;
+  }
+  long unfrozen = 0;
+  for (const int cid : comp_classes_) {
+    FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+    c.wf_rate = -1.0;  // unfrozen marker
+    unfrozen += c.count;
+    for (const int l : c.links) {
+      scratch_count_[static_cast<std::size_t>(l)] += c.count;
+    }
+  }
+  while (unfrozen > 0) {
+    int bottleneck = -1;
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const int link : comp_links_) {
+      const auto l = static_cast<std::size_t>(link);
+      if (scratch_count_[l] <= 0) continue;
+      const double share =
+          std::max(0.0, scratch_residual_[l]) / scratch_count_[l];
+      if (share < best_share) {
+        best_share = share;
+        bottleneck = link;
+      }
+    }
+    assert(bottleneck >= 0 && "every class crosses at least one limited link");
+    for (const auto& entry :
+         link_classes_[static_cast<std::size_t>(bottleneck)]) {
+      FlowClass& c = classes_[static_cast<std::size_t>(entry.first)];
+      if (c.wf_rate >= 0.0) continue;  // already frozen via another link
+      c.wf_rate = best_share;
+      unfrozen -= c.count;
+      for (const int link : c.links) {
+        double& r = scratch_residual_[static_cast<std::size_t>(link)];
+        // One subtraction per member flow, not one fused count*share
+        // multiply: this replays the naive per-flow pass's floating-point
+        // sequence exactly, keeping the aggregated engine bit-identical to
+        // the reference (and to the pre-aggregation engine's outputs).
+        for (int m = 0; m < c.count; ++m) r -= best_share;
+        scratch_count_[static_cast<std::size_t>(link)] -= c.count;
+      }
+    }
+  }
+  for (const int cid : comp_classes_) {
+    FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+    c.rate = c.wf_rate;
+  }
+}
+
+void Network::fair_share_arm() {
+  if (next_completion_.valid()) {
+    sim_.cancel(next_completion_);
+    next_completion_ = {};
+  }
   if (active_.empty()) return;
 
-  // Progressive water-filling: repeatedly saturate the link with the lowest
-  // per-flow fair share and freeze the flows that cross it at that rate.
-  // Scratch buffers are members, reused across the ~10^5 recomputes per
-  // simulation run; counts return to zero by construction (one increment
-  // while seeding, one decrement when the flow freezes), so only the
-  // touched-links list needs clearing here.
+  // Arm the next completion event. Flows frozen at a zero rate (possible
+  // only through floating-point drift on a saturated link) simply wait for
+  // the next recompute, when a competing flow's completion frees capacity.
+  util::Seconds horizon = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : active_) {
+    const double rate = classes_[static_cast<std::size_t>(f.cls)].rate;
+    if (rate <= 0.0) continue;
+    horizon = std::min(horizon, f.remaining / rate);
+  }
+  assert(horizon < std::numeric_limits<double>::infinity());
+  next_completion_ = sim_.schedule_in(std::max(kMinHorizon, horizon),
+                                      [this] { fair_share_on_completion(); });
+}
+
+void Network::fair_share_on_completion() {
+  next_completion_ = {};
+  fair_share_advance();
+  std::vector<Flow> finished;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.remaining <= kFinishEpsilon) {
+      finished.push_back(std::move(it->second));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (finished.empty()) {
+    // Nothing actually crossed the finish line (floating-point drift on the
+    // horizon); re-arm from the unchanged rates and try again.
+    fair_share_arm();
+    return;
+  }
+  for (Flow& f : finished) mark_links_active(f.links, -1);
+  for (const Flow& f : finished) fair_share_leave_class(f);
+  // Mark dirty before the callbacks so their re-entrant transfers coalesce
+  // into the same zero-delay recompute, which also performs the final
+  // re-arm for this timestamp.
+  for (const Flow& f : finished) fair_share_mark_dirty(f.links);
+  for (Flow& f : finished) finish_flow(f);
+}
+
+void Network::fair_share_naive_rates(std::unordered_map<FlowId, double>& out) {
+  ++full_recomputes_;
+  out.clear();
+  if (active_.empty()) return;
+
+  // The pre-aggregation engine's progressive water-filling, verbatim, over
+  // individual flows: the reference every class/component/batching decision
+  // is checked against. Scratch counts return to zero by construction (one
+  // increment while seeding, one decrement when the flow freezes), so the
+  // production component passes never see leftovers.
   scratch_touched_.clear();
   for (auto& [id, f] : active_) {
-    f.rate = -1.0;  // unfrozen marker
+    out[id] = -1.0;  // unfrozen marker
     for (int link : f.links) {
       const auto l = static_cast<std::size_t>(link);
       if (scratch_count_[l] == 0) {
@@ -266,13 +490,13 @@ void Network::fair_share_compute_rates() {
     }
     assert(bottleneck >= 0 && "every flow crosses at least one limited link");
     for (FlowId id : scratch_link_flows_[static_cast<std::size_t>(bottleneck)]) {
-      auto fit = active_.find(id);
-      assert(fit != active_.end() && "water-filling indexed an unknown flow");
-      Flow& f = fit->second;
-      if (f.rate >= 0.0) continue;  // already frozen via another link
-      f.rate = best_share;
+      double& rate = out[id];
+      if (rate >= 0.0) continue;  // already frozen via another link
+      rate = best_share;
       --unfrozen;
-      for (int link : f.links) {
+      const auto fit = active_.find(id);
+      assert(fit != active_.end() && "water-filling indexed an unknown flow");
+      for (int link : fit->second.links) {
         scratch_residual_[static_cast<std::size_t>(link)] -= best_share;
         --scratch_count_[static_cast<std::size_t>(link)];
       }
@@ -280,88 +504,42 @@ void Network::fair_share_compute_rates() {
   }
 }
 
-void Network::fair_share_arm() {
-  if (next_completion_.valid()) {
-    sim_.cancel(next_completion_);
-    next_completion_ = {};
+void Network::fair_share_cross_check() {
+  // Bookkeeping invariants: the class multiplicities must tile the active
+  // set exactly, and every class must be reachable through its links.
+  std::size_t members = 0;
+  for (const auto& [path, cid] : class_by_path_) {
+    const FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+    if (c.count <= 0) {
+      throw std::logic_error("fair-share cross check: empty class survived");
+    }
+    members += static_cast<std::size_t>(c.count);
   }
-  if (active_.empty()) return;
-
-  // Arm the next completion event. Flows frozen at a zero rate (possible
-  // only through floating-point drift on a saturated link) simply wait for
-  // the next recompute, when a competing flow's completion frees capacity.
-  util::Seconds horizon = std::numeric_limits<double>::infinity();
+  if (members != active_.size()) {
+    throw std::logic_error(
+        "fair-share cross check: class multiplicities (" +
+        std::to_string(members) + ") do not tile the active set (" +
+        std::to_string(active_.size()) + ")");
+  }
+  // Re-derive every rate with the naive per-flow reference and demand
+  // agreement (up to floating-point noise: the reference accumulates link
+  // residuals in flow order rather than class order).
+  std::unordered_map<FlowId, double> naive;
+  fair_share_naive_rates(naive);
   for (const auto& [id, f] : active_) {
-    if (f.rate <= 0.0) continue;
-    horizon = std::min(horizon, f.remaining / f.rate);
-  }
-  assert(horizon < std::numeric_limits<double>::infinity());
-  next_completion_ = sim_.schedule_in(std::max(kMinHorizon, horizon),
-                                      [this] { fair_share_on_completion(); });
-}
-
-void Network::fair_share_on_completion() {
-  next_completion_ = {};
-  fair_share_advance();
-  std::vector<Flow> finished;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (it->second.remaining <= kFinishEpsilon) {
-      finished.push_back(std::move(it->second));
-      it = active_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (Flow& f : finished) mark_links_active(f.links, -1);
-  // If every finished flow's links are now idle, the finished flows shared
-  // no link with any survivor and the survivors' allocation is unchanged —
-  // the water-filling pass can be skipped outright.
-  bool idle = true;
-  for (const Flow& f : finished) {
-    if (!fair_share_links_idle(f.links)) {
-      idle = false;
-      break;
-    }
-  }
-  if (!active_.empty()) {
-    if (idle) {
-      ++fast_paths_;
-      if (cross_check_) fair_share_cross_check("completion");
-    } else {
-      fair_share_compute_rates();
-    }
-  }
-  // Completion callbacks may start new flows re-entrantly; survivor rates
-  // are already correct at this point, so each re-entrant add updates the
-  // allocation incrementally (fast path or full pass) and re-arms itself.
-  // The final arm below covers the case where no new flow was started.
-  for (Flow& f : finished) finish_flow(f);
-  fair_share_arm();
-}
-
-void Network::fair_share_cross_check(const char* where) {
-  // Save the fast path's rates, run the full water-filling pass over the
-  // same active set, and demand agreement (up to floating-point noise: the
-  // full pass accumulates link residuals in a different order). The fast
-  // path's values are restored afterwards so the production code path stays
-  // the one under test downstream.
-  std::vector<std::pair<FlowId, double>> saved;
-  saved.reserve(active_.size());
-  for (const auto& [id, f] : active_) saved.emplace_back(id, f.rate);
-  fair_share_compute_rates();
-  for (const auto& [id, rate] : saved) {
-    const auto it = active_.find(id);
-    assert(it != active_.end());
-    const double full = it->second.rate;
+    const double engine = classes_[static_cast<std::size_t>(f.cls)].rate;
+    const auto it = naive.find(id);
+    assert(it != naive.end());
+    const double full = it->second;
     const double tol = 1e-9 * std::max(1.0, std::abs(full));
-    if (std::abs(full - rate) > tol) {
+    if (std::abs(full - engine) > tol) {
       throw std::logic_error(
-          std::string("fair-share fast path diverged from full recompute at ") +
-          where + ": flow " + std::to_string(id) + " fast=" +
-          std::to_string(rate) + " full=" + std::to_string(full));
+          "fair-share batched/aggregated engine diverged from the naive "
+          "per-flow pass: flow " +
+          std::to_string(id) + " engine=" + std::to_string(engine) +
+          " naive=" + std::to_string(full));
     }
   }
-  for (const auto& [id, rate] : saved) active_.find(id)->second.rate = rate;
 }
 
 // --- exclusive FIFO (the paper's NodeTree hold model) -------------------------

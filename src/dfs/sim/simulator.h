@@ -47,6 +47,13 @@ class Simulator {
   /// Schedule `cb` at absolute time `at >= now()`.
   EventId schedule_at(util::Seconds at, Callback cb);
 
+  /// Schedule `cb` at the current timestamp, behind every event already
+  /// queued there (the FIFO tie-break orders it last). This is the
+  /// coalescing hook batched consumers build on: N same-timestamp mutations
+  /// schedule one zero-delay pass that observes all of them — see the
+  /// fair-share recompute batching in net::Network.
+  EventId schedule_now(Callback cb) { return schedule_in(0.0, std::move(cb)); }
+
   /// Cancel a pending event. Returns false if it already fired or was
   /// cancelled (safe to call either way).
   bool cancel(EventId id);

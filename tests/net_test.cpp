@@ -376,6 +376,130 @@ TEST(Network, FairShareFastPathsMatchFullRecomputeUnderChurn) {
   EXPECT_GT(net.fair_share_full_recomputes(), 0u);
 }
 
+// --- batched / aggregated fair-share engine vs the naive per-flow pass -------
+
+TEST(Network, FairShareCancelHeavyChurnMatchesNaive) {
+  // Cancel-heavy randomized churn with the cross-check on: after every
+  // batched recompute the Network re-derives all rates with the naive
+  // per-flow water-filling pass and throws std::logic_error on divergence.
+  // Roughly half the flows are cancelled mid-flight, so class membership
+  // counts shrink through every path (completion and cancellation) and
+  // classes are torn down while their component is still contended.
+  sim::Simulator sim;
+  const Topology topo(3, 4);
+  LinkConfig links;
+  links.rack_up = util::megabits_per_sec(400.0);
+  links.rack_down = util::megabits_per_sec(400.0);
+  links.node_up = util::megabits_per_sec(200.0);
+  links.node_down = util::megabits_per_sec(200.0);
+  Network net(sim, topo, links);
+  net.set_fair_share_cross_check(true);
+
+  util::Rng rng(987654);
+  int done = 0;
+  std::vector<FlowId> started;
+  for (int i = 0; i < 120; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, 11));
+    const auto dst = static_cast<NodeId>(rng.uniform_int(0, 11));
+    const double size = rng.uniform(1e5, 8e6);
+    const double at = rng.uniform(0.0, 30.0);
+    sim.schedule_in(at, [&net, &done, &started, src, dst, size] {
+      started.push_back(net.transfer(src, dst, size, [&done] { ++done; }));
+    });
+    // Every other flow triggers a cancellation attempt against whatever flow
+    // started most recently — short delays so the target is usually still
+    // mid-flight; cancel() returning false for finished flows is fine.
+    if (i % 2 == 0) {
+      sim.schedule_in(at + rng.uniform(0.01, 0.3), [&net, &started] {
+        if (!started.empty()) net.cancel(started.back());
+      });
+    }
+  }
+  sim.run();
+
+  EXPECT_EQ(net.active_flow_count(), 0);
+  EXPECT_GT(net.flows_cancelled(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(done) + net.flows_cancelled(),
+            net.flows_started());
+  // Both engines ran: the naive reference pass (full recomputes) verified
+  // every batched decision, and multi-class components were water-filled.
+  EXPECT_GT(net.fair_share_full_recomputes(), 0u);
+  EXPECT_GT(net.fair_share_component_recomputes(), 0u);
+  EXPECT_EQ(net.fair_share_classes_active(), 0);
+}
+
+TEST(Network, FairShareSameTimestampBurstsCoalesce) {
+  // A k-fan-out burst started inside one event — the shape of a degraded
+  // read fetching k blocks at once — must coalesce into a single zero-delay
+  // recompute, and identical contended paths must collapse into one class.
+  sim::Simulator sim;
+  const Topology topo(2, 8);  // nodes 0-7 rack 0, 8-15 rack 1
+  LinkConfig links;           // node links unlimited: only rack links contend
+  links.rack_up = 100.0;
+  links.rack_down = 100.0;
+  Network net(sim, topo, links);
+  net.set_fair_share_cross_check(true);
+
+  int done = 0;
+  sim.schedule_in(0.0, [&] {
+    for (NodeId i = 0; i < 8; ++i) {
+      net.transfer(i, static_cast<NodeId>(8 + i), 1000.0,
+                   [&done] { ++done; });
+    }
+    // Runs at the same timestamp but after the coalesced recompute (FIFO
+    // tie-break): all eight adds were folded into one batch, and the eight
+    // identical paths [rack0 up, rack1 down] form a single class, so the
+    // component pass took the single-class fast path.
+    sim.schedule_in(0.0, [&net] {
+      EXPECT_EQ(net.fair_share_batched_recomputes(), 1u);
+      EXPECT_EQ(net.fair_share_classes_active(), 1);
+      EXPECT_EQ(net.fair_share_fast_paths(), 1u);
+      EXPECT_EQ(net.fair_share_component_recomputes(), 0u);
+    });
+  });
+  sim.run();
+
+  // 8 equal flows share the 100 B/s rack links: 12.5 B/s each, done at 80 s.
+  EXPECT_EQ(done, 8);
+  EXPECT_NEAR(sim.now(), 80.0, 1e-6);
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.flows_started, 8u);
+  EXPECT_EQ(s.flows_completed, 8u);
+  // The simultaneous completion of all eight flows was itself one batch.
+  EXPECT_EQ(s.batched_recomputes, 2u);
+  EXPECT_EQ(s.classes_active, 0);
+  EXPECT_DOUBLE_EQ(s.bytes_delivered, 8000.0);
+}
+
+TEST(Network, FairShareSingleFlowComponentsUseFastPath) {
+  // Flows on disjoint link sets form single-class components; each add and
+  // removal must resolve through the O(links) fast path without ever
+  // water-filling a multi-class component.
+  sim::Simulator sim;
+  const Topology topo(3, 2);  // nodes 0,1 / 2,3 / 4,5
+  LinkConfig links;
+  links.rack_up = 100.0;
+  links.rack_down = 100.0;
+  Network net(sim, topo, links);
+  net.set_fair_share_cross_check(true);
+
+  int done = 0;
+  // Pairwise disjoint rings: rack0->rack1, rack1->rack2, rack2->rack0 use
+  // six distinct directed links. Staggered starts so every add is its own
+  // batch.
+  net.transfer(0, 2, 1000.0, [&done] { ++done; });
+  sim.schedule_in(1.0, [&] { net.transfer(2, 4, 1000.0, [&done] { ++done; }); });
+  sim.schedule_in(2.0, [&] { net.transfer(4, 0, 1000.0, [&done] { ++done; }); });
+  sim.run();
+
+  EXPECT_EQ(done, 3);
+  // Each flow ran uncontended at 100 B/s for its full 1000 bytes.
+  EXPECT_NEAR(sim.now(), 12.0, 1e-6);
+  EXPECT_EQ(net.fair_share_component_recomputes(), 0u);
+  EXPECT_GE(net.fair_share_fast_paths(), 3u);
+  EXPECT_EQ(net.fair_share_classes_active(), 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothModels, ContentionParamTest,
                          ::testing::Values(ContentionModel::kMaxMinFairShare,
                                            ContentionModel::kExclusiveFifo),

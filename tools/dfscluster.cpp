@@ -30,6 +30,10 @@
 //   --repair N            block repairs in flight per event   [4]
 //   --sample-interval X   timeline sampling period, seconds   [60]
 //   --jsonl PATH          write the full run as JSON lines
+//   --net-stats           add a per-seed "net_stats" JSONL record with the
+//                         network engine counters (flows, recompute/fast-path
+//                         breakdown); off by default so existing JSONL
+//                         consumers see byte-identical output
 //   --csv PATH            write the sampled timeline as CSV
 //
 // Fault layer (compute-failure fault tolerance; everything below is inert
@@ -87,7 +91,7 @@ int main(int argc, char** argv) {
            "  --pareto-alpha X --diurnal-amplitude X --diurnal-period X\n"
            "  --blocks N --reducers N\n"
            "  --mttf-hours X --repair-delay X --rack-failures X --repair N\n"
-           "  --sample-interval X --jsonl PATH --csv PATH\n"
+           "  --sample-interval X --jsonl PATH --net-stats --csv PATH\n"
            "  --faults --expiry X --attempt-failure-prob X --max-attempts N\n"
            "  --retry-backoff X --blacklist-threshold N "
            "--blacklist-duration X\n"
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
   const auto jobs = runner::jobs_from_args(args);
   const std::string scheduler_flag = args.get_or("scheduler", "df");
   const auto jsonl_path = args.get("jsonl");
+  const bool net_stats = args.has("net-stats");
   const auto csv_path = args.get("csv");
   const auto attempts_csv_path = args.get("attempts-csv");
 
@@ -208,6 +213,7 @@ int main(int argc, char** argv) {
           cluster::ClusterSimulation simulation(opts, *sched, cell_seed);
           SeedOutcome out;
           out.result = simulation.run();
+          out.result.report_net_stats = net_stats;
           const auto& s = out.result.summary;
           std::ostringstream rep;
           rep << "dfscluster: scheduler=" << sched->name()

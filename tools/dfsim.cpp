@@ -33,6 +33,9 @@
 //   --speculate           enable Hadoop-style speculative execution
 //   --repair N            run background repair with concurrency N
 //   --utilization         print a rack-downlink utilization timeline
+//   --net-stats           print one net_stats JSON line per seed (network
+//                         engine counters: flow totals, fast paths,
+//                         batched/component recomputes)
 //   --csv PREFIX          write per-task/job CSVs of the first run
 //   --normalize           also run normal mode and report ratios
 
@@ -79,7 +82,7 @@ int main(int argc, char** argv) {
            "  --scheduler LF|BDF|EDF|DELAY|FAIR|FAIR+DF\n"
            "  --failure none|node|2node|rack --sources random|samerack\n"
            "  --seeds N --jobs N --speculate --repair N --normalize\n"
-           "  --csv PREFIX\n"
+           "  --csv PREFIX --utilization --net-stats\n"
            "  code SPEC: "
         << ec::code_spec_help() << "\n";
     return 0;
@@ -145,6 +148,7 @@ int main(int argc, char** argv) {
   cfg.speculative_execution = args.has("speculate");
   const int repair_concurrency = args.get_int("repair", 0);
   const bool show_utilization = args.has("utilization");
+  const bool show_net_stats = args.has("net-stats");
   const double hetero = args.get_double("hetero", 1.0);
   if (hetero != 1.0) {
     cfg.node_time_scale.assign(
@@ -290,6 +294,22 @@ int main(int argc, char** argv) {
             log << "seed " << s << ": " << result.speculative_attempts()
                 << " speculative attempts (" << result.speculative_losses()
                 << " wasted)\n";
+          }
+          // Gated behind --net-stats so default output stays byte-identical
+          // to earlier versions. One JSON line per seed, emitted in seed
+          // order via the buffered cell log.
+          if (show_net_stats) {
+            const net::Network::Stats ns = simulation.network().stats();
+            log << "{\"type\":\"net_stats\",\"seed\":" << s
+                << ",\"flows_started\":" << ns.flows_started
+                << ",\"flows_completed\":" << ns.flows_completed
+                << ",\"flows_cancelled\":" << ns.flows_cancelled
+                << ",\"fast_paths\":" << ns.fast_paths
+                << ",\"full_recomputes\":" << ns.full_recomputes
+                << ",\"batched_recomputes\":" << ns.batched_recomputes
+                << ",\"component_recomputes\":" << ns.component_recomputes
+                << ",\"classes_active\":" << ns.classes_active
+                << ",\"bytes_delivered\":" << ns.bytes_delivered << "}\n";
           }
           out.runtime = m.runtime();
           out.row = {std::to_string(s), util::Table::num(m.runtime(), 1),
