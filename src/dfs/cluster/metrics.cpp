@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "dfs/util/jsonl.h"
 #include "dfs/util/stats.h"
 
 namespace dfs::cluster {
@@ -115,69 +116,71 @@ SteadyStateSummary summarize_steady_state(
 
 void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
   const SteadyStateSummary& s = result.summary;
-  os << "{\"type\":\"summary\",\"warmup\":" << s.warmup
-     << ",\"horizon\":" << s.horizon
-     << ",\"jobs_submitted\":" << s.jobs_submitted
-     << ",\"jobs_completed\":" << s.jobs_completed;
+  util::JsonlWriter w(os);
+  w.begin("summary")
+      .field("warmup", s.warmup)
+      .field("horizon", s.horizon)
+      .field("jobs_submitted", s.jobs_submitted)
+      .field("jobs_completed", s.jobs_completed);
   // Gated so fault-off runs stay byte-identical to pre-fault-layer output.
-  if (s.jobs_failed > 0) os << ",\"jobs_failed\":" << s.jobs_failed;
-  os << ",\"jobs_measured\":" << s.jobs_measured
-     << ",\"latency_p50\":" << s.latency_p50
-     << ",\"latency_p95\":" << s.latency_p95
-     << ",\"latency_p99\":" << s.latency_p99
-     << ",\"latency_mean\":" << s.latency_mean
-     << ",\"mean_job_runtime\":" << s.mean_job_runtime
-     << ",\"degraded_task_fraction\":" << s.degraded_task_fraction
-     << ",\"failures_injected\":" << s.failures_injected
-     << ",\"rack_failures\":" << s.rack_failures
-     << ",\"blocks_repaired\":" << s.blocks_repaired
-     << ",\"blocks_unrecoverable\":" << s.blocks_unrecoverable
-     << ",\"max_repair_backlog\":" << s.max_repair_backlog
-     << ",\"mean_rack_down_utilization\":" << s.mean_rack_down_utilization
-     << ",\"data_loss\":" << (s.data_loss ? 1 : 0) << "}\n";
+  if (s.jobs_failed > 0) w.field("jobs_failed", s.jobs_failed);
+  w.field("jobs_measured", s.jobs_measured)
+      .field("latency_p50", s.latency_p50)
+      .field("latency_p95", s.latency_p95)
+      .field("latency_p99", s.latency_p99)
+      .field("latency_mean", s.latency_mean)
+      .field("mean_job_runtime", s.mean_job_runtime)
+      .field("degraded_task_fraction", s.degraded_task_fraction)
+      .field("failures_injected", s.failures_injected)
+      .field("rack_failures", s.rack_failures)
+      .field("blocks_repaired", s.blocks_repaired)
+      .field("blocks_unrecoverable", s.blocks_unrecoverable)
+      .field("max_repair_backlog", s.max_repair_backlog)
+      .field("mean_rack_down_utilization", s.mean_rack_down_utilization)
+      .field("data_loss", s.data_loss ? 1 : 0)
+      .end();
   // Gated behind the tool flag (--net-stats) so default output stays
   // byte-identical to earlier versions, like jobs_failed above.
   if (result.report_net_stats) {
-    const net::Network::Stats& n = result.net_stats;
-    os << "{\"type\":\"net_stats\",\"flows_started\":" << n.flows_started
-       << ",\"flows_completed\":" << n.flows_completed
-       << ",\"flows_cancelled\":" << n.flows_cancelled
-       << ",\"fast_paths\":" << n.fast_paths
-       << ",\"full_recomputes\":" << n.full_recomputes
-       << ",\"batched_recomputes\":" << n.batched_recomputes
-       << ",\"component_recomputes\":" << n.component_recomputes
-       << ",\"classes_active\":" << n.classes_active
-       << ",\"bytes_delivered\":" << n.bytes_delivered << "}\n";
+    w.begin("net_stats");
+    net::append_net_stats(w, result.net_stats);
+    w.end();
   }
   for (const auto& f : result.failures) {
-    os << "{\"type\":\"failure\",\"fail_time\":" << f.fail_time
-       << ",\"repair_start\":" << f.repair_start
-       << ",\"restore_time\":" << f.restore_time << ",\"rack\":"
-       << (f.rack ? 1 : 0) << ",\"nodes\":[";
-    for (std::size_t i = 0; i < f.nodes.size(); ++i) {
-      if (i > 0) os << ',';
-      os << f.nodes[i];
-    }
-    os << "],\"blocks_repaired\":" << f.blocks_repaired
-       << ",\"blocks_unrecoverable\":" << f.blocks_unrecoverable << "}\n";
+    w.begin("failure")
+        .field("fail_time", f.fail_time)
+        .field("repair_start", f.repair_start)
+        .field("restore_time", f.restore_time)
+        .field("rack", f.rack ? 1 : 0)
+        .array("nodes", f.nodes)
+        .field("blocks_repaired", f.blocks_repaired)
+        .field("blocks_unrecoverable", f.blocks_unrecoverable)
+        .end();
   }
   for (const auto& t : result.timeline) {
-    os << "{\"type\":\"sample\",\"time\":" << t.time
-       << ",\"jobs_in_system\":" << t.jobs_in_system
-       << ",\"failed_nodes\":" << t.failed_nodes
-       << ",\"repair_backlog\":" << t.repair_backlog
-       << ",\"rack_down_utilization\":" << t.rack_down_utilization << "}\n";
+    w.begin("sample")
+        .field("time", t.time)
+        .field("jobs_in_system", t.jobs_in_system)
+        .field("failed_nodes", t.failed_nodes)
+        .field("repair_backlog", t.repair_backlog)
+        .field("rack_down_utilization", t.rack_down_utilization)
+        .end();
   }
   for (const auto& j : result.run.jobs) {
     if (j.failed || j.submit_time < s.warmup || j.submit_time > s.horizon ||
         j.finish_time < 0.0) {
       continue;
     }
-    os << "{\"type\":\"job\",\"id\":" << j.id << ",\"submit\":"
-       << j.submit_time << ",\"finish\":" << j.finish_time
-       << ",\"latency\":" << j.latency() << ",\"runtime\":" << j.runtime()
-       << ",\"local\":" << j.local_tasks << ",\"remote\":" << j.remote_tasks
-       << ",\"degraded\":" << j.degraded_tasks << "}\n";
+    w.begin("job")
+        .field("id", j.id)
+        .field("submit", j.submit_time)
+        .field("finish", j.finish_time)
+        .field("latency", j.latency())
+        .field("runtime", j.runtime())
+        .field("local", j.local_tasks)
+        .field("remote", j.remote_tasks)
+        .field("degraded", j.degraded_tasks)
+        .end();
   }
 }
 

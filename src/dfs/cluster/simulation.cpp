@@ -35,7 +35,7 @@ ClusterSimulation::ClusterSimulation(ClusterOptions options,
   master_ = std::make_unique<mapreduce::Master>(sim_, *net_, opts_.config,
                                                 failure_, scheduler, rng_,
                                                 opts_.source_selection);
-  master_->set_online(true);
+  master_->set_admission_open(true);
 
   // The cluster's archival data: what a failed node actually loses and a
   // repair actually rebuilds. Shares the network with the job traffic.

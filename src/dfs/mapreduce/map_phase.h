@@ -1,0 +1,72 @@
+#pragma once
+
+#include "dfs/mapreduce/master_state.h"
+
+namespace dfs::mapreduce {
+
+class ShufflePhase;
+class FaultSupervisor;
+
+/// Map-side phase engine: splits an activated job into map tasks, maintains
+/// the pending-task indexes (per-node pools, rack counts, the degraded pool)
+/// and their classification as the cluster's health changes, launches
+/// attempts (local / rack-local / remote / degraded) with exact pacing-
+/// counter (m, m_d) accounting, and runs speculative execution.
+///
+/// The assignment entry points implement the `core::SchedulerContext`
+/// mutations the pluggable Scheduler (Algorithms 1-3) drives on every
+/// heartbeat; the Master facade delegates them here.
+class MapPhase {
+ public:
+  explicit MapPhase(MasterState& state) : s_(state) {}
+
+  /// Post-construction wiring: map completion feeds the shuffle, and
+  /// transient-crash injection reports to the fault supervisor.
+  void wire(ShufflePhase& shuffle, FaultSupervisor& fault) {
+    shuffle_ = &shuffle;
+    fault_ = &fault;
+  }
+
+  /// Split the job into map tasks (one per native block) and build the
+  /// pending indexes; tasks without a surviving readable copy start in the
+  /// degraded pool (§II-B).
+  void activate_job(JobState& j);
+
+  /// Removes `node` as a readable location of job `j`'s pending tasks;
+  /// tasks left with no location join the degraded pool.
+  void reclassify_after_failure(JobState& j, NodeId node);
+  /// Re-adds `node` as a readable location; pending degraded tasks whose
+  /// input is back become local again.
+  void reclassify_after_repair(JobState& j, NodeId node);
+
+  // Scheduler-driven assignment (the SchedulerContext mutations).
+  void assign_local(core::JobId id, NodeId slave);
+  void assign_remote(core::JobId id, NodeId slave);
+  void assign_degraded(core::JobId id, NodeId slave);
+
+  /// Launch an attempt of `map_idx` on `slave`: registers it in the attempt
+  /// table, starts the input fetch (parallel stripe reads for degraded
+  /// tasks), and advances the pacing counters unless `backup`.
+  void start_map(JobState& j, int map_idx, NodeId slave, MapTaskKind kind,
+                 NodeId fetch_source, bool backup = false);
+  void on_map_input_ready(core::JobId job_id, int record_idx, int map_idx);
+  void on_map_complete(core::JobId job_id, int record_idx, int map_idx);
+
+  /// Back up the longest-running sufficiently-overdue attempt on `slave`.
+  void try_speculate(NodeId slave);
+
+  /// Reverse what a non-backup launch added to the pacing counters.
+  void unlaunch_map(JobState& j, MapTaskState& t);
+
+ private:
+  /// Pops the next pending (unassigned) task queued at `node`; -1 if none.
+  int pop_pending(JobState& j, NodeId node);
+  /// Marks a task assigned and updates every pending index.
+  void retire_pending(JobState& j, int map_idx);
+
+  MasterState& s_;
+  ShufflePhase* shuffle_ = nullptr;
+  FaultSupervisor* fault_ = nullptr;
+};
+
+}  // namespace dfs::mapreduce

@@ -1,46 +1,43 @@
 #include "dfs/mapreduce/master.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace dfs::mapreduce {
-
-namespace {
-// "Never assigned a degraded task": makes t_r effectively infinite so fresh
-// racks always pass the rack-awareness check.
-constexpr util::Seconds kNeverAssigned = -1.0e9;
-}  // namespace
 
 Master::Master(sim::Simulator& simulator, net::Network& network,
                const ClusterConfig& config,
                const storage::FailureScenario& failure,
                core::Scheduler& scheduler, util::Rng& rng,
                storage::SourceSelection source_selection)
-    : sim_(simulator),
-      net_(network),
-      cfg_(config),
-      failure_(failure),
+    : state_(simulator, network, config, failure),
+      map_(state_),
+      shuffle_(state_),
+      fault_(state_),
       scheduler_(scheduler),
       rng_(rng),
       source_selection_(source_selection) {
-  slaves_.resize(static_cast<std::size_t>(cfg_.topology.num_nodes()));
-  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
-    SlaveState& s = slaves_[static_cast<std::size_t>(n)];
-    s.alive = !failure_.is_failed(n);
-    s.free_map_slots = cfg_.map_slots_per_node;
-    s.free_reduce_slots = cfg_.reduce_slots_per_node;
+  state_.hooks = &hooks;
+  map_.wire(shuffle_, fault_);
+  shuffle_.wire(fault_);
+  fault_.wire(map_, shuffle_);
+  state_.slaves.resize(static_cast<std::size_t>(config.topology.num_nodes()));
+  for (NodeId n = 0; n < config.topology.num_nodes(); ++n) {
+    SlaveState& s = state_.slave(n);
+    s.alive = !failure.is_failed(n);
+    s.free_map_slots = config.map_slots_per_node;
+    s.free_reduce_slots = config.reduce_slots_per_node;
   }
-  last_degraded_assign_.assign(
-      static_cast<std::size_t>(cfg_.topology.num_racks()), kNeverAssigned);
+  state_.last_degraded_assign.assign(
+      static_cast<std::size_t>(config.topology.num_racks()), kNeverAssigned);
 }
 
 void Master::submit(const JobInput& input) {
-  if (started_ && admission_closed_) {
+  if (started_ && !admission_open_) {
     throw std::logic_error(
         "submit after Master::start() requires online mode "
-        "(set_online) and an open admission window");
+        "(set_admission_open) and an open admission window");
   }
   if (!input.layout || !input.code) {
     throw std::invalid_argument("JobInput needs a layout and a code");
@@ -54,318 +51,104 @@ void Master::submit(const JobInput& input) {
   j.layout = input.layout;
   j.code = input.code;
   j.planner = std::make_unique<storage::DegradedReadPlanner>(
-      *j.layout, cfg_.topology, *j.code, source_selection_);
+      *j.layout, state_.cfg.topology, *j.code, source_selection_);
   j.rng = rng_.fork();
   j.metrics.id = j.spec.id;
   j.metrics.submit_time = j.spec.submit_time;
   j.pending_by_node.resize(
-      static_cast<std::size_t>(cfg_.topology.num_nodes()));
-  j.pending_count_by_node.assign(
-      static_cast<std::size_t>(cfg_.topology.num_nodes()), 0);
+      static_cast<std::size_t>(state_.cfg.topology.num_nodes()));
   j.pending_by_rack.assign(
-      static_cast<std::size_t>(cfg_.topology.num_racks()), 0);
+      static_cast<std::size_t>(state_.cfg.topology.num_racks()), 0);
   j.reduces.resize(static_cast<std::size_t>(j.spec.num_reducers));
-  jobs_.push_back(std::move(j));
+  state_.jobs.push_back(std::move(j));
   if (started_) {
-    const std::size_t index = jobs_.size() - 1;
-    sim_.schedule_at(std::max(sim_.now(), jobs_.back().spec.submit_time),
-                     [this, index] { activate_job(index); });
+    const std::size_t index = state_.jobs.size() - 1;
+    state_.sim.schedule_at(
+        std::max(state_.sim.now(), state_.jobs.back().spec.submit_time),
+        [this, index] { activate_job(index); });
   }
 }
 
 void Master::activate_job(std::size_t index) {
-  JobState& j = jobs_[index];
-  assert(!j.active);
-  j.active = true;
-  // Split the job into map tasks: one per native block. A task whose input
-  // has no surviving readable copy becomes a degraded task (§II-B). For
-  // k == 1 layouts (replication), every surviving shard of the stripe is a
-  // readable copy, so the task stays "local" to all replica holders and a
-  // degraded task only arises when every copy is gone.
-  const int blocks = j.layout->num_native_blocks();
-  const bool replicated = j.layout->k() == 1;
-  j.maps.resize(static_cast<std::size_t>(blocks));
-  for (int i = 0; i < blocks; ++i) {
-    MapTaskState& t = j.maps[static_cast<std::size_t>(i)];
-    t.block = j.layout->native_block(i);
-    t.home = j.layout->node_of(t.block);
-    t.lost = failure_.is_failed(t.home);
-    if (replicated) {
-      for (int b = 0; b < j.layout->n(); ++b) {
-        const NodeId holder =
-            j.layout->node_of(storage::BlockId{t.block.stripe, b});
-        if (!failure_.is_failed(holder)) t.locations.push_back(holder);
-      }
-      t.lost = t.locations.empty();
-    } else if (!t.lost) {
-      t.locations.push_back(t.home);
-    }
-    if (t.locations.empty()) {
-      push_degraded(j, static_cast<int>(i));
-      continue;
-    }
-    for (const NodeId loc : t.locations) {
-      j.pending_by_node[static_cast<std::size_t>(loc)].push_back(i);
-      ++j.pending_count_by_node[static_cast<std::size_t>(loc)];
-      const RackId rack = cfg_.topology.rack_of(loc);
-      if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
-          t.location_racks.end()) {
-        t.location_racks.push_back(rack);
-      }
-    }
-    for (const RackId rack : t.location_racks) {
-      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
-    }
-    ++j.pending_nondegraded;
-  }
-  j.total_m = blocks;
-  j.total_md = j.pending_degraded_count;
+  map_.activate_job(state_.jobs[index]);
 }
 
 void Master::start() {
   if (started_) throw std::logic_error("Master::start() called twice");
   started_ = true;
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    sim_.schedule_at(jobs_[i].spec.submit_time,
-                     [this, i] { activate_job(i); });
+  for (std::size_t i = 0; i < state_.jobs.size(); ++i) {
+    state_.sim.schedule_at(state_.jobs[i].spec.submit_time,
+                           [this, i] { activate_job(i); });
   }
-  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
-    if (!slave(n).alive) continue;
+  for (NodeId n = 0; n < state_.cfg.topology.num_nodes(); ++n) {
+    if (!state_.slave(n).alive) continue;
     start_heartbeat(n);
   }
 }
 
 void Master::start_heartbeat(NodeId n) {
-  const util::Seconds phase = rng_.uniform(0.0, cfg_.heartbeat_interval);
-  slave(n).last_heartbeat = sim_.now();
-  sim_.schedule_periodic(phase, cfg_.heartbeat_interval, [this, n] {
-    if (admission_closed_ && all_jobs_done()) return false;
-    // Rearmed by on_node_repaired. A compute-failed slave stops heartbeating
-    // immediately even though the master still believes it alive.
-    if (!slave(n).alive || !slave(n).heartbeating) return false;
-    on_heartbeat(n);
-    return true;
-  });
+  const util::Seconds phase = rng_.uniform(0.0, state_.cfg.heartbeat_interval);
+  state_.slave(n).last_heartbeat = state_.sim.now();
+  state_.sim.schedule_periodic(
+      phase, state_.cfg.heartbeat_interval, [this, n] {
+        if (!admission_open_ && all_jobs_done()) return false;
+        // Rearmed by on_node_repaired. A compute-failed slave stops
+        // heartbeating immediately even though the master still believes it
+        // alive.
+        if (!state_.slave(n).alive || !state_.slave(n).heartbeating) {
+          return false;
+        }
+        on_heartbeat(n);
+        return true;
+      });
 }
 
 void Master::on_heartbeat(NodeId s) {
-  slave(s).last_heartbeat = sim_.now();
+  state_.slave(s).last_heartbeat = state_.sim.now();
   scheduler_.on_heartbeat(*this, s);
-  assign_reduce_tasks(s);
-  if (cfg_.speculative_execution) try_speculate(s);
+  shuffle_.assign_reduce_tasks(s);
+  if (state_.cfg.speculative_execution) map_.try_speculate(s);
 }
 
 // --- dynamic cluster health ----------------------------------------------------
 
 void Master::on_node_failed(NodeId node) {
-  SlaveState& s = slave(node);
+  SlaveState& s = state_.slave(node);
   if (!s.alive) return;
   s.alive = false;  // its heartbeat loop unregisters itself on the next fire
-  for (JobState& j : jobs_) {
+  for (JobState& j : state_.jobs) {
     if (!j.active || j.finished) continue;
-    reclassify_after_failure(j, node);
+    map_.reclassify_after_failure(j, node);
   }
-  if (cfg_.fault.compute_failures) replan_inflight_reads(node);
+  if (state_.cfg.fault.compute_failures) fault_.replan_inflight_reads(node);
 }
 
 void Master::on_compute_failed(NodeId node) {
-  if (!cfg_.fault.compute_failures) {
-    throw std::logic_error(
-        "on_compute_failed requires FaultConfig::compute_failures");
-  }
-  SlaveState& s = slave(node);
-  // alive is not consulted: it tracks storage death, which normally happens
-  // in the same failure event just before this call.
-  if (!s.heartbeating) return;
-  s.heartbeating = false;
-  s.compute_fail_time = sim_.now();
-
-  // The attempts physically die now: cancel their transfers and mark them
-  // doomed so they never produce output. The master's view (slot counts,
-  // pending pools, records) only changes at detection.
-  for (const int record_idx : sorted_attempt_records()) {
-    MapAttempt& a = map_attempts_.at(record_idx);
-    const MapTaskRecord& rec =
-        result_.map_tasks[static_cast<std::size_t>(record_idx)];
-    if (rec.exec_node != node) continue;
-    a.doomed = true;
-    for (const net::FlowId f : a.flows) net_.cancel(f);
-    a.flows.clear();
-  }
-  for (JobState& j : jobs_) {
-    if (!j.active || j.finished) continue;
-    for (std::size_t r = 0; r < j.reduces.size(); ++r) {
-      ReduceTaskState& rt = j.reduces[r];
-      if (!rt.assigned) continue;
-      if (rt.node == node &&
-          result_.reduce_tasks[static_cast<std::size_t>(rt.record)]
-                  .finish_time < 0.0) {
-        rt.doomed = true;
-        for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
-        rt.inflight.clear();
-      } else {
-        // Shuffle fetches sourced from the dead node stall: the serving map
-        // output is gone. Drop them; reap_dead_node re-executes the maps.
-        for (auto it = rt.inflight.begin(); it != rt.inflight.end();) {
-          if (it->src == node) {
-            net_.cancel(it->flow);
-            it = rt.inflight.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      }
-    }
-  }
-
-  // Hadoop-style expiry: declared dead once the last heartbeat is older than
-  // the expiry window.
-  const int inc = s.incarnation;
-  const util::Seconds detect_at =
-      std::max(sim_.now(), s.last_heartbeat + cfg_.fault.expiry_multiplier *
-                                                  cfg_.heartbeat_interval);
-  sim_.schedule_at(detect_at, [this, node, inc] {
-    const SlaveState& sl = slave(node);
-    if (sl.incarnation != inc || sl.heartbeating) return;
-    declare_slave_dead(node);
-  });
+  fault_.on_compute_failed(node);
 }
 
 void Master::on_node_repaired(NodeId node) {
-  SlaveState& s = slave(node);
-  const bool compute_died = cfg_.fault.compute_failures && !s.heartbeating;
+  SlaveState& s = state_.slave(node);
+  const bool compute_died =
+      state_.cfg.fault.compute_failures && !s.heartbeating;
   if (s.alive && !compute_died) return;
-  if (compute_died) {
-    // The node comes back with a fresh TaskTracker: doomed attempts and map
-    // outputs are gone regardless of whether the expiry fired. Reaping is
-    // idempotent, so a death the master already detected reaps to a no-op;
-    // a repair that beats the expiry window does the real work here.
-    reap_dead_node(node);
-    ++s.incarnation;  // stale detection / unblacklist timers now no-op
-    s.heartbeating = true;
-    s.compute_fail_time = -1.0;
-    s.recent_failures = 0;
-    s.blacklisted = false;
-    s.free_map_slots = cfg_.map_slots_per_node;
-    s.free_reduce_slots = cfg_.reduce_slots_per_node;
-  }
+  if (compute_died) fault_.restore_compute(node);
   s.alive = true;
-  for (JobState& j : jobs_) {
+  for (JobState& j : state_.jobs) {
     if (!j.active || j.finished) continue;
-    reclassify_after_repair(j, node);
+    map_.reclassify_after_repair(j, node);
   }
   if (started_) start_heartbeat(node);
 }
 
-void Master::reclassify_after_failure(JobState& j, NodeId node) {
-  for (std::size_t i = 0; i < j.maps.size(); ++i) {
-    MapTaskState& t = j.maps[i];
-    if (t.done) continue;
-    const auto it = std::find(t.locations.begin(), t.locations.end(), node);
-    if (it == t.locations.end()) continue;
-    t.locations.erase(it);
-    if (t.assigned) {
-      // Attempts in flight keep running: the model is a storage (DataNode)
-      // loss, not a TaskTracker death. Only the copy list shrinks, so any
-      // later speculative backup runs degraded.
-      if (t.locations.empty()) t.lost = true;
-      continue;
-    }
-    --j.pending_count_by_node[static_cast<std::size_t>(node)];
-    const RackId rack = cfg_.topology.rack_of(node);
-    bool rack_still_has_copy = false;
-    for (const NodeId loc : t.locations) {
-      if (cfg_.topology.rack_of(loc) == rack) {
-        rack_still_has_copy = true;
-        break;
-      }
-    }
-    if (!rack_still_has_copy) {
-      const auto rit =
-          std::find(t.location_racks.begin(), t.location_racks.end(), rack);
-      if (rit != t.location_racks.end()) {
-        t.location_racks.erase(rit);
-        --j.pending_by_rack[static_cast<std::size_t>(rack)];
-      }
-    }
-    if (t.locations.empty()) {
-      // Last readable copy gone: the task joins the degraded pool and the
-      // pacing totals (M_d) grow to match. Queue entries elsewhere go stale
-      // and are skipped by pop_pending's location check.
-      t.lost = true;
-      --j.pending_nondegraded;
-      ++j.total_md;
-      push_degraded(j, static_cast<int>(i));
-    }
-  }
-}
-
-void Master::reclassify_after_repair(JobState& j, NodeId node) {
-  const bool replicated = j.layout->k() == 1;
-  for (std::size_t i = 0; i < j.maps.size(); ++i) {
-    MapTaskState& t = j.maps[i];
-    if (t.done) continue;
-    bool holds_copy = false;
-    if (replicated) {
-      for (int b = 0; b < j.layout->n() && !holds_copy; ++b) {
-        holds_copy =
-            j.layout->node_of(storage::BlockId{t.block.stripe, b}) == node;
-      }
-    } else {
-      holds_copy = t.home == node;
-    }
-    if (!holds_copy) continue;
-    if (std::find(t.locations.begin(), t.locations.end(), node) !=
-        t.locations.end()) {
-      continue;
-    }
-    if (t.assigned) {
-      // The running attempt keeps its classification; restoring the copy
-      // list lets later speculative backups read the block again.
-      t.locations.push_back(node);
-      t.lost = false;
-      continue;
-    }
-    if (t.locations.empty()) {
-      // Leaves the degraded pool: its input is readable again. O(1): the
-      // membership flag is cleared and the deque entry goes stale, skipped
-      // on a later pop (repairs used to pay an O(n) find+erase here).
-      if (!t.in_degraded_pool) {
-        // A pending task with no readable copy must be in the degraded pool;
-        // anything else means the pending indexes are corrupt. Fail loudly
-        // in release builds too — silently continuing would let the pacing
-        // counters drift.
-        throw std::logic_error(
-            "reclassify_after_repair: pending task with no locations is "
-            "missing from the degraded pool");
-      }
-      t.in_degraded_pool = false;
-      --j.pending_degraded_count;
-      t.lost = false;
-      ++j.pending_nondegraded;
-      --j.total_md;
-    }
-    t.locations.push_back(node);
-    j.pending_by_node[static_cast<std::size_t>(node)].push_back(
-        static_cast<int>(i));
-    ++j.pending_count_by_node[static_cast<std::size_t>(node)];
-    const RackId rack = cfg_.topology.rack_of(node);
-    if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
-        t.location_racks.end()) {
-      t.location_racks.push_back(rack);
-      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
-    }
-  }
-}
-
 // --- SchedulerContext queries --------------------------------------------------
 
-util::Seconds Master::now() const { return sim_.now(); }
+util::Seconds Master::now() const { return state_.sim.now(); }
 
 std::vector<core::JobId> Master::running_jobs() const {
   std::vector<core::JobId> out;
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const JobState& j = jobs_[i];
+  for (std::size_t i = 0; i < state_.jobs.size(); ++i) {
+    const JobState& j = state_.jobs[i];
     if (j.active && !j.finished && j.m < j.total_m) {
       out.push_back(static_cast<int>(i));
     }
@@ -373,89 +156,93 @@ std::vector<core::JobId> Master::running_jobs() const {
   return out;
 }
 
-Master::JobState& Master::job(core::JobId id) {
-  return jobs_[static_cast<std::size_t>(id)];
-}
-
-const Master::JobState& Master::job(core::JobId id) const {
-  return jobs_[static_cast<std::size_t>(id)];
-}
-
 int Master::free_map_slots(NodeId s) const {
-  const SlaveState& sl = slaves_[static_cast<std::size_t>(s)];
+  const SlaveState& sl = state_.slave(s);
   if (sl.blacklisted) return 0;  // fault layer: advertise no capacity
   return sl.free_map_slots;
 }
 
 bool Master::has_unassigned_local(core::JobId id, NodeId s) const {
-  const JobState& j = job(id);
-  if (j.pending_count_by_node[static_cast<std::size_t>(s)] > 0) return true;
+  const JobState& j = state_.job(id);
+  if (j.pending_by_node[static_cast<std::size_t>(s)].live_count() > 0) {
+    return true;
+  }
   return j.pending_by_rack[static_cast<std::size_t>(
-             cfg_.topology.rack_of(s))] > 0;
+             state_.cfg.topology.rack_of(s))] > 0;
 }
 
 bool Master::has_unassigned_remote(core::JobId id, NodeId s) const {
-  const JobState& j = job(id);
+  const JobState& j = state_.job(id);
   return j.pending_nondegraded >
-         j.pending_by_rack[static_cast<std::size_t>(cfg_.topology.rack_of(s))];
+         j.pending_by_rack[static_cast<std::size_t>(
+             state_.cfg.topology.rack_of(s))];
 }
 
 bool Master::has_unassigned_degraded(core::JobId id) const {
-  return job(id).pending_degraded_count > 0;
+  return state_.job(id).pending_degraded.live_count() > 0;
+}
+
+void Master::assign_local(core::JobId id, NodeId s) {
+  map_.assign_local(id, s);
+}
+
+void Master::assign_remote(core::JobId id, NodeId s) {
+  map_.assign_remote(id, s);
+}
+
+void Master::assign_degraded(core::JobId id, NodeId s) {
+  map_.assign_degraded(id, s);
 }
 
 int Master::degraded_affinity(core::JobId id, NodeId s) const {
-  const JobState& j = job(id);
+  const JobState& j = state_.job(id);
   // Front of the pool, skipping entries whose task a repair already
-  // reclassified or re-entered under a newer generation (const path: read
+  // reclassified or re-entered under a newer generation (const path: peek
   // past the stale prefix without popping; assign_degraded trims it).
-  int map_idx = -1;
-  for (const auto& [idx, gen] : j.pending_degraded) {
-    const MapTaskState& t = j.maps[static_cast<std::size_t>(idx)];
-    if (t.in_degraded_pool && t.degraded_pool_gen == gen) {
-      map_idx = idx;
-      break;
-    }
-  }
-  if (map_idx < 0) return 0;
-  const storage::BlockId lost =
-      j.maps[static_cast<std::size_t>(map_idx)].block;
+  const int* front = j.pending_degraded.peek();
+  if (front == nullptr) return 0;
+  const storage::BlockId lost = j.maps[static_cast<std::size_t>(*front)].block;
   int count = 0;
   for (int b = 0; b < j.layout->n(); ++b) {
     if (b == lost.index) continue;
-    const NodeId holder =
-        j.layout->node_of(storage::BlockId{lost.stripe, b});
-    if (holder == s && !failure_.is_failed(holder)) ++count;
+    const NodeId holder = j.layout->node_of(storage::BlockId{lost.stripe, b});
+    if (holder == s && !state_.failure.is_failed(holder)) ++count;
   }
   return count;
 }
 
-long Master::launched_maps(core::JobId id) const { return job(id).m; }
+long Master::launched_maps(core::JobId id) const { return state_.job(id).m; }
 
 long Master::running_maps(core::JobId id) const {
-  const JobState& j = job(id);
+  const JobState& j = state_.job(id);
   return j.m - j.maps_done;
 }
-long Master::total_maps(core::JobId id) const { return job(id).total_m; }
-long Master::launched_degraded(core::JobId id) const { return job(id).md; }
-long Master::total_degraded(core::JobId id) const { return job(id).total_md; }
+long Master::total_maps(core::JobId id) const {
+  return state_.job(id).total_m;
+}
+long Master::launched_degraded(core::JobId id) const {
+  return state_.job(id).md;
+}
+long Master::total_degraded(core::JobId id) const {
+  return state_.job(id).total_md;
+}
 
 util::Seconds Master::local_work_seconds(NodeId s) const {
   double work = 0.0;
-  for (const JobState& j : jobs_) {
+  for (const JobState& j : state_.jobs) {
     if (!j.active || j.finished) continue;
     work += static_cast<double>(
-                j.pending_count_by_node[static_cast<std::size_t>(s)]) *
+                j.pending_by_node[static_cast<std::size_t>(s)].live_count()) *
             j.spec.map_time.mean;
   }
-  return work * cfg_.time_scale(s);
+  return work * state_.cfg.time_scale(s);
 }
 
 util::Seconds Master::mean_local_work_seconds() const {
   double sum = 0.0;
   int alive = 0;
-  for (NodeId n = 0; n < cfg_.topology.num_nodes(); ++n) {
-    if (!slaves_[static_cast<std::size_t>(n)].alive) continue;
+  for (NodeId n = 0; n < state_.cfg.topology.num_nodes(); ++n) {
+    if (!state_.slave(n).alive) continue;
     sum += local_work_seconds(n);
     ++alive;
   }
@@ -463,7 +250,8 @@ util::Seconds Master::mean_local_work_seconds() const {
 }
 
 util::Seconds Master::time_since_last_degraded(RackId r) const {
-  return sim_.now() - last_degraded_assign_[static_cast<std::size_t>(r)];
+  return state_.sim.now() -
+         state_.last_degraded_assign[static_cast<std::size_t>(r)];
 }
 
 util::Seconds Master::mean_time_since_last_degraded() const {
@@ -473,10 +261,10 @@ util::Seconds Master::mean_time_since_last_degraded() const {
   // degraded launches cluster-wide (pathological under rack failures).
   double sum = 0.0;
   int alive_racks = 0;
-  for (RackId r = 0; r < cfg_.topology.num_racks(); ++r) {
+  for (RackId r = 0; r < state_.cfg.topology.num_racks(); ++r) {
     bool alive = false;
-    for (NodeId n : cfg_.topology.nodes_in_rack(r)) {
-      if (slaves_[static_cast<std::size_t>(n)].alive) {
+    for (NodeId n : state_.cfg.topology.nodes_in_rack(r)) {
+      if (state_.slave(n).alive) {
         alive = true;
         break;
       }
@@ -489,940 +277,30 @@ util::Seconds Master::mean_time_since_last_degraded() const {
 }
 
 util::Seconds Master::degraded_read_threshold() const {
-  const util::BytesPerSec w = net_.topology().num_racks() > 1
-                                  ? cfg_.links.rack_down
+  const util::BytesPerSec w = state_.net.topology().num_racks() > 1
+                                  ? state_.cfg.links.rack_down
                                   : util::kUnlimitedBandwidth;
   if (w == util::kUnlimitedBandwidth) return 0.0;
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const JobState& j = jobs_[i];
+  for (std::size_t i = 0; i < state_.jobs.size(); ++i) {
+    const JobState& j = state_.jobs[i];
     if (j.active && j.m < j.total_m) {
-      return j.planner->expected_cross_rack_blocks() * cfg_.block_size / w;
+      return j.planner->expected_cross_rack_blocks() * state_.cfg.block_size /
+             w;
     }
   }
   return 0.0;
 }
 
-RackId Master::rack_of(NodeId s) const { return cfg_.topology.rack_of(s); }
-
-// --- assignment ----------------------------------------------------------------
-
-int Master::pop_pending(JobState& j, NodeId node) {
-  auto& dq = j.pending_by_node[static_cast<std::size_t>(node)];
-  while (!dq.empty()) {
-    const int map_idx = dq.front();
-    dq.pop_front();
-    const MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-    // Stale entries: the task was assigned through another replica's queue,
-    // or this node's copy was lost to a mid-run failure.
-    if (t.assigned) continue;
-    if (std::find(t.locations.begin(), t.locations.end(), node) ==
-        t.locations.end()) {
-      continue;
-    }
-    return map_idx;
-  }
-  return -1;
-}
-
-void Master::retire_pending(JobState& j, int map_idx) {
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  assert(!t.assigned);
-  t.assigned = true;  // queue entries elsewhere become stale
-  for (const NodeId loc : t.locations) {
-    --j.pending_count_by_node[static_cast<std::size_t>(loc)];
-  }
-  for (const RackId rack : t.location_racks) {
-    --j.pending_by_rack[static_cast<std::size_t>(rack)];
-  }
-  --j.pending_nondegraded;
-}
-
-void Master::assign_local(core::JobId id, NodeId s) {
-  JobState& j = job(id);
-  if (j.pending_count_by_node[static_cast<std::size_t>(s)] > 0) {
-    const int map_idx = pop_pending(j, s);
-    assert(map_idx >= 0);
-    retire_pending(j, map_idx);
-    start_map(j, map_idx, s, MapTaskKind::kNodeLocal, s);
-    return;
-  }
-  // Rack-local: steal from the rack-mate with the largest backlog.
-  NodeId best = -1;
-  int best_len = 0;
-  for (NodeId peer : cfg_.topology.nodes_in_rack(cfg_.topology.rack_of(s))) {
-    const int len = j.pending_count_by_node[static_cast<std::size_t>(peer)];
-    if (len > best_len) {
-      best_len = len;
-      best = peer;
-    }
-  }
-  if (best < 0) throw std::logic_error("assign_local without a local task");
-  const int map_idx = pop_pending(j, best);
-  assert(map_idx >= 0);
-  retire_pending(j, map_idx);
-  start_map(j, map_idx, s, MapTaskKind::kRackLocal, best);
-}
-
-void Master::assign_remote(core::JobId id, NodeId s) {
-  JobState& j = job(id);
-  const RackId my_rack = cfg_.topology.rack_of(s);
-  NodeId best = -1;
-  int best_len = 0;
-  for (NodeId peer = 0; peer < cfg_.topology.num_nodes(); ++peer) {
-    if (cfg_.topology.rack_of(peer) == my_rack) continue;
-    const int len = j.pending_count_by_node[static_cast<std::size_t>(peer)];
-    if (len > best_len) {
-      best_len = len;
-      best = peer;
-    }
-  }
-  if (best < 0) throw std::logic_error("assign_remote without a remote task");
-  const int map_idx = pop_pending(j, best);
-  assert(map_idx >= 0);
-  retire_pending(j, map_idx);
-  start_map(j, map_idx, s, MapTaskKind::kRemote, best);
-}
-
-void Master::push_degraded(JobState& j, int map_idx) {
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  assert(!t.in_degraded_pool && "task is already in the degraded pool");
-  t.in_degraded_pool = true;
-  // A fresh generation makes any earlier stale entry for this task dead for
-  // good: a task that left the pool (repair) and re-enters (new failure)
-  // joins at the back, exactly like the old erase-based bookkeeping.
-  ++t.degraded_pool_gen;
-  j.pending_degraded.emplace_back(map_idx, t.degraded_pool_gen);
-  ++j.pending_degraded_count;
-}
-
-void Master::assign_degraded(core::JobId id, NodeId s) {
-  JobState& j = job(id);
-  if (j.pending_degraded_count <= 0) {
-    throw std::logic_error("assign_degraded without a degraded task");
-  }
-  int map_idx = -1;
-  while (!j.pending_degraded.empty()) {
-    const auto [idx, gen] = j.pending_degraded.front();
-    j.pending_degraded.pop_front();
-    const MapTaskState& t = j.maps[static_cast<std::size_t>(idx)];
-    if (t.in_degraded_pool && t.degraded_pool_gen == gen) {
-      map_idx = idx;
-      break;
-    }
-    // Stale entry: the task left the pool via reclassify_after_repair, or
-    // re-entered it later under a newer generation.
-  }
-  if (map_idx < 0) {
-    throw std::logic_error(
-        "assign_degraded: pending_degraded_count says a task exists but the "
-        "pool holds only stale entries");
-  }
-  j.maps[static_cast<std::size_t>(map_idx)].in_degraded_pool = false;
-  --j.pending_degraded_count;
-  j.maps[static_cast<std::size_t>(map_idx)].assigned = true;
-  last_degraded_assign_[static_cast<std::size_t>(cfg_.topology.rack_of(s))] =
-      sim_.now();
-  start_map(j, map_idx, s, MapTaskKind::kDegraded, -1);
-}
-
-// --- map task lifecycle ----------------------------------------------------------
-
-void Master::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
-                       NodeId fetch_source, bool backup) {
-  SlaveState& sl = slave(s);
-  assert(sl.alive && sl.free_map_slots > 0);
-  --sl.free_map_slots;
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  assert(t.assigned);  // callers retire the task from the pending indexes
-
-  MapTaskRecord rec;
-  rec.id = static_cast<TaskId>(result_.map_tasks.size());
-  rec.job = j.spec.id;
-  rec.block = t.block;
-  rec.map_index = map_idx;
-  rec.attempt = t.attempts++;
-  rec.exec_node = s;
-  rec.source_node = fetch_source;
-  rec.kind = kind;
-  rec.assign_time = sim_.now();
-  rec.speculative = backup;
-  const int record_idx = static_cast<int>(result_.map_tasks.size());
-
-  if (!backup) {
-    // Backups are extra attempts: they never advance the pacing counters
-    // (m, m_d), the per-kind task counts, or the first-launch milestone.
-    t.record = record_idx;
-    t.launched_kind = kind;
-    ++j.m;
-    if (kind == MapTaskKind::kDegraded) ++j.md;
-    if (j.metrics.first_map_launch < 0.0) {
-      j.metrics.first_map_launch = sim_.now();
-    }
-    switch (kind) {
-      case MapTaskKind::kNodeLocal:
-      case MapTaskKind::kRackLocal:
-        ++j.metrics.local_tasks;
-        break;
-      case MapTaskKind::kRemote:
-        ++j.metrics.remote_tasks;
-        break;
-      case MapTaskKind::kDegraded:
-        ++j.metrics.degraded_tasks;
-        break;
-    }
-  }
-
-  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  // Register the live attempt. Pure bookkeeping (no events, no RNG), so it
-  // is maintained whether or not the fault layer is on; every lifecycle
-  // callback looks the attempt up first and no-ops once it is finalized.
-  MapAttempt attempt;
-  attempt.job = job_id;
-  attempt.map_idx = map_idx;
-  attempt.backup = backup;
-  MapAttempt& reg = map_attempts_.emplace(record_idx, std::move(attempt))
-                        .first->second;
-
-  if (kind == MapTaskKind::kDegraded) {
-    auto sources = j.planner->plan(t.block, s, failure_, j.rng);
-    if (!sources) {
-      rec.unrecoverable = true;
-      rec.fetch_done_time = sim_.now();
-      rec.finish_time = sim_.now();
-      result_.map_tasks.push_back(std::move(rec));
-      result_.data_loss = true;
-      // Count it done so the job can still terminate.
-      sim_.schedule_in(0.0, [this, job_id, record_idx, map_idx] {
-        on_map_complete(job_id, record_idx, map_idx);
-      });
-      return;
-    }
-    rec.sources = *sources;
-    result_.map_tasks.push_back(std::move(rec));
-    // Fetch all source blocks in parallel; input ready when the last lands.
-    auto remaining = std::make_shared<int>(
-        static_cast<int>(result_.map_tasks[static_cast<std::size_t>(record_idx)]
-                             .sources.size()));
-    for (const auto& src :
-         result_.map_tasks[static_cast<std::size_t>(record_idx)].sources) {
-      const net::FlowId flow = net_.transfer(
-          src.node, s, cfg_.block_size,
-          [this, job_id, record_idx, map_idx, remaining] {
-            if (--*remaining == 0) {
-              on_map_input_ready(job_id, record_idx, map_idx);
-            }
-          });
-      reg.flows.push_back(flow);
-    }
-    return;
-  }
-
-  result_.map_tasks.push_back(std::move(rec));
-  if (kind == MapTaskKind::kNodeLocal) {
-    on_map_input_ready(job_id, record_idx, map_idx);
-  } else {
-    // Rack-local and remote tasks download the input block (or a replica)
-    // from the location the assignment chose.
-    assert(fetch_source >= 0);
-    const net::FlowId flow = net_.transfer(
-        fetch_source, s, cfg_.block_size,
-        [this, job_id, record_idx, map_idx] {
-          on_map_input_ready(job_id, record_idx, map_idx);
-        });
-    reg.flows.push_back(flow);
-  }
-}
-
-void Master::on_map_input_ready(core::JobId job_id, int record_idx,
-                                int map_idx) {
-  const auto reg = map_attempts_.find(record_idx);
-  if (reg == map_attempts_.end() || reg->second.doomed) {
-    // The attempt was killed (or its node compute-failed) while the input
-    // was in flight; an uncancellable zero-time flow delivered anyway.
-    return;
-  }
-  reg->second.flows.clear();  // fetches landed; nothing left to cancel
-  JobState& j = job(job_id);
-  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
-  rec.fetch_done_time = sim_.now();
-  if (j.maps[static_cast<std::size_t>(map_idx)].done) {
-    // Another attempt won while this one was still fetching; release the
-    // slot without burning processing time (the kill a TaskTracker applies).
-    rec.finish_time = sim_.now();
-    rec.winner = false;
-    rec.outcome = AttemptOutcome::kLostRace;
-    ++slave(rec.exec_node).free_map_slots;
-    map_attempts_.erase(record_idx);
-    return;
-  }
-  util::Seconds duration =
-      j.rng.normal(j.spec.map_time.mean, j.spec.map_time.stddev) *
-      cfg_.time_scale(rec.exec_node);
-  if (rec.kind == MapTaskKind::kDegraded) duration += cfg_.decode_overhead;
-  if (cfg_.fault.injection_enabled() && cfg_.fault.node_flaky(rec.exec_node) &&
-      j.rng.uniform(0.0, 1.0) < cfg_.fault.attempt_failure_prob) {
-    // Transient crash partway through processing.
-    const double frac = j.rng.uniform(0.0, 1.0);
-    sim_.schedule_in(duration * frac, [this, job_id, record_idx, map_idx] {
-      on_map_attempt_failed(job_id, record_idx, map_idx);
-    });
-    return;
-  }
-  sim_.schedule_in(duration, [this, job_id, record_idx, map_idx] {
-    on_map_complete(job_id, record_idx, map_idx);
-  });
-}
-
-void Master::on_map_complete(core::JobId job_id, int record_idx,
-                             int map_idx) {
-  const auto reg = map_attempts_.find(record_idx);
-  if (reg == map_attempts_.end() || reg->second.doomed) {
-    // Finalized (killed / failed) before this completion event fired.
-    return;
-  }
-  map_attempts_.erase(reg);
-  JobState& j = job(job_id);
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
-  if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
-  ++slave(rec.exec_node).free_map_slots;
-  if (t.done) {
-    // A speculative race already produced this task's output; this attempt
-    // merely releases its slot.
-    rec.winner = false;
-    rec.outcome = AttemptOutcome::kLostRace;
-    return;
-  }
-  t.done = true;
-  ++j.maps_done;
-  j.completed_map_runtime_sum += rec.runtime();
-  j.completed_map_records.push_back(record_idx);
-  if (hooks.on_map_finish && !rec.unrecoverable) hooks.on_map_finish(rec);
-
-  // Shuffle: push this map's partition to every already-assigned reducer
-  // (skipping doomed attempts and partitions a reducer already holds from a
-  // previous incarnation of this map task).
-  for (int r = 0; r < j.spec.num_reducers; ++r) {
-    ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
-    if (!rt.assigned || rt.doomed) continue;
-    if (!rt.fetched.empty() && rt.fetched[static_cast<std::size_t>(map_idx)]) {
-      continue;
-    }
-    start_partition_fetch(j, r, record_idx);
-  }
-  if (j.maps_done == j.total_m) {
-    j.metrics.map_phase_end = sim_.now();
-    // A re-executed map (lost-output recovery) can be the last barrier both
-    // for reducers that were already fully fetched and for the job itself.
-    for (int r = 0; r < j.spec.num_reducers; ++r) {
-      ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
-      if (rt.assigned && !rt.doomed && !rt.processing &&
-          rt.partitions_fetched == j.total_m) {
-        maybe_start_reduce_processing(j, r);
-      }
-    }
-    maybe_finish_job(j);
-  }
-}
-
-void Master::try_speculate(NodeId s) {
-  SlaveState& sl = slave(s);
-  if (sl.blacklisted) return;
-  for (std::size_t ji = 0; ji < jobs_.size() && sl.free_map_slots > 0; ++ji) {
-    JobState& j = jobs_[ji];
-    if (!j.active || j.finished) continue;
-    if (j.m < j.total_m) continue;  // unassigned work takes precedence
-    if (j.maps_done >= j.total_m) continue;
-    if (static_cast<double>(j.maps_done) <
-        cfg_.speculation_min_completed_fraction * j.total_m) {
-      continue;
-    }
-    const double mean_runtime =
-        j.completed_map_runtime_sum / static_cast<double>(j.maps_done);
-    // Back up the longest-running attempt that is sufficiently overdue.
-    int candidate = -1;
-    double worst_elapsed = cfg_.speculation_slowdown * mean_runtime;
-    for (std::size_t i = 0; i < j.maps.size(); ++i) {
-      const MapTaskState& t = j.maps[i];
-      if (!t.assigned || t.done || t.has_backup) continue;
-      const auto& rec = result_.map_tasks[static_cast<std::size_t>(t.record)];
-      if (rec.exec_node == s) continue;  // back up on a *different* node
-      const double elapsed = sim_.now() - rec.assign_time;
-      if (elapsed > worst_elapsed) {
-        worst_elapsed = elapsed;
-        candidate = static_cast<int>(i);
-      }
-    }
-    if (candidate < 0) continue;
-    MapTaskState& t = j.maps[static_cast<std::size_t>(candidate)];
-    t.has_backup = true;
-    MapTaskKind kind;
-    NodeId source = -1;
-    if (t.lost) {
-      kind = MapTaskKind::kDegraded;
-    } else if (std::find(t.locations.begin(), t.locations.end(), s) !=
-               t.locations.end()) {
-      kind = MapTaskKind::kNodeLocal;
-      source = s;
-    } else {
-      source = t.locations.front();
-      for (const NodeId loc : t.locations) {
-        if (cfg_.topology.same_rack(loc, s)) {
-          source = loc;
-          break;
-        }
-      }
-      kind = cfg_.topology.same_rack(source, s) ? MapTaskKind::kRackLocal
-                                                : MapTaskKind::kRemote;
-    }
-    start_map(j, candidate, s, kind, source, /*backup=*/true);
-  }
-}
-
-// --- reduce task lifecycle --------------------------------------------------------
-
-void Master::assign_reduce_tasks(NodeId s) {
-  SlaveState& sl = slave(s);
-  if (sl.blacklisted) return;
-  for (std::size_t i = 0; i < jobs_.size() && sl.free_reduce_slots > 0; ++i) {
-    JobState& j = jobs_[i];
-    if (!j.active || j.finished) continue;
-    while (sl.free_reduce_slots > 0 &&
-           j.reduces_assigned < j.spec.num_reducers) {
-      // First unassigned reduce task. Without failures tasks are assigned in
-      // index order, so this is the scan-free `reduces_assigned` of old; a
-      // reset task (its node died) reopens a hole the scan finds first.
-      int r = -1;
-      for (int cand = 0; cand < j.spec.num_reducers; ++cand) {
-        if (!j.reduces[static_cast<std::size_t>(cand)].assigned) {
-          r = cand;
-          break;
-        }
-      }
-      assert(r >= 0);  // reduces_assigned < num_reducers guarantees a hole
-      ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(r)];
-      rt.assigned = true;
-      rt.node = s;
-      rt.doomed = false;
-      ++j.reduces_assigned;
-      --sl.free_reduce_slots;
-
-      ReduceTaskRecord rec;
-      rec.id = static_cast<TaskId>(result_.reduce_tasks.size());
-      rec.job = j.spec.id;
-      rec.attempt = rt.attempts++;
-      rec.exec_node = s;
-      rec.assign_time = sim_.now();
-      rt.record = static_cast<int>(result_.reduce_tasks.size());
-      result_.reduce_tasks.push_back(rec);
-      rt.fetched.assign(static_cast<std::size_t>(j.total_m), 0);
-      rt.partitions_fetched = 0;
-
-      // Pull the partitions of every map that has already finished.
-      for (const int map_record : j.completed_map_records) {
-        start_partition_fetch(j, r, map_record);
-      }
-    }
-  }
-}
-
-util::Bytes Master::partition_bytes(const JobState& j) const {
-  if (j.spec.num_reducers == 0) return 0.0;
-  return cfg_.block_size * j.spec.shuffle_ratio /
-         static_cast<double>(j.spec.num_reducers);
-}
-
-void Master::start_partition_fetch(JobState& j, int reduce_idx,
-                                   int map_record_idx) {
-  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  const MapTaskRecord& map_rec =
-      result_.map_tasks[static_cast<std::size_t>(map_record_idx)];
-  const NodeId src = map_rec.exec_node;
-  const int map_idx = map_rec.map_index;
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  const NodeId dst = rt.node;
-  const int epoch = rt.epoch;
-  const net::FlowId flow = net_.transfer(
-      src, dst, partition_bytes(j), [this, job_id, reduce_idx, map_idx, epoch] {
-        on_partition_fetched(job_id, reduce_idx, map_idx, epoch);
-      });
-  rt.inflight.push_back(InflightFetch{flow, map_idx, src});
-}
-
-void Master::on_partition_fetched(core::JobId job_id, int reduce_idx,
-                                  int map_idx, int epoch) {
-  JobState& j = job(job_id);
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  if (rt.epoch != epoch || rt.doomed) return;  // attempt was torn down
-  for (auto it = rt.inflight.begin(); it != rt.inflight.end(); ++it) {
-    if (it->map_idx == map_idx) {
-      rt.inflight.erase(it);
-      break;
-    }
-  }
-  if (rt.fetched[static_cast<std::size_t>(map_idx)]) return;
-  rt.fetched[static_cast<std::size_t>(map_idx)] = 1;
-  ++rt.partitions_fetched;
-  if (rt.partitions_fetched == j.total_m) {
-    result_.reduce_tasks[static_cast<std::size_t>(rt.record)]
-        .shuffle_done_time = sim_.now();
-    maybe_start_reduce_processing(j, reduce_idx);
-  }
-}
-
-void Master::maybe_start_reduce_processing(JobState& j, int reduce_idx) {
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  if (rt.processing || rt.doomed || rt.partitions_fetched != j.total_m ||
-      j.maps_done != j.total_m) {
-    return;
-  }
-  rt.processing = true;
-  ReduceTaskRecord& rec =
-      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
-  rec.process_start_time = sim_.now();
-  const util::Seconds duration =
-      j.rng.normal(j.spec.reduce_time.mean, j.spec.reduce_time.stddev) *
-      cfg_.time_scale(rt.node);
-  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  const int epoch = rt.epoch;
-  if (cfg_.fault.injection_enabled() && cfg_.fault.node_flaky(rt.node) &&
-      j.rng.uniform(0.0, 1.0) < cfg_.fault.attempt_failure_prob) {
-    const double frac = j.rng.uniform(0.0, 1.0);
-    sim_.schedule_in(duration * frac, [this, job_id, reduce_idx, epoch] {
-      on_reduce_attempt_failed(job_id, reduce_idx, epoch);
-    });
-    return;
-  }
-  sim_.schedule_in(duration, [this, job_id, reduce_idx, epoch] {
-    on_reduce_complete(job_id, reduce_idx, epoch);
-  });
-}
-
-void Master::on_reduce_complete(core::JobId job_id, int reduce_idx, int epoch) {
-  JobState& j = job(job_id);
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  if (rt.epoch != epoch || rt.doomed) return;  // attempt was torn down
-  ReduceTaskRecord& rec =
-      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
-  rec.finish_time = sim_.now();
-  ++slave(rt.node).free_reduce_slots;
-  ++j.reduces_done;
-  if (hooks.on_reduce_finish) hooks.on_reduce_finish(rec);
-  maybe_finish_job(j);
-}
-
-// --- fault layer ---------------------------------------------------------------
-
-std::vector<int> Master::sorted_attempt_records() const {
-  // The registry is an unordered_map; every kill/replan sweep walks a sorted
-  // key snapshot so same-seed runs process attempts in the same order.
-  std::vector<int> keys;
-  keys.reserve(map_attempts_.size());
-  for (const auto& [record_idx, a] : map_attempts_) keys.push_back(record_idx);
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
-int Master::find_running_attempt(core::JobId job_id, int map_idx) const {
-  for (const int record_idx : sorted_attempt_records()) {
-    const MapAttempt& a = map_attempts_.at(record_idx);
-    if (a.job == job_id && a.map_idx == map_idx && !a.doomed) {
-      return record_idx;
-    }
-  }
-  return -1;
-}
-
-void Master::unlaunch_map(JobState& j, MapTaskState& t) {
-  --j.m;
-  if (t.launched_kind == MapTaskKind::kDegraded) --j.md;
-}
-
-void Master::requeue_map_task(JobState& j, int map_idx) {
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  const bool was_degraded = t.launched_kind == MapTaskKind::kDegraded;
-  t.assigned = false;
-  t.has_backup = false;
-  t.record = -1;
-  if (t.locations.empty()) {
-    // No readable copy anymore: the task re-enters as degraded. It joins
-    // M_d unless its launch already counted there.
-    t.lost = true;
-    if (!was_degraded) ++j.total_md;
-    push_degraded(j, map_idx);
-    return;
-  }
-  // A readable copy exists (possibly repaired while the attempt ran): the
-  // task re-enters the per-node pools. If it launched as degraded it leaves
-  // the M_d population.
-  if (was_degraded) --j.total_md;
-  t.lost = false;
-  // The rack list goes stale for assigned tasks (reclassify_after_failure
-  // skips them before rack maintenance); rebuild it from the live locations.
-  t.location_racks.clear();
-  for (const NodeId loc : t.locations) {
-    j.pending_by_node[static_cast<std::size_t>(loc)].push_back(map_idx);
-    ++j.pending_count_by_node[static_cast<std::size_t>(loc)];
-    const RackId rack = cfg_.topology.rack_of(loc);
-    if (std::find(t.location_racks.begin(), t.location_racks.end(), rack) ==
-        t.location_racks.end()) {
-      t.location_racks.push_back(rack);
-      ++j.pending_by_rack[static_cast<std::size_t>(rack)];
-    }
-  }
-  ++j.pending_nondegraded;
-}
-
-void Master::revert_completed_map(JobState& j, int map_idx, int record_idx) {
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
-  rec.output_lost = true;
-  t.done = false;
-  --j.maps_done;
-  j.completed_map_runtime_sum -= rec.runtime();
-  const auto it = std::find(j.completed_map_records.begin(),
-                            j.completed_map_records.end(), record_idx);
-  if (it != j.completed_map_records.end()) j.completed_map_records.erase(it);
-  j.metrics.map_phase_end = -1.0;  // the map phase reopened
-  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  const int runner = find_running_attempt(job_id, map_idx);
-  if (runner >= 0) {
-    // A speculative copy is still running elsewhere: promote it to primary.
-    // The task stays assigned and the pacing counters keep the original
-    // launch, so nothing to reverse.
-    t.record = runner;
-    t.has_backup = false;
-    map_attempts_.at(runner).backup = false;
-    return;
-  }
-  unlaunch_map(j, t);
-  requeue_map_task(j, map_idx);
-}
-
-void Master::declare_slave_dead(NodeId node) {
-  SlaveState& s = slave(node);
-  DetectionRecord det;
-  det.node = node;
-  det.fail_time = s.compute_fail_time;
-  det.detect_time = sim_.now();
-  result_.detections.push_back(det);
-  s.alive = false;  // may already be false (storage failed alongside)
-  reap_dead_node(node);
-  // The dead TaskTracker's slot ledger is void; a repaired node restarts
-  // with a full complement.
-  s.free_map_slots = cfg_.map_slots_per_node;
-  s.free_reduce_slots = cfg_.reduce_slots_per_node;
-}
-
-void Master::reap_dead_node(NodeId node) {
-  // (1) Finalize the doomed map attempts on the node; requeue their tasks
-  // or promote a surviving speculative copy.
-  for (const int record_idx : sorted_attempt_records()) {
-    const auto it = map_attempts_.find(record_idx);
-    if (it == map_attempts_.end()) continue;
-    MapTaskRecord& rec =
-        result_.map_tasks[static_cast<std::size_t>(record_idx)];
-    if (rec.exec_node != node || !it->second.doomed) continue;
-    const core::JobId job_id = it->second.job;
-    const int map_idx = it->second.map_idx;
-    const bool backup = it->second.backup;
-    if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
-    rec.winner = false;
-    rec.outcome = AttemptOutcome::kKilled;
-    map_attempts_.erase(it);
-    JobState& j = job(job_id);
-    if (j.finished) continue;
-    MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-    if (t.done || backup) {
-      // Losers and backups leave the task itself untouched.
-      if (backup) t.has_backup = false;
-      continue;
-    }
-    const int runner = find_running_attempt(job_id, map_idx);
-    if (runner >= 0) {
-      t.record = runner;
-      t.has_backup = false;
-      map_attempts_.at(runner).backup = false;
-      continue;
-    }
-    unlaunch_map(j, t);
-    requeue_map_task(j, map_idx);
-  }
-
-  // (2) Kill the reduce attempts that were running on the node.
-  for (JobState& j : jobs_) {
-    if (!j.active || j.finished) continue;
-    for (std::size_t r = 0; r < j.reduces.size(); ++r) {
-      ReduceTaskState& rt = j.reduces[r];
-      if (!rt.assigned || rt.node != node) continue;
-      ReduceTaskRecord& rec =
-          result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
-      if (rec.finish_time >= 0.0) continue;  // finished before the death
-      rec.finish_time = sim_.now();
-      rec.outcome = AttemptOutcome::kKilled;
-      reset_reduce_attempt(j, static_cast<int>(r));
-    }
-  }
-
-  // (3) Lost-map-output re-execution: completed maps of unfinished jobs ran
-  // on the dead node and their shuffle outputs died with it. Re-execute the
-  // ones some reducer still needs.
-  for (JobState& j : jobs_) {
-    if (!j.active || j.finished) continue;
-    if (j.spec.num_reducers == 0) continue;
-    const std::vector<int> completed = j.completed_map_records;  // snapshot
-    for (const int record_idx : completed) {
-      const MapTaskRecord& rec =
-          result_.map_tasks[static_cast<std::size_t>(record_idx)];
-      if (rec.exec_node != node || rec.output_lost) continue;
-      bool needed = false;
-      for (const ReduceTaskState& rt : j.reduces) {
-        if (rt.processing) continue;  // already pulled everything it needs
-        if (!rt.assigned || rt.doomed ||
-            !rt.fetched[static_cast<std::size_t>(rec.map_index)]) {
-          needed = true;
-          break;
-        }
-      }
-      if (needed) revert_completed_map(j, rec.map_index, record_idx);
-    }
-  }
-}
-
-void Master::on_map_attempt_failed(core::JobId job_id, int record_idx,
-                                   int map_idx) {
-  const auto it = map_attempts_.find(record_idx);
-  if (it == map_attempts_.end() || it->second.doomed) return;
-  const bool backup = it->second.backup;
-  map_attempts_.erase(it);
-  JobState& j = job(job_id);
-  MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-  MapTaskRecord& rec = result_.map_tasks[static_cast<std::size_t>(record_idx)];
-  rec.finish_time = sim_.now();
-  rec.winner = false;
-  rec.outcome = AttemptOutcome::kFailed;
-  ++slave(rec.exec_node).free_map_slots;
-  note_attempt_failure(rec.exec_node);
-  if (t.done) return;  // a winner already exists; the crash is moot
-  if (backup) {
-    t.has_backup = false;  // speculation may retry later
-    return;
-  }
-  ++t.failures;
-  if (t.failures >= cfg_.fault.max_attempts) {
-    abort_job(j);
-    return;
-  }
-  // The task sits out an exponential backoff before re-entering the pending
-  // pools; it stays `assigned` meanwhile so nothing double-launches it.
-  unlaunch_map(j, t);
-  const util::Seconds backoff =
-      cfg_.fault.retry_backoff * std::pow(2.0, t.failures - 1);
-  sim_.schedule_in(backoff, [this, job_id, map_idx] {
-    JobState& j2 = job(job_id);
-    if (j2.finished) return;
-    MapTaskState& t2 = j2.maps[static_cast<std::size_t>(map_idx)];
-    if (t2.done || !t2.assigned) return;
-    if (find_running_attempt(job_id, map_idx) >= 0) return;
-    requeue_map_task(j2, map_idx);
-  });
-}
-
-void Master::on_reduce_attempt_failed(core::JobId job_id, int reduce_idx,
-                                      int epoch) {
-  JobState& j = job(job_id);
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  if (rt.epoch != epoch || rt.doomed) return;
-  ReduceTaskRecord& rec =
-      result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
-  rec.finish_time = sim_.now();
-  rec.outcome = AttemptOutcome::kFailed;
-  ++slave(rt.node).free_reduce_slots;
-  note_attempt_failure(rt.node);
-  for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
-  rt.inflight.clear();
-  ++rt.failures;
-  if (rt.failures >= cfg_.fault.max_attempts) {
-    abort_job(j);
-    return;
-  }
-  ++rt.epoch;  // neutralizes any stale events of the dead attempt
-  rt.processing = false;
-  const int armed_epoch = rt.epoch;
-  const util::Seconds backoff =
-      cfg_.fault.retry_backoff * std::pow(2.0, rt.failures - 1);
-  // `assigned` stays true through the backoff so the task is not handed out
-  // again before it elapses.
-  sim_.schedule_in(backoff, [this, job_id, reduce_idx, armed_epoch] {
-    JobState& j2 = job(job_id);
-    ReduceTaskState& rt2 = j2.reduces[static_cast<std::size_t>(reduce_idx)];
-    if (j2.finished || rt2.epoch != armed_epoch || rt2.doomed ||
-        !rt2.assigned) {
-      return;
-    }
-    reset_reduce_attempt(j2, reduce_idx);
-  });
-}
-
-void Master::reset_reduce_attempt(JobState& j, int reduce_idx) {
-  ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
-  ++rt.epoch;
-  rt.doomed = false;
-  rt.assigned = false;
-  rt.node = -1;
-  rt.partitions_fetched = 0;
-  rt.fetched.clear();
-  rt.processing = false;
-  rt.record = -1;
-  for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
-  rt.inflight.clear();
-  --j.reduces_assigned;
-}
-
-void Master::abort_job(JobState& j) {
-  const core::JobId job_id = static_cast<core::JobId>(&j - jobs_.data());
-  for (const int record_idx : sorted_attempt_records()) {
-    const auto it = map_attempts_.find(record_idx);
-    if (it == map_attempts_.end() || it->second.job != job_id) continue;
-    MapTaskRecord& rec =
-        result_.map_tasks[static_cast<std::size_t>(record_idx)];
-    if (rec.finish_time < 0.0) rec.finish_time = sim_.now();
-    rec.winner = false;
-    rec.outcome = AttemptOutcome::kKilled;
-    // Doomed attempts sit on a dead node whose slot ledger is void.
-    if (!it->second.doomed) ++slave(rec.exec_node).free_map_slots;
-    for (const net::FlowId f : it->second.flows) net_.cancel(f);
-    map_attempts_.erase(it);
-  }
-  for (std::size_t r = 0; r < j.reduces.size(); ++r) {
-    ReduceTaskState& rt = j.reduces[r];
-    if (!rt.assigned) continue;
-    ReduceTaskRecord& rec =
-        result_.reduce_tasks[static_cast<std::size_t>(rt.record)];
-    if (rec.finish_time >= 0.0) continue;
-    rec.finish_time = sim_.now();
-    rec.outcome = AttemptOutcome::kKilled;
-    ++rt.epoch;  // neutralizes pending completion / fetch events
-    for (const InflightFetch& f : rt.inflight) net_.cancel(f.flow);
-    rt.inflight.clear();
-    if (!rt.doomed) ++slave(rt.node).free_reduce_slots;
-  }
-  // The job leaves the FIFO queue as failed; no completion hook fires.
-  j.finished = true;
-  j.metrics.failed = true;
-  j.metrics.finish_time = sim_.now();
-  ++jobs_done_;
-}
-
-void Master::note_attempt_failure(NodeId node) {
-  if (cfg_.fault.blacklist_threshold <= 0) return;
-  SlaveState& s = slave(node);
-  if (!s.alive || !s.heartbeating || s.blacklisted) return;
-  if (++s.recent_failures < cfg_.fault.blacklist_threshold) return;
-  s.blacklisted = true;
-  ++result_.blacklist_events;
-  const int inc = s.incarnation;
-  sim_.schedule_in(cfg_.fault.blacklist_duration, [this, node, inc] {
-    SlaveState& sl = slave(node);
-    if (sl.incarnation != inc || !sl.blacklisted) return;
-    sl.blacklisted = false;
-    sl.recent_failures = 0;
-  });
-}
-
-void Master::replan_inflight_reads(NodeId node) {
-  for (const int record_idx : sorted_attempt_records()) {
-    const auto it = map_attempts_.find(record_idx);
-    if (it == map_attempts_.end()) continue;
-    MapAttempt& a = it->second;
-    if (a.doomed) continue;
-    MapTaskRecord& rec =
-        result_.map_tasks[static_cast<std::size_t>(record_idx)];
-    if (rec.exec_node == node) continue;  // the compute-death path owns it
-    if (a.flows.empty()) continue;        // input already landed
-    const core::JobId job_id = a.job;
-    const int map_idx = a.map_idx;
-    JobState& j = job(job_id);
-    MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
-    if (rec.kind == MapTaskKind::kDegraded) {
-      bool uses_node = false;
-      for (const auto& src : rec.sources) {
-        if (src.node == node) {
-          uses_node = true;
-          break;
-        }
-      }
-      if (!uses_node) continue;
-      // Re-plan the degraded read from the surviving stripe blocks and
-      // restart the whole fetch (partially-arrived shares of a different
-      // source set do not compose).
-      for (const net::FlowId f : a.flows) net_.cancel(f);
-      a.flows.clear();
-      auto sources = j.planner->plan(t.block, rec.exec_node, failure_, j.rng);
-      if (!sources) {
-        rec.unrecoverable = true;
-        rec.fetch_done_time = sim_.now();
-        rec.finish_time = sim_.now();
-        result_.data_loss = true;
-        sim_.schedule_in(0.0, [this, job_id, record_idx, map_idx] {
-          on_map_complete(job_id, record_idx, map_idx);
-        });
-        continue;
-      }
-      rec.sources = *sources;
-      auto remaining = std::make_shared<int>(
-          static_cast<int>(rec.sources.size()));
-      for (const auto& src : rec.sources) {
-        const net::FlowId flow = net_.transfer(
-            src.node, rec.exec_node, cfg_.block_size,
-            [this, job_id, record_idx, map_idx, remaining] {
-              if (--*remaining == 0) {
-                on_map_input_ready(job_id, record_idx, map_idx);
-              }
-            });
-        a.flows.push_back(flow);
-      }
-      continue;
-    }
-    // Rack-local / remote input fetch from the dead node: the attempt is
-    // killed and its task requeued immediately (no transient-failure charge
-    // — nothing is wrong with the executing slave).
-    if (rec.source_node != node) continue;
-    for (const net::FlowId f : a.flows) net_.cancel(f);
-    a.flows.clear();
-    const bool backup = a.backup;
-    rec.finish_time = sim_.now();
-    rec.winner = false;
-    rec.outcome = AttemptOutcome::kKilled;
-    ++slave(rec.exec_node).free_map_slots;
-    map_attempts_.erase(it);
-    if (j.finished) continue;
-    if (t.done || backup) {
-      if (backup) t.has_backup = false;
-      continue;
-    }
-    unlaunch_map(j, t);
-    requeue_map_task(j, map_idx);
-  }
-}
-
-void Master::maybe_finish_job(JobState& j) {
-  if (j.finished || j.maps_done != j.total_m ||
-      j.reduces_done != j.spec.num_reducers) {
-    return;
-  }
-  j.finished = true;
-  j.metrics.finish_time = sim_.now();
-  ++jobs_done_;
-  if (hooks.on_job_finish) hooks.on_job_finish(j.metrics);
+RackId Master::rack_of(NodeId s) const {
+  return state_.cfg.topology.rack_of(s);
 }
 
 RunResult Master::take_result() {
-  result_.jobs.clear();
-  result_.jobs.reserve(jobs_.size());
-  for (const JobState& j : jobs_) result_.jobs.push_back(j.metrics);
-  result_.makespan = sim_.now();
-  return std::move(result_);
+  state_.result.jobs.clear();
+  state_.result.jobs.reserve(state_.jobs.size());
+  for (const JobState& j : state_.jobs) state_.result.jobs.push_back(j.metrics);
+  state_.result.makespan = state_.sim.now();
+  return std::move(state_.result);
 }
 
 }  // namespace dfs::mapreduce

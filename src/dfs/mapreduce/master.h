@@ -1,38 +1,26 @@
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <memory>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "dfs/core/scheduler.h"
-#include "dfs/mapreduce/config.h"
-#include "dfs/mapreduce/metrics.h"
-#include "dfs/net/network.h"
-#include "dfs/sim/simulator.h"
-#include "dfs/storage/degraded.h"
-#include "dfs/storage/failure.h"
-#include "dfs/util/rng.h"
+#include "dfs/mapreduce/fault_supervisor.h"
+#include "dfs/mapreduce/map_phase.h"
+#include "dfs/mapreduce/master_state.h"
+#include "dfs/mapreduce/shuffle_phase.h"
 
 namespace dfs::mapreduce {
 
-/// Optional callbacks fired at simulated task boundaries; the functional
-/// engine (dfs::engine) uses them to run real map/reduce work — including
-/// real erasure-decode for degraded tasks — at the times the simulator says
-/// those tasks execute.
-struct TaskHooks {
-  std::function<void(const MapTaskRecord&)> on_map_finish;
-  std::function<void(const ReduceTaskRecord&)> on_reduce_finish;
-  std::function<void(const JobMetrics&)> on_job_finish;
-};
-
-/// The MapReduce master (Hadoop's JobTracker): maintains the FIFO job queue,
-/// answers slave heartbeats by delegating map-task choice to the pluggable
-/// Scheduler (Algorithms 1-3 live in dfs::core), assigns reduce tasks, and
-/// drives task execution — input fetches and shuffle transfers through the
-/// flow-level network, processing through the event queue.
+/// The MapReduce master (Hadoop's JobTracker), reduced to the heartbeat
+/// loop, job admission/FIFO, and the `core::SchedulerContext` facade. The
+/// actual task lifecycles live in three phase engines composed over one
+/// shared MasterState store:
+///
+/// - MapPhase — pending-task indexes, classification, launch/unlaunch
+///   pacing accounting, speculation (the paper's Algorithms 1-3 mutate it
+///   through the SchedulerContext assign_* calls);
+/// - ShufflePhase — reduce assignment, partition fetches, processing;
+/// - FaultSupervisor — heartbeat expiry, reaping, requeue, blacklist,
+///   job abort, in-flight read re-planning.
 class Master final : public core::SchedulerContext {
  public:
   Master(sim::Simulator& simulator, net::Network& network,
@@ -52,14 +40,14 @@ class Master final : public core::SchedulerContext {
   /// Start the per-slave heartbeat loops. Call once, before Simulator::run.
   void start();
 
-  /// Online mode: heartbeats keep running (and submit() stays legal) after
-  /// the current jobs drain, until finish_admission() is called. Call before
-  /// start().
-  void set_online(bool online) { admission_closed_ = !online; }
+  /// Online mode: while admission is open, heartbeats keep running (and
+  /// submit() stays legal) after the current jobs drain. Call before
+  /// start(); snapshot runs leave admission closed.
+  void set_admission_open(bool open) { admission_open_ = open; }
 
   /// No further submissions will arrive; heartbeat loops stop once the
   /// remaining jobs drain.
-  void finish_admission() { admission_closed_ = true; }
+  void finish_admission() { admission_open_ = false; }
 
   /// A node's storage and task slots went away (cluster lifecycle event).
   /// Pending map tasks whose last readable copy was on `node` become
@@ -83,13 +71,13 @@ class Master final : public core::SchedulerContext {
   /// locality.
   void on_node_repaired(NodeId node);
 
-  bool all_jobs_done() const { return jobs_done_ == jobs_.size(); }
-  std::size_t jobs_submitted() const { return jobs_.size(); }
-  std::size_t jobs_completed() const { return jobs_done_; }
+  bool all_jobs_done() const { return state_.jobs_done == state_.jobs.size(); }
+  std::size_t jobs_submitted() const { return state_.jobs.size(); }
+  std::size_t jobs_completed() const { return state_.jobs_done; }
 
   /// Fault layer: is the slave currently blacklisted (advertises no slots)?
   bool blacklisted(NodeId node) const {
-    return slaves_[static_cast<std::size_t>(node)].blacklisted;
+    return state_.slave(node).blacklisted;
   }
 
   /// Collect the result after the simulation has drained.
@@ -121,221 +109,23 @@ class Master final : public core::SchedulerContext {
   RackId rack_of(NodeId slave) const override;
 
  private:
-  struct MapTaskState {
-    storage::BlockId block{};
-    NodeId home = -1;  ///< node storing the native block (may be failed)
-    bool lost = false;
-    bool assigned = false;
-    /// Membership flag for JobState::pending_degraded: O(1) to test and to
-    /// clear. Cleared entries stay in the deque as stale and are skipped
-    /// lazily on pop (same scheme as pending_by_node).
-    bool in_degraded_pool = false;
-    /// Bumped on every pool push; a deque entry is live only when its
-    /// recorded generation matches. Without it, a task that left the pool
-    /// (repair) and re-entered (new failure) would revive its old stale
-    /// entry and jump the queue instead of re-joining at the back.
-    unsigned degraded_pool_gen = 0;
-    bool done = false;        ///< some attempt has completed
-    bool has_backup = false;  ///< a speculative copy was launched
-    int record = -1;  ///< index into result_.map_tasks of the first attempt
-    int attempts = 0;  ///< attempts launched (fault layer; backups excluded)
-    int failures = 0;  ///< transient attempt failures so far
-    /// Kind the current non-backup attempt launched as; all pacing-counter
-    /// (m/m_d) unlaunch accounting uses this, so a task whose classification
-    /// drifts while running (e.g. its copy fails mid-attempt) still reverses
-    /// exactly what its launch added.
-    MapTaskKind launched_kind = MapTaskKind::kNodeLocal;
-    /// Surviving nodes a readable copy of the input can be fetched from.
-    /// One entry (the native home) for k > 1 codes; every surviving shard
-    /// holder for k == 1 (replication) layouts, where any copy serves.
-    std::vector<NodeId> locations;
-    std::vector<RackId> location_racks;  ///< distinct racks of `locations`
-  };
-
-  /// One in-flight shuffle fetch of a reduce attempt (fault layer): enough
-  /// to cancel it when either endpoint dies and to retry it later.
-  struct InflightFetch {
-    net::FlowId flow = 0;
-    int map_idx = -1;
-    NodeId src = -1;
-  };
-
-  struct ReduceTaskState {
-    bool assigned = false;
-    NodeId node = -1;
-    int partitions_fetched = 0;
-    bool processing = false;
-    int record = -1;
-    int attempts = 0;  ///< attempts launched (fault layer)
-    int failures = 0;  ///< transient attempt failures so far
-    /// Bumped whenever the current attempt is torn down; scheduled events
-    /// carry the epoch they were armed under and no-op on a mismatch.
-    int epoch = 0;
-    /// The attempt's node compute-failed but the master has not yet noticed;
-    /// new work (fetch starts, processing) is suppressed until reaped.
-    bool doomed = false;
-    /// Per-map-task fetched flags (sized total_m when the attempt starts);
-    /// partitions_fetched counts the set entries.
-    std::vector<char> fetched;
-    std::vector<InflightFetch> inflight;
-  };
-
-  struct JobState {
-    JobSpec spec;
-    std::shared_ptr<const storage::StorageLayout> layout;
-    std::shared_ptr<const ec::ErasureCode> code;
-    std::unique_ptr<storage::DegradedReadPlanner> planner;
-    util::Rng rng;  ///< per-job stream for task-duration draws
-    bool active = false;
-    bool finished = false;
-
-    std::vector<MapTaskState> maps;
-    /// Per-node queues of pending map-task indices; a task appears in the
-    /// queue of every node holding a readable copy. Entries become stale
-    /// when the task is assigned elsewhere and are skipped lazily on pop;
-    /// `pending_count_by_node` stays exact.
-    std::vector<std::deque<int>> pending_by_node;
-    std::vector<int> pending_count_by_node;  ///< exact pending per node
-    std::vector<int> pending_by_rack;  ///< pending tasks with a copy in rack
-    /// Queue of degraded pending map tasks (index, push generation).
-    /// Entries go stale when a repair reclassifies the task (its
-    /// `in_degraded_pool` flag is cleared in O(1) instead of an O(n) deque
-    /// erase) or when the task re-enters the pool under a newer generation;
-    /// stale entries are skipped lazily on pop and
-    /// `pending_degraded_count` stays exact.
-    std::deque<std::pair<int, unsigned>> pending_degraded;
-    long pending_degraded_count = 0;  ///< exact live entries in the pool
-    long pending_nondegraded = 0;
-    long m = 0;    ///< launched map tasks
-    long md = 0;   ///< launched degraded tasks
-    long total_m = 0;
-    long total_md = 0;
-    long maps_done = 0;
-    double completed_map_runtime_sum = 0.0;  ///< winners only, for speculation
-
-    std::vector<ReduceTaskState> reduces;
-    int reduces_assigned = 0;
-    int reduces_done = 0;
-    std::vector<int> completed_map_records;
-
-    JobMetrics metrics;
-  };
-
-  struct SlaveState {
-    bool alive = true;
-    int free_map_slots = 0;
-    int free_reduce_slots = 0;
-    // Fault layer only (inert otherwise):
-    bool heartbeating = true;  ///< compute alive; false between death & detection
-    /// Bumped on repair; pending detection/unblacklist timers armed under an
-    /// older incarnation no-op.
-    int incarnation = 0;
-    util::Seconds last_heartbeat = 0.0;
-    util::Seconds compute_fail_time = -1.0;
-    int recent_failures = 0;  ///< attempt failures since last (un)blacklist
-    bool blacklisted = false;
-  };
-
-  /// A live map attempt (fault layer bookkeeping; maintained even when the
-  /// layer is off — pure state, no events). Keyed by record index in
-  /// map_attempts_; an entry is erased when the attempt finishes, loses its
-  /// race, fails, or is killed — stale scheduled callbacks look the key up
-  /// and no-op when it is gone.
-  struct MapAttempt {
-    core::JobId job = -1;
-    int map_idx = -1;
-    bool backup = false;
-    /// Node compute-failed; attempt will be finalized (killed) at detection.
-    bool doomed = false;
-    std::vector<net::FlowId> flows;  ///< in-flight input fetches
-  };
-
-  JobState& job(core::JobId id);
-  const JobState& job(core::JobId id) const;
-  SlaveState& slave(NodeId id) { return slaves_[static_cast<std::size_t>(id)]; }
-
   void activate_job(std::size_t index);
-  void start_heartbeat(NodeId s);
-  void on_heartbeat(NodeId s);
-  /// Removes `node` as a readable location of job `j`'s pending tasks;
-  /// tasks left with no location join the degraded pool.
-  void reclassify_after_failure(JobState& j, NodeId node);
-  /// Re-adds `node` as a readable location; pending degraded tasks whose
-  /// input is back become local again.
-  void reclassify_after_repair(JobState& j, NodeId node);
-  /// Pops the next pending (unassigned) task queued at `node`; -1 if none.
-  int pop_pending(JobState& j, NodeId node);
-  /// Marks a task assigned and updates every pending index.
-  void retire_pending(JobState& j, int map_idx);
-  void start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
-                 NodeId fetch_source, bool backup = false);
-  void on_map_input_ready(core::JobId job_id, int record_idx,
-                          int map_idx);
-  void on_map_complete(core::JobId job_id, int record_idx, int map_idx);
-  void assign_reduce_tasks(NodeId s);
-  void try_speculate(NodeId s);
-  void start_partition_fetch(JobState& j, int reduce_idx, int map_record_idx);
-  void on_partition_fetched(core::JobId job_id, int reduce_idx, int map_idx,
-                            int epoch);
-  void maybe_start_reduce_processing(JobState& j, int reduce_idx);
-  void on_reduce_complete(core::JobId job_id, int reduce_idx, int epoch);
-  void maybe_finish_job(JobState& j);
-  util::Bytes partition_bytes(const JobState& j) const;
+  void start_heartbeat(NodeId slave);
+  void on_heartbeat(NodeId slave);
 
-  // --- fault layer ---------------------------------------------------------
-  /// Heartbeat expiry fired: the master now knows `node` is dead.
-  void declare_slave_dead(NodeId node);
-  /// Kill doomed attempts on `node`, requeue their tasks, re-execute
-  /// completed maps whose outputs died with the node.
-  void reap_dead_node(NodeId node);
-  /// Reverse what a non-backup launch added to the pacing counters.
-  void unlaunch_map(JobState& j, MapTaskState& t);
-  /// Return a task to the correct pending pools (degraded vs per-node),
-  /// keeping total_md and the rack indexes exact.
-  void requeue_map_task(JobState& j, int map_idx);
-  /// Enqueue a task into the degraded pool, keeping the membership flag and
-  /// the exact count in sync.
-  void push_degraded(JobState& j, int map_idx);
-  /// A completed map's output died with its node: undo the completion so the
-  /// task runs again (or promote a still-running backup attempt to primary).
-  void revert_completed_map(JobState& j, int map_idx, int record_idx);
-  /// Record index of a live non-finalized attempt of (job, map_idx), or -1.
-  int find_running_attempt(core::JobId job_id, int map_idx) const;
-  void on_map_attempt_failed(core::JobId job_id, int record_idx, int map_idx);
-  void on_reduce_attempt_failed(core::JobId job_id, int reduce_idx, int epoch);
-  /// Tear the current reduce attempt down so the task can be reassigned.
-  void reset_reduce_attempt(JobState& j, int reduce_idx);
-  /// Abort the job after a task exhausted max_attempts: kill every live
-  /// attempt, mark the job failed, keep the FIFO queue moving.
-  void abort_job(JobState& j);
-  /// Count an attempt failure on `node` toward its blacklist threshold.
-  void note_attempt_failure(NodeId node);
-  /// Re-plan in-flight degraded reads (and kill doomed input fetches) that
-  /// were sourcing data from the newly-failed `node`.
-  void replan_inflight_reads(NodeId node);
-  /// map_attempts_ keys (== record indexes) sorted ascending, optionally
-  /// filtered; sorted iteration keeps the failure paths deterministic.
-  std::vector<int> sorted_attempt_records() const;
+  MasterState state_;
+  MapPhase map_;
+  ShufflePhase shuffle_;
+  FaultSupervisor fault_;
 
-  sim::Simulator& sim_;
-  net::Network& net_;
-  const ClusterConfig& cfg_;
-  const storage::FailureScenario& failure_;
   core::Scheduler& scheduler_;
   util::Rng& rng_;
   storage::SourceSelection source_selection_;
-
-  std::vector<JobState> jobs_;  ///< FIFO submission order
-  std::vector<SlaveState> slaves_;
-  /// Live map attempts by record index (see MapAttempt).
-  std::unordered_map<int, MapAttempt> map_attempts_;
-  std::vector<util::Seconds> last_degraded_assign_;  ///< per rack
-  std::size_t jobs_done_ = 0;
-  RunResult result_;
   bool started_ = false;
-  /// True once no more submissions can arrive (always true in snapshot
-  /// runs); heartbeat loops stop when this holds and all jobs are done.
-  bool admission_closed_ = true;
+  /// True while further submissions may arrive (online mode); heartbeat
+  /// loops keep running through idle periods until admission closes and all
+  /// jobs are done. Snapshot runs never open it.
+  bool admission_open_ = false;
 };
 
 }  // namespace dfs::mapreduce

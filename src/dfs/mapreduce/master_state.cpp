@@ -1,0 +1,26 @@
+#include "dfs/mapreduce/master_state.h"
+
+#include <algorithm>
+
+namespace dfs::mapreduce {
+
+std::vector<int> MasterState::sorted_attempt_records() const {
+  std::vector<int> keys;
+  keys.reserve(map_attempts.size());
+  for (const auto& [record_idx, a] : map_attempts) keys.push_back(record_idx);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void MasterState::maybe_finish_job(JobState& j) {
+  if (j.finished || j.maps_done != j.total_m ||
+      j.reduces_done != j.spec.num_reducers) {
+    return;
+  }
+  j.finished = true;
+  j.metrics.finish_time = sim.now();
+  ++jobs_done;
+  if (hooks->on_job_finish) hooks->on_job_finish(j.metrics);
+}
+
+}  // namespace dfs::mapreduce

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/config.h"
+#include "dfs/mapreduce/metrics.h"
+#include "dfs/net/network.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/failure.h"
+#include "dfs/util/epoch.h"
+#include "dfs/util/rng.h"
+#include "dfs/util/stale_queue.h"
+
+namespace dfs::mapreduce {
+
+/// Optional callbacks fired at simulated task boundaries; the functional
+/// engine (dfs::engine) uses them to run real map/reduce work — including
+/// real erasure-decode for degraded tasks — at the times the simulator says
+/// those tasks execute.
+struct TaskHooks {
+  std::function<void(const MapTaskRecord&)> on_map_finish;
+  std::function<void(const ReduceTaskRecord&)> on_reduce_finish;
+  std::function<void(const JobMetrics&)> on_job_finish;
+};
+
+/// "Never assigned a degraded task": makes t_r effectively infinite so fresh
+/// racks always pass the rack-awareness check.
+inline constexpr util::Seconds kNeverAssigned = -1.0e9;
+
+struct MapTaskState {
+  storage::BlockId block{};
+  NodeId home = -1;  ///< node storing the native block (may be failed)
+  bool lost = false;
+  bool assigned = false;
+  bool done = false;        ///< some attempt has completed
+  bool has_backup = false;  ///< a speculative copy was launched
+  int record = -1;  ///< index into result.map_tasks of the first attempt
+  int attempts = 0;  ///< attempts launched (fault layer; backups excluded)
+  int failures = 0;  ///< transient attempt failures so far
+  /// Kind the current non-backup attempt launched as; all pacing-counter
+  /// (m/m_d) unlaunch accounting uses this, so a task whose classification
+  /// drifts while running (e.g. its copy fails mid-attempt) still reverses
+  /// exactly what its launch added.
+  MapTaskKind launched_kind = MapTaskKind::kNodeLocal;
+  /// Surviving nodes a readable copy of the input can be fetched from.
+  /// One entry (the native home) for k > 1 codes; every surviving shard
+  /// holder for k == 1 (replication) layouts, where any copy serves.
+  std::vector<NodeId> locations;
+  std::vector<RackId> location_racks;  ///< distinct racks of `locations`
+};
+
+/// One in-flight shuffle fetch of a reduce attempt (fault layer): enough
+/// to cancel it when either endpoint dies and to retry it later.
+struct InflightFetch {
+  net::FlowId flow = 0;
+  int map_idx = -1;
+  NodeId src = -1;
+};
+
+struct ReduceTaskState {
+  bool assigned = false;
+  NodeId node = -1;
+  int partitions_fetched = 0;
+  bool processing = false;
+  int record = -1;
+  int attempts = 0;  ///< attempts launched (fault layer)
+  int failures = 0;  ///< transient attempt failures so far
+  /// Bumped whenever the current attempt is torn down; scheduled events
+  /// carry the ticket they were armed under and no-op on a mismatch.
+  util::Epoch epoch;
+  /// The attempt's node compute-failed but the master has not yet noticed;
+  /// new work (fetch starts, processing) is suppressed until reaped.
+  bool doomed = false;
+  /// Per-map-task fetched flags (sized total_m when the attempt starts);
+  /// partitions_fetched counts the set entries.
+  std::vector<char> fetched;
+  std::vector<InflightFetch> inflight;
+};
+
+struct JobState {
+  JobSpec spec;
+  std::shared_ptr<const storage::StorageLayout> layout;
+  std::shared_ptr<const ec::ErasureCode> code;
+  std::unique_ptr<storage::DegradedReadPlanner> planner;
+  util::Rng rng;  ///< per-job stream for task-duration draws
+  bool active = false;
+  bool finished = false;
+
+  std::vector<MapTaskState> maps;
+  /// Per-node pools of pending map-task indices; a task appears in the pool
+  /// of every node holding a readable copy. Assignment elsewhere (or losing
+  /// this node's copy) invalidates the entry in O(1); re-entry repushes so
+  /// a surviving entry keeps its queue position (predicate semantics — see
+  /// util::StaleQueue). `live_count()` is the exact pending count per node.
+  std::vector<util::StaleQueue<int>> pending_by_node;
+  std::vector<int> pending_by_rack;  ///< pending tasks with a copy in rack
+  /// Pool of degraded pending map tasks, generation-tagged: a task that
+  /// left the pool (repair) and re-entered (new failure) joins at the back
+  /// instead of reviving its stale entry (ABA queue-jump — see
+  /// util::StaleQueue::push).
+  util::StaleQueue<int> pending_degraded;
+  long pending_nondegraded = 0;
+  long m = 0;    ///< launched map tasks
+  long md = 0;   ///< launched degraded tasks
+  long total_m = 0;
+  long total_md = 0;
+  long maps_done = 0;
+  double completed_map_runtime_sum = 0.0;  ///< winners only, for speculation
+
+  std::vector<ReduceTaskState> reduces;
+  int reduces_assigned = 0;
+  int reduces_done = 0;
+  std::vector<int> completed_map_records;
+
+  JobMetrics metrics;
+};
+
+struct SlaveState {
+  bool alive = true;
+  int free_map_slots = 0;
+  int free_reduce_slots = 0;
+  // Fault layer only (inert otherwise):
+  bool heartbeating = true;  ///< compute alive; false between death & detection
+  /// Bumped on repair; pending detection/unblacklist timers armed under an
+  /// older incarnation no-op.
+  util::Epoch incarnation;
+  util::Seconds last_heartbeat = 0.0;
+  util::Seconds compute_fail_time = -1.0;
+  int recent_failures = 0;  ///< attempt failures since last (un)blacklist
+  bool blacklisted = false;
+};
+
+/// A live map attempt (fault layer bookkeeping; maintained even when the
+/// layer is off — pure state, no events). Keyed by record index in
+/// MasterState::map_attempts; an entry is erased when the attempt finishes,
+/// loses its race, fails, or is killed — stale scheduled callbacks look the
+/// key up and no-op when it is gone.
+struct MapAttempt {
+  core::JobId job = -1;
+  int map_idx = -1;
+  bool backup = false;
+  /// Node compute-failed; attempt will be finalized (killed) at detection.
+  bool doomed = false;
+  std::vector<net::FlowId> flows;  ///< in-flight input fetches
+};
+
+/// The state every phase engine shares: the job/slave/attempt store plus the
+/// simulation environment it runs against. The engines (MapPhase,
+/// ShufflePhase, FaultSupervisor) and the Master facade all mutate this one
+/// store; no engine owns private job state, so a task's lifecycle reads the
+/// same truth no matter which engine advances it.
+struct MasterState {
+  MasterState(sim::Simulator& simulator, net::Network& network,
+              const ClusterConfig& config,
+              const storage::FailureScenario& failure_scenario)
+      : sim(simulator), net(network), cfg(config), failure(failure_scenario) {}
+
+  sim::Simulator& sim;
+  net::Network& net;
+  const ClusterConfig& cfg;
+  const storage::FailureScenario& failure;
+
+  std::vector<JobState> jobs;  ///< FIFO submission order
+  std::vector<SlaveState> slaves;
+  /// Live map attempts by record index (see MapAttempt).
+  std::unordered_map<int, MapAttempt> map_attempts;
+  std::vector<util::Seconds> last_degraded_assign;  ///< per rack
+  std::size_t jobs_done = 0;
+  RunResult result;
+  /// Borrowed from the owning Master (the public `Master::hooks` member).
+  TaskHooks* hooks = nullptr;
+
+  JobState& job(core::JobId id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < jobs.size());
+    return jobs[static_cast<std::size_t>(id)];
+  }
+  const JobState& job(core::JobId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < jobs.size());
+    return jobs[static_cast<std::size_t>(id)];
+  }
+  core::JobId id_of(const JobState& j) const {
+    return static_cast<core::JobId>(&j - jobs.data());
+  }
+  SlaveState& slave(NodeId id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < slaves.size());
+    return slaves[static_cast<std::size_t>(id)];
+  }
+  const SlaveState& slave(NodeId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < slaves.size());
+    return slaves[static_cast<std::size_t>(id)];
+  }
+
+  /// map_attempts keys (== record indexes) sorted ascending; the registry is
+  /// an unordered_map, so every kill/replan sweep walks a sorted snapshot to
+  /// keep same-seed runs processing attempts in the same order.
+  std::vector<int> sorted_attempt_records() const;
+
+  /// Finish the job once the last map and reduce are done.
+  void maybe_finish_job(JobState& j);
+};
+
+}  // namespace dfs::mapreduce

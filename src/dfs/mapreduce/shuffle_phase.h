@@ -1,0 +1,46 @@
+#pragma once
+
+#include "dfs/mapreduce/master_state.h"
+
+namespace dfs::mapreduce {
+
+class FaultSupervisor;
+
+/// Reduce-side phase engine: assigns reduce tasks to heartbeating slaves,
+/// pulls each finished map's partition over the network (the shuffle), and
+/// starts reduce processing once every partition has landed and the map
+/// phase is complete.
+///
+/// Attempt teardown is epoch-guarded (util::Epoch): scheduled fetch and
+/// completion events carry the ticket they were armed under and no-op once
+/// the attempt has been torn down and reassigned.
+class ShufflePhase {
+ public:
+  explicit ShufflePhase(MasterState& state) : s_(state) {}
+
+  /// Post-construction wiring: transient-crash injection reports to the
+  /// fault supervisor.
+  void wire(FaultSupervisor& fault) { fault_ = &fault; }
+
+  /// Fill the slave's free reduce slots from the FIFO job queue.
+  void assign_reduce_tasks(NodeId slave);
+
+  void start_partition_fetch(JobState& j, int reduce_idx, int map_record_idx);
+  void on_partition_fetched(core::JobId job_id, int reduce_idx, int map_idx,
+                            util::Epoch::Ticket epoch);
+  void maybe_start_reduce_processing(JobState& j, int reduce_idx);
+  void on_reduce_complete(core::JobId job_id, int reduce_idx,
+                          util::Epoch::Ticket epoch);
+
+  /// Tear the current reduce attempt down so the task can be reassigned.
+  void reset_reduce_attempt(JobState& j, int reduce_idx);
+
+  /// Bytes of one map-output partition destined for one reducer.
+  util::Bytes partition_bytes(const JobState& j) const;
+
+ private:
+  MasterState& s_;
+  FaultSupervisor* fault_ = nullptr;
+};
+
+}  // namespace dfs::mapreduce

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "dfs/util/jsonl.h"
+
 namespace dfs::mapreduce {
 
 namespace {
@@ -82,22 +84,35 @@ void write_attempt_csv(std::ostream& os, const RunResult& result) {
 }
 
 void write_events_jsonl(std::ostream& os, const RunResult& result) {
+  util::JsonlWriter w(os);
   for (const auto& t : result.map_tasks) {
-    os << "{\"type\":\"map\",\"id\":" << t.id << ",\"job\":" << t.job
-       << ",\"kind\":\"" << to_string(t.kind) << "\",\"node\":" << t.exec_node
-       << ",\"assign\":" << t.assign_time << ",\"fetch_done\":"
-       << t.fetch_done_time << ",\"finish\":" << t.finish_time << "}\n";
+    w.begin("map")
+        .field("id", t.id)
+        .field("job", t.job)
+        .text("kind", to_string(t.kind))
+        .field("node", t.exec_node)
+        .field("assign", t.assign_time)
+        .field("fetch_done", t.fetch_done_time)
+        .field("finish", t.finish_time)
+        .end();
   }
   for (const auto& t : result.reduce_tasks) {
-    os << "{\"type\":\"reduce\",\"id\":" << t.id << ",\"job\":" << t.job
-       << ",\"node\":" << t.exec_node << ",\"assign\":" << t.assign_time
-       << ",\"shuffle_done\":" << t.shuffle_done_time
-       << ",\"finish\":" << t.finish_time << "}\n";
+    w.begin("reduce")
+        .field("id", t.id)
+        .field("job", t.job)
+        .field("node", t.exec_node)
+        .field("assign", t.assign_time)
+        .field("shuffle_done", t.shuffle_done_time)
+        .field("finish", t.finish_time)
+        .end();
   }
   for (const auto& j : result.jobs) {
-    os << "{\"type\":\"job\",\"id\":" << j.id << ",\"submit\":"
-       << j.submit_time << ",\"finish\":" << j.finish_time
-       << ",\"runtime\":" << j.runtime() << "}\n";
+    w.begin("job")
+        .field("id", j.id)
+        .field("submit", j.submit_time)
+        .field("finish", j.finish_time)
+        .field("runtime", j.runtime())
+        .end();
   }
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "dfs/util/jsonl.h"
+
 namespace dfs::net {
 
 namespace {
@@ -298,8 +300,7 @@ void Network::fair_share_batched_recompute() {
   // allocations decompose over components, so everyone outside keeps their
   // rate). A dirty link with no classes left is the old idle-removal case:
   // its departures shared nothing with any survivor.
-  ++visit_epoch_;
-  const int epoch = visit_epoch_;
+  const util::Epoch::Ticket epoch = visit_epoch_.bump();
   for (const int seed : dirty_links_) {
     link_dirty_[static_cast<std::size_t>(seed)] = 0;
     if (link_visit_[static_cast<std::size_t>(seed)] == epoch) continue;
@@ -586,6 +587,18 @@ void Network::fifo_complete(FlowId id) {
   flow.remaining = 0.0;
   finish_flow(flow);
   fifo_try_start_pending();
+}
+
+void append_net_stats(util::JsonlWriter& w, const Network::Stats& s) {
+  w.field("flows_started", s.flows_started)
+      .field("flows_completed", s.flows_completed)
+      .field("flows_cancelled", s.flows_cancelled)
+      .field("fast_paths", s.fast_paths)
+      .field("full_recomputes", s.full_recomputes)
+      .field("batched_recomputes", s.batched_recomputes)
+      .field("component_recomputes", s.component_recomputes)
+      .field("classes_active", s.classes_active)
+      .field("bytes_delivered", s.bytes_delivered);
 }
 
 }  // namespace dfs::net

@@ -8,7 +8,12 @@
 
 #include "dfs/net/topology.h"
 #include "dfs/sim/simulator.h"
+#include "dfs/util/epoch.h"
 #include "dfs/util/units.h"
+
+namespace dfs::util {
+class JsonlWriter;
+}
 
 namespace dfs::net {
 
@@ -172,7 +177,7 @@ class Network {
     int count = 0;              ///< member flows
     double rate = 0.0;          ///< bytes/sec per member flow
     double wf_rate = 0.0;       ///< water-filling scratch (unfrozen marker)
-    int visit = 0;              ///< flood-fill epoch mark
+    util::Epoch::Ticket visit = 0;  ///< flood-fill epoch mark
   };
 
   struct PathHash {
@@ -260,8 +265,8 @@ class Network {
   // and counts are only read for links seeded by the current component, so
   // they never need a global clear; `visit_epoch_` versions the flood-fill
   // marks the same way.
-  int visit_epoch_ = 0;
-  std::vector<int> link_visit_;
+  util::Epoch visit_epoch_;
+  std::vector<util::Epoch::Ticket> link_visit_;
   std::vector<int> comp_links_;    ///< doubles as the flood-fill queue
   std::vector<int> comp_classes_;
   std::vector<double> scratch_residual_;
@@ -279,5 +284,10 @@ class Network {
   bool cross_check_ = false;
   util::Bytes bytes_delivered_ = 0.0;
 };
+
+/// Append the Stats counters to an open JSONL record, in the canonical field
+/// order shared by every tool that reports network statistics. The caller
+/// owns begin()/end() and any leading fields (e.g. dfsim's per-seed tag).
+void append_net_stats(util::JsonlWriter& w, const Network::Stats& s);
 
 }  // namespace dfs::net

@@ -1,0 +1,36 @@
+#pragma once
+
+namespace dfs::util {
+
+/// Invalidation guard for scheduled callbacks that must no-op once the state
+/// they were armed against has been torn down and rebuilt.
+///
+/// The idiom: a component arms a simulator event (a completion, a detection
+/// timer, an unblacklist timer) and captures `epoch.ticket()` in the
+/// closure. Every teardown/rebuild of the component calls `bump()`. When the
+/// event fires it checks `epoch.valid(ticket)` and returns if the world has
+/// moved on — the callback is never cancelled, only neutralized. The same
+/// counter doubles as a visited-mark versioner for scratch arrays (store
+/// `ticket()` as the mark, `bump()` instead of clearing).
+///
+/// This replaces the ad-hoc `epoch` / `incarnation` / `visit_epoch_` int
+/// counters that grew independently in the master, the fault layer, and the
+/// network engine.
+class Epoch {
+ public:
+  using Ticket = int;
+
+  /// The current epoch; capture into closures (or store as a visit mark).
+  Ticket ticket() const { return current_; }
+
+  /// Invalidate every outstanding ticket. Returns the new epoch.
+  Ticket bump() { return ++current_; }
+
+  /// Was `t` issued for the current epoch?
+  bool valid(Ticket t) const { return t == current_; }
+
+ private:
+  Ticket current_ = 0;
+};
+
+}  // namespace dfs::util

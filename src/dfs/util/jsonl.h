@@ -1,0 +1,104 @@
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace dfs::util {
+
+/// Streams JSON-lines records: one object per line, keys emitted in call
+/// order, values through the stream's default `operator<<` formatting. The
+/// tools' machine-readable outputs are consumed by diff-based golden tests,
+/// so the writer adds no whitespace, reordering, or number reformatting —
+/// output stays byte-identical with the inline `<<` chains it replaced.
+///
+/// Usage:
+///   JsonlWriter w(os);
+///   w.begin("job").field("id", 3).field("runtime", 12.5).end();
+///   // -> {"type":"job","id":3,"runtime":12.5}
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+
+  /// Open a record and tag it: `{"type":"<type>"`. Every record carries the
+  /// type discriminator first so stream consumers can dispatch per line.
+  JsonlWriter& begin(std::string_view type) {
+    os_ << "{\"type\":\"";
+    write_escaped(type);
+    os_ << '"';
+    return *this;
+  }
+
+  /// Unquoted field: numbers, or anything whose default stream output is
+  /// already valid JSON (pass `cond ? 1 : 0` for booleans).
+  template <typename T>
+  JsonlWriter& field(std::string_view key, const T& value) {
+    key_prefix(key);
+    os_ << value;
+    return *this;
+  }
+
+  /// Quoted string field, JSON-escaped.
+  JsonlWriter& text(std::string_view key, std::string_view value) {
+    key_prefix(key);
+    os_ << '"';
+    write_escaped(value);
+    os_ << '"';
+    return *this;
+  }
+
+  /// Array of unquoted values: `"key":[a,b,...]`.
+  template <typename Range>
+  JsonlWriter& array(std::string_view key, const Range& values) {
+    key_prefix(key);
+    os_ << '[';
+    bool first = true;
+    for (const auto& v : values) {
+      if (!first) os_ << ',';
+      first = false;
+      os_ << v;
+    }
+    os_ << ']';
+    return *this;
+  }
+
+  /// Close the record: `}` and the line terminator.
+  void end() { os_ << "}\n"; }
+
+ private:
+  void key_prefix(std::string_view key) {
+    os_ << ",\"";
+    write_escaped(key);
+    os_ << "\":";
+  }
+
+  // Covers the escapes our identifiers and enum names can contain; bare
+  // control characters below 0x20 other than \n\r\t are not expected in
+  // simulator output and pass through unescaped.
+  void write_escaped(std::string_view s) {
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        default:
+          os_ << c;
+      }
+    }
+  }
+
+  std::ostream& os_;
+};
+
+}  // namespace dfs::util

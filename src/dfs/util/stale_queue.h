@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace dfs::util {
+
+/// A FIFO queue of keys whose entries can be retired in O(1) and skipped
+/// lazily on pop, with an exact live count maintained throughout.
+///
+/// This is the pending-pool idiom the MapReduce master grew in several
+/// hand-rolled copies (the degraded pool, the per-node pending queues): a
+/// deque plus out-of-band liveness, where removing from the middle would be
+/// O(n) so entries are instead *invalidated* — marked dead where they stand —
+/// and physically discarded only when a pop scan reaches them.
+///
+/// Two re-entry disciplines exist in the wild and both are supported:
+///
+/// - `push(v)`: fresh entry at the back under a new generation. Any older
+///   entry for `v` still in the deque is dead for good. Use when re-entry
+///   must queue behind everyone (generation semantics — the degraded pool,
+///   where a task that left via repair and re-entered via a new failure must
+///   not revive its old entry and jump the queue: the ABA case).
+/// - `repush(v)`: duplicate entry at the back under the *same* generation.
+///   Every still-queued entry for `v` becomes deliverable again, and the
+///   earliest one delivers first. Use when invalidation is a revocable
+///   condition (predicate semantics — a per-node pending queue where a
+///   node's copy fails and is later repaired, or a task is assigned and
+///   later requeued: the key's original queue position survives the round
+///   trip exactly as a liveness-predicate check on pop would preserve it).
+///
+/// Entries scanned past while dead are physically discarded, so a repush
+/// after that point starts over at the back — again matching what a
+/// predicate-checking pop loop (which pops as it scans) would have done.
+///
+/// At most one *live* claim exists per key at any time; duplicates beyond
+/// the first are latent and only deliver after a later repush.
+///
+/// Not thread-safe. `T` must be hashable and equality-comparable.
+template <typename T>
+class StaleQueue {
+ public:
+  /// Is `v` currently live in the queue?  O(1).
+  bool contains(const T& v) const {
+    const auto it = state_.find(v);
+    return it != state_.end() && it->second.live;
+  }
+
+  /// Exact number of live keys (dead entries never count).
+  long live_count() const { return live_count_; }
+
+  /// Physical deque length including dead entries (observability/tests).
+  std::size_t queued_entries() const { return deque_.size(); }
+
+  /// Enqueue `v` at the back under a fresh generation. `v` must not be live.
+  void push(const T& v) {
+    State& st = state_[v];
+    assert(!st.live && "StaleQueue::push of an already-live key");
+    ++st.gen;
+    st.live = true;
+    deque_.emplace_back(v, st.gen);
+    ++live_count_;
+  }
+
+  /// Enqueue `v` at the back under the current generation, making every
+  /// still-queued entry for it deliverable again (earliest first). `v` must
+  /// not be live.
+  void repush(const T& v) {
+    State& st = state_[v];
+    assert(!st.live && "StaleQueue::repush of an already-live key");
+    st.live = true;
+    deque_.emplace_back(v, st.gen);
+    ++live_count_;
+  }
+
+  /// Retire `v` in O(1): its deque entries go dead where they stand.
+  /// Returns false (and changes nothing) if `v` was not live — callers may
+  /// invalidate unconditionally over a superset of members.
+  bool invalidate(const T& v) {
+    const auto it = state_.find(v);
+    if (it == state_.end() || !it->second.live) return false;
+    it->second.live = false;
+    --live_count_;
+    return true;
+  }
+
+  /// Pop and consume the first live entry, discarding the dead prefix.
+  /// Returns nullopt when no live entry remains.
+  std::optional<T> pop() {
+    while (!deque_.empty()) {
+      const auto [v, gen] = deque_.front();
+      deque_.pop_front();
+      const auto it = state_.find(v);
+      assert(it != state_.end());
+      State& st = it->second;
+      if (st.gen != gen) continue;  // superseded by a later push
+      if (!st.live) continue;       // invalidated and scanned past
+      st.live = false;
+      --live_count_;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  /// First live entry without consuming it (dead prefix left in place),
+  /// or nullptr when none.
+  const T* peek() const {
+    for (const auto& [v, gen] : deque_) {
+      const auto it = state_.find(v);
+      if (it != state_.end() && it->second.live && it->second.gen == gen) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  struct State {
+    unsigned gen = 0;   ///< generation of the newest entry pushed for the key
+    bool live = false;  ///< key is a live member
+  };
+
+  std::deque<std::pair<T, unsigned>> deque_;
+  std::unordered_map<T, State> state_;
+  long live_count_ = 0;
+};
+
+}  // namespace dfs::util

@@ -93,7 +93,7 @@ TEST(Cluster, RepairRestoresFullLocality) {
   OnlineHarness h;
   h.failure.fail(3);
   h.master->on_node_failed(3);
-  h.master->set_online(true);
+  h.master->set_admission_open(true);
   h.master->submit(h.job);  // activates at t=0, while node 3 is down
 
   h.sim.schedule_at(2.5, [&h] {
@@ -153,7 +153,7 @@ TEST(Cluster, RepairReclassifiesReplicatedLayouts) {
   h.master->on_node_failed(a);
   h.failure.fail(b);
   h.master->on_node_failed(b);
-  h.master->set_online(true);
+  h.master->set_admission_open(true);
   h.master->submit(job);
   h.sim.schedule_at(0.5, [&h, a] {
     h.failure.restore(a);
@@ -175,7 +175,7 @@ TEST(Cluster, RepairReclassifiesReplicatedLayouts) {
   h2.master->on_node_failed(a);
   h2.failure.fail(b);
   h2.master->on_node_failed(b);
-  h2.master->set_online(true);
+  h2.master->set_admission_open(true);
   h2.master->submit(job2);
   h2.sim.schedule_at(1.5, [&h2] { h2.master->finish_admission(); });
   h2.master->start();

@@ -197,7 +197,7 @@ TEST(FaultTolerance, FlakySlaveIsBlacklistedAndStopsReceivingWork) {
   h.cfg.fault.max_attempts = 6;
   h.cfg.fault.retry_backoff = 0.5;
   h.build();
-  h.master->set_online(true);
+  h.master->set_admission_open(true);
   h.master->submit(h.job);
   // A second job arrives after the blacklist window has expired: the slave
   // must be a first-class worker again by then.

@@ -3,8 +3,13 @@
 #include <cmath>
 #include <numeric>
 
+#include <sstream>
+
 #include "dfs/util/args.h"
+#include "dfs/util/epoch.h"
+#include "dfs/util/jsonl.h"
 #include "dfs/util/rng.h"
+#include "dfs/util/stale_queue.h"
 #include "dfs/util/stats.h"
 #include "dfs/util/table.h"
 #include "dfs/util/units.h"
@@ -190,6 +195,174 @@ TEST(Table, PadsShortRows) {
   EXPECT_NO_THROW(t.print(os));
 }
 
+// --- stale_queue -------------------------------------------------------------
+
+TEST(StaleQueue, FifoOrderAndExactCount) {
+  StaleQueue<int> q;
+  q.push(3);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.live_count(), 3);
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.live_count(), 0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(StaleQueue, InvalidateIsLazyAndIdempotent) {
+  StaleQueue<int> q;
+  q.push(10);
+  q.push(11);
+  EXPECT_TRUE(q.invalidate(10));
+  EXPECT_FALSE(q.invalidate(10));  // already stale: no-op
+  EXPECT_FALSE(q.invalidate(99));  // never queued: no-op
+  EXPECT_EQ(q.live_count(), 1);
+  EXPECT_FALSE(q.contains(10));
+  // The stale entry is still physically queued until a pop scans past it.
+  EXPECT_EQ(q.queued_entries(), 2u);
+  EXPECT_EQ(q.pop(), std::optional<int>(11));
+  EXPECT_EQ(q.queued_entries(), 0u);
+}
+
+TEST(StaleQueue, AbaReentryJoinsAtTheBack) {
+  // The queue-jump bug the generation tag exists to kill: a key that leaves
+  // the pool and re-enters must queue behind everyone, not revive its old
+  // (earlier) entry.
+  StaleQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_TRUE(q.invalidate(1));
+  q.push(1);  // re-entry: fresh generation, at the back
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_FALSE(q.pop().has_value());
+  // The superseded generation-1 entry for key 1 must not double-deliver.
+  EXPECT_EQ(q.live_count(), 0);
+}
+
+TEST(StaleQueue, RepushDeliversEarliestSurvivingEntry) {
+  // Predicate semantics: invalidation is revocable, so a repush makes the
+  // key's *original* entry deliverable again — it does not lose its place.
+  StaleQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_TRUE(q.invalidate(1));
+  q.repush(1);  // duplicate at the back; the front entry is live again
+  EXPECT_EQ(q.queued_entries(), 3u);
+  EXPECT_EQ(q.live_count(), 2);
+  EXPECT_EQ(q.pop(), std::optional<int>(1));  // front position, not the back
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  // The latent duplicate for 1 must not double-deliver.
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.queued_entries(), 0u);
+}
+
+TEST(StaleQueue, RepushAfterScanDiscardStartsOverAtTheBack) {
+  StaleQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_TRUE(q.invalidate(1));
+  // Pop scans past the dead entry for 1, physically discarding it.
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  q.repush(1);  // nothing left to resurrect: lands behind 3
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+}
+
+TEST(StaleQueue, RepushRoundTripsPreserveOnePositionAtATime) {
+  // Several invalidate/repush round trips: each consumes one surviving
+  // duplicate, earliest first — mirroring a pending task that is assigned,
+  // requeued, and reassigned through the same node queue.
+  StaleQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.pop(), std::optional<int>(1));  // assigned
+  q.repush(1);                                // requeued: behind 2 now
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.live_count(), 0);
+}
+
+TEST(StaleQueue, PopConsumesThenInvalidateIsNoOp) {
+  // The master pops a key, assigns it, then retires it from *every* queue it
+  // might still sit in — including the one just popped. That second retire
+  // must not corrupt the count.
+  StaleQueue<int> q;
+  q.push(5);
+  EXPECT_EQ(q.pop(), std::optional<int>(5));
+  EXPECT_FALSE(q.invalidate(5));
+  EXPECT_EQ(q.live_count(), 0);
+}
+
+TEST(StaleQueue, PeekSkipsStalePrefixWithoutConsuming) {
+  StaleQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_TRUE(q.invalidate(1));
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(*q.peek(), 2);
+  EXPECT_EQ(q.live_count(), 1);          // peek consumed nothing
+  EXPECT_EQ(q.queued_entries(), 2u);     // stale prefix left in place
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.peek(), nullptr);
+}
+
+TEST(StaleQueue, ManyGenerationsOfSameKey) {
+  StaleQueue<int> q;
+  for (int round = 0; round < 5; ++round) {
+    q.push(7);
+    EXPECT_TRUE(q.invalidate(7));
+  }
+  q.push(7);
+  EXPECT_EQ(q.live_count(), 1);
+  // Only the newest generation is delivered; the five stale entries are
+  // silently discarded on the way.
+  EXPECT_EQ(q.pop(), std::optional<int>(7));
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.queued_entries(), 0u);
+}
+
+// --- epoch -------------------------------------------------------------------
+
+TEST(Epoch, TicketsValidUntilBumped) {
+  Epoch e;
+  const Epoch::Ticket t = e.ticket();
+  EXPECT_TRUE(e.valid(t));
+  e.bump();
+  EXPECT_FALSE(e.valid(t));
+  EXPECT_TRUE(e.valid(e.ticket()));
+}
+
+TEST(Epoch, BumpReturnsTheNewEpoch) {
+  Epoch e;
+  const Epoch::Ticket t1 = e.bump();
+  EXPECT_TRUE(e.valid(t1));
+  const Epoch::Ticket t2 = e.bump();
+  EXPECT_NE(t1, t2);
+  EXPECT_FALSE(e.valid(t1));
+  EXPECT_TRUE(e.valid(t2));
+}
+
+TEST(Epoch, StaleCallbackGuardIdiom) {
+  // The armed-callback pattern: capture a ticket, bump on teardown, and the
+  // late-firing closure must see itself invalidated.
+  Epoch e;
+  int fired = 0;
+  const Epoch::Ticket armed = e.ticket();
+  auto callback = [&] {
+    if (!e.valid(armed)) return;
+    ++fired;
+  };
+  callback();
+  EXPECT_EQ(fired, 1);
+  e.bump();  // world torn down and rebuilt
+  callback();
+  EXPECT_EQ(fired, 1);  // neutralized, not re-fired
+}
+
 // --- args --------------------------------------------------------------------
 
 std::vector<const char*> argv_of(std::initializer_list<const char*> parts) {
@@ -237,6 +410,54 @@ TEST(Args, SplitBasics) {
   EXPECT_EQ(split("lone", ','), (std::vector<std::string>{"lone"}));
   EXPECT_EQ(split("", ','), (std::vector<std::string>{}));
   EXPECT_EQ(split("x,,y", ','), (std::vector<std::string>{"x", "", "y"}));
+}
+
+TEST(Jsonl, RecordShapeMatchesInlineStreaming) {
+  std::ostringstream os;
+  JsonlWriter w(os);
+  w.begin("job").field("id", 3).field("runtime", 12.5).end();
+  EXPECT_EQ(os.str(), "{\"type\":\"job\",\"id\":3,\"runtime\":12.5}\n");
+}
+
+TEST(Jsonl, NumbersUseDefaultStreamFormatting) {
+  // The golden-corpus tests diff tool output byte-for-byte, so the writer
+  // must not alter the ostream defaults (6 significant digits, no forced
+  // decimal point) that the inline chains relied on.
+  std::ostringstream inline_os;
+  inline_os << 0.1 + 0.2 << ',' << 1234567.0 << ',' << 3.0;
+  std::ostringstream os;
+  JsonlWriter w(os);
+  w.begin("t")
+      .field("a", 0.1 + 0.2)
+      .field("b", 1234567.0)
+      .field("c", 3.0)
+      .end();
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"t\",\"a\":0.3,\"b\":1.23457e+06,\"c\":3}\n");
+  EXPECT_EQ(inline_os.str(), "0.3,1.23457e+06,3");
+}
+
+TEST(Jsonl, TextFieldsAreQuotedAndEscaped) {
+  std::ostringstream os;
+  JsonlWriter w(os);
+  w.begin("t").text("kind", "deg\"raded\\x\n").end();
+  EXPECT_EQ(os.str(), "{\"type\":\"t\",\"kind\":\"deg\\\"raded\\\\x\\n\"}\n");
+}
+
+TEST(Jsonl, ArraysAndConditionalFieldsCompose) {
+  std::ostringstream os;
+  JsonlWriter w(os);
+  const std::vector<int> nodes{4, 7};
+  const std::vector<int> none;
+  w.begin("failure").array("nodes", nodes).field("rack", 0);
+  const int jobs_failed = 2;
+  if (jobs_failed > 0) w.field("jobs_failed", jobs_failed);
+  w.end();
+  w.begin("failure").array("nodes", none).end();
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"failure\",\"nodes\":[4,7],\"rack\":0,"
+            "\"jobs_failed\":2}\n"
+            "{\"type\":\"failure\",\"nodes\":[]}\n");
 }
 
 }  // namespace

@@ -55,6 +55,7 @@
 #include "dfs/storage/failure.h"
 #include "dfs/storage/layout.h"
 #include "dfs/util/args.h"
+#include "dfs/util/jsonl.h"
 #include "dfs/util/stats.h"
 #include "dfs/util/table.h"
 
@@ -300,16 +301,10 @@ int main(int argc, char** argv) {
           // order via the buffered cell log.
           if (show_net_stats) {
             const net::Network::Stats ns = simulation.network().stats();
-            log << "{\"type\":\"net_stats\",\"seed\":" << s
-                << ",\"flows_started\":" << ns.flows_started
-                << ",\"flows_completed\":" << ns.flows_completed
-                << ",\"flows_cancelled\":" << ns.flows_cancelled
-                << ",\"fast_paths\":" << ns.fast_paths
-                << ",\"full_recomputes\":" << ns.full_recomputes
-                << ",\"batched_recomputes\":" << ns.batched_recomputes
-                << ",\"component_recomputes\":" << ns.component_recomputes
-                << ",\"classes_active\":" << ns.classes_active
-                << ",\"bytes_delivered\":" << ns.bytes_delivered << "}\n";
+            util::JsonlWriter w(log);
+            w.begin("net_stats").field("seed", s);
+            net::append_net_stats(w, ns);
+            w.end();
           }
           out.runtime = m.runtime();
           out.row = {std::to_string(s), util::Table::num(m.runtime(), 1),
