@@ -1,0 +1,90 @@
+// Ablation: repair-efficient code families under degraded-first scheduling.
+//
+// Re-runs the paper's DF/EDF-vs-LF matrix over three code families with the
+// same native-block count per stripe width:
+//   - rs:14,10       — plain Reed-Solomon; degraded read fetches k = 10 blocks
+//   - hh:14,10       — Hitchhiker-XOR; the planner's sub-shard recovery set
+//                      fetches (k + |G|) / 2 = 6.5-7 block equivalents
+//   - lrc:12,2,2     — Azure-style LRC; fetches its 6-shard locality group
+// and reports, per (code, scheduler) cell: runtime normalized to the same
+// scheduler without failure, the mean degraded read time, and the mean
+// number of block equivalents downloaded per degraded read (the new
+// RecoveryPlan-derived metric, fractional for Hitchhiker).
+//
+// The pacing of BDF/EDF is cost-aware: a Hitchhiker degraded task accounts
+// for ~0.65 of an RS one, so degraded-first interleaves them more densely.
+//
+// Usage: ablation_recovery [--seeds N]   (default 15)
+
+#include <iostream>
+#include <memory>
+
+#include "common.h"
+#include "dfs/core/degraded_first.h"
+#include "dfs/core/locality_first.h"
+#include "dfs/ec/registry.h"
+
+using namespace dfs;
+
+namespace {
+
+mapreduce::JobInput make_job(std::shared_ptr<const ec::ErasureCode> code,
+                             const net::Topology& topo, util::Rng& rng) {
+  mapreduce::JobInput job;
+  job.spec.id = 0;
+  job.layout = std::make_shared<storage::StorageLayout>(
+      storage::random_rack_constrained_layout(1440, code->n(), code->k(),
+                                              topo, rng));
+  job.code = std::move(code);
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = bench::seeds_from_args(argc, argv, 15);
+  const auto cfg = workload::default_sim_cluster();
+  std::cout << "Ablation: recovery-aware planning across code families, "
+               "default cluster, single-node failure, "
+            << seeds << " samples\n";
+
+  util::Table t({"code", "scheduler", "norm runtime (mean)",
+                 "degraded read (mean s)", "blocks/read"});
+  core::LocalityFirstScheduler lf;
+  auto bdf = core::DegradedFirstScheduler::basic();
+  auto edf = core::DegradedFirstScheduler::enhanced();
+  for (const char* spec : {"rs:14,10", "hh:14,10", "lrc:12,2,2"}) {
+    for (core::Scheduler* sched : {static_cast<core::Scheduler*>(&lf),
+                                   static_cast<core::Scheduler*>(&bdf),
+                                   static_cast<core::Scheduler*>(&edf)}) {
+      std::vector<double> norm, drt, fetched;
+      for (int s = 0; s < seeds; ++s) {
+        util::Rng rng(static_cast<std::uint64_t>(s) * 547 + 41);
+        std::shared_ptr<const ec::ErasureCode> code =
+            ec::make_code_from_spec(spec);
+        const auto job = make_job(code, cfg.topology, rng);
+        const auto failure = storage::single_node_failure(cfg.topology, rng);
+        const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+        const auto failed =
+            mapreduce::simulate(cfg, {job}, failure, *sched, seed);
+        const auto normal = mapreduce::simulate(
+            cfg, {job}, storage::no_failure(), *sched, seed);
+        norm.push_back(failed.single_job_runtime() /
+                       normal.single_job_runtime());
+        drt.push_back(failed.mean_degraded_read_time());
+        fetched.push_back(failed.mean_degraded_fetch_blocks());
+      }
+      t.add_row({spec, sched->name(),
+                 util::Table::num(util::summarize(norm).mean, 3),
+                 util::Table::num(util::summarize(drt).mean, 1),
+                 util::Table::num(util::summarize(fetched).mean, 2)});
+    }
+  }
+  std::cout << t
+            << "Expected: hh fetches ~35% fewer block equivalents per "
+               "degraded read than rs at the\nsame (n,k), shrinking both the "
+               "degraded read time and LF's failure penalty, and\n"
+               "degraded-first scheduling (BDF/EDF) composes with all three "
+               "families.\n";
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "dfs/ec/cauchy.h"
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/lrc.h"
 #include "dfs/ec/reed_solomon.h"
 #include "dfs/util/rng.h"
@@ -141,15 +142,72 @@ void BM_LrcLocalRepair(benchmark::State& state) {
 }
 BENCHMARK(BM_LrcLocalRepair)->Arg(65536);
 
-void BM_PlanRead_20_15(benchmark::State& state) {
+void BM_HitchhikerEncode_12_10(benchmark::State& state) {
+  const auto code = dfs::ec::make_hitchhiker_xor(12, 10);
+  const auto data =
+      random_shards(10, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parity = code->encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)) * 10);
+}
+BENCHMARK(BM_HitchhikerEncode_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_HitchhikerSubShardRepair_12_10(benchmark::State& state) {
+  // Repair of data shard 0 from the planner's sub-shard recovery set: the
+  // decoder sees half-shards for most sources instead of k full shards.
+  const dfs::ec::HitchhikerXorCode code(12, 10);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto data = random_shards(10, len);
+  std::vector<Shard> stripe = data;
+  for (auto& p : code.encode(data)) stripe.push_back(std::move(p));
+
+  std::vector<int> available;
+  for (int i = 1; i < 12; ++i) available.push_back(i);
+  const auto plan = code.recovery_plan(available, 0);
+  const auto& opt = plan->options.front();
+
+  // Slice each source down to the substripes the plan asks for.
+  const std::size_t half = len / 2;
+  std::vector<Shard> sliced;
+  sliced.reserve(opt.sources.size());
+  std::vector<dfs::ec::ErasureCode::PresentSlice> present;
+  for (const auto& src : opt.sources) {
+    const Shard& full = stripe[static_cast<std::size_t>(src.shard)];
+    if (src.substripes == code.full_substripe_mask()) {
+      sliced.emplace_back(full);
+    } else if (src.substripes == 0x1u) {
+      sliced.emplace_back(full.begin(),
+                          full.begin() + static_cast<std::ptrdiff_t>(half));
+    } else {
+      sliced.emplace_back(full.begin() + static_cast<std::ptrdiff_t>(half),
+                          full.end());
+    }
+  }
+  for (std::size_t i = 0; i < opt.sources.size(); ++i) {
+    present.push_back({opt.sources[i].shard, opt.sources[i].substripes,
+                       &sliced[i]});
+  }
+  for (auto _ : state) {
+    auto rebuilt = code.reconstruct_slices(present, {0});
+    benchmark::DoNotOptimize(rebuilt->front().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_HitchhikerSubShardRepair_12_10)->Arg(65536)->Arg(1 << 20);
+
+void BM_RecoveryPlan_20_15(benchmark::State& state) {
   const dfs::ec::ReedSolomonCode code(20, 15);
   std::vector<int> available;
   for (int i = 1; i < 20; ++i) available.push_back(i);
   for (auto _ : state) {
-    auto plan = code.plan_read(available, 0);
-    benchmark::DoNotOptimize(plan->data());
+    auto plan = code.recovery_plan(available, 0);
+    benchmark::DoNotOptimize(plan->options.data());
   }
 }
-BENCHMARK(BM_PlanRead_20_15);
+BENCHMARK(BM_RecoveryPlan_20_15);
 
 }  // namespace

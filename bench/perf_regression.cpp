@@ -1,8 +1,9 @@
-// perf_regression — machine-readable performance harness guarding the three
-// hot paths this repo optimizes: the discrete-event kernel (slab-allocated
+// perf_regression — machine-readable performance harness guarding the hot
+// paths this repo optimizes: the discrete-event kernel (slab-allocated
 // events + small-buffer callbacks), the fair-share network engine
 // (flow-class aggregation + component-scoped recompute + same-timestamp
-// batching), and the parallel sweep runner.
+// batching), the Hitchhiker-XOR coding kernels (encode + sub-shard repair
+// through the RecoveryPlan slice decoder), and the parallel sweep runner.
 //
 // It measures, in one process:
 //   * kernel micro: events/sec through sim::Simulator for a schedule+drain
@@ -52,6 +53,7 @@
 #include "common.h"
 #include "dfs/core/degraded_first.h"
 #include "dfs/core/locality_first.h"
+#include "dfs/ec/hitchhiker.h"
 #include "dfs/net/network.h"
 #include "dfs/net/topology.h"
 #include "dfs/sim/simulator.h"
@@ -573,6 +575,83 @@ std::pair<double, double> macro_cell(const mapreduce::ClusterConfig& cfg,
           bench::normalized_runtime_sample(cfg, job, failure, edf, seed)};
 }
 
+/// Hitchhiker-XOR coding throughput on hh:12,10 — encode bytes/sec over the
+/// data payload and sub-shard repair bytes/sec over the rebuilt shard. The
+/// repair leg drives the decoder exactly the way MapPhase does: take the
+/// planner's cheapest recovery option, slice each source to the substripes
+/// it asks for, and feed the half-shards to reconstruct_slices.
+struct HitchhikerRates {
+  double encode_bytes_per_sec = 0.0;
+  double reconstruct_bytes_per_sec = 0.0;
+};
+
+HitchhikerRates hitchhiker_rates(int reps, std::size_t shard_len) {
+  const ec::HitchhikerXorCode code(12, 10);
+  util::Rng rng(8191);
+  std::vector<ec::Shard> data(10, ec::Shard(shard_len));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  std::vector<ec::Shard> stripe = data;
+  for (auto& p : code.encode(data)) stripe.push_back(std::move(p));
+
+  std::vector<int> available;
+  for (int i = 1; i < 12; ++i) available.push_back(i);
+  const auto plan = code.recovery_plan(available, 0);
+  const auto& opt = plan->options.front();
+  const std::size_t half = shard_len / 2;
+  std::vector<ec::Shard> sliced;
+  sliced.reserve(opt.sources.size());
+  for (const auto& src : opt.sources) {
+    const ec::Shard& full = stripe[static_cast<std::size_t>(src.shard)];
+    if (src.substripes == code.full_substripe_mask()) {
+      sliced.emplace_back(full);
+    } else if (src.substripes == 0x1u) {
+      sliced.emplace_back(full.begin(),
+                          full.begin() + static_cast<std::ptrdiff_t>(half));
+    } else {
+      sliced.emplace_back(full.begin() + static_cast<std::ptrdiff_t>(half),
+                          full.end());
+    }
+  }
+  std::vector<ec::ErasureCode::PresentSlice> present;
+  for (std::size_t i = 0; i < opt.sources.size(); ++i) {
+    present.push_back(
+        {opt.sources[i].shard, opt.sources[i].substripes, &sliced[i]});
+  }
+
+  HitchhikerRates rates;
+  const int encode_iters = 16;
+  const int repair_iters = 64;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    for (int i = 0; i < encode_iters; ++i) {
+      auto parity = code.encode(data);
+      if (parity.empty()) std::abort();  // keep the loop observable
+    }
+    double elapsed = seconds_since(start);
+    if (elapsed > 0.0) {
+      rates.encode_bytes_per_sec =
+          std::max(rates.encode_bytes_per_sec,
+                   static_cast<double>(encode_iters) * 10.0 *
+                       static_cast<double>(shard_len) / elapsed);
+    }
+    start = Clock::now();
+    for (int i = 0; i < repair_iters; ++i) {
+      auto rebuilt = code.reconstruct_slices(present, {0});
+      if (!rebuilt || rebuilt->front().empty()) std::abort();
+    }
+    elapsed = seconds_since(start);
+    if (elapsed > 0.0) {
+      rates.reconstruct_bytes_per_sec =
+          std::max(rates.reconstruct_bytes_per_sec,
+                   static_cast<double>(repair_iters) *
+                       static_cast<double>(shard_len) / elapsed);
+    }
+  }
+  return rates;
+}
+
 /// Crude but sufficient extraction of `"key": <number>` following
 /// `"section"` in a JSON report this harness wrote. Returns 0 when absent.
 double extract_number(const std::string& json, const std::string& section,
@@ -663,6 +742,12 @@ int main(int argc, char** argv) {
                              legacy_net.completed == current_net.completed &&
                              legacy_net.ops == current_net.ops;
 
+  // --- ec micro -------------------------------------------------------------
+  const std::size_t shard_len = quick ? (64u << 10) : (256u << 10);
+  std::cerr << "ec: hitchhiker hh:12,10 encode + sub-shard repair, "
+            << (shard_len >> 10) << " KiB shards x " << reps << " reps\n";
+  const auto hh = hitchhiker_rates(reps, shard_len);
+
   // --- macro sweep ----------------------------------------------------------
   const auto cfg = workload::default_sim_cluster();
   std::cerr << "macro: fig7-style LF/EDF sweep, " << seeds
@@ -737,6 +822,15 @@ int main(int argc, char** argv) {
        << ",\n"
        << "    \"identical\": " << (net_identical ? "true" : "false") << "\n"
        << "  },\n"
+       << "  \"ec\": {\n"
+       << "    \"shard_bytes\": " << shard_len << ",\n"
+       << "    \"hh_encode\": {\n"
+       << "      \"events_per_sec\": " << hh.encode_bytes_per_sec << "\n"
+       << "    },\n"
+       << "    \"hh_reconstruct\": {\n"
+       << "      \"events_per_sec\": " << hh.reconstruct_bytes_per_sec << "\n"
+       << "    }\n"
+       << "  },\n"
        << "  \"macro\": {\n"
        << "    \"seeds\": " << seeds << ",\n"
        << "    \"serial_seconds\": " << serial_seconds << ",\n"
@@ -800,6 +894,8 @@ int main(int argc, char** argv) {
     gate("schedule_run", current_sched);
     gate("churn", current_churn);
     gate("network", current_net_rate);
+    gate("hh_encode", hh.encode_bytes_per_sec);
+    gate("hh_reconstruct", hh.reconstruct_bytes_per_sec);
     if (failed) return 1;
     std::cerr << "baseline check passed\n";
   }

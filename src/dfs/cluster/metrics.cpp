@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <set>
 
 #include "dfs/util/jsonl.h"
 #include "dfs/util/stats.h"
@@ -93,6 +94,29 @@ SteadyStateSummary summarize_steady_state(
         static_cast<double>(degraded) / static_cast<double>(total_tasks);
   }
 
+  // Recovery volume of the same measurement window: block equivalents
+  // actually fetched per recoverable degraded read.
+  std::set<mapreduce::JobId> measured;
+  for (const auto& j : run.jobs) {
+    if (!j.failed && j.finish_time >= 0.0 && j.submit_time >= warmup &&
+        j.submit_time <= horizon) {
+      measured.insert(j.id);
+    }
+  }
+  double fetched = 0.0;
+  int degraded_reads = 0;
+  for (const auto& t : run.map_tasks) {
+    if (t.kind != mapreduce::MapTaskKind::kDegraded || t.unrecoverable ||
+        measured.count(t.job) == 0) {
+      continue;
+    }
+    for (const auto& src : t.sources) fetched += src.fraction;
+    ++degraded_reads;
+  }
+  if (degraded_reads > 0) {
+    s.mean_degraded_fetch_blocks = fetched / degraded_reads;
+  }
+
   s.failures_injected = static_cast<int>(failures.size());
   for (const auto& f : failures) {
     if (f.rack) ++s.rack_failures;
@@ -130,8 +154,12 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
       .field("latency_p99", s.latency_p99)
       .field("latency_mean", s.latency_mean)
       .field("mean_job_runtime", s.mean_job_runtime)
-      .field("degraded_task_fraction", s.degraded_task_fraction)
-      .field("failures_injected", s.failures_injected)
+      .field("degraded_task_fraction", s.degraded_task_fraction);
+  // Gated so default output stays byte-identical to pre-RecoveryPlan runs.
+  if (result.report_recovery_stats) {
+    w.field("mean_degraded_fetch_blocks", s.mean_degraded_fetch_blocks);
+  }
+  w.field("failures_injected", s.failures_injected)
       .field("rack_failures", s.rack_failures)
       .field("blocks_repaired", s.blocks_repaired)
       .field("blocks_unrecoverable", s.blocks_unrecoverable)

@@ -72,6 +72,11 @@ struct SteadyStateSummary {
   double mean_job_runtime = 0.0;  ///< first-map-launch-to-finish
   /// Fraction of the measured jobs' map tasks that ran degraded.
   double degraded_task_fraction = 0.0;
+  /// Mean block equivalents fetched per recoverable degraded read of the
+  /// measured jobs (sum of RecoveryPlan source fractions — fractional for
+  /// sub-shard codes like Hitchhiker, k for plain RS). 0 when no degraded
+  /// task ran. Only written to JSONL when `report_recovery_stats` is set.
+  double mean_degraded_fetch_blocks = 0.0;
   int failures_injected = 0;
   int rack_failures = 0;
   int blocks_repaired = 0;
@@ -96,6 +101,9 @@ struct ClusterResult {
   /// earlier versions.
   net::Network::Stats net_stats;
   bool report_net_stats = false;
+  /// Adds the summary's recovery-volume field to JSONL; gated so default
+  /// output stays byte-identical to pre-RecoveryPlan versions.
+  bool report_recovery_stats = false;
 };
 
 /// Computes the summary from the run's records plus the lifecycle/timeline

@@ -37,11 +37,30 @@ bool DegradedFirstScheduler::pacing_allows_degraded(
     const SchedulerContext& ctx, JobId job) const {
   const long m = ctx.launched_maps(job);
   const long big_m = ctx.total_maps(job);
-  const long md = ctx.launched_degraded(job);
-  const long big_md = ctx.total_degraded(job);
-  if (big_md == 0 || big_m == 0) return false;
-  // m/M >= m_d/M_d, compared exactly via cross-multiplication.
-  return m * big_md >= md * big_m;
+  const double md = ctx.launched_degraded_cost(job);
+  const double big_md = ctx.total_degraded_cost(job);
+  if (big_md <= 0.0 || big_m == 0) return false;
+  // Once every normal map has launched there is nothing left to pace
+  // degraded work against; the gate must stay open or the degraded tail
+  // livelocks. With count-based costs this was implied: all normals
+  // launched means m = (M - M_d) + m_d, and (M-M_d+m_d)·M_d >= m_d·M
+  // reduces to M_d >= m_d, always true. Launched *cost* however can exceed
+  // the pro-rata share when individual plans come in above the
+  // single-failure expectation — e.g. an LRC group broken by a second
+  // failure decodes globally at cost k instead of the local-group cost —
+  // so the tail guarantee has to be explicit. For fixed-cost codes the
+  // cross-multiplication below is already true whenever this fires, so the
+  // clause is behavior-neutral for them.
+  if (m - ctx.launched_degraded(job) >= big_m - ctx.total_degraded(job)) {
+    return true;
+  }
+  // m/M >= m_d/M_d, compared via cross-multiplication. The degraded terms
+  // are cost-weighted (blocks fetched, not task counts) so codes with cheap
+  // sub-shard repairs pace their degraded launches proportionally faster.
+  // For fixed-cost codes every degraded task costs the same c, c factors
+  // out of both sides and the comparison is exactly the paper's integer
+  // rule (the products stay far below 2^53, so doubles compare exactly).
+  return static_cast<double>(m) * big_md >= md * static_cast<double>(big_m);
 }
 
 bool DegradedFirstScheduler::assign_to_slave(const SchedulerContext& ctx,

@@ -64,6 +64,18 @@ class SchedulerContext {
   virtual long total_maps(JobId job) const = 0;         ///< M
   virtual long launched_degraded(JobId job) const = 0;  ///< m_d
   virtual long total_degraded(JobId job) const = 0;     ///< M_d
+  /// Cost-weighted pacing numerators for codes whose degraded reads fetch
+  /// variable volumes (sub-shard repair): the blocks actually fetched by
+  /// launched degraded tasks, and the expected fetch volume of all degraded
+  /// tasks. The defaults weigh every task at 1 (plain task counts), which is
+  /// exactly the paper's fixed-cost m_d/M_d rule; the Master overrides them
+  /// with measured per-plan volumes.
+  virtual double launched_degraded_cost(JobId job) const {
+    return static_cast<double>(launched_degraded(job));
+  }
+  virtual double total_degraded_cost(JobId job) const {
+    return static_cast<double>(total_degraded(job));
+  }
 
   // --- enhanced heuristics (Algorithm 3) --------------------------------------
   /// t_s: estimated processing time of the unassigned map tasks local to

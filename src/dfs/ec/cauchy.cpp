@@ -207,12 +207,12 @@ std::optional<std::vector<Shard>> CauchyReedSolomonCode::reconstruct(
   return out;
 }
 
-std::optional<std::vector<int>> CauchyReedSolomonCode::plan_read(
+std::optional<RecoveryPlan> CauchyReedSolomonCode::recovery_plan(
     const std::vector<int>& available, int lost) const {
   if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
   if (std::find(available.begin(), available.end(), lost) !=
       available.end()) {
-    return std::vector<int>{lost};
+    return RecoveryPlan{{full_shard_option({lost})}};
   }
   BitSolver solver(static_cast<std::size_t>(words_per_row_),
                    available.size() * kW);
@@ -234,7 +234,7 @@ std::optional<std::vector<int>> CauchyReedSolomonCode::plan_read(
   for (std::size_t i = 0; i < available.size(); ++i) {
     if (used[i]) chosen.push_back(available[i]);
   }
-  return chosen;
+  return RecoveryPlan{{full_shard_option(chosen)}};
 }
 
 std::unique_ptr<ErasureCode> make_cauchy_reed_solomon(int n, int k) {

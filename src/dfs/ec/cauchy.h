@@ -26,7 +26,7 @@ class CauchyReedSolomonCode : public ErasureCode {
       const std::vector<std::pair<int, const Shard*>>& present,
       const std::vector<int>& want) const override;
 
-  std::optional<std::vector<int>> plan_read(
+  std::optional<RecoveryPlan> recovery_plan(
       const std::vector<int>& available, int lost) const override;
 
   /// The underlying binary generator, (n*8) x (k*8); row-major bits. Exposed

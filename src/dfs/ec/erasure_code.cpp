@@ -21,4 +21,30 @@ void ErasureCode::check_encode_args(const std::vector<Shard>& data) const {
   }
 }
 
+RecoveryOption ErasureCode::full_shard_option(
+    const std::vector<int>& shards) const {
+  RecoveryOption opt;
+  opt.sources.reserve(shards.size());
+  for (const int s : shards) {
+    opt.sources.push_back(RecoverySource{s, full_substripe_mask(), 1.0});
+  }
+  return opt;
+}
+
+std::optional<std::vector<Shard>> ErasureCode::reconstruct_slices(
+    const std::vector<PresentSlice>& present,
+    const std::vector<int>& want) const {
+  std::vector<std::pair<int, const Shard*>> full;
+  full.reserve(present.size());
+  for (const PresentSlice& p : present) {
+    if (p.substripes != full_substripe_mask()) {
+      throw std::invalid_argument(
+          "reconstruct_slices: this code has no substripes; slices must "
+          "carry the whole shard");
+    }
+    full.emplace_back(p.shard, p.bytes);
+  }
+  return reconstruct(full, want);
+}
+
 }  // namespace dfs::ec

@@ -12,6 +12,35 @@ namespace dfs::ec {
 /// One erasure-coded shard ("block" in the paper's storage terminology).
 using Shard = std::vector<std::uint8_t>;
 
+/// One source fetch of a candidate reconstruction: which surviving shard to
+/// read, which of its substripes (bitmask, bit s = substripe s), and what
+/// fraction of a full shard's bytes that amounts to. Codes without
+/// substriping always use mask 0x1 and fraction 1.0.
+struct RecoverySource {
+  int shard = -1;
+  unsigned substripes = 0x1;
+  double fraction = 1.0;
+};
+
+/// One complete way to rebuild a lost shard: fetch every source listed.
+struct RecoveryOption {
+  std::vector<RecoverySource> sources;
+
+  /// Total bytes fetched, in units of one full shard.
+  double total_fraction() const {
+    double sum = 0.0;
+    for (const RecoverySource& s : sources) sum += s.fraction;
+    return sum;
+  }
+};
+
+/// All candidate reconstruction sets a code offers for one lost shard, in
+/// the code's preference order (a cost-model planner breaks ties toward the
+/// earliest option). Never empty when returned.
+struct RecoveryPlan {
+  std::vector<RecoveryOption> options;
+};
+
 /// Interface of an (n, k) erasure code: k native shards are encoded into
 /// n - k parity shards, and lost shards are rebuilt from survivors.
 ///
@@ -41,20 +70,49 @@ class ErasureCode {
       const std::vector<std::pair<int, const Shard*>>& present,
       const std::vector<int>& want) const = 0;
 
-  /// Degraded-read planning (no data movement): choose which of the
-  /// `available` shard indices to fetch in order to rebuild shard `lost`.
-  /// The available list is in the caller's preference order (e.g. same-rack
-  /// sources first) and implementations honor it where the code allows.
-  /// Returns nullopt if `lost` cannot be rebuilt from `available`.
-  virtual std::optional<std::vector<int>> plan_read(
+  /// Number of equal substripes each shard divides into for repair purposes.
+  /// 1 for plain codes; 2 for piggybacked codes like Hitchhiker-XOR, whose
+  /// repair reads only half of most surviving shards.
+  virtual int substripe_count() const { return 1; }
+
+  /// Bitmask selecting every substripe of this code.
+  unsigned full_substripe_mask() const {
+    return (1u << static_cast<unsigned>(substripe_count())) - 1u;
+  }
+
+  /// Degraded-read planning (no data movement): the candidate source sets
+  /// that can rebuild shard `lost` out of the `available` shard indices.
+  /// `available` is in the caller's preference order (e.g. same-rack sources
+  /// first) and implementations honor it within each option where the code
+  /// allows. Returns nullopt if `lost` cannot be rebuilt from `available`;
+  /// a returned plan has at least one option.
+  virtual std::optional<RecoveryPlan> recovery_plan(
       const std::vector<int>& available, int lost) const = 0;
 
-  /// Number of shards a single-shard degraded read must fetch when all other
-  /// shards are available (k for MDS codes, the locality-group size for LRC).
-  virtual int single_failure_read_cost() const { return k_; }
+  /// One fetched slice of a surviving shard: the shard index, which
+  /// substripes were fetched (bitmask), and their bytes — the fetched
+  /// substripes concatenated in ascending substripe order.
+  struct PresentSlice {
+    int shard = -1;
+    unsigned substripes = 0x1;
+    const Shard* bytes = nullptr;
+  };
+
+  /// Substripe-aware decode: rebuild the full shards listed in `want` from
+  /// partially-fetched survivors (exactly what a RecoveryOption told the
+  /// caller to download). The default implementation requires every slice to
+  /// carry all substripes and delegates to reconstruct(); substriped codes
+  /// override it.
+  virtual std::optional<std::vector<Shard>> reconstruct_slices(
+      const std::vector<PresentSlice>& present,
+      const std::vector<int>& want) const;
 
  protected:
   void check_encode_args(const std::vector<Shard>& data) const;
+
+  /// A single RecoveryOption fetching the given shards whole (every
+  /// substripe, fraction 1.0), preserving their order.
+  RecoveryOption full_shard_option(const std::vector<int>& shards) const;
 
  private:
   int n_;

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+
+#include "dfs/ec/linear_code.h"
+
+namespace dfs::ec {
+
+/// Hitchhiker-XOR (Rashmi et al., SIGCOMM 2014): a systematic Reed-Solomon
+/// code "piggybacked" over two substripes so that repairing a single lost
+/// data shard downloads roughly half the bytes a plain RS repair would.
+///
+/// Every shard i stores two half-shards (a_i, b_i). The a-halves and the
+/// b-halves are each a stripe of the underlying RS(n, k); additionally each
+/// parity j >= 1 XORs the a-halves of its piggyback group G_j (the data
+/// shards [0, k) are partitioned among parities 1..r-1) into its b-half:
+///
+///   parity 0:      ( p_0(a),  p_0(b) )
+///   parity j >= 1: ( p_j(a),  p_j(b) + XOR_{i in G_j} a_i )
+///
+/// Repairing data shard m in group G_g then needs only
+///   - the b-halves of every other data shard and of parity 0
+///     (decode b_m via the b-substripe RS code),
+///   - the b-half of parity g (peel p_g(b) off the piggyback),
+///   - the a-halves of the other members of G_g (solve the XOR for a_m),
+/// i.e. (k + |G_g|) / 2 full-shard equivalents instead of k — surfaced to
+/// the planner as a sub-shard RecoveryOption with half fractions.
+///
+/// Internally the two substripes are one (2n, 2k) systematic linear code
+/// over GF(2^8) (symbol order a_0, b_0, a_1, b_1, ...), so encode, decode
+/// and the full-shard fallback plan reuse the LinearCode machinery. Any
+/// n - k full-shard erasures remain decodable (the piggyback is invertible
+/// once the a-substripe is solved), matching RS fault tolerance.
+///
+/// Requires n - k >= 2 (parity 0 must stay piggyback-free); the sub-shard
+/// savings grow with n - k as the groups shrink. Shard lengths must be even.
+class HitchhikerXorCode : public ErasureCode {
+ public:
+  HitchhikerXorCode(int n, int k);
+
+  std::string name() const override;
+
+  std::vector<Shard> encode(const std::vector<Shard>& data) const override;
+
+  std::optional<std::vector<Shard>> reconstruct(
+      const std::vector<std::pair<int, const Shard*>>& present,
+      const std::vector<int>& want) const override;
+
+  std::optional<std::vector<Shard>> reconstruct_slices(
+      const std::vector<PresentSlice>& present,
+      const std::vector<int>& want) const override;
+
+  std::optional<RecoveryPlan> recovery_plan(
+      const std::vector<int>& available, int lost) const override;
+
+  int substripe_count() const override { return 2; }
+
+  /// Piggyback groups partition the k data shards among parities 1..r-1.
+  int piggyback_groups() const { return parity_count() - 1; }
+  /// Group index in [0, piggyback_groups()) of a data shard; the group's
+  /// piggyback rides on parity 1 + group.
+  int group_of(int data_shard) const;
+  int group_size(int group) const;
+
+  /// The (2n, 2k) half-shard code backing this construction (for tests).
+  const LinearCode& inner() const { return inner_; }
+
+ private:
+  LinearCode inner_;
+};
+
+std::unique_ptr<ErasureCode> make_hitchhiker_xor(int n, int k);
+
+}  // namespace dfs::ec

@@ -18,7 +18,7 @@ namespace detail {
 ///
 /// Rows are processed in the caller's order and later rows that are linearly
 /// dependent on earlier ones never become pivots — this is what makes
-/// plan_read honor the caller's source-preference order.
+/// recovery_plan honor the caller's source-preference order.
 template <typename F>
 class RowSolver {
  public:
@@ -180,10 +180,12 @@ class BasicLinearCode : public ErasureCode {
     return out;
   }
 
-  std::optional<std::vector<int>> plan_read(
+  std::optional<RecoveryPlan> recovery_plan(
       const std::vector<int>& available, int lost) const override {
     if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
-    return spanning_subset(available, lost);
+    auto chosen = spanning_subset(available, lost);
+    if (!chosen) return std::nullopt;
+    return RecoveryPlan{{full_shard_option(*chosen)}};
   }
 
   const BasicMatrix<F>& generator() const { return generator_; }

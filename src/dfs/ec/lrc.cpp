@@ -34,17 +34,18 @@ LocalReconstructionCode::LocalReconstructionCode(int k, int l, int r)
     : LinearCode(k + l + r, k, lrc_generator(k, l, r), lrc_name(k, l, r)),
       l_(l) {}
 
-std::optional<std::vector<int>> LocalReconstructionCode::plan_read(
+std::optional<RecoveryPlan> LocalReconstructionCode::recovery_plan(
     const std::vector<int>& available, int lost) const {
   if (lost < 0 || lost >= n()) throw std::invalid_argument("bad lost index");
   if (std::find(available.begin(), available.end(), lost) !=
       available.end()) {
-    return std::vector<int>{lost};
+    return RecoveryPlan{{full_shard_option({lost})}};
   }
   auto is_available = [&](int id) {
     return std::find(available.begin(), available.end(), id) !=
            available.end();
   };
+  RecoveryPlan plan;
   // Local repair first: a native shard (or a local parity) can be rebuilt
   // from the rest of its group if every other member survives.
   const int gsz = group_size();
@@ -62,11 +63,17 @@ std::optional<std::vector<int>> LocalReconstructionCode::plan_read(
     }
     const int local_parity = k() + grp;
     if (local_parity != lost) local.push_back(local_parity);
-    if (std::all_of(local.begin(), local.end(), is_available)) return local;
+    if (std::all_of(local.begin(), local.end(), is_available)) {
+      plan.options.push_back(full_shard_option(local));
+    }
   }
-  // Otherwise fall back to the general matrix decode over the caller's
-  // preference order.
-  return LinearCode::plan_read(available, lost);
+  // The general matrix decode over the caller's preference order, as a
+  // second candidate (the only one for global parities or broken groups).
+  if (auto global = LinearCode::recovery_plan(available, lost)) {
+    plan.options.push_back(std::move(global->options.front()));
+  }
+  if (plan.options.empty()) return std::nullopt;
+  return plan;
 }
 
 std::unique_ptr<ErasureCode> make_lrc(int k, int l, int r) {

@@ -26,10 +26,12 @@ class LocalReconstructionCode : public LinearCode {
   int group_size() const { return k() / l_; }
   int group_of(int native_shard) const { return native_shard / group_size(); }
 
-  std::optional<std::vector<int>> plan_read(
+  /// Offers up to two candidate options: the local-group rebuild (group
+  /// members + local parity, k/l shards) first, then the general matrix
+  /// decode over the caller's preference order. A cost-model planner picks
+  /// local on ties, preserving the footnote-1 behavior.
+  std::optional<RecoveryPlan> recovery_plan(
       const std::vector<int>& available, int lost) const override;
-
-  int single_failure_read_cost() const override { return group_size(); }
 
  private:
   int l_;

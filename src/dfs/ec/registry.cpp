@@ -1,9 +1,13 @@
 #include "dfs/ec/registry.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "dfs/ec/cauchy.h"
+#include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/lrc.h"
 #include "dfs/ec/reed_solomon.h"
 #include "dfs/ec/wide_rs.h"
@@ -11,16 +15,40 @@
 
 namespace dfs::ec {
 
+namespace {
+
+/// Strict whole-string decimal parse; nullopt on empty input, stray
+/// characters, or overflow — a malformed spec, not an invalid parameter.
+std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  if (v < static_cast<long>(std::numeric_limits<int>::min()) ||
+      v > static_cast<long>(std::numeric_limits<int>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
 std::shared_ptr<ErasureCode> make_code_from_spec(const std::string& spec) {
   const auto colon = spec.find(':');
   const std::string family = spec.substr(0, colon);
-  const std::vector<std::string> params =
+  const std::vector<std::string> raw =
       colon == std::string::npos
           ? std::vector<std::string>{}
           : util::split(spec.substr(colon + 1), ',');
-  const auto num = [&](std::size_t i) {
-    return std::atoi(params[i].c_str());
-  };
+  std::vector<int> params;
+  params.reserve(raw.size());
+  for (const std::string& p : raw) {
+    const auto v = parse_int(p);
+    if (!v) return nullptr;  // non-numeric parameter: malformed spec
+    params.push_back(*v);
+  }
+  const auto num = [&](std::size_t i) { return params[i]; };
   if (family == "rs" && params.size() == 2) {
     return make_reed_solomon(num(0), num(1));
   }
@@ -33,6 +61,9 @@ std::shared_ptr<ErasureCode> make_code_from_spec(const std::string& spec) {
   if (family == "lrc" && params.size() == 3) {
     return make_lrc(num(0), num(1), num(2));
   }
+  if (family == "hh" && params.size() == 2) {
+    return make_hitchhiker_xor(num(0), num(1));
+  }
   if (family == "xor" && params.size() == 1) {
     return make_single_parity(num(0));
   }
@@ -43,7 +74,7 @@ std::shared_ptr<ErasureCode> make_code_from_spec(const std::string& spec) {
 }
 
 const char* code_spec_help() {
-  return "rs:n,k | rs16:n,k | crs:n,k | lrc:k,l,r | xor:k | rep:r";
+  return "rs:n,k | rs16:n,k | crs:n,k | lrc:k,l,r | hh:n,k | xor:k | rep:r";
 }
 
 }  // namespace dfs::ec

@@ -52,15 +52,38 @@ const ec::Shard& ByteBlockStore::native(int i) const {
 ec::Shard ByteBlockStore::reconstruct(
     storage::BlockId lost,
     const std::vector<storage::DegradedSource>& sources) const {
-  std::vector<std::pair<int, const ec::Shard*>> present;
+  // Hand the decoder exactly the bytes the plan said to download: for a
+  // sub-shard source, slice out just its fetched substripes — this verifies
+  // end-to-end that partial fetches really suffice to rebuild the block.
+  const int parts = code_.substripe_count();
+  const std::size_t sub = block_bytes_ / static_cast<std::size_t>(parts);
+  std::vector<ec::Shard> sliced(sources.size());
+  std::vector<ec::ErasureCode::PresentSlice> present;
   present.reserve(sources.size());
-  for (const auto& src : sources) {
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto& src = sources[i];
     if (src.block.stripe != lost.stripe) {
       throw std::invalid_argument("source from a different stripe");
     }
-    present.emplace_back(src.block.index, &shard(src.block));
+    const ec::Shard& full = shard(src.block);
+    const ec::Shard* bytes = &full;
+    if (src.substripes != code_.full_substripe_mask()) {
+      ec::Shard& slice = sliced[i];
+      for (int s = 0; s < parts; ++s) {
+        if (!(src.substripes & (1u << static_cast<unsigned>(s)))) continue;
+        slice.insert(slice.end(),
+                     full.begin() + static_cast<std::ptrdiff_t>(
+                                        static_cast<std::size_t>(s) * sub),
+                     full.begin() + static_cast<std::ptrdiff_t>(
+                                        (static_cast<std::size_t>(s) + 1) *
+                                        sub));
+      }
+      bytes = &slice;
+    }
+    present.push_back(ec::ErasureCode::PresentSlice{src.block.index,
+                                                    src.substripes, bytes});
   }
-  auto rebuilt = code_.reconstruct(present, {lost.index});
+  auto rebuilt = code_.reconstruct_slices(present, {lost.index});
   if (!rebuilt) {
     throw std::runtime_error("degraded read sources cannot decode the block");
   }

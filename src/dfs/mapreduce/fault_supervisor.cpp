@@ -425,7 +425,7 @@ void FaultSupervisor::replan_inflight_reads(NodeId node) {
           std::make_shared<int>(static_cast<int>(rec.sources.size()));
       for (const auto& src : rec.sources) {
         const net::FlowId flow = s_.net.transfer(
-            src.node, rec.exec_node, s_.cfg.block_size,
+            src.node, rec.exec_node, s_.cfg.block_size * src.fraction,
             [this, job_id, record_idx, map_idx, remaining] {
               if (--*remaining == 0) {
                 map_->on_map_input_ready(job_id, record_idx, map_idx);

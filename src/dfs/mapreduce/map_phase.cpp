@@ -278,6 +278,7 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
     // (m, m_d), the per-kind task counts, or the first-launch milestone.
     t.record = record_idx;
     t.launched_kind = kind;
+    t.launched_cost = 0.0;  // degraded launches overwrite once planned
     ++j.m;
     if (kind == MapTaskKind::kDegraded) ++j.md;
     if (j.metrics.first_map_launch < 0.0) {
@@ -310,6 +311,18 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
 
   if (kind == MapTaskKind::kDegraded) {
     auto sources = j.planner->plan(t.block, s, s_.failure, j.rng);
+    if (!backup) {
+      // Cost-weighted pacing: charge the blocks this plan actually fetches
+      // (an unrecoverable plan is charged at the expected volume so the
+      // m_d/M_d ratio stays consistent with its total_md entry).
+      double plan_blocks = j.expected_degraded_cost;
+      if (sources) {
+        plan_blocks = 0.0;
+        for (const auto& src : *sources) plan_blocks += src.fraction;
+      }
+      t.launched_cost = plan_blocks;
+      j.md_cost += plan_blocks;
+    }
     if (!sources) {
       rec.unrecoverable = true;
       rec.fetch_done_time = s_.sim.now();
@@ -325,13 +338,14 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
     rec.sources = *sources;
     s_.result.map_tasks.push_back(std::move(rec));
     // Fetch all source blocks in parallel; input ready when the last lands.
+    // Sub-shard plans download only src.fraction of each block.
     auto remaining = std::make_shared<int>(static_cast<int>(
         s_.result.map_tasks[static_cast<std::size_t>(record_idx)]
             .sources.size()));
     for (const auto& src :
          s_.result.map_tasks[static_cast<std::size_t>(record_idx)].sources) {
       const net::FlowId flow = s_.net.transfer(
-          src.node, s, s_.cfg.block_size,
+          src.node, s, s_.cfg.block_size * src.fraction,
           [this, job_id, record_idx, map_idx, remaining] {
             if (--*remaining == 0) {
               on_map_input_ready(job_id, record_idx, map_idx);
@@ -513,7 +527,11 @@ void MapPhase::try_speculate(NodeId s) {
 
 void MapPhase::unlaunch_map(JobState& j, MapTaskState& t) {
   --j.m;
-  if (t.launched_kind == MapTaskKind::kDegraded) --j.md;
+  if (t.launched_kind == MapTaskKind::kDegraded) {
+    --j.md;
+    j.md_cost -= t.launched_cost;
+  }
+  t.launched_cost = 0.0;
 }
 
 }  // namespace dfs::mapreduce

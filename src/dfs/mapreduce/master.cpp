@@ -10,14 +10,16 @@ Master::Master(sim::Simulator& simulator, net::Network& network,
                const ClusterConfig& config,
                const storage::FailureScenario& failure,
                core::Scheduler& scheduler, util::Rng& rng,
-               storage::SourceSelection source_selection)
+               storage::SourceSelection source_selection,
+               storage::RecoveryCostModel cost_model)
     : state_(simulator, network, config, failure),
       map_(state_),
       shuffle_(state_),
       fault_(state_),
       scheduler_(scheduler),
       rng_(rng),
-      source_selection_(source_selection) {
+      source_selection_(source_selection),
+      cost_model_(cost_model) {
   state_.hooks = &hooks;
   map_.wire(shuffle_, fault_);
   shuffle_.wire(fault_);
@@ -51,7 +53,9 @@ void Master::submit(const JobInput& input) {
   j.layout = input.layout;
   j.code = input.code;
   j.planner = std::make_unique<storage::DegradedReadPlanner>(
-      *j.layout, state_.cfg.topology, *j.code, source_selection_);
+      *j.layout, state_.cfg.topology, *j.code, source_selection_,
+      cost_model_);
+  j.expected_degraded_cost = j.planner->expected_single_failure_blocks();
   j.rng = rng_.fork();
   j.metrics.id = j.spec.id;
   j.metrics.submit_time = j.spec.submit_time;
@@ -225,6 +229,13 @@ long Master::launched_degraded(core::JobId id) const {
 }
 long Master::total_degraded(core::JobId id) const {
   return state_.job(id).total_md;
+}
+double Master::launched_degraded_cost(core::JobId id) const {
+  return state_.job(id).md_cost;
+}
+double Master::total_degraded_cost(core::JobId id) const {
+  const JobState& j = state_.job(id);
+  return static_cast<double>(j.total_md) * j.expected_degraded_cost;
 }
 
 util::Seconds Master::local_work_seconds(NodeId s) const {

@@ -27,7 +27,9 @@ class Master final : public core::SchedulerContext {
          const ClusterConfig& config, const storage::FailureScenario& failure,
          core::Scheduler& scheduler, util::Rng& rng,
          storage::SourceSelection source_selection =
-             storage::SourceSelection::kRandom);
+             storage::SourceSelection::kRandom,
+         storage::RecoveryCostModel cost_model =
+             storage::RecoveryCostModel{});
 
   Master(const Master&) = delete;
   Master& operator=(const Master&) = delete;
@@ -101,6 +103,8 @@ class Master final : public core::SchedulerContext {
   long total_maps(core::JobId job) const override;
   long launched_degraded(core::JobId job) const override;
   long total_degraded(core::JobId job) const override;
+  double launched_degraded_cost(core::JobId job) const override;
+  double total_degraded_cost(core::JobId job) const override;
   util::Seconds local_work_seconds(NodeId slave) const override;
   util::Seconds mean_local_work_seconds() const override;
   util::Seconds time_since_last_degraded(RackId rack) const override;
@@ -121,6 +125,7 @@ class Master final : public core::SchedulerContext {
   core::Scheduler& scheduler_;
   util::Rng& rng_;
   storage::SourceSelection source_selection_;
+  storage::RecoveryCostModel cost_model_;
   bool started_ = false;
   /// True while further submissions may arrive (online mode); heartbeat
   /// loops keep running through idle periods until admission closes and all

@@ -49,6 +49,10 @@ struct MapTaskState {
   /// drifts while running (e.g. its copy fails mid-attempt) still reverses
   /// exactly what its launch added.
   MapTaskKind launched_kind = MapTaskKind::kNodeLocal;
+  /// Blocks the current non-backup attempt's degraded read fetches (sum of
+  /// its plan's fractions; the job's expected volume when the plan failed),
+  /// 0.0 for non-degraded launches. unlaunch_map reverses exactly this.
+  double launched_cost = 0.0;
   /// Surviving nodes a readable copy of the input can be fetched from.
   /// One entry (the native home) for k > 1 codes; every surviving shard
   /// holder for k == 1 (replication) layouts, where any copy serves.
@@ -111,6 +115,12 @@ struct JobState {
   long md = 0;   ///< launched degraded tasks
   long total_m = 0;
   long total_md = 0;
+  /// Blocks fetched by launched degraded tasks (cost-weighted m_d): each
+  /// launch adds its actual plan volume, so sub-shard codes pace faster.
+  double md_cost = 0.0;
+  /// Expected fetch volume of one degraded task (planner's cached mean);
+  /// total_md * expected_degraded_cost is the cost-weighted M_d.
+  double expected_degraded_cost = 0.0;
   long maps_done = 0;
   double completed_map_runtime_sum = 0.0;  ///< winners only, for speculation
 

@@ -66,6 +66,23 @@ double RunResult::mean_degraded_read_time() const {
   return count > 0 ? sum / count : 0.0;
 }
 
+double RunResult::degraded_fetch_blocks() const {
+  double sum = 0.0;
+  for (const auto& t : map_tasks) {
+    if (t.kind != MapTaskKind::kDegraded) continue;
+    for (const auto& src : t.sources) sum += src.fraction;
+  }
+  return sum;
+}
+
+double RunResult::mean_degraded_fetch_blocks() const {
+  int count = 0;
+  for (const auto& t : map_tasks) {
+    if (t.kind == MapTaskKind::kDegraded && !t.unrecoverable) ++count;
+  }
+  return count > 0 ? degraded_fetch_blocks() / count : 0.0;
+}
+
 double RunResult::mean_reduce_runtime() const {
   double sum = 0.0;
   int count = 0;

@@ -103,6 +103,12 @@ struct RunResult {
   double mean_normal_map_runtime() const;
   /// Mean degraded read time over degraded tasks; 0 if none.
   double mean_degraded_read_time() const;
+  /// Total blocks downloaded by degraded reads (sum of per-source fetch
+  /// fractions over every degraded attempt): k per read for MDS codes, less
+  /// for locality/sub-shard codes (LRC, Hitchhiker-XOR).
+  double degraded_fetch_blocks() const;
+  /// degraded_fetch_blocks() per degraded attempt; 0 if none ran.
+  double mean_degraded_fetch_blocks() const;
   double mean_reduce_runtime() const;
   int count_map_tasks(MapTaskKind kind) const;
   /// Speculative backup attempts launched / wasted (lost the race).

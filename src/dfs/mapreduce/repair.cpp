@@ -82,7 +82,7 @@ void RepairProcess::repair_block(storage::BlockId block) {
   InFlightRepair rep;
   rep.block = block;
   rep.target = target;
-  for (const auto& src : *sources) rep.sources.push_back(src.node);
+  rep.sources = std::move(*sources);
   rep.remaining = static_cast<int>(rep.sources.size());
   active_repairs_.emplace(rid, std::move(rep));
   start_repair_transfers(rid);
@@ -92,9 +92,9 @@ void RepairProcess::start_repair_transfers(int rid) {
   InFlightRepair& rep = active_repairs_.at(rid);
   // All k fetches start at one timestamp, so the fair-share engine folds
   // them into a single batched rate recompute rather than k successive ones.
-  for (const net::NodeId src : rep.sources) {
-    const net::FlowId flow =
-        net_.transfer(src, rep.target, block_size_, [this, rid] {
+  for (const auto& src : rep.sources) {
+    const net::FlowId flow = net_.transfer(
+        src.node, rep.target, block_size_ * src.fraction, [this, rid] {
           const auto it = active_repairs_.find(rid);
           // The repair was abandoned or re-planned under a new id while
           // this (uncancellable zero-time) transfer was in flight.
@@ -131,8 +131,10 @@ void RepairProcess::on_node_failed(net::NodeId node) {
       launch_next();
       continue;
     }
-    if (std::find(rep.sources.begin(), rep.sources.end(), node) ==
-        rep.sources.end()) {
+    if (std::none_of(rep.sources.begin(), rep.sources.end(),
+                     [node](const storage::DegradedSource& s) {
+                       return s.node == node;
+                     })) {
       continue;
     }
     // A read source died: re-plan from the surviving stripe blocks. The old
@@ -153,7 +155,7 @@ void RepairProcess::on_node_failed(net::NodeId node) {
     InFlightRepair fresh;
     fresh.block = block;
     fresh.target = target;
-    for (const auto& src : *sources) fresh.sources.push_back(src.node);
+    fresh.sources = std::move(*sources);
     fresh.remaining = static_cast<int>(fresh.sources.size());
     active_repairs_.emplace(new_rid, std::move(fresh));
     start_repair_transfers(new_rid);

@@ -77,8 +77,10 @@ class RepairProcess {
   /// superseded plan cannot touch the replanned attempt.
   struct InFlightRepair {
     storage::BlockId block{};
-    net::NodeId target = -1;
-    std::vector<net::NodeId> sources;
+    net::NodeId target = net::kInvalidNode;
+    /// The plan's sources, with per-source fetch fractions: sub-shard codes
+    /// rebuild a whole block while reading only partial survivors.
+    std::vector<storage::DegradedSource> sources;
     std::vector<net::FlowId> flows;
     int remaining = 0;
   };

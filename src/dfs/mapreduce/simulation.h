@@ -23,7 +23,9 @@ class MapReduceSimulation {
                       storage::FailureScenario failure,
                       core::Scheduler& scheduler, std::uint64_t seed,
                       storage::SourceSelection source_selection =
-                          storage::SourceSelection::kRandom);
+                          storage::SourceSelection::kRandom,
+                      storage::RecoveryCostModel cost_model =
+                          storage::RecoveryCostModel{});
 
   /// Attach before run() to execute real work at task boundaries.
   void set_hooks(TaskHooks hooks);
@@ -51,6 +53,8 @@ RunResult simulate(const ClusterConfig& config,
                    const storage::FailureScenario& failure,
                    core::Scheduler& scheduler, std::uint64_t seed,
                    storage::SourceSelection source_selection =
-                       storage::SourceSelection::kRandom);
+                       storage::SourceSelection::kRandom,
+                   storage::RecoveryCostModel cost_model =
+                       storage::RecoveryCostModel{});
 
 }  // namespace dfs::mapreduce

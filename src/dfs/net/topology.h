@@ -8,6 +8,11 @@ namespace dfs::net {
 using NodeId = int;
 using RackId = int;
 
+/// Typed "no such node" sentinel: the default for not-yet-resolved NodeId
+/// fields (e.g. a degraded source before the planner fills the holder in).
+/// Planners must never emit it — storage::DegradedReadPlanner asserts so.
+inline constexpr NodeId kInvalidNode = -1;
+
 /// Two-level cluster topology (Fig. 1 of the paper): nodes grouped into
 /// racks, each rack behind a top-of-rack switch, racks joined by a core
 /// switch. Racks may have unequal sizes (the motivating example uses a

@@ -1,14 +1,76 @@
 #include "dfs/storage/degraded.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
 
 namespace dfs::storage {
+
+namespace {
+
+/// Options fetching any partial block are ineligible when the cost model
+/// runs in whole-block mode.
+bool eligible(const ec::RecoveryOption& option,
+              const RecoveryCostModel& model) {
+  if (model.allow_subshard) return true;
+  return std::all_of(option.sources.begin(), option.sources.end(),
+                     [](const ec::RecoverySource& s) {
+                       return s.fraction >= 1.0;
+                     });
+}
+
+}  // namespace
 
 DegradedReadPlanner::DegradedReadPlanner(const StorageLayout& layout,
                                          const net::Topology& topo,
                                          const ec::ErasureCode& code,
-                                         SourceSelection selection)
-    : layout_(layout), topo_(topo), code_(code), selection_(selection) {}
+                                         SourceSelection selection,
+                                         RecoveryCostModel cost_model)
+    : layout_(layout),
+      topo_(topo),
+      code_(code),
+      selection_(selection),
+      cost_model_(cost_model),
+      expected_blocks_(static_cast<double>(code.k())) {
+  // Cache the expected single-failure fetch volume: for each native shard,
+  // the cheapest eligible option with every other shard available. The
+  // topology-independent byte count (weights do not enter — the caller uses
+  // this as a volume) keeps the per-heartbeat threshold query O(1).
+  double sum = 0.0;
+  int counted = 0;
+  std::vector<int> all_others;
+  all_others.reserve(static_cast<std::size_t>(code.n()) - 1);
+  for (int lost = 0; lost < code.k(); ++lost) {
+    all_others.clear();
+    for (int b = 0; b < code.n(); ++b) {
+      if (b != lost) all_others.push_back(b);
+    }
+    const auto plan = code.recovery_plan(all_others, lost);
+    if (!plan) continue;
+    double best = std::numeric_limits<double>::infinity();
+    for (const ec::RecoveryOption& opt : plan->options) {
+      if (!eligible(opt, cost_model_)) continue;
+      best = std::min(best, opt.total_fraction());
+    }
+    if (best == std::numeric_limits<double>::infinity()) continue;
+    sum += best;
+    ++counted;
+  }
+  if (counted > 0) expected_blocks_ = sum / counted;
+}
+
+double DegradedReadPlanner::option_cost(const ec::RecoveryOption& option,
+                                        int stripe, NodeId reader) const {
+  double cost = 0.0;
+  for (const ec::RecoverySource& src : option.sources) {
+    const NodeId holder = layout_.node_of(BlockId{stripe, src.shard});
+    const double weight = topo_.same_rack(holder, reader)
+                              ? cost_model_.in_rack_weight
+                              : cost_model_.cross_rack_weight;
+    cost += src.fraction * weight;
+  }
+  return cost;
+}
 
 std::optional<std::vector<DegradedSource>> DegradedReadPlanner::plan(
     BlockId lost, NodeId reader, const FailureScenario& failure,
@@ -33,21 +95,36 @@ std::optional<std::vector<DegradedSource>> DegradedReadPlanner::plan(
       return layout_.node_of(BlockId{lost.stripe, b}) == reader;
     });
   }
-  const auto chosen = code_.plan_read(available, lost.index);
-  if (!chosen) return std::nullopt;
+  const auto plan = code_.recovery_plan(available, lost.index);
+  if (!plan) return std::nullopt;
+  // Price every eligible candidate; a strictly cheaper one displaces the
+  // incumbent, so ties resolve to the code's preferred (earliest) option.
+  const ec::RecoveryOption* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const ec::RecoveryOption& opt : plan->options) {
+    if (!eligible(opt, cost_model_)) continue;
+    const double cost = option_cost(opt, lost.stripe, reader);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &opt;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
   std::vector<DegradedSource> sources;
-  sources.reserve(chosen->size());
-  for (int b : *chosen) {
-    const BlockId block{lost.stripe, b};
-    sources.push_back(DegradedSource{block, layout_.node_of(block)});
+  sources.reserve(best->sources.size());
+  for (const ec::RecoverySource& src : best->sources) {
+    const BlockId block{lost.stripe, src.shard};
+    const NodeId holder = layout_.node_of(block);
+    assert(holder != net::kInvalidNode);
+    sources.push_back(
+        DegradedSource{block, holder, src.fraction, src.substripes});
   }
   return sources;
 }
 
 double DegradedReadPlanner::expected_cross_rack_blocks() const {
   const double r = topo_.num_racks();
-  return (r - 1.0) / r *
-         static_cast<double>(code_.single_failure_read_cost());
+  return (r - 1.0) / r * expected_blocks_;
 }
 
 }  // namespace dfs::storage

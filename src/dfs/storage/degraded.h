@@ -11,11 +11,15 @@
 
 namespace dfs::storage {
 
-/// One source fetch of a degraded read: which surviving block to download
-/// and from which node.
+/// One source fetch of a degraded read: which surviving block to download,
+/// from which node, and how much of it. Sub-shard codes (Hitchhiker-XOR)
+/// fetch only some substripes of most sources; plain codes always fetch
+/// whole blocks (substripes == 0x1, fraction == 1.0).
 struct DegradedSource {
   BlockId block;
-  NodeId node = -1;
+  NodeId node = net::kInvalidNode;
+  double fraction = 1.0;     ///< of the block's bytes actually downloaded
+  unsigned substripes = 0x1; ///< ec::RecoverySource substripe bitmask
 };
 
 /// How a degraded read orders candidate source blocks before asking the
@@ -25,16 +29,37 @@ enum class SourceSelection {
   kPreferSameRack,  ///< survivors in the reader's rack first (ablation)
 };
 
+/// Scores the candidate RecoveryOptions of a degraded read. An option's
+/// cost is the sum over its sources of (fraction of the block fetched) x
+/// (the weight of the link class it crosses); the planner picks the
+/// cheapest option, breaking ties toward the code's preferred (first)
+/// option. The neutral defaults weigh every byte equally, which reproduces
+/// the code's own preference order exactly — rs/crs/lrc plans are then
+/// byte-identical to the historical fixed-count planner.
+struct RecoveryCostModel {
+  double in_rack_weight = 1.0;     ///< source in the reader's rack
+  double cross_rack_weight = 1.0;  ///< source behind the core switch
+  /// When false, options that fetch partial blocks are discarded and only
+  /// whole-block options compete — the rs-vs-hh byte-identity harness and
+  /// the ablation's "planner off" arm.
+  bool allow_subshard = true;
+};
+
 /// Plans degraded reads: given a lost block, picks the surviving blocks (and
 /// the nodes holding them) that the degraded task must download.
 ///
-/// For an MDS code this is "any k survivors" exactly as the paper models;
-/// for an LRC it defers to the code's locality-aware plan (footnote 1).
+/// The erasure code enumerates candidate reconstruction sets
+/// (ec::RecoveryPlan); this planner prices each candidate with the cost
+/// model against the cluster topology and emits the cheapest. For an MDS
+/// code that is "any k survivors" exactly as the paper models; for an LRC
+/// the local-group option wins (footnote 1); for Hitchhiker-XOR the
+/// half-shard option wins whenever the stripe is healthy enough to allow it.
 class DegradedReadPlanner {
  public:
   DegradedReadPlanner(const StorageLayout& layout, const net::Topology& topo,
                       const ec::ErasureCode& code,
-                      SourceSelection selection = SourceSelection::kRandom);
+                      SourceSelection selection = SourceSelection::kRandom,
+                      RecoveryCostModel cost_model = RecoveryCostModel{});
 
   /// Sources for rebuilding `lost` at node `reader`. nullopt when the stripe
   /// has lost more blocks than the code tolerates.
@@ -42,16 +67,30 @@ class DegradedReadPlanner {
       BlockId lost, NodeId reader, const FailureScenario& failure,
       util::Rng& rng) const;
 
+  /// Expected blocks one single-failure degraded read downloads under this
+  /// planner's cost model (mean over the code's native shards, every other
+  /// shard available): k for MDS codes, k/l for an LRC, (k + |G|)/2 blocks
+  /// for Hitchhiker-XOR. Cached at construction.
+  double expected_single_failure_blocks() const { return expected_blocks_; }
+
   /// Expected cross-rack bytes one degraded read downloads, under random
   /// source selection — the paper's (R-1)/R * k * S estimate divided out of
-  /// S. Used for the rack-awareness threshold.
+  /// S, with k generalized to the cost model's expected fetch volume. Used
+  /// for the rack-awareness threshold.
   double expected_cross_rack_blocks() const;
 
  private:
+  /// Price one candidate: bytes fetched weighted by the rack boundary each
+  /// source crosses relative to `reader`.
+  double option_cost(const ec::RecoveryOption& option, int stripe,
+                     NodeId reader) const;
+
   const StorageLayout& layout_;
   const net::Topology& topo_;
   const ec::ErasureCode& code_;
   SourceSelection selection_;
+  RecoveryCostModel cost_model_;
+  double expected_blocks_;
 };
 
 }  // namespace dfs::storage

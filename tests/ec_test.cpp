@@ -8,6 +8,7 @@
 #include "dfs/ec/cauchy.h"
 #include "dfs/ec/gf65536.h"
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/linear_code.h"
 #include "dfs/ec/lrc.h"
 #include "dfs/ec/matrix.h"
@@ -275,11 +276,17 @@ TEST_P(RsParamTest, PlanReadUsesKSources) {
   const ReedSolomonCode code(n, k);
   std::vector<int> available;
   for (int i = 1; i < n; ++i) available.push_back(i);
-  const auto plan = code.plan_read(available, 0);
+  const auto plan = code.recovery_plan(available, 0);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(static_cast<int>(plan->size()), k);
+  ASSERT_EQ(plan->options.size(), 1u);
+  const auto& opt = plan->options.front();
+  EXPECT_EQ(static_cast<int>(opt.sources.size()), k);
+  EXPECT_DOUBLE_EQ(opt.total_fraction(), static_cast<double>(k));
   // Honors preference order: the first k available are chosen for MDS codes.
-  for (int i = 0; i < k; ++i) EXPECT_EQ((*plan)[static_cast<std::size_t>(i)], i + 1);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(opt.sources[static_cast<std::size_t>(i)].shard, i + 1);
+    EXPECT_DOUBLE_EQ(opt.sources[static_cast<std::size_t>(i)].fraction, 1.0);
+  }
 }
 
 TEST_P(RsParamTest, TooFewSurvivorsUndecodable) {
@@ -295,7 +302,7 @@ TEST_P(RsParamTest, TooFewSurvivorsUndecodable) {
   EXPECT_FALSE(code.reconstruct(present, {0}).has_value());
   std::vector<int> avail;
   for (int i = 1; i < k; ++i) avail.push_back(i);
-  EXPECT_FALSE(code.plan_read(avail, 0).has_value());
+  EXPECT_FALSE(code.recovery_plan(avail, 0).has_value());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -444,9 +451,9 @@ TEST(WideRs, PlanReadUsesKSources) {
   const WideReedSolomonCode code(40, 32);
   std::vector<int> available;
   for (int i = 1; i < 40; ++i) available.push_back(i);
-  const auto plan = code.plan_read(available, 0);
+  const auto plan = code.recovery_plan(available, 0);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(static_cast<int>(plan->size()), 32);
+  EXPECT_EQ(static_cast<int>(plan->options.front().sources.size()), 32);
 }
 
 TEST(WideRs, AgreesWithGf256RsWhereBothApply) {
@@ -506,9 +513,9 @@ TEST(Replication, CopiesAreIdentical) {
   EXPECT_EQ(parity[0], data[0]);
   EXPECT_EQ(parity[1], data[0]);
   // Reading a lost copy needs exactly one survivor.
-  const auto plan = code->plan_read({2}, 0);
+  const auto plan = code->recovery_plan({2}, 0);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->size(), 1u);
+  EXPECT_EQ(plan->options.front().sources.size(), 1u);
 }
 
 // --- Cauchy Reed-Solomon (bit-matrix XOR path) --------------------------------------
@@ -581,10 +588,11 @@ TEST(Crs, PlanReadCostIsK) {
   const CauchyReedSolomonCode code(12, 10);
   std::vector<int> available;
   for (int i = 1; i < 12; ++i) available.push_back(i);
-  const auto plan = code.plan_read(available, 0);
+  const auto plan = code.recovery_plan(available, 0);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->size(), 10u);
-  EXPECT_EQ(code.single_failure_read_cost(), 10);
+  const auto& opt = plan->options.front();
+  EXPECT_EQ(opt.sources.size(), 10u);
+  EXPECT_DOUBLE_EQ(opt.total_fraction(), 10.0);
 }
 
 TEST(Crs, AgreesWithMatrixRsOnDecodability) {
@@ -602,11 +610,12 @@ TEST(Crs, AgreesWithMatrixRsOnDecodability) {
       }
       return -1;
     }();
-    const auto p1 = crs.plan_read(a, lost);
-    const auto p2 = rs.plan_read(a, lost);
+    const auto p1 = crs.recovery_plan(a, lost);
+    const auto p2 = rs.recovery_plan(a, lost);
     ASSERT_TRUE(p1.has_value());
     ASSERT_TRUE(p2.has_value());
-    EXPECT_EQ(p1->size(), p2->size());
+    EXPECT_EQ(p1->options.front().sources.size(),
+              p2->options.front().sources.size());
   }
 }
 
@@ -616,16 +625,20 @@ TEST(Lrc, SingleDataLossUsesLocalGroup) {
   // LRC(12, 2, 2): groups {0..5}, {6..11}; locals 12, 13; globals 14, 15.
   const LocalReconstructionCode code(12, 2, 2);
   EXPECT_EQ(code.n(), 16);
-  EXPECT_EQ(code.single_failure_read_cost(), 6);
+  EXPECT_EQ(code.group_size(), 6);
   std::vector<int> available;
   for (int i = 0; i < 16; ++i) {
     if (i != 3) available.push_back(i);
   }
-  const auto plan = code.plan_read(available, 3);
+  const auto plan = code.recovery_plan(available, 3);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->size(), 6u);  // 5 group members + local parity
-  for (int src : *plan) {
-    EXPECT_TRUE((src >= 0 && src < 6) || src == 12) << src;
+  // The local-group option is listed first (preferred).
+  const auto& local = plan->options.front();
+  EXPECT_EQ(local.sources.size(), 6u);  // 5 group members + local parity
+  EXPECT_DOUBLE_EQ(local.total_fraction(), 6.0);
+  for (const auto& src : local.sources) {
+    EXPECT_TRUE((src.shard >= 0 && src.shard < 6) || src.shard == 12)
+        << src.shard;
   }
 }
 
@@ -635,12 +648,13 @@ TEST(Lrc, LocalParityLossUsesGroupData) {
   for (int i = 0; i < 16; ++i) {
     if (i != 13) available.push_back(i);
   }
-  const auto plan = code.plan_read(available, 13);
+  const auto plan = code.recovery_plan(available, 13);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->size(), 6u);
-  for (int src : *plan) {
-    EXPECT_GE(src, 6);
-    EXPECT_LT(src, 12);
+  const auto& local = plan->options.front();
+  EXPECT_EQ(local.sources.size(), 6u);
+  for (const auto& src : local.sources) {
+    EXPECT_GE(src.shard, 6);
+    EXPECT_LT(src.shard, 12);
   }
 }
 
@@ -651,9 +665,10 @@ TEST(Lrc, FallsBackToGlobalDecodeWhenGroupBroken) {
   for (int i = 0; i < 16; ++i) {
     if (i != 3 && i != 12) available.push_back(i);
   }
-  const auto plan = code.plan_read(available, 3);
+  const auto plan = code.recovery_plan(available, 3);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_GT(plan->size(), 6u);
+  // The local option is gone; only the global matrix decode remains.
+  EXPECT_GT(plan->options.front().sources.size(), 6u);
 }
 
 TEST(Lrc, ReconstructsRealBytesLocally) {
@@ -697,6 +712,191 @@ TEST(Lrc, RejectsBadParameters) {
   EXPECT_THROW(LocalReconstructionCode(12, 0, 2), std::invalid_argument);
 }
 
+// --- Hitchhiker-XOR ----------------------------------------------------------------
+
+/// Slice a full shard down to the substripes a RecoverySource asks for,
+/// exactly as a degraded reader would fetch them (ascending, concatenated).
+Shard slice_shard(const Shard& full, unsigned substripes, int parts) {
+  const std::size_t sub = full.size() / static_cast<std::size_t>(parts);
+  Shard out;
+  for (int s = 0; s < parts; ++s) {
+    if (!(substripes & (1u << static_cast<unsigned>(s)))) continue;
+    out.insert(out.end(),
+               full.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(s) * sub),
+               full.begin() + static_cast<std::ptrdiff_t>(
+                                  (static_cast<std::size_t>(s) + 1) * sub));
+  }
+  return out;
+}
+
+/// Decode `lost` from the given recovery option, feeding the decoder only
+/// the substripes the option says to fetch.
+std::optional<std::vector<Shard>> decode_via_option(
+    const ErasureCode& code, const std::vector<Shard>& stripe,
+    const RecoveryOption& opt, int lost) {
+  std::vector<Shard> sliced;
+  sliced.reserve(opt.sources.size());
+  for (const auto& src : opt.sources) {
+    sliced.push_back(slice_shard(stripe[static_cast<std::size_t>(src.shard)],
+                                 src.substripes, code.substripe_count()));
+  }
+  std::vector<ErasureCode::PresentSlice> present;
+  for (std::size_t i = 0; i < opt.sources.size(); ++i) {
+    present.push_back(
+        {opt.sources[i].shard, opt.sources[i].substripes, &sliced[i]});
+  }
+  return code.reconstruct_slices(present, {lost});
+}
+
+TEST(Hitchhiker, RoundTripAllSingleLossesFullShards) {
+  const HitchhikerXorCode code(14, 10);
+  util::Rng rng(700);
+  const auto data = random_shards(rng, 10, 64);
+  const auto stripe = full_stripe(code, data);
+  for (int lost = 0; lost < 14; ++lost) {
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < 14 && static_cast<int>(present.size()) < 10; ++i) {
+      if (i != lost) present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+    }
+    const auto rebuilt = code.reconstruct(present, {lost});
+    ASSERT_TRUE(rebuilt.has_value()) << lost;
+    EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)]) << lost;
+  }
+}
+
+TEST(Hitchhiker, MultiLossDecodableLikeRs) {
+  // Any n - k = 4 erasures stay decodable: the code keeps RS fault tolerance.
+  const HitchhikerXorCode code(14, 10);
+  util::Rng rng(701);
+  const auto data = random_shards(rng, 10, 32);
+  const auto stripe = full_stripe(code, data);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto lost_idx = rng.sample_indices(14, 4);
+    std::vector<bool> is_lost(14, false);
+    std::vector<int> want;
+    for (auto l : lost_idx) {
+      is_lost[l] = true;
+      want.push_back(static_cast<int>(l));
+    }
+    std::vector<std::pair<int, const Shard*>> present;
+    for (int i = 0; i < 14; ++i) {
+      if (!is_lost[static_cast<std::size_t>(i)]) {
+        present.emplace_back(i, &stripe[static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto rebuilt = code.reconstruct(present, want);
+    ASSERT_TRUE(rebuilt.has_value());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      EXPECT_EQ((*rebuilt)[w], stripe[static_cast<std::size_t>(want[w])]);
+    }
+  }
+}
+
+TEST(Hitchhiker, GroupsPartitionDataShards) {
+  const HitchhikerXorCode code(14, 10);
+  EXPECT_EQ(code.substripe_count(), 2);
+  EXPECT_EQ(code.piggyback_groups(), 3);  // parities 1..3 carry piggybacks
+  int total = 0;
+  for (int g = 0; g < code.piggyback_groups(); ++g) {
+    EXPECT_GT(code.group_size(g), 0);
+    total += code.group_size(g);
+  }
+  EXPECT_EQ(total, 10);
+  for (int i = 0; i < 10; ++i) {
+    const int g = code.group_of(i);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, code.piggyback_groups());
+  }
+  // Balanced contiguous split of 10 over 3 groups: sizes 4, 3, 3.
+  EXPECT_EQ(code.group_size(0), 4);
+  EXPECT_EQ(code.group_size(1), 3);
+  EXPECT_EQ(code.group_size(2), 3);
+}
+
+TEST(Hitchhiker, DataRepairDownloadsSubShards) {
+  const HitchhikerXorCode code(14, 10);
+  std::vector<int> available;
+  for (int i = 1; i < 14; ++i) available.push_back(i);
+  const auto plan = code.recovery_plan(available, 0);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_GE(plan->options.size(), 2u);
+  // Preferred option: (k + |G_0|) / 2 = (10 + 4) / 2 = 7 shard-equivalents,
+  // versus k = 10 for the full-shard fallback.
+  const auto& sub = plan->options.front();
+  EXPECT_DOUBLE_EQ(sub.total_fraction(), 7.0);
+  EXPECT_LT(sub.total_fraction(), 10.0);
+  const auto& fallback = plan->options.back();
+  EXPECT_DOUBLE_EQ(fallback.total_fraction(), 10.0);
+  // Group-mates of shard 0 (shards 1..3) are fetched whole; everything else
+  // contributes a half shard.
+  for (const auto& src : sub.sources) {
+    if (src.shard >= 1 && src.shard <= 3) {
+      EXPECT_DOUBLE_EQ(src.fraction, 1.0) << src.shard;
+    } else {
+      EXPECT_DOUBLE_EQ(src.fraction, 0.5) << src.shard;
+    }
+  }
+}
+
+TEST(Hitchhiker, SubShardRepairIsByteExact) {
+  const HitchhikerXorCode code(14, 10);
+  util::Rng rng(702);
+  const auto data = random_shards(rng, 10, 128);
+  const auto stripe = full_stripe(code, data);
+  std::vector<int> all;
+  for (int i = 0; i < 14; ++i) all.push_back(i);
+  for (int lost = 0; lost < 10; ++lost) {
+    std::vector<int> available;
+    for (int i : all) {
+      if (i != lost) available.push_back(i);
+    }
+    const auto plan = code.recovery_plan(available, lost);
+    ASSERT_TRUE(plan.has_value()) << lost;
+    const auto& opt = plan->options.front();
+    EXPECT_LT(opt.total_fraction(), 10.0) << lost;
+    const auto rebuilt = decode_via_option(code, stripe, opt, lost);
+    ASSERT_TRUE(rebuilt.has_value()) << lost;
+    EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)]) << lost;
+  }
+}
+
+TEST(Hitchhiker, FallsBackToFullShardsWhenSubSetBroken) {
+  const HitchhikerXorCode code(14, 10);
+  // Lose data shard 0 AND data shard 9 (outside 0's group): the sub-shard
+  // set needs every other data shard's b-half, so only the fallback remains.
+  std::vector<int> available;
+  for (int i = 1; i < 14; ++i) {
+    if (i != 9) available.push_back(i);
+  }
+  const auto plan = code.recovery_plan(available, 0);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->options.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->options.front().total_fraction(), 10.0);
+}
+
+TEST(Hitchhiker, ParityRepairUsesFullShards) {
+  const HitchhikerXorCode code(14, 10);
+  std::vector<int> available;
+  for (int i = 0; i < 13; ++i) available.push_back(i);
+  const auto plan = code.recovery_plan(available, 13);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->options.front().total_fraction(), 10.0);
+}
+
+TEST(Hitchhiker, RejectsOddShardLength) {
+  const HitchhikerXorCode code(6, 4);
+  util::Rng rng(703);
+  const auto data = random_shards(rng, 4, 15);  // odd length
+  EXPECT_THROW(code.encode(data), std::invalid_argument);
+}
+
+TEST(Hitchhiker, RejectsBadParameters) {
+  EXPECT_THROW(HitchhikerXorCode(5, 4), std::invalid_argument);   // n-k < 2
+  EXPECT_THROW(HitchhikerXorCode(4, 0), std::invalid_argument);
+  EXPECT_THROW(HitchhikerXorCode(4, 4), std::invalid_argument);
+}
+
 // --- code spec registry -----------------------------------------------------------
 
 TEST(Registry, ParsesEveryFamily) {
@@ -704,22 +904,99 @@ TEST(Registry, ParsesEveryFamily) {
   EXPECT_EQ(make_code_from_spec("rs16:300,290")->name(), "RS16(300,290)");
   EXPECT_EQ(make_code_from_spec("crs:12,10")->name(), "CRS(12,10)");
   EXPECT_EQ(make_code_from_spec("lrc:12,2,2")->name(), "LRC(k=12,l=2,r=2)");
+  EXPECT_EQ(make_code_from_spec("hh:14,10")->name(), "HH-XOR(14,10)");
   EXPECT_EQ(make_code_from_spec("xor:5")->name(), "XOR(6,5)");
   EXPECT_EQ(make_code_from_spec("rep:3")->name(), "REP(3)");
 }
 
 TEST(Registry, MalformedSpecsReturnNull) {
+  // Contract: nullptr iff the TEXT is malformed (unknown family, wrong
+  // arity, or non-numeric parameters) — for every family, uniformly.
   EXPECT_EQ(make_code_from_spec(""), nullptr);
   EXPECT_EQ(make_code_from_spec("rs"), nullptr);
   EXPECT_EQ(make_code_from_spec("rs:12"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs:12,10,3"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs:12,ten"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs:12,10x"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rs16:300"), nullptr);
+  EXPECT_EQ(make_code_from_spec("crs:"), nullptr);
   EXPECT_EQ(make_code_from_spec("lrc:12,2"), nullptr);
+  EXPECT_EQ(make_code_from_spec("hh:14"), nullptr);
+  EXPECT_EQ(make_code_from_spec("hh:14,10,2"), nullptr);
+  EXPECT_EQ(make_code_from_spec("xor:"), nullptr);
+  EXPECT_EQ(make_code_from_spec("rep:three"), nullptr);
   EXPECT_EQ(make_code_from_spec("nope:1,2"), nullptr);
 }
 
 TEST(Registry, InvalidParametersThrow) {
+  // Contract: std::invalid_argument iff the text parses but the NUMBERS are
+  // invalid for the family.
   EXPECT_THROW(make_code_from_spec("rs:2,5"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("rs16:2,5"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("crs:2,5"), std::invalid_argument);
   EXPECT_THROW(make_code_from_spec("lrc:12,5,2"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("hh:12,11"), std::invalid_argument);
+  EXPECT_THROW(make_code_from_spec("xor:0"), std::invalid_argument);
   EXPECT_THROW(make_code_from_spec("rep:1"), std::invalid_argument);
+}
+
+TEST(Registry, HelpMentionsEveryFamily) {
+  const std::string help = code_spec_help();
+  for (const char* family : {"rs:", "rs16:", "crs:", "lrc:", "hh:", "xor:",
+                             "rep:"}) {
+    EXPECT_NE(help.find(family), std::string::npos) << family;
+  }
+}
+
+// --- randomized loss-pattern property test over every registry family --------------
+
+TEST(RecoveryPlanProperty, RandomLossPatternsDecodeByteExactly) {
+  // For every code family: under random loss patterns, whenever the code
+  // offers a RecoveryPlan, (a) each option only cites available shards,
+  // (b) no option costs more than k full shards, and (c) fetching exactly
+  // the bytes any option asks for rebuilds the lost shard byte-exactly.
+  util::Rng rng(800);
+  for (const char* spec : {"rs:6,4", "rs16:12,9", "crs:8,6", "lrc:8,2,2",
+                           "hh:8,4", "hh:14,10", "xor:4", "rep:3"}) {
+    const auto code = make_code_from_spec(spec);
+    ASSERT_NE(code, nullptr) << spec;
+    const int n = code->n();
+    const int k = code->k();
+    const auto data = random_shards(rng, k, 48);  // 48 = lcm-friendly length
+    const auto stripe = full_stripe(*code, data);
+    for (int trial = 0; trial < 40; ++trial) {
+      const int losses = 1 + static_cast<int>(rng.uniform_int(0, n - k));
+      const auto lost_idx = rng.sample_indices(static_cast<std::size_t>(n),
+                                               static_cast<std::size_t>(losses));
+      std::vector<bool> is_lost(static_cast<std::size_t>(n), false);
+      for (auto l : lost_idx) is_lost[l] = true;
+      std::vector<int> available;
+      for (int i = 0; i < n; ++i) {
+        if (!is_lost[static_cast<std::size_t>(i)]) available.push_back(i);
+      }
+      for (auto l : lost_idx) {
+        const int lost = static_cast<int>(l);
+        const auto plan = code->recovery_plan(available, lost);
+        if (!plan.has_value()) continue;  // not decodable under this pattern
+        ASSERT_FALSE(plan->options.empty()) << spec;
+        for (const auto& opt : plan->options) {
+          EXPECT_LE(opt.total_fraction(), static_cast<double>(k) + 1e-9)
+              << spec << " lost=" << lost;
+          for (const auto& src : opt.sources) {
+            EXPECT_TRUE(std::find(available.begin(), available.end(),
+                                  src.shard) != available.end())
+                << spec << " cites unavailable shard " << src.shard;
+            EXPECT_GT(src.fraction, 0.0);
+            EXPECT_NE(src.substripes, 0u);
+          }
+          const auto rebuilt = decode_via_option(*code, stripe, opt, lost);
+          ASSERT_TRUE(rebuilt.has_value()) << spec << " lost=" << lost;
+          EXPECT_EQ(rebuilt->front(), stripe[static_cast<std::size_t>(lost)])
+              << spec << " lost=" << lost;
+        }
+      }
+    }
+  }
 }
 
 TEST(Registry, ProducedCodesRoundTrip) {

@@ -1,0 +1,34 @@
+#!/bin/sh
+# rs-vs-hh planner-off byte-identity gate.
+#
+# Hitchhiker-XOR is a piggybacked Reed-Solomon: with the sub-shard recovery
+# path disabled (--planner fullshard) its degraded reads must fall back to
+# plain RS decoding and the whole simulation must be byte-identical to
+# rs:n,k — same plans, same transfer sizes, same timings. Only the code
+# name printed in the header may differ; we normalise it away and diff.
+#
+# Usage: rs_vs_hh_identity.sh <tools_dir>
+set -eu
+
+TOOLS_DIR=$1
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FLAGS="--blocks 240 --reducers 10 --seeds 3 --planner fullshard"
+
+for sched in LF EDF; do
+  for nk in "14,10" "8,6"; do
+    "$TOOLS_DIR/dfsim" --code "rs:$nk" --scheduler "$sched" $FLAGS \
+      2>&1 | sed "s/RS($nk)/CODE/" > "$WORK/rs_$sched$nk.out"
+    "$TOOLS_DIR/dfsim" --code "hh:$nk" --scheduler "$sched" $FLAGS \
+      2>&1 | sed "s/HH-XOR($nk)/CODE/" > "$WORK/hh_$sched$nk.out"
+    if ! diff -u "$WORK/rs_$sched$nk.out" "$WORK/hh_$sched$nk.out"; then
+      echo "FAIL: hh:$nk with --planner fullshard diverged from rs:$nk" \
+           "(scheduler $sched)" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "OK: hh matches rs byte-for-byte with sub-shard recovery disabled"

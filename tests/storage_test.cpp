@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/lrc.h"
 #include "dfs/ec/reed_solomon.h"
 #include "dfs/ec/registry.h"
@@ -315,6 +316,99 @@ TEST(PlannerLrc, LocalGroupReadCost) {
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->size(), 4u);
   EXPECT_DOUBLE_EQ(planner.expected_cross_rack_blocks(), 0.75 * 4.0);
+}
+
+TEST(PlannerCostModel, SubShardOptionWinsForHitchhiker) {
+  // With neutral weights the planner must take Hitchhiker's cheaper
+  // sub-shard option: (k + |G|) / 2 block equivalents, half-shards from
+  // every source outside the lost shard's piggyback group.
+  const net::Topology topo(4, 10);
+  util::Rng rng(31);
+  const ec::HitchhikerXorCode code(14, 10);
+  const StorageLayout layout =
+      random_rack_constrained_layout(100, code.n(), code.k(), topo, rng);
+  const DegradedReadPlanner planner(layout, topo, code,
+                                    SourceSelection::kRandom);
+  const FailureScenario failure({layout.node_of(BlockId{0, 0})});
+  NodeId reader = 0;
+  while (failure.is_failed(reader)) ++reader;
+  const auto plan = planner.plan(BlockId{0, 0}, reader, failure, rng);
+  ASSERT_TRUE(plan.has_value());
+  double fetched = 0.0;
+  bool any_half = false;
+  for (const auto& src : *plan) {
+    fetched += src.fraction;
+    any_half |= src.fraction == 0.5;
+  }
+  // Shard 0 of hh:14,10 sits in a piggyback group of 4: cost (10 + 4) / 2.
+  EXPECT_DOUBLE_EQ(fetched, 7.0);
+  EXPECT_TRUE(any_half);
+  // Expectation over all 10 data shards: groups of 4, 3, 3 give
+  // (4*7.0 + 6*6.5) / 10.
+  EXPECT_DOUBLE_EQ(planner.expected_single_failure_blocks(), 6.7);
+}
+
+TEST(PlannerCostModel, AllowSubshardFalseForcesFullShards) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(31);
+  const ec::HitchhikerXorCode code(14, 10);
+  const StorageLayout layout =
+      random_rack_constrained_layout(100, code.n(), code.k(), topo, rng);
+  RecoveryCostModel cm;
+  cm.allow_subshard = false;
+  const DegradedReadPlanner planner(layout, topo, code,
+                                    SourceSelection::kRandom, cm);
+  const FailureScenario failure({layout.node_of(BlockId{0, 0})});
+  NodeId reader = 0;
+  while (failure.is_failed(reader)) ++reader;
+  const auto plan = planner.plan(BlockId{0, 0}, reader, failure, rng);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 10u);
+  for (const auto& src : *plan) {
+    EXPECT_DOUBLE_EQ(src.fraction, 1.0);
+    EXPECT_EQ(src.substripes, code.full_substripe_mask());
+  }
+  EXPECT_DOUBLE_EQ(planner.expected_single_failure_blocks(), 10.0);
+}
+
+TEST(PlannerCostModel, CrossRackWeightSteersOptionChoice) {
+  // Hitchhiker offers two competing options per lost data shard (sub-shard
+  // vs any-k full shards), so rack weights can actually flip the choice.
+  // Pricing cross-rack bytes at 8x must never fetch *more* weighted cost
+  // than the neutral model would under the same 8x pricing.
+  const net::Topology topo(4, 10);
+  util::Rng rng(77);
+  const ec::HitchhikerXorCode code(14, 10);
+  const StorageLayout layout =
+      random_rack_constrained_layout(100, code.n(), code.k(), topo, rng);
+  RecoveryCostModel expensive;
+  expensive.cross_rack_weight = 8.0;
+  const DegradedReadPlanner neutral(layout, topo, code,
+                                    SourceSelection::kPreferSameRack);
+  const DegradedReadPlanner weighted(layout, topo, code,
+                                     SourceSelection::kPreferSameRack,
+                                     expensive);
+  const FailureScenario failure({0});
+  const NodeId reader = 5;
+  const auto priced = [&](const std::vector<DegradedSource>& plan) {
+    double cost = 0.0;
+    for (const auto& src : plan) {
+      cost += src.fraction *
+              (topo.same_rack(src.node, reader) ? 1.0 : 8.0);
+    }
+    return cost;
+  };
+  int plans = 0;
+  for (const BlockId b : layout.blocks_on_node(0)) {
+    if (b.index >= layout.k()) continue;
+    const auto p_neutral = neutral.plan(b, reader, failure, rng);
+    const auto p_weighted = weighted.plan(b, reader, failure, rng);
+    ASSERT_TRUE(p_neutral.has_value());
+    ASSERT_TRUE(p_weighted.has_value());
+    EXPECT_LE(priced(*p_weighted), priced(*p_neutral));
+    ++plans;
+  }
+  EXPECT_GT(plans, 0);
 }
 
 // --- planner/code consistency property sweep ------------------------------------------

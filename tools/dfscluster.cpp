@@ -34,6 +34,10 @@
 //                         network engine counters (flows, recompute/fast-path
 //                         breakdown); off by default so existing JSONL
 //                         consumers see byte-identical output
+//   --recovery-stats      add mean_degraded_fetch_blocks (block equivalents
+//                         per degraded read, fractional for sub-shard codes
+//                         like hh) to the summary JSONL record and report;
+//                         off by default for the same reason
 //   --csv PATH            write the sampled timeline as CSV
 //
 // Fault layer (compute-failure fault tolerance; everything below is inert
@@ -91,7 +95,8 @@ int main(int argc, char** argv) {
            "  --pareto-alpha X --diurnal-amplitude X --diurnal-period X\n"
            "  --blocks N --reducers N\n"
            "  --mttf-hours X --repair-delay X --rack-failures X --repair N\n"
-           "  --sample-interval X --jsonl PATH --net-stats --csv PATH\n"
+           "  --sample-interval X --jsonl PATH --net-stats "
+           "--recovery-stats --csv PATH\n"
            "  --faults --expiry X --attempt-failure-prob X --max-attempts N\n"
            "  --retry-backoff X --blacklist-threshold N "
            "--blacklist-duration X\n"
@@ -132,6 +137,7 @@ int main(int argc, char** argv) {
   const std::string scheduler_flag = args.get_or("scheduler", "df");
   const auto jsonl_path = args.get("jsonl");
   const bool net_stats = args.has("net-stats");
+  const bool recovery_stats = args.has("recovery-stats");
   const auto csv_path = args.get("csv");
   const auto attempts_csv_path = args.get("attempts-csv");
 
@@ -214,6 +220,7 @@ int main(int argc, char** argv) {
           SeedOutcome out;
           out.result = simulation.run();
           out.result.report_net_stats = net_stats;
+          out.result.report_recovery_stats = recovery_stats;
           const auto& s = out.result.summary;
           std::ostringstream rep;
           rep << "dfscluster: scheduler=" << sched->name()
@@ -234,6 +241,10 @@ int main(int argc, char** argv) {
                          util::Table::num(s.mean_job_runtime, 1)});
           table.add_row({"degraded task fraction",
                          util::Table::pct(s.degraded_task_fraction * 100.0, 2)});
+          if (recovery_stats) {
+            table.add_row({"degraded fetch (blocks/read)",
+                           util::Table::num(s.mean_degraded_fetch_blocks, 2)});
+          }
           table.add_row({"failures injected",
                          std::to_string(s.failures_injected) + " (" +
                              std::to_string(s.rack_failures) + " rack)"});

@@ -231,7 +231,12 @@ int main(int argc, char** argv) {
         "usage: dfsec <encode|verify|repair|decode> --code rs:n,k "
         "[--block-kb N] <paths...>");
   }
-  const auto code = ec::make_code_from_spec(args.get_or("code", "rs:6,4"));
+  std::shared_ptr<ec::ErasureCode> code;
+  try {
+    code = ec::make_code_from_spec(args.get_or("code", "rs:6,4"));
+  } catch (const std::invalid_argument& e) {
+    return fail(std::string("bad --code parameters: ") + e.what());
+  }
   if (!code) {
     return fail(std::string("bad --code spec (") + ec::code_spec_help() + ")");
   }

@@ -16,7 +16,8 @@
 //   --contention MODEL    fair | fifo                       [fair]
 //   --heartbeat X         heartbeat interval in seconds     [3]
 //   --blocks F            native blocks (= map tasks)       [1440]
-//   --code SPEC           rs:n,k | crs:n,k | lrc:k,l,r | rep:r  [rs:20,15]
+//   --code SPEC           rs:n,k | crs:n,k | lrc:k,l,r | hh:n,k | rep:r
+//                                                           [rs:20,15]
 //   --placement P         random | roundrobin | replicated  [random]
 //   --reducers N          reduce tasks                      [30]
 //   --shuffle X           shuffle ratio (fraction of block) [0.01]
@@ -29,6 +30,13 @@
 //                         [all hardware threads; output is byte-identical
 //                          for any value — seeds are independent cells]
 //   --sources POLICY      random | samerack                 [random]
+//   --planner P           cheapest | fullshard: degraded-read planning;
+//                         fullshard disables sub-shard recovery options
+//                         (every source fetches whole blocks)  [cheapest]
+//   --cross-rack-cost X   cost-model weight of a cross-rack fetch relative
+//                         to an in-rack fetch (1 = neutral)    [1]
+//   --recovery-stats      print one recovery_stats JSON line per seed
+//                         (degraded fetch volume in block units)
 //   --hetero X            every other node is X times slower (1 = off)
 //   --speculate           enable Hadoop-style speculative execution
 //   --repair N            run background repair with concurrency N
@@ -82,8 +90,9 @@ int main(int argc, char** argv) {
            "  --reducers N --shuffle X --map-time M,SD --reduce-time M,SD\n"
            "  --scheduler LF|BDF|EDF|DELAY|FAIR|FAIR+DF\n"
            "  --failure none|node|2node|rack --sources random|samerack\n"
+           "  --planner cheapest|fullshard --cross-rack-cost X\n"
            "  --seeds N --jobs N --speculate --repair N --normalize\n"
-           "  --csv PREFIX --utilization --net-stats\n"
+           "  --csv PREFIX --utilization --net-stats --recovery-stats\n"
            "  code SPEC: "
         << ec::code_spec_help() << "\n";
     return 0;
@@ -110,7 +119,12 @@ int main(int argc, char** argv) {
     return fail("unknown --contention " + contention);
   }
 
-  const auto code = ec::make_code_from_spec(args.get_or("code", "rs:20,15"));
+  std::shared_ptr<ec::ErasureCode> code;
+  try {
+    code = ec::make_code_from_spec(args.get_or("code", "rs:20,15"));
+  } catch (const std::invalid_argument& e) {
+    return fail(std::string("bad --code parameters: ") + e.what());
+  }
   if (!code) {
     return fail(std::string("bad --code spec (") + ec::code_spec_help() + ")");
   }
@@ -142,6 +156,15 @@ int main(int argc, char** argv) {
   const auto selection = sources == "samerack"
                              ? storage::SourceSelection::kPreferSameRack
                              : storage::SourceSelection::kRandom;
+  const std::string planner_name = args.get_or("planner", "cheapest");
+  storage::RecoveryCostModel cost_model;
+  if (planner_name == "fullshard") {
+    cost_model.allow_subshard = false;
+  } else if (planner_name != "cheapest") {
+    return fail("unknown --planner " + planner_name);
+  }
+  cost_model.cross_rack_weight = args.get_double("cross-rack-cost", 1.0);
+  const bool show_recovery_stats = args.has("recovery-stats");
   const int seeds = args.get_int("seeds", 10);
   const auto jobs = runner::jobs_from_args(args);
   const bool normalize = args.has("normalize");
@@ -181,6 +204,9 @@ int main(int argc, char** argv) {
   if (seeds < 1) return fail("--seeds must be >= 1");
   if (!jobs) return fail(runner::jobs_error());
   if (repair_concurrency < 0) return fail("--repair must be >= 0");
+  if (cost_model.cross_rack_weight <= 0.0) {
+    return fail("--cross-rack-cost must be > 0");
+  }
   if (hetero <= 0.0) return fail("--hetero must be > 0");
   if (placement != "random" && placement != "roundrobin" &&
       placement != "replicated") {
@@ -245,8 +271,8 @@ int main(int argc, char** argv) {
           }
 
           const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
-          mapreduce::MapReduceSimulation simulation(cfg, {job}, failure,
-                                                    *sched, seed, selection);
+          mapreduce::MapReduceSimulation simulation(
+              cfg, {job}, failure, *sched, seed, selection, cost_model);
           bool finished = false;
           std::unique_ptr<net::UtilizationSampler> sampler;
           if (show_utilization && s == 0) {
@@ -288,7 +314,8 @@ int main(int argc, char** argv) {
           const auto& m = result.jobs.front();
           if (normalize) {
             const auto base = mapreduce::simulate(
-                cfg, {job}, storage::no_failure(), *sched, seed, selection);
+                cfg, {job}, storage::no_failure(), *sched, seed, selection,
+                cost_model);
             out.norm = m.runtime() / base.jobs.front().runtime();
           }
           if (result.speculative_attempts() > 0) {
@@ -304,6 +331,18 @@ int main(int argc, char** argv) {
             util::JsonlWriter w(log);
             w.begin("net_stats").field("seed", s);
             net::append_net_stats(w, ns);
+            w.end();
+          }
+          // Gated behind --recovery-stats (same buffering contract as
+          // --net-stats): degraded fetch volume in block units.
+          if (show_recovery_stats) {
+            util::JsonlWriter w(log);
+            w.begin("recovery_stats")
+                .field("seed", s)
+                .field("degraded_tasks", m.degraded_tasks)
+                .field("fetch_blocks", result.degraded_fetch_blocks())
+                .field("mean_fetch_blocks",
+                       result.mean_degraded_fetch_blocks());
             w.end();
           }
           out.runtime = m.runtime();
