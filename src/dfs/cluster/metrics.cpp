@@ -82,6 +82,7 @@ SteadyStateSummary summarize_steady_state(
     degraded += j.degraded_tasks;
     total_tasks += j.local_tasks + j.remote_tasks + j.degraded_tasks;
   }
+  s.latency_samples = static_cast<int>(latencies.size());
   if (!latencies.empty()) {
     s.latency_p50 = util::percentile(latencies, 50.0);
     s.latency_p95 = util::percentile(latencies, 95.0);
@@ -105,6 +106,7 @@ SteadyStateSummary summarize_steady_state(
   }
   double fetched = 0.0;
   int degraded_reads = 0;
+  std::vector<double> read_times;
   for (const auto& t : run.map_tasks) {
     if (t.kind != mapreduce::MapTaskKind::kDegraded || t.unrecoverable ||
         measured.count(t.job) == 0) {
@@ -112,10 +114,34 @@ SteadyStateSummary summarize_steady_state(
     }
     for (const auto& src : t.sources) fetched += src.fraction;
     ++degraded_reads;
+    if (t.fetch_done_time >= 0.0) read_times.push_back(t.degraded_read_time());
   }
   if (degraded_reads > 0) {
     s.mean_degraded_fetch_blocks = fetched / degraded_reads;
   }
+
+  // Degraded-read tail latency (per task, then per supervised fetch). The
+  // per-task tail is well defined for every run; the per-fetch tail only has
+  // samples when the fetch supervisor ran.
+  s.degraded_read_samples = static_cast<int>(read_times.size());
+  if (!read_times.empty()) {
+    s.degraded_read_p50 = util::percentile(read_times, 50.0);
+    s.degraded_read_p99 = util::percentile(read_times, 99.0);
+    s.degraded_read_p999 = util::percentile(read_times, 99.9);
+  }
+  std::vector<double> fetch_times;
+  for (const auto& f : run.degraded_fetches) {
+    if (f.outcome != mapreduce::FetchOutcome::kCompleted) continue;
+    if (f.start < warmup || f.start > horizon) continue;
+    fetch_times.push_back(f.latency());
+  }
+  s.fetch_samples = static_cast<int>(fetch_times.size());
+  if (!fetch_times.empty()) {
+    s.fetch_p50 = util::percentile(fetch_times, 50.0);
+    s.fetch_p99 = util::percentile(fetch_times, 99.0);
+    s.fetch_p999 = util::percentile(fetch_times, 99.9);
+  }
+  s.hedge = run.hedge;
 
   s.failures_injected = static_cast<int>(failures.size());
   for (const auto& f : failures) {
@@ -149,6 +175,7 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
   // Gated so fault-off runs stay byte-identical to pre-fault-layer output.
   if (s.jobs_failed > 0) w.field("jobs_failed", s.jobs_failed);
   w.field("jobs_measured", s.jobs_measured)
+      .field("latency_samples", s.latency_samples)
       .field("latency_p50", s.latency_p50)
       .field("latency_p95", s.latency_p95)
       .field("latency_p99", s.latency_p99)
@@ -173,6 +200,36 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
     w.begin("net_stats");
     net::append_net_stats(w, result.net_stats);
     w.end();
+  }
+  // Gated on the fetch supervisor having run, so supervisor-off output
+  // stays byte-identical (the strictly-additive contract).
+  if (result.report_hedging) {
+    w.begin("hedging")
+        .field("degraded_read_p50", s.degraded_read_p50)
+        .field("degraded_read_p99", s.degraded_read_p99)
+        .field("degraded_read_p999", s.degraded_read_p999)
+        .field("degraded_read_samples", s.degraded_read_samples)
+        .field("fetch_p50", s.fetch_p50)
+        .field("fetch_p99", s.fetch_p99)
+        .field("fetch_p999", s.fetch_p999)
+        .field("fetch_samples", s.fetch_samples)
+        .field("reads_started", static_cast<long>(s.hedge.reads_started))
+        .field("reads_completed", static_cast<long>(s.hedge.reads_completed))
+        .field("reads_failed", static_cast<long>(s.hedge.reads_failed))
+        .field("fetches_launched",
+               static_cast<long>(s.hedge.fetches_launched))
+        .field("hedges_launched", static_cast<long>(s.hedge.hedges_launched))
+        .field("losers_cancelled",
+               static_cast<long>(s.hedge.losers_cancelled))
+        .field("fetch_timeouts", static_cast<long>(s.hedge.fetch_timeouts))
+        .field("transient_failures",
+               static_cast<long>(s.hedge.transient_failures))
+        .field("fetch_retries", static_cast<long>(s.hedge.fetch_retries))
+        .field("fallback_replans",
+               static_cast<long>(s.hedge.fallback_replans))
+        .field("last_resort_reads",
+               static_cast<long>(s.hedge.last_resort_reads))
+        .end();
   }
   for (const auto& f : result.failures) {
     w.begin("failure")

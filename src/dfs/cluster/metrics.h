@@ -65,6 +65,10 @@ struct SteadyStateSummary {
   /// latency percentiles.
   int jobs_failed = 0;
   int jobs_measured = 0;   ///< submitted inside the measurement window
+  /// Completion-latency samples behind the percentiles below (measured jobs
+  /// that finished). Explicit so thin-sample percentiles are auditable —
+  /// the tools warn when p99 rests on fewer than 10 samples.
+  int latency_samples = 0;
   double latency_p50 = 0.0;   ///< submit-to-finish, measured jobs
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
@@ -77,6 +81,21 @@ struct SteadyStateSummary {
   /// sub-shard codes like Hitchhiker, k for plain RS). 0 when no degraded
   /// task ran. Only written to JSONL when `report_recovery_stats` is set.
   double mean_degraded_fetch_blocks = 0.0;
+  // --- degraded-read tail latency (meaningful when the fetch supervisor
+  // ran; only written to JSONL when `report_hedging` is set) ---------------
+  /// Per-task degraded read time (request issue to reconstructability) of
+  /// the measured jobs' recoverable degraded tasks.
+  double degraded_read_p50 = 0.0;
+  double degraded_read_p99 = 0.0;
+  double degraded_read_p999 = 0.0;
+  int degraded_read_samples = 0;
+  /// Per-fetch latency (attempt launch, service wait included, to last
+  /// byte) of completed supervised fetches launched inside the window.
+  double fetch_p50 = 0.0;
+  double fetch_p99 = 0.0;
+  double fetch_p999 = 0.0;
+  int fetch_samples = 0;
+  mapreduce::HedgeStats hedge;  ///< supervisor counters (zero when off)
   int failures_injected = 0;
   int rack_failures = 0;
   int blocks_repaired = 0;
@@ -104,6 +123,10 @@ struct ClusterResult {
   /// Adds the summary's recovery-volume field to JSONL; gated so default
   /// output stays byte-identical to pre-RecoveryPlan versions.
   bool report_recovery_stats = false;
+  /// Adds the "hedging" record (degraded-read/fetch tail latencies plus the
+  /// fetch-supervisor counters) to JSONL. Set automatically when the fetch
+  /// supervisor ran; gated so supervisor-off output stays byte-identical.
+  bool report_hedging = false;
 };
 
 /// Computes the summary from the run's records plus the lifecycle/timeline

@@ -87,6 +87,7 @@ ClusterResult ClusterSimulation::run() {
   result.failures = lifecycle_->events();
   result.timeline = sampler_->samples();
   result.net_stats = net_->stats();
+  result.report_hedging = opts_.config.fetch_supervised();
   result.summary = summarize_steady_state(result.run, result.failures,
                                           result.timeline, opts_.warmup,
                                           opts_.horizon);

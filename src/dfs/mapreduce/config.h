@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,79 @@ struct FaultConfig {
   }
 };
 
+/// Hedged degraded reads (MDS-queue style): a degraded read launches its
+/// plan's sources plus up to `extra_sources` hedge fetches from the
+/// RecoveryPlan's alternative options, completes on the first quorum able to
+/// reconstruct the lost block, and cancels the losers mid-flight. All knobs
+/// default to off: with this struct untouched (and StragglerConfig inert)
+/// degraded reads run the legacy inline fetch path — no extra RNG draws, no
+/// extra events — so existing runs stay byte-identical.
+struct HedgeConfig {
+  /// Master switch. Off leaves the legacy assume-success fetch in place even
+  /// when the fetch supervisor is active for straggler injection.
+  bool enabled = false;
+  /// Hedge fetches launched beyond the primary plan (clamped to the
+  /// surviving shards actually available).
+  int extra_sources = 1;
+  /// Fetches that must have completed before a quorum may be declared, on
+  /// top of reconstructability itself (0 = coverage alone decides). Lets
+  /// ablations force deeper waits.
+  int min_quorum = 0;
+
+  bool active() const { return enabled; }
+};
+
+/// Per-fetch supervision: timeouts and bounded retries around every
+/// supervised degraded-read fetch. Inert at the defaults (no timer events
+/// armed); only consulted when the fetch supervisor is active.
+struct FetchPolicy {
+  /// A fetch older than this is abandoned and retried (0 = no timeout).
+  util::Seconds timeout = 0.0;
+  /// Transient-failure/timeout retries per source before the supervisor
+  /// falls back to an alternative RecoveryOption.
+  int max_retries = 2;
+  /// Base backoff before a retry; doubles with each prior failure of the
+  /// same fetch (exponential backoff).
+  util::Seconds retry_backoff = 0.5;
+};
+
+/// Storage fault injection for degraded-read fetches: per-slave straggler
+/// slowdowns, heavy-tailed service jitter, and transient fetch failures —
+/// the adversary hedging is measured against. All knobs default to off (no
+/// extra RNG draws, no extra events; byte-identical runs).
+struct StragglerConfig {
+  /// Fraction of nodes that serve reads slowly. Straggler nodes are chosen
+  /// deterministically, evenly spaced across the cluster (and thus across
+  /// racks), so no RNG draw is spent on selection.
+  double fraction = 0.0;
+  /// Service-jitter multiplier on straggler nodes.
+  double slowdown = 4.0;
+  /// Mean per-fetch service delay before bytes start flowing (disk queue +
+  /// handoff). 0 disables jitter entirely.
+  util::Seconds service_mean = 0.0;
+  /// Heavy-tail shape: 0 draws exponential jitter; > 1 draws Pareto with
+  /// this alpha (scale chosen to preserve `service_mean`).
+  double pareto_alpha = 0.0;
+  /// Per-fetch probability of a transient failure (connection reset, bad
+  /// read): the fetch dies partway through its service delay and must be
+  /// retried. 0 disables.
+  double fail_prob = 0.0;
+
+  bool active() const { return service_mean > 0.0 || fail_prob > 0.0; }
+
+  /// Evenly-spaced deterministic straggler choice: node n is a straggler
+  /// iff the integer ramp floor((n+1)*S/N) advances at n, where S is the
+  /// straggler head count. Spreads stragglers across racks without
+  /// consuming RNG state.
+  bool is_straggler(NodeId node, int num_nodes) const {
+    if (fraction <= 0.0) return false;
+    const long n = static_cast<long>(node);
+    const long total = static_cast<long>(num_nodes);
+    const long count = std::lround(fraction * static_cast<double>(total));
+    return (n + 1) * count / total > n * count / total;
+  }
+};
+
 /// Static description of the simulated cluster (§V-B defaults).
 struct ClusterConfig {
   net::Topology topology{4, 10};  ///< 40 nodes in 4 racks by default
@@ -90,6 +164,17 @@ struct ClusterConfig {
 
   /// Compute-failure fault tolerance; inert at its defaults.
   FaultConfig fault;
+
+  /// Hedged degraded reads + per-fetch supervision + storage fault
+  /// injection; all inert at their defaults. The fetch supervisor engages
+  /// when `hedge.active() || straggler.active()`.
+  HedgeConfig hedge;
+  FetchPolicy fetch;
+  StragglerConfig straggler;
+
+  bool fetch_supervised() const {
+    return hedge.active() || straggler.active();
+  }
 
   double time_scale(NodeId node) const {
     if (node_time_scale.empty()) return 1.0;

@@ -33,6 +33,10 @@ void FaultSupervisor::on_compute_failed(NodeId node) {
     a.doomed = true;
     for (const net::FlowId f : a.flows) s_.net.cancel(f);
     a.flows.clear();
+    if (a.read != 0 && s_.fetch) {
+      s_.fetch->cancel_read(a.read);
+      a.read = 0;
+    }
   }
   for (JobState& j : s_.jobs) {
     if (!j.active || j.finished) continue;
@@ -342,6 +346,9 @@ void FaultSupervisor::abort_job(JobState& j) {
     // Doomed attempts sit on a dead node whose slot ledger is void.
     if (!it->second.doomed) ++s_.slave(rec.exec_node).free_map_slots;
     for (const net::FlowId f : it->second.flows) s_.net.cancel(f);
+    if (it->second.read != 0 && s_.fetch) {
+      s_.fetch->cancel_read(it->second.read);
+    }
     s_.map_attempts.erase(it);
   }
   for (std::size_t r = 0; r < j.reduces.size(); ++r) {
@@ -386,6 +393,9 @@ void FaultSupervisor::replan_inflight_reads(NodeId node) {
     if (it == s_.map_attempts.end()) continue;
     MapAttempt& a = it->second;
     if (a.doomed) continue;
+    // Supervised reads retarget themselves (FetchSupervisor::on_node_failed
+    // replans around the dead source); replanning here would double up.
+    if (a.read != 0) continue;
     MapTaskRecord& rec =
         s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
     if (rec.exec_node == node) continue;  // the compute-death path owns it

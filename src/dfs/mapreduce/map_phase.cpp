@@ -309,6 +309,61 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
   MapAttempt& reg =
       s_.map_attempts.emplace(record_idx, std::move(attempt)).first->second;
 
+  if (kind == MapTaskKind::kDegraded && s_.fetch) {
+    // Supervised path: hedged plan + fetch supervisor (cancel-on-quorum
+    // hedging, timeouts/retries, straggler injection). With hedging off the
+    // primary matches plan() exactly — same RNG draws from j.rng — and the
+    // robustness machinery draws only from the supervisor's own stream.
+    const int extras = s_.cfg.hedge.active() ? s_.cfg.hedge.extra_sources : 0;
+    auto hplan = j.planner->plan_hedged(t.block, s, s_.failure, j.rng, extras);
+    if (!backup) {
+      // Pacing charges the primary option's volume: hedge fetches are
+      // redundant bytes the scheduler should not count as useful work.
+      double plan_blocks = j.expected_degraded_cost;
+      if (hplan) {
+        plan_blocks = 0.0;
+        for (const auto& src : hplan->primary) plan_blocks += src.fraction;
+      }
+      t.launched_cost = plan_blocks;
+      j.md_cost += plan_blocks;
+    }
+    if (!hplan) {
+      rec.unrecoverable = true;
+      rec.fetch_done_time = s_.sim.now();
+      rec.finish_time = s_.sim.now();
+      s_.result.map_tasks.push_back(std::move(rec));
+      s_.result.data_loss = true;
+      s_.sim.schedule_in(0.0, [this, job_id, record_idx, map_idx] {
+        on_map_complete(job_id, record_idx, map_idx);
+      });
+      return;
+    }
+    rec.sources = hplan->primary;  // replaced by the arrived set on completion
+    s_.result.map_tasks.push_back(std::move(rec));
+    reg.read = s_.fetch->start_read(
+        *j.planner, std::move(*hplan), s,
+        [this, job_id, record_idx, map_idx](ReadOutcome out) {
+          const auto it = s_.map_attempts.find(record_idx);
+          if (it == s_.map_attempts.end() || it->second.doomed) return;
+          it->second.read = 0;
+          MapTaskRecord& r =
+              s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
+          if (!out.ok) {
+            // Every fallback replan exhausted mid-flight: the block turned
+            // out unrecoverable after all.
+            r.unrecoverable = true;
+            r.sources.clear();
+            r.fetch_done_time = s_.sim.now();
+            s_.result.data_loss = true;
+            on_map_complete(job_id, record_idx, map_idx);
+            return;
+          }
+          r.sources = std::move(out.sources);
+          on_map_input_ready(job_id, record_idx, map_idx);
+        });
+    return;
+  }
+
   if (kind == MapTaskKind::kDegraded) {
     auto sources = j.planner->plan(t.block, s, s_.failure, j.rng);
     if (!backup) {

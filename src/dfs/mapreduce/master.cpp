@@ -33,6 +33,12 @@ Master::Master(sim::Simulator& simulator, net::Network& network,
   }
   state_.last_degraded_assign.assign(
       static_cast<std::size_t>(config.topology.num_racks()), kNeverAssigned);
+  if (config.fetch_supervised()) {
+    // Forked only when supervision is on: an inert config spends no RNG
+    // state here, keeping unsupervised runs byte-identical.
+    state_.fetch = std::make_unique<FetchSupervisor>(
+        simulator, network, failure, state_.cfg, rng.fork());
+  }
 }
 
 void Master::submit(const JobInput& input) {
@@ -124,6 +130,9 @@ void Master::on_node_failed(NodeId node) {
     if (!j.active || j.finished) continue;
     map_.reclassify_after_failure(j, node);
   }
+  // The fetch supervisor retargets its own in-flight reads (fallback
+  // replans); the fault layer's replan below skips supervised attempts.
+  if (state_.fetch) state_.fetch->on_node_failed(node);
   if (state_.cfg.fault.compute_failures) fault_.replan_inflight_reads(node);
 }
 
@@ -307,6 +316,10 @@ RackId Master::rack_of(NodeId s) const {
 }
 
 RunResult Master::take_result() {
+  if (state_.fetch) {
+    state_.result.degraded_fetches = state_.fetch->fetch_records();
+    state_.result.hedge = state_.fetch->stats();
+  }
   state_.result.jobs.clear();
   state_.result.jobs.reserve(state_.jobs.size());
   for (const JobState& j : state_.jobs) state_.result.jobs.push_back(j.metrics);

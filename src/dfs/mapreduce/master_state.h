@@ -9,6 +9,7 @@
 
 #include "dfs/core/scheduler.h"
 #include "dfs/mapreduce/config.h"
+#include "dfs/mapreduce/fetch_supervisor.h"
 #include "dfs/mapreduce/metrics.h"
 #include "dfs/net/network.h"
 #include "dfs/sim/simulator.h"
@@ -159,6 +160,9 @@ struct MapAttempt {
   /// Node compute-failed; attempt will be finalized (killed) at detection.
   bool doomed = false;
   std::vector<net::FlowId> flows;  ///< in-flight input fetches
+  /// Supervised degraded read in flight (fetch supervisor active only);
+  /// 0 when none. Teardown must cancel it through the supervisor.
+  ReadId read = 0;
 };
 
 /// The state every phase engine shares: the job/slave/attempt store plus the
@@ -184,6 +188,9 @@ struct MasterState {
   std::vector<util::Seconds> last_degraded_assign;  ///< per rack
   std::size_t jobs_done = 0;
   RunResult result;
+  /// Degraded-read fetch supervisor; created by the Master only when
+  /// cfg.fetch_supervised() — null means the legacy inline fetch path runs.
+  std::unique_ptr<FetchSupervisor> fetch;
   /// Borrowed from the owning Master (the public `Master::hooks` member).
   TaskHooks* hooks = nullptr;
 

@@ -41,6 +41,49 @@ struct MapTaskRecord {
   }
 };
 
+/// How one supervised degraded-read fetch attempt ended (fetch supervisor;
+/// recorded only when it is active).
+enum class FetchOutcome {
+  kCompleted,        ///< all bytes arrived
+  kCancelledQuorum,  ///< a loser: quorum completed without it
+  kTimeout,          ///< exceeded FetchPolicy::timeout
+  kTransientFailure, ///< injected transient fetch failure
+  kSourceDead,       ///< the source node failed mid-fetch
+  kAbandoned,        ///< its read was torn down (attempt kill / job abort)
+};
+
+/// One supervised degraded-read fetch attempt, for tail-latency metrics.
+struct FetchRecord {
+  util::Seconds start = -1.0;  ///< attempt launch (service wait included)
+  util::Seconds end = -1.0;
+  NodeId src = -1;
+  NodeId dst = -1;
+  double fraction = 1.0;  ///< of a block actually requested
+  bool hedge = false;     ///< launched as an extra (hedge) source
+  int attempt = 0;        ///< 0 for the first try of this source
+  FetchOutcome outcome = FetchOutcome::kCompleted;
+
+  util::Seconds latency() const { return end - start; }
+};
+
+/// Fetch-supervisor counters (all zero when it is inactive).
+struct HedgeStats {
+  std::uint64_t reads_started = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t reads_failed = 0;     ///< no recovery option left
+  std::uint64_t reads_cancelled = 0;  ///< torn down by the caller
+  std::uint64_t fetches_launched = 0;
+  std::uint64_t hedges_launched = 0;   ///< of those, extra (hedge) sources
+  std::uint64_t losers_cancelled = 0;  ///< outstanding fetches at quorum
+  std::uint64_t fetch_timeouts = 0;
+  std::uint64_t transient_failures = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t fallback_replans = 0;  ///< after source exhaustion or death
+  /// Reads that spent their whole retry/reset budget and fell back to a
+  /// plain unsupervised fetch (structurally recoverable stripes never fail).
+  std::uint64_t last_resort_reads = 0;
+};
+
 /// Everything recorded about one executed reduce task attempt.
 struct ReduceTaskRecord {
   TaskId id = -1;
@@ -92,6 +135,10 @@ struct RunResult {
   std::vector<ReduceTaskRecord> reduce_tasks;
   std::vector<JobMetrics> jobs;
   std::vector<DetectionRecord> detections;  ///< declared slave deaths
+  /// Supervised degraded-read fetch attempts (empty when the fetch
+  /// supervisor is inactive).
+  std::vector<FetchRecord> degraded_fetches;
+  HedgeStats hedge;  ///< fetch-supervisor counters (zero when inactive)
   int blacklist_events = 0;  ///< slaves blacklisted (re-blacklists count)
   util::Seconds makespan = 0.0;
   bool data_loss = false;  ///< some block was unrecoverable

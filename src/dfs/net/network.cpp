@@ -124,7 +124,24 @@ bool Network::cancel(FlowId id) {
     return true;
   }
   auto it = active_.find(id);
-  if (it == active_.end()) return false;
+  if (it == active_.end()) {
+    // Cancel-after-completion inside the current dispatch batch: the flow
+    // left active_ when the batch was collected, but its callback has not
+    // fired yet — suppress it and count the flow cancelled. Flows at or
+    // before dispatch_pos_ already delivered (or were suppressed), so a
+    // second cancel of the same flow falls through to false (idempotence).
+    if (dispatch_batch_ != nullptr) {
+      for (std::size_t i = dispatch_pos_ + 1; i < dispatch_batch_->size();
+           ++i) {
+        if ((*dispatch_batch_)[i].id != id) continue;
+        if (dispatch_suppressed_[i]) return false;
+        dispatch_suppressed_[i] = 1;
+        ++flows_cancelled_;
+        return true;
+      }
+    }
+    return false;
+  }
   if (model_ == ContentionModel::kMaxMinFairShare) {
     fair_share_advance();
     Flow flow = std::move(it->second);
@@ -448,7 +465,16 @@ void Network::fair_share_on_completion() {
   // into the same zero-delay recompute, which also performs the final
   // re-arm for this timestamp.
   for (const Flow& f : finished) fair_share_mark_dirty(f.links);
-  for (Flow& f : finished) finish_flow(f);
+  // Deliver the batch. A callback may cancel() a later flow of this same
+  // batch (hedged reads cancelling losers); cancel marks it in
+  // dispatch_suppressed_ and the loop skips it — cancelled, not completed.
+  dispatch_suppressed_.assign(finished.size(), 0);
+  dispatch_batch_ = &finished;
+  for (dispatch_pos_ = 0; dispatch_pos_ < finished.size(); ++dispatch_pos_) {
+    if (dispatch_suppressed_[dispatch_pos_]) continue;
+    finish_flow(finished[dispatch_pos_]);
+  }
+  dispatch_batch_ = nullptr;
 }
 
 void Network::fair_share_naive_rates(std::unordered_map<FlowId, double>& out) {

@@ -96,8 +96,15 @@ class Network {
                   std::function<void()> done);
 
   /// Cancel an in-flight transfer: its callback never fires and its share of
-  /// every link is released immediately. Returns false when the flow is not
-  /// cancellable — already completed, unknown, or uncontended (uncontended
+  /// every link is released immediately. Idempotent — a second cancel of the
+  /// same flow returns false and changes nothing. Safe against the
+  /// cancel-after-completion race inside a same-timestamp completion batch:
+  /// when a completion callback cancels another flow that finished in the
+  /// same batch but whose callback has not yet been delivered (a hedged
+  /// loser crossing the line together with the winner), the victim's
+  /// callback is suppressed and the flow counts as cancelled, not
+  /// completed. Returns false when the flow is not cancellable — already
+  /// completed (callback delivered), unknown, or uncontended (uncontended
   /// flows complete on the next dispatch and are never tracked; callers must
   /// guard their callbacks instead).
   bool cancel(FlowId id);
@@ -260,6 +267,14 @@ class Network {
   std::vector<int> dirty_links_;
   std::vector<char> link_dirty_;
   bool recompute_scheduled_ = false;
+
+  // Completion-batch dispatch state: while fair_share_on_completion delivers
+  // its batch of callbacks, cancel() of a later flow in the same batch marks
+  // it suppressed here instead of failing (a hedged read cancelling a loser
+  // that finished in the winner's timestamp batch). Null outside dispatch.
+  std::vector<Flow>* dispatch_batch_ = nullptr;
+  std::size_t dispatch_pos_ = 0;
+  std::vector<char> dispatch_suppressed_;
 
   // Flood-fill + water-filling scratch, reused across recomputes. Residuals
   // and counts are only read for links seeded by the current component, so

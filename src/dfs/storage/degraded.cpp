@@ -19,7 +19,44 @@ bool eligible(const ec::RecoveryOption& option,
                      });
 }
 
+int popcount_mask(unsigned mask) {
+  int bits = 0;
+  for (; mask != 0; mask &= mask - 1) ++bits;
+  return bits;
+}
+
 }  // namespace
+
+bool quorum_reached(const ec::ErasureCode& code,
+                    const ec::RecoveryPlan& options, int lost_shard,
+                    const std::vector<unsigned>& completed) {
+  // (1) A candidate option is fully covered by the completed masks. This is
+  // the only test that can pass on partial shards (Hitchhiker-XOR half-shard
+  // sources, LRC local groups).
+  for (const ec::RecoveryOption& opt : options.options) {
+    bool covered = true;
+    for (const ec::RecoverySource& src : opt.sources) {
+      const auto s = static_cast<std::size_t>(src.shard);
+      if ((src.substripes & ~completed[s]) != 0u) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
+  }
+  // (2) The fully-completed shards alone reconstruct the lost one — the
+  // "any k of the completed" test an MDS code's single-candidate plan
+  // cannot express. Gated on >= k full shards: no linear code decodes from
+  // fewer.
+  const unsigned all = code.full_substripe_mask();
+  std::vector<int> full;
+  full.reserve(completed.size());
+  for (std::size_t s = 0; s < completed.size(); ++s) {
+    if ((completed[s] & all) == all) full.push_back(static_cast<int>(s));
+  }
+  if (static_cast<int>(full.size()) < code.k()) return false;
+  return code.recovery_plan(full, lost_shard).has_value();
+}
 
 DegradedReadPlanner::DegradedReadPlanner(const StorageLayout& layout,
                                          const net::Topology& topo,
@@ -120,6 +157,91 @@ std::optional<std::vector<DegradedSource>> DegradedReadPlanner::plan(
         DegradedSource{block, holder, src.fraction, src.substripes});
   }
   return sources;
+}
+
+std::optional<HedgedPlan> DegradedReadPlanner::plan_hedged(
+    BlockId lost, NodeId reader, const FailureScenario& failure,
+    util::Rng& rng, int extra_sources, const std::vector<char>& exclude)
+    const {
+  // Same survivor gathering and preference shuffle as plan(): with no
+  // exclusions the primary option (and the RNG draws spent choosing it) is
+  // identical to the unhedged plan.
+  std::vector<int> available;
+  available.reserve(static_cast<std::size_t>(layout_.n()));
+  for (int b = 0; b < layout_.n(); ++b) {
+    if (b == lost.index) continue;
+    if (!exclude.empty() && exclude[static_cast<std::size_t>(b)]) continue;
+    const NodeId holder = layout_.node_of(BlockId{lost.stripe, b});
+    if (!failure.is_failed(holder)) available.push_back(b);
+  }
+  rng.shuffle(available);
+  if (selection_ == SourceSelection::kPreferSameRack) {
+    std::stable_partition(available.begin(), available.end(), [&](int b) {
+      return topo_.same_rack(layout_.node_of(BlockId{lost.stripe, b}),
+                             reader);
+    });
+    std::stable_partition(available.begin(), available.end(), [&](int b) {
+      return layout_.node_of(BlockId{lost.stripe, b}) == reader;
+    });
+  }
+  auto plan = code_.recovery_plan(available, lost.index);
+  if (!plan) return std::nullopt;
+
+  // Price the eligible options; remember them in ascending cost order
+  // (stable, so ties keep the code's preference order) for hedge selection.
+  struct Priced {
+    double cost;
+    const ec::RecoveryOption* option;
+  };
+  std::vector<Priced> priced;
+  priced.reserve(plan->options.size());
+  for (const ec::RecoveryOption& opt : plan->options) {
+    if (!eligible(opt, cost_model_)) continue;
+    priced.push_back(Priced{option_cost(opt, lost.stripe, reader), &opt});
+  }
+  if (priced.empty()) return std::nullopt;
+  std::stable_sort(priced.begin(), priced.end(),
+                   [](const Priced& a, const Priced& b) {
+                     return a.cost < b.cost;
+                   });
+
+  HedgedPlan out;
+  out.lost = lost;
+  const int substripes = code_.substripe_count();
+  std::vector<unsigned> selected(static_cast<std::size_t>(layout_.n()), 0u);
+  const auto add_source = [&](std::vector<DegradedSource>& dst, int shard,
+                              unsigned mask) {
+    const unsigned fresh =
+        mask & ~selected[static_cast<std::size_t>(shard)];
+    if (fresh == 0u) return false;
+    selected[static_cast<std::size_t>(shard)] |= fresh;
+    const BlockId block{lost.stripe, shard};
+    const NodeId holder = layout_.node_of(block);
+    assert(holder != net::kInvalidNode);
+    dst.push_back(DegradedSource{
+        block, holder,
+        static_cast<double>(popcount_mask(fresh)) / substripes, fresh});
+    return true;
+  };
+  for (const ec::RecoverySource& src : priced.front().option->sources) {
+    add_source(out.primary, src.shard, src.substripes);
+  }
+  // Hedge sources: walk the costlier options first (their sources are known
+  // to combine into full alternatives), then whole leftover survivors.
+  int extras_left = std::max(0, extra_sources);
+  for (std::size_t p = 1; p < priced.size() && extras_left > 0; ++p) {
+    for (const ec::RecoverySource& src : priced[p].option->sources) {
+      if (extras_left == 0) break;
+      if (add_source(out.extras, src.shard, src.substripes)) --extras_left;
+    }
+  }
+  const unsigned all = code_.full_substripe_mask();
+  for (const int shard : available) {
+    if (extras_left == 0) break;
+    if (add_source(out.extras, shard, all)) --extras_left;
+  }
+  out.options = std::move(*plan);
+  return out;
 }
 
 double DegradedReadPlanner::expected_cross_rack_blocks() const {

@@ -45,6 +45,30 @@ struct RecoveryCostModel {
   bool allow_subshard = true;
 };
 
+/// One hedged degraded read, planned: the primary (cheapest) option's
+/// sources, up to r extra hedge sources drawn first from the alternative
+/// RecoveryOptions in cost order and then from the remaining whole
+/// survivors, and the shard-level candidate options a fetch supervisor
+/// needs to test quorum as fetches land.
+struct HedgedPlan {
+  BlockId lost{};
+  std::vector<DegradedSource> primary;
+  std::vector<DegradedSource> extras;
+  /// The code's candidate options over the surviving shards (the quorum
+  /// test re-checks coverage against these as fetches complete).
+  ec::RecoveryPlan options;
+};
+
+/// True when the fetches completed so far suffice to reconstruct the lost
+/// shard: either some candidate option is fully covered by the completed
+/// substripe masks, or the fully-completed shards alone admit a recovery
+/// plan (the "any k of the completed" test for MDS codes, whose plan
+/// enumerates only one candidate subset up front). `completed` maps shard
+/// index to the completed-substripe bitmask (0 = nothing fetched).
+bool quorum_reached(const ec::ErasureCode& code,
+                    const ec::RecoveryPlan& options, int lost_shard,
+                    const std::vector<unsigned>& completed);
+
 /// Plans degraded reads: given a lost block, picks the surviving blocks (and
 /// the nodes holding them) that the degraded task must download.
 ///
@@ -66,6 +90,21 @@ class DegradedReadPlanner {
   std::optional<std::vector<DegradedSource>> plan(
       BlockId lost, NodeId reader, const FailureScenario& failure,
       util::Rng& rng) const;
+
+  /// Hedged variant: the same cheapest-option primary as plan() (identical
+  /// RNG draws), plus up to `extra_sources` hedge fetches and the candidate
+  /// option set for quorum testing. Shards flagged in `exclude` (sized n;
+  /// may be empty for none) are treated as unavailable — the fetch
+  /// supervisor's fallback replans exclude sources that timed out or died.
+  /// nullopt when the non-excluded survivors cannot reconstruct the block.
+  std::optional<HedgedPlan> plan_hedged(BlockId lost, NodeId reader,
+                                        const FailureScenario& failure,
+                                        util::Rng& rng, int extra_sources,
+                                        const std::vector<char>& exclude = {})
+      const;
+
+  const ec::ErasureCode& code() const { return code_; }
+  const StorageLayout& layout() const { return layout_; }
 
   /// Expected blocks one single-failure degraded read downloads under this
   /// planner's cost model (mean over the code's native shards, every other

@@ -244,6 +244,80 @@ TEST(Cluster, DegradedFirstTailLatencyNoWorseThanLocalityFirst) {
   EXPECT_LE(df_p99, lf_p99);
 }
 
+// --- hedged reads racing repair -------------------------------------------------
+
+TEST(Cluster, RepairCompletionRacesInFlightHedgedReads) {
+  // Node 3 is down at submission, so its tasks start as supervised hedged
+  // reads; the repair lands at t=2.5 while fetches are still in flight.
+  // Restoring the node must not wedge or corrupt the outstanding reads:
+  // they run to completion against the sources they already hold.
+  OnlineHarness h;
+  h.cfg.hedge.enabled = true;
+  h.cfg.hedge.extra_sources = 1;
+  h.cfg.straggler.service_mean = 0.5;  // keeps fetches in flight at t=2.5
+  // The harness built its Master before the hedging knobs were set: rebuild
+  // it — and schedule degraded-first, so the hedged reads are guaranteed to
+  // be in flight when the repair lands (locality-first would defer them
+  // until after the restore).
+  const auto bdf = core::make_scheduler("BDF");
+  h.net = std::make_unique<net::Network>(h.sim, h.cfg.topology, h.cfg.links,
+                                         h.cfg.contention);
+  h.master = std::make_unique<mapreduce::Master>(h.sim, *h.net, h.cfg,
+                                                 h.failure, *bdf, h.rng);
+
+  h.failure.fail(3);
+  h.master->on_node_failed(3);
+  h.master->submit(h.job);
+  h.sim.schedule_at(2.5, [&h] {
+    h.failure.restore(3);
+    h.master->on_node_repaired(3);
+  });
+  h.master->start();
+  h.sim.run();
+
+  ASSERT_TRUE(h.master->all_jobs_done());
+  const auto r = h.master->take_result();
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_FALSE(r.jobs[0].failed);
+  EXPECT_FALSE(r.data_loss);
+  // Hedged reads actually ran before the repair, and every one resolved.
+  EXPECT_GT(r.hedge.reads_started, 0u);
+  EXPECT_EQ(r.hedge.reads_started, r.hedge.reads_completed +
+                                       r.hedge.reads_failed +
+                                       r.hedge.reads_cancelled);
+  EXPECT_EQ(r.hedge.reads_failed, 0u);
+}
+
+TEST(Cluster, HedgedLifecycleRunsAreByteIdenticalJsonl) {
+  // Full lifecycle determinism with the whole robustness layer on: hedging,
+  // timeouts, straggler jitter (heavy-tailed), and transient failures.
+  ClusterOptions opts = fast_options();
+  opts.config.hedge.enabled = true;
+  opts.config.hedge.extra_sources = 1;
+  opts.config.fetch.timeout = 120.0;
+  opts.config.straggler.fraction = 0.1;
+  opts.config.straggler.slowdown = 4.0;
+  opts.config.straggler.service_mean = 0.5;
+  opts.config.straggler.pareto_alpha = 1.5;
+  opts.config.straggler.fail_prob = 0.05;
+  const auto scheduler = core::make_scheduler("BDF");
+  std::ostringstream first, second;
+  {
+    ClusterSimulation simulation(opts, *scheduler, 5);
+    write_cluster_jsonl(first, simulation.run());
+  }
+  {
+    ClusterSimulation simulation(opts, *scheduler, 5);
+    write_cluster_jsonl(second, simulation.run());
+  }
+  ASSERT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+  // The hedging record is present and carries the tail percentiles.
+  EXPECT_NE(first.str().find("\"type\":\"hedging\""), std::string::npos);
+  EXPECT_NE(first.str().find("degraded_read_p999"), std::string::npos);
+  EXPECT_NE(first.str().find("latency_samples"), std::string::npos);
+}
+
 TEST(Cluster, SameSeedProducesByteIdenticalJsonl) {
   const auto scheduler = core::make_scheduler("BDF");
   std::ostringstream first, second;

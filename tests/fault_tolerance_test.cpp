@@ -256,6 +256,44 @@ TEST(FaultTolerance, FlakySlaveIsBlacklistedAndStopsReceivingWork) {
   EXPECT_EQ(r.blacklist_events, 2);
 }
 
+// --- hedged reads racing node death --------------------------------------------
+
+TEST(FaultTolerance, HedgedDegradedReadsSurviveHelperDeathMidFlight) {
+  // Node 2's storage is down from the start, so its blocks run as supervised
+  // degraded reads; node 7 then dies mid-run while hedged fetches are in
+  // flight. Every read must resolve — fetches from the dead helper fall back
+  // to alternative sources — and the job completes without data loss.
+  FaultHarness h;
+  h.cfg.hedge.enabled = true;
+  h.cfg.hedge.extra_sources = 2;
+  h.cfg.fetch.timeout = 30.0;
+  h.cfg.straggler.service_mean = 0.2;  // jitter keeps fetches in flight
+  h.failure.fail(2);
+  h.build();
+  h.master->submit(h.job);
+  h.sim.schedule_at(2.0, [&h] { h.kill_node(7); });
+  h.master->start();
+  h.sim.run();
+
+  ASSERT_TRUE(h.master->all_jobs_done());
+  const auto r = h.master->take_result();
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_FALSE(r.jobs[0].failed);
+  EXPECT_FALSE(r.data_loss);
+  EXPECT_GT(r.hedge.reads_started, 0u);
+  // Every supervised read resolved one way: completed, declared
+  // unrecoverable, or cancelled with its doomed attempt.
+  EXPECT_EQ(r.hedge.reads_started, r.hedge.reads_completed +
+                                       r.hedge.reads_failed +
+                                       r.hedge.reads_cancelled);
+  EXPECT_EQ(r.hedge.reads_failed, 0u);
+  EXPECT_FALSE(r.degraded_fetches.empty());
+  // No fetch was ever planned against node 2 — dead before any read began.
+  // (Node 7 may legitimately appear as a source of fetches that completed
+  // before its death delivered the bytes.)
+  for (const auto& f : r.degraded_fetches) EXPECT_NE(f.src, 2);
+}
+
 // --- determinism ---------------------------------------------------------------
 
 TEST(FaultTolerance, SameSeedFaultInjectionRunsAreByteIdentical) {

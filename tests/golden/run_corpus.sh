@@ -54,6 +54,19 @@ run cluster_faults dfscluster --hours 0.3 --warmup 60 --seed 3 \
   --attempt-failure-prob 0.02 --retry-backoff 2 \
   --jsonl cluster_faults.jsonl --attempts-csv cluster_faults_attempts.csv
 
+# Hedging flags explicitly at their off values: must be byte-identical to
+# cluster_base (the strictly-additive contract of the fetch supervisor — an
+# inert config spends no RNG draws and schedules no events).
+run cluster_hedge_off dfscluster --hours 0.3 --warmup 60 --seed 7 --seeds 2 \
+  --blocks 60 --reducers 4 --interarrival 90 --mttf-hours 1 \
+  --jsonl cluster_hedge_off.jsonl --csv cluster_hedge_off_timeline.csv \
+  --net-stats --hedge 0 --hedge-quorum 0 --fetch-timeout 0 \
+  --fetch-retries 2 --fetch-backoff 0.5 --straggler-fraction 0 \
+  --straggler-slowdown 4 --straggler-jitter 0 --straggler-alpha 0 \
+  --straggler-fail-prob 0
+cmp cluster_base.jsonl cluster_hedge_off.jsonl
+cmp cluster_base_timeline.csv cluster_hedge_off_timeline.csv
+
 # --- manifest ---------------------------------------------------------------
 sha256sum \
   sim_edf_csv.stdout sim_edf_csv.stderr \

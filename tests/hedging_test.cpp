@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "dfs/ec/reed_solomon.h"
+#include "dfs/mapreduce/config.h"
+#include "dfs/mapreduce/fetch_supervisor.h"
+#include "dfs/net/network.h"
+#include "dfs/net/topology.h"
+#include "dfs/sim/simulator.h"
+#include "dfs/storage/degraded.h"
+#include "dfs/storage/failure.h"
+#include "dfs/storage/layout.h"
+#include "dfs/util/rng.h"
+#include "dfs/util/units.h"
+
+namespace dfs::mapreduce {
+namespace {
+
+// --- quorum test -------------------------------------------------------------
+
+TEST(QuorumReached, AnyKFullShardsReconstructMds) {
+  const ec::ReedSolomonCode code(6, 4);
+  std::vector<int> available = {1, 2, 3, 4, 5};
+  const auto maybe_options = code.recovery_plan(available, 0);
+  ASSERT_TRUE(maybe_options.has_value());
+  const ec::RecoveryPlan& options = *maybe_options;
+  const unsigned full = code.full_substripe_mask();
+
+  std::vector<unsigned> completed(6, 0u);
+  EXPECT_FALSE(storage::quorum_reached(code, options, 0, completed));
+  completed[1] = completed[2] = completed[3] = full;
+  EXPECT_FALSE(storage::quorum_reached(code, options, 0, completed));
+  // Any 4 fully-completed survivors reconstruct, even if they are not the
+  // subset the plan's first option enumerated.
+  completed[5] = full;
+  EXPECT_TRUE(storage::quorum_reached(code, options, 0, completed));
+}
+
+// --- fetch supervisor --------------------------------------------------------
+
+/// RS(6,4) on 12 nodes in 3 racks; rack links 100 B/s, node links free, so a
+/// cross-rack fetch of a 1000-byte block takes >= 10 s while an intra-rack
+/// fetch is instant. Node 0 is failed; the lost block is its first data
+/// block; the reader sits in rack 1.
+class FetchSupervisorTest : public ::testing::Test {
+ protected:
+  FetchSupervisorTest()
+      : topo_(3, 4),
+        layout_rng_(99),
+        layout_(storage::random_rack_constrained_layout(60, 6, 4, topo_,
+                                                        layout_rng_)),
+        code_(6, 4),
+        net_(sim_, topo_, links()),
+        planner_(layout_, topo_, code_),
+        failure_({0}),
+        plan_rng_(7) {
+    cfg_.block_size = 1000.0;
+    for (const storage::BlockId b : layout_.blocks_on_node(0)) {
+      if (b.index < layout_.k()) {
+        lost_ = b;
+        break;
+      }
+    }
+    EXPECT_GE(lost_.stripe, 0);
+  }
+
+  static net::LinkConfig links() {
+    net::LinkConfig l;
+    l.node_up = util::kUnlimitedBandwidth;
+    l.node_down = util::kUnlimitedBandwidth;
+    l.rack_up = 100.0;
+    l.rack_down = 100.0;
+    return l;
+  }
+
+  std::optional<storage::HedgedPlan> plan(int extras) {
+    return planner_.plan_hedged(lost_, reader_, failure_, plan_rng_, extras);
+  }
+
+  FetchSupervisor make_supervisor() {
+    return FetchSupervisor(sim_, net_, failure_, cfg_, util::Rng(1234));
+  }
+
+  int count_records(const FetchSupervisor& sup, FetchOutcome o) const {
+    int n = 0;
+    for (const FetchRecord& r : sup.fetch_records()) {
+      if (r.outcome == o) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim_;
+  net::Topology topo_;
+  util::Rng layout_rng_;
+  storage::StorageLayout layout_;
+  ec::ReedSolomonCode code_;
+  net::Network net_;
+  storage::DegradedReadPlanner planner_;
+  storage::FailureScenario failure_;
+  util::Rng plan_rng_;
+  ClusterConfig cfg_;
+  storage::BlockId lost_{-1, -1};
+  NodeId reader_ = 5;
+};
+
+TEST_F(FetchSupervisorTest, HedgedReadCompletesOnQuorumAndCancelsLosers) {
+  cfg_.hedge.enabled = true;
+  cfg_.hedge.extra_sources = 2;
+  FetchSupervisor sup = make_supervisor();
+
+  auto hplan = plan(2);
+  ASSERT_TRUE(hplan.has_value());
+  EXPECT_EQ(hplan->primary.size(), 4u);  // k sources
+  EXPECT_EQ(hplan->extras.size(), 1u);   // only 5 survivors exist
+
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+  EXPECT_GE(out->sources.size(), 4u);
+  EXPECT_EQ(sup.active_reads(), 0);
+  const HedgeStats& s = sup.stats();
+  EXPECT_EQ(s.reads_started, 1u);
+  EXPECT_EQ(s.reads_completed, 1u);
+  EXPECT_EQ(s.reads_failed, 0u);
+  EXPECT_EQ(s.fetches_launched, 5u);  // 4 primary + 1 hedge
+  EXPECT_EQ(s.hedges_launched, 1u);
+  // Every launched fetch is accounted for: a completion or a quorum loser.
+  EXPECT_EQ(count_records(sup, FetchOutcome::kCompleted),
+            static_cast<int>(out->sources.size()));
+  EXPECT_EQ(count_records(sup, FetchOutcome::kCancelledQuorum),
+            static_cast<int>(s.losers_cancelled));
+  EXPECT_EQ(out->sources.size() + s.losers_cancelled, 5u);
+  // The network never keeps delivering a cancelled loser's bytes.
+  EXPECT_EQ(net_.active_flow_count(), 0);
+}
+
+TEST_F(FetchSupervisorTest, MinQuorumDelaysCompletionUntilAllLiveFetches) {
+  cfg_.hedge.enabled = true;
+  cfg_.hedge.extra_sources = 2;
+  cfg_.hedge.min_quorum = 6;  // more than can ever launch: wait for all
+  FetchSupervisor sup = make_supervisor();
+
+  auto hplan = plan(2);
+  ASSERT_TRUE(hplan.has_value());
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+  // The gate never fires while a fetch is live, so nothing gets cancelled;
+  // all five fetches complete and contribute.
+  EXPECT_EQ(out->sources.size(), 5u);
+  EXPECT_EQ(sup.stats().losers_cancelled, 0u);
+}
+
+TEST_F(FetchSupervisorTest, TimeoutStormDropsToLastResortNotDataLoss) {
+  // A 1 s timeout against 10 s cross-rack transfers: every cross-rack fetch
+  // times out, burns its retries, and exclusion resets cannot help. The read
+  // must still complete — the stripe is structurally intact — by dropping to
+  // plain unsupervised fetches.
+  cfg_.fetch.timeout = 1.0;
+  cfg_.fetch.max_retries = 1;
+  cfg_.fetch.retry_backoff = 0.25;
+  cfg_.straggler.service_mean = 0.01;  // engage the supervisor's injection
+  FetchSupervisor sup = make_supervisor();
+
+  auto hplan = plan(0);
+  ASSERT_TRUE(hplan.has_value());
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+  const HedgeStats& s = sup.stats();
+  EXPECT_EQ(s.reads_completed, 1u);
+  EXPECT_EQ(s.reads_failed, 0u);
+  EXPECT_GT(s.fetch_timeouts, 0u);
+  EXPECT_GT(s.fetch_retries, 0u);
+  EXPECT_EQ(s.last_resort_reads, 1u);
+}
+
+TEST_F(FetchSupervisorTest, TransientFailuresRetryToCompletion) {
+  cfg_.hedge.enabled = true;
+  cfg_.hedge.extra_sources = 1;
+  cfg_.straggler.service_mean = 0.2;
+  cfg_.straggler.fail_prob = 0.6;
+  FetchSupervisor sup = make_supervisor();
+
+  auto hplan = plan(1);
+  ASSERT_TRUE(hplan.has_value());
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+  const HedgeStats& s = sup.stats();
+  EXPECT_EQ(s.reads_completed, 1u);
+  EXPECT_EQ(s.reads_failed, 0u);
+  // fail_prob 0.6 across >= 5 launches: the fixed seed sees failures.
+  EXPECT_GT(s.transient_failures, 0u);
+  EXPECT_EQ(count_records(sup, FetchOutcome::kTransientFailure),
+            static_cast<int>(s.transient_failures));
+}
+
+TEST_F(FetchSupervisorTest, SourceDeathFallsBackToAlternativeSource) {
+  FetchSupervisor sup = make_supervisor();
+  auto hplan = plan(0);
+  ASSERT_TRUE(hplan.has_value());
+
+  // Pick a primary source outside the reader's rack: its 10 s transfer is
+  // still in flight at t = 1 when its node dies.
+  NodeId dying = net::kInvalidNode;
+  for (const storage::DegradedSource& src : hplan->primary) {
+    if (!topo_.same_rack(src.node, reader_)) {
+      dying = src.node;
+      break;
+    }
+  }
+  ASSERT_NE(dying, net::kInvalidNode);
+
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.schedule_at(1.0, [&] {
+    failure_.fail(dying);  // lifecycle updates the shared health view first
+    sup.on_node_failed(dying);
+  });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+  EXPECT_GE(sup.stats().fallback_replans, 1u);
+  EXPECT_GT(count_records(sup, FetchOutcome::kSourceDead), 0);
+  for (const storage::DegradedSource& src : out->sources) {
+    EXPECT_NE(src.node, dying);
+  }
+}
+
+TEST_F(FetchSupervisorTest, StructuralLossFailsTheRead) {
+  // Leave exactly k survivors, then kill one of them mid-flight: no recovery
+  // option remains and last-resort cannot save it — the read must report
+  // failure (the owner marks the block unrecoverable).
+  const int stripe = lost_.stripe;
+  NodeId second = net::kInvalidNode;
+  for (int i = 0; i < layout_.n(); ++i) {
+    if (i == lost_.index) continue;
+    const NodeId holder = layout_.node_of(storage::BlockId{stripe, i});
+    if (!topo_.same_rack(holder, reader_)) {
+      second = holder;
+      break;
+    }
+  }
+  ASSERT_NE(second, net::kInvalidNode);
+  failure_.fail(second);
+
+  FetchSupervisor sup = make_supervisor();
+  auto hplan = plan(0);
+  ASSERT_TRUE(hplan.has_value());
+  EXPECT_EQ(hplan->primary.size(), 4u);
+
+  NodeId dying = net::kInvalidNode;
+  for (const storage::DegradedSource& src : hplan->primary) {
+    if (!topo_.same_rack(src.node, reader_)) {
+      dying = src.node;
+      break;
+    }
+  }
+  ASSERT_NE(dying, net::kInvalidNode);
+
+  std::optional<ReadOutcome> out;
+  sup.start_read(planner_, *hplan, reader_,
+                 [&](ReadOutcome o) { out = std::move(o); });
+  sim_.schedule_at(1.0, [&] {
+    failure_.fail(dying);
+    sup.on_node_failed(dying);
+  });
+  sim_.run();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->ok);
+  EXPECT_TRUE(out->sources.empty());
+  const HedgeStats& s = sup.stats();
+  EXPECT_EQ(s.reads_failed, 1u);
+  EXPECT_EQ(s.reads_completed, 0u);
+  EXPECT_EQ(s.last_resort_reads, 0u);
+  EXPECT_EQ(sup.active_reads(), 0);
+}
+
+TEST_F(FetchSupervisorTest, CancelReadFiresNoCallbackAndAbandonsFetches) {
+  FetchSupervisor sup = make_supervisor();
+  auto hplan = plan(0);
+  ASSERT_TRUE(hplan.has_value());
+
+  bool fired = false;
+  const ReadId id = sup.start_read(planner_, *hplan, reader_,
+                                   [&](ReadOutcome) { fired = true; });
+  sim_.schedule_at(1.0, [&sup, id] {
+    sup.cancel_read(id);
+    sup.cancel_read(id);  // unknown ids are a no-op
+  });
+  sim_.run();
+
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sup.active_reads(), 0);
+  EXPECT_EQ(sup.stats().reads_cancelled, 1u);
+  EXPECT_EQ(sup.stats().reads_completed, 0u);
+  EXPECT_GT(count_records(sup, FetchOutcome::kAbandoned), 0);
+  sim_.run();  // drain any stale zero-delay completions: must not crash
+  EXPECT_EQ(net_.active_flow_count(), 0);
+}
+
+TEST_F(FetchSupervisorTest, InjectionRunsAreDeterministic) {
+  // Same seeds, same config: two independent supervisor stacks produce
+  // byte-for-byte identical fetch records and stats.
+  auto run = [](std::vector<FetchRecord>& records, HedgeStats& stats) {
+    sim::Simulator sim;
+    net::Topology topo(3, 4);
+    util::Rng layout_rng(99);
+    storage::StorageLayout layout =
+        storage::random_rack_constrained_layout(60, 6, 4, topo, layout_rng);
+    ec::ReedSolomonCode code(6, 4);
+    net::Network net(sim, topo, links());
+    storage::DegradedReadPlanner planner(layout, topo, code);
+    storage::FailureScenario failure({0});
+    ClusterConfig cfg;
+    cfg.block_size = 1000.0;
+    cfg.hedge.enabled = true;
+    cfg.hedge.extra_sources = 1;
+    cfg.fetch.timeout = 4.0;
+    cfg.straggler.fraction = 0.25;
+    cfg.straggler.slowdown = 8.0;
+    cfg.straggler.service_mean = 0.5;
+    cfg.straggler.pareto_alpha = 1.5;
+    cfg.straggler.fail_prob = 0.3;
+    FetchSupervisor sup(sim, net, failure, cfg, util::Rng(1234));
+    util::Rng plan_rng(7);
+    int completed = 0;
+    for (const storage::BlockId b : layout.blocks_on_node(0)) {
+      if (b.index >= layout.k()) continue;
+      auto hplan = planner.plan_hedged(b, 5, failure, plan_rng, 1);
+      ASSERT_TRUE(hplan.has_value());
+      sup.start_read(planner, *hplan, 5,
+                     [&completed](ReadOutcome o) { completed += o.ok; });
+    }
+    sim.run();
+    EXPECT_GT(completed, 0);
+    records = sup.fetch_records();
+    stats = sup.stats();
+  };
+
+  std::vector<FetchRecord> r1, r2;
+  HedgeStats s1, s2;
+  run(r1, s1);
+  run(r2, s2);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1[i].start, r2[i].start);
+    EXPECT_DOUBLE_EQ(r1[i].end, r2[i].end);
+    EXPECT_EQ(r1[i].src, r2[i].src);
+    EXPECT_EQ(r1[i].outcome, r2[i].outcome);
+    EXPECT_EQ(r1[i].attempt, r2[i].attempt);
+  }
+  EXPECT_EQ(s1.reads_completed, s2.reads_completed);
+  EXPECT_EQ(s1.fetches_launched, s2.fetches_launched);
+  EXPECT_EQ(s1.hedges_launched, s2.hedges_launched);
+  EXPECT_EQ(s1.losers_cancelled, s2.losers_cancelled);
+  EXPECT_EQ(s1.fetch_timeouts, s2.fetch_timeouts);
+  EXPECT_EQ(s1.transient_failures, s2.transient_failures);
+  EXPECT_EQ(s1.fetch_retries, s2.fetch_retries);
+  EXPECT_EQ(s1.fallback_replans, s2.fallback_replans);
+  EXPECT_EQ(s1.last_resort_reads, s2.last_resort_reads);
+}
+
+}  // namespace
+}  // namespace dfs::mapreduce

@@ -500,6 +500,88 @@ TEST(Network, FairShareSingleFlowComponentsUseFastPath) {
   EXPECT_EQ(net.fair_share_classes_active(), 0);
 }
 
+// --- cancel: idempotence and same-batch races --------------------------------
+
+TEST(Network, CancelIsIdempotentAcrossLifecycle) {
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  bool done = false;
+  const FlowId id = net.transfer(0, 2, 1000.0, [&] { done = true; });
+  // Mid-flight: first cancel wins, the second is a no-op.
+  f.sim.schedule_in(5.0, [&] {
+    EXPECT_TRUE(net.cancel(id));
+    EXPECT_FALSE(net.cancel(id));
+  });
+  f.sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+
+  // After completion: cancel must refuse (the flow already delivered).
+  bool done2 = false;
+  const FlowId id2 = net.transfer(0, 2, 1000.0, [&] { done2 = true; });
+  f.sim.run();
+  EXPECT_TRUE(done2);
+  EXPECT_FALSE(net.cancel(id2));
+  EXPECT_FALSE(net.cancel(id2));
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+}
+
+TEST(Network, CancelFromSameBatchCompletionSuppressesDelivery) {
+  // Two contended flows on identical paths finish in the same fair-share
+  // completion batch, and each one's completion callback cancels the other —
+  // the exact shape of cancel-on-quorum, where the winning fetch's callback
+  // reconstructs the block and cancels the losers. Whichever flow the batch
+  // dispatches first must win: its cancel suppresses the other's queued
+  // delivery (and a repeat cancel is a no-op), and the victim's callback
+  // never fires. The test is agnostic to the batch's internal order.
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  net.set_fair_share_cross_check(true);
+  FlowId a = 0, b = 0;
+  int fired = 0;
+  bool a_suppressed_b = false, b_suppressed_a = false;
+  double batch_at = -1.0;
+  a = net.transfer(0, 2, 1000.0, [&] {
+    ++fired;
+    batch_at = f.sim.now();
+    a_suppressed_b = net.cancel(b);
+    EXPECT_FALSE(net.cancel(b));  // idempotent on the suppressed victim
+  });
+  b = net.transfer(1, 3, 1000.0, [&] {
+    ++fired;
+    batch_at = f.sim.now();
+    b_suppressed_a = net.cancel(a);
+    EXPECT_FALSE(net.cancel(a));
+  });
+  f.sim.run();
+  // Both shared rack0-up/rack1-down at 50 B/s each: the batch fires at 20 s.
+  EXPECT_NEAR(batch_at, 20.0, 1e-6);
+  EXPECT_EQ(fired, 1);
+  EXPECT_NE(a_suppressed_b, b_suppressed_a);  // exactly one cancel landed
+  EXPECT_EQ(net.flows_completed(), 1u);
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+  EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+TEST(Network, CancelAfterDeliveryFromLaterBatchReturnsFalse) {
+  // The cancel target completed in an earlier batch: cancel() must report
+  // failure instead of double-counting the flow as cancelled.
+  Fixture f;
+  Network net(f.sim, f.topo, f.links);
+  net.set_fair_share_cross_check(true);
+  FlowId early = 0;
+  bool early_done = false;
+  bool late_saw_cancel = true;
+  early = net.transfer(0, 2, 500.0, [&] { early_done = true; });  // 5 s
+  // Opposite direction: disjoint links, finishes alone at 10 s.
+  net.transfer(2, 0, 1000.0, [&] { late_saw_cancel = net.cancel(early); });
+  f.sim.run();
+  EXPECT_TRUE(early_done);
+  EXPECT_FALSE(late_saw_cancel);
+  EXPECT_EQ(net.flows_completed(), 2u);
+  EXPECT_EQ(net.flows_cancelled(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothModels, ContentionParamTest,
                          ::testing::Values(ContentionModel::kMaxMinFairShare,
                                            ContentionModel::kExclusiveFifo),

@@ -50,6 +50,27 @@
 //   --blacklist-threshold N    failures before a slave is shunned   [3]
 //   --blacklist-duration X     blacklist residence time, seconds    [300]
 //   --attempts-csv PATH        write the attempt-level trace as CSV
+//
+// Hedged degraded reads + storage fault injection (the fetch supervisor
+// engages when --hedge > 0 or any straggler/fail-prob knob is nonzero;
+// everything below is inert otherwise and output stays byte-identical):
+//   --hedge N                  extra hedge fetches per degraded read; the
+//                              read completes on the first quorum able to
+//                              reconstruct and cancels the losers    [0]
+//   --hedge-quorum N           completed fetches required before a
+//                              quorum may be declared (0 = coverage) [0]
+//   --fetch-timeout X          per-fetch timeout, seconds (0 = none) [0]
+//   --fetch-retries N          retries per source before falling back
+//                              to an alternative recovery option     [2]
+//   --fetch-backoff X          base retry backoff, seconds (doubles) [0.5]
+//   --straggler-fraction X     fraction of nodes serving reads slowly
+//                              (chosen evenly across racks)          [0]
+//   --straggler-slowdown X     service-jitter multiplier on them     [4]
+//   --straggler-jitter X       mean per-fetch service delay, seconds
+//                              (0 disables jitter)                   [0]
+//   --straggler-alpha X        Pareto tail shape for the jitter
+//                              (0 = exponential; > 1 = Pareto)       [0]
+//   --straggler-fail-prob X    transient fetch-failure probability   [0]
 
 #include <fstream>
 #include <iostream>
@@ -100,7 +121,12 @@ int main(int argc, char** argv) {
            "  --faults --expiry X --attempt-failure-prob X --max-attempts N\n"
            "  --retry-backoff X --blacklist-threshold N "
            "--blacklist-duration X\n"
-           "  --attempts-csv PATH\n";
+           "  --attempts-csv PATH\n"
+           "  --hedge N --hedge-quorum N --fetch-timeout X "
+           "--fetch-retries N --fetch-backoff X\n"
+           "  --straggler-fraction X --straggler-slowdown X "
+           "--straggler-jitter X\n"
+           "  --straggler-alpha X --straggler-fail-prob X\n";
     return 0;
   }
 
@@ -129,6 +155,22 @@ int main(int argc, char** argv) {
   fault.retry_backoff = args.get_double("retry-backoff", 1.0);
   fault.blacklist_threshold = args.get_int("blacklist-threshold", 3);
   fault.blacklist_duration = args.get_double("blacklist-duration", 300.0);
+
+  mapreduce::HedgeConfig& hedge = opts.config.hedge;
+  const int hedge_extras = args.get_int("hedge", 0);
+  hedge.enabled = hedge_extras > 0;
+  hedge.extra_sources = hedge_extras;
+  hedge.min_quorum = args.get_int("hedge-quorum", 0);
+  mapreduce::FetchPolicy& fetch = opts.config.fetch;
+  fetch.timeout = args.get_double("fetch-timeout", 0.0);
+  fetch.max_retries = args.get_int("fetch-retries", 2);
+  fetch.retry_backoff = args.get_double("fetch-backoff", 0.5);
+  mapreduce::StragglerConfig& straggler = opts.config.straggler;
+  straggler.fraction = args.get_double("straggler-fraction", 0.0);
+  straggler.slowdown = args.get_double("straggler-slowdown", 4.0);
+  straggler.service_mean = args.get_double("straggler-jitter", 0.0);
+  straggler.pareto_alpha = args.get_double("straggler-alpha", 0.0);
+  straggler.fail_prob = args.get_double("straggler-fail-prob", 0.0);
 
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -185,6 +227,25 @@ int main(int argc, char** argv) {
   if (fault.blacklist_duration < 0.0) {
     return fail("--blacklist-duration must be >= 0");
   }
+  if (hedge_extras < 0) return fail("--hedge must be >= 0");
+  if (hedge.min_quorum < 0) return fail("--hedge-quorum must be >= 0");
+  if (fetch.timeout < 0.0) return fail("--fetch-timeout must be >= 0");
+  if (fetch.max_retries < 0) return fail("--fetch-retries must be >= 0");
+  if (fetch.retry_backoff < 0.0) return fail("--fetch-backoff must be >= 0");
+  if (straggler.fraction < 0.0 || straggler.fraction > 1.0) {
+    return fail("--straggler-fraction must be in [0, 1]");
+  }
+  if (straggler.slowdown < 1.0) return fail("--straggler-slowdown must be >= 1");
+  if (straggler.service_mean < 0.0) {
+    return fail("--straggler-jitter must be >= 0");
+  }
+  if (straggler.pareto_alpha != 0.0 && straggler.pareto_alpha <= 1.0) {
+    return fail("--straggler-alpha must be 0 (exponential) or > 1");
+  }
+  if (straggler.fail_prob < 0.0 || straggler.fail_prob >= 1.0) {
+    // < 1 strictly: a certain failure would retry forever.
+    return fail("--straggler-fail-prob must be in [0, 1)");
+  }
 
   std::unique_ptr<core::Scheduler> scheduler;
   try {
@@ -232,6 +293,8 @@ int main(int argc, char** argv) {
               << s.jobs_completed << " completed, " << s.jobs_measured
               << " in the measurement window\n";
           util::Table table({"metric", "value"});
+          table.add_row({"latency samples",
+                         std::to_string(s.latency_samples)});
           table.add_row({"latency p50 (s)", util::Table::num(s.latency_p50, 1)});
           table.add_row({"latency p95 (s)", util::Table::num(s.latency_p95, 1)});
           table.add_row({"latency p99 (s)", util::Table::num(s.latency_p99, 1)});
@@ -244,6 +307,19 @@ int main(int argc, char** argv) {
           if (recovery_stats) {
             table.add_row({"degraded fetch (blocks/read)",
                            util::Table::num(s.mean_degraded_fetch_blocks, 2)});
+          }
+          if (opts.config.fetch_supervised()) {
+            table.add_row({"degraded read p50 (s)",
+                           util::Table::num(s.degraded_read_p50, 2)});
+            table.add_row({"degraded read p99 (s)",
+                           util::Table::num(s.degraded_read_p99, 2)});
+            table.add_row({"degraded read p999 (s)",
+                           util::Table::num(s.degraded_read_p999, 2)});
+            table.add_row({"degraded read samples",
+                           std::to_string(s.degraded_read_samples)});
+            table.add_row({"fetch p99 (s)", util::Table::num(s.fetch_p99, 2)});
+            table.add_row({"fetch samples",
+                           std::to_string(s.fetch_samples)});
           }
           table.add_row({"failures injected",
                          std::to_string(s.failures_injected) + " (" +
@@ -272,14 +348,37 @@ int main(int argc, char** argv) {
                 << " slave deaths detected, mean detection latency "
                 << util::Table::num(run.mean_detection_latency(), 1) << " s\n";
           }
+          if (opts.config.fetch_supervised()) {
+            const auto& h = s.hedge;
+            rep << "hedging: " << h.reads_started << " reads supervised, "
+                << h.hedges_launched << " hedges launched, "
+                << h.losers_cancelled << " losers cancelled, "
+                << h.fetch_timeouts << " timeouts, " << h.transient_failures
+                << " transient failures, " << h.fetch_retries << " retries, "
+                << h.fallback_replans << " fallback replans, "
+                << h.last_resort_reads << " last-resort reads\n";
+          }
+          std::ostringstream warn;
           if (s.blocks_unrecoverable > 0) {
-            std::ostringstream warn;
             warn << "warning: " << s.blocks_unrecoverable
                  << " blocks were unrecoverable (data loss)";
             if (seeds > 1) warn << " (seed " << cell_seed << ")";
             warn << '\n';
-            out.warn = warn.str();
           }
+          if (s.latency_samples > 0 && s.latency_samples < 10) {
+            warn << "warning: latency p99 rests on only " << s.latency_samples
+                 << " samples";
+            if (seeds > 1) warn << " (seed " << cell_seed << ")";
+            warn << '\n';
+          }
+          if (opts.config.fetch_supervised() && s.degraded_read_samples > 0 &&
+              s.degraded_read_samples < 10) {
+            warn << "warning: degraded-read p99 rests on only "
+                 << s.degraded_read_samples << " samples";
+            if (seeds > 1) warn << " (seed " << cell_seed << ")";
+            warn << '\n';
+          }
+          out.warn = warn.str();
           out.report = rep.str();
           return out;
         });
