@@ -5,7 +5,7 @@
 #include <set>
 
 #include "dfs/util/jsonl.h"
-#include "dfs/util/stats.h"
+#include "dfs/util/streaming_quantile.h"
 
 namespace dfs::cluster {
 
@@ -64,7 +64,11 @@ SteadyStateSummary summarize_steady_state(
   s.jobs_submitted = static_cast<int>(run.jobs.size());
   s.data_loss = run.data_loss;
 
-  std::vector<double> latencies, runtimes;
+  // Streaming accumulators: bounded memory at the 10k-slave tier (where
+  // task records run to the millions), byte-identical exact percentiles at
+  // paper scale (the small-sample regime never leaves the exact buffer).
+  util::StreamingQuantile latencies({50.0, 95.0, 99.0});
+  util::StreamingQuantile runtimes({});
   long degraded = 0, total_tasks = 0;
   for (const auto& j : run.jobs) {
     if (j.failed) {
@@ -77,18 +81,18 @@ SteadyStateSummary summarize_steady_state(
       continue;
     }
     ++s.jobs_measured;
-    latencies.push_back(j.latency());
-    runtimes.push_back(j.runtime());
+    latencies.add(j.latency());
+    runtimes.add(j.runtime());
     degraded += j.degraded_tasks;
     total_tasks += j.local_tasks + j.remote_tasks + j.degraded_tasks;
   }
-  s.latency_samples = static_cast<int>(latencies.size());
+  s.latency_samples = static_cast<int>(latencies.count());
   if (!latencies.empty()) {
-    s.latency_p50 = util::percentile(latencies, 50.0);
-    s.latency_p95 = util::percentile(latencies, 95.0);
-    s.latency_p99 = util::percentile(latencies, 99.0);
-    s.latency_mean = util::summarize(latencies).mean;
-    s.mean_job_runtime = util::summarize(runtimes).mean;
+    s.latency_p50 = latencies.quantile(50.0);
+    s.latency_p95 = latencies.quantile(95.0);
+    s.latency_p99 = latencies.quantile(99.0);
+    s.latency_mean = latencies.mean();
+    s.mean_job_runtime = runtimes.mean();
   }
   if (total_tasks > 0) {
     s.degraded_task_fraction =
@@ -106,7 +110,7 @@ SteadyStateSummary summarize_steady_state(
   }
   double fetched = 0.0;
   int degraded_reads = 0;
-  std::vector<double> read_times;
+  util::StreamingQuantile read_times({50.0, 99.0, 99.9});
   for (const auto& t : run.map_tasks) {
     if (t.kind != mapreduce::MapTaskKind::kDegraded || t.unrecoverable ||
         measured.count(t.job) == 0) {
@@ -114,7 +118,7 @@ SteadyStateSummary summarize_steady_state(
     }
     for (const auto& src : t.sources) fetched += src.fraction;
     ++degraded_reads;
-    if (t.fetch_done_time >= 0.0) read_times.push_back(t.degraded_read_time());
+    if (t.fetch_done_time >= 0.0) read_times.add(t.degraded_read_time());
   }
   if (degraded_reads > 0) {
     s.mean_degraded_fetch_blocks = fetched / degraded_reads;
@@ -123,23 +127,23 @@ SteadyStateSummary summarize_steady_state(
   // Degraded-read tail latency (per task, then per supervised fetch). The
   // per-task tail is well defined for every run; the per-fetch tail only has
   // samples when the fetch supervisor ran.
-  s.degraded_read_samples = static_cast<int>(read_times.size());
+  s.degraded_read_samples = static_cast<int>(read_times.count());
   if (!read_times.empty()) {
-    s.degraded_read_p50 = util::percentile(read_times, 50.0);
-    s.degraded_read_p99 = util::percentile(read_times, 99.0);
-    s.degraded_read_p999 = util::percentile(read_times, 99.9);
+    s.degraded_read_p50 = read_times.quantile(50.0);
+    s.degraded_read_p99 = read_times.quantile(99.0);
+    s.degraded_read_p999 = read_times.quantile(99.9);
   }
-  std::vector<double> fetch_times;
+  util::StreamingQuantile fetch_times({50.0, 99.0, 99.9});
   for (const auto& f : run.degraded_fetches) {
     if (f.outcome != mapreduce::FetchOutcome::kCompleted) continue;
     if (f.start < warmup || f.start > horizon) continue;
-    fetch_times.push_back(f.latency());
+    fetch_times.add(f.latency());
   }
-  s.fetch_samples = static_cast<int>(fetch_times.size());
+  s.fetch_samples = static_cast<int>(fetch_times.count());
   if (!fetch_times.empty()) {
-    s.fetch_p50 = util::percentile(fetch_times, 50.0);
-    s.fetch_p99 = util::percentile(fetch_times, 99.0);
-    s.fetch_p999 = util::percentile(fetch_times, 99.9);
+    s.fetch_p50 = fetch_times.quantile(50.0);
+    s.fetch_p99 = fetch_times.quantile(99.0);
+    s.fetch_p999 = fetch_times.quantile(99.9);
   }
   s.hedge = run.hedge;
 

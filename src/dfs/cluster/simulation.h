@@ -10,6 +10,7 @@
 #include "dfs/mapreduce/config.h"
 #include "dfs/mapreduce/master.h"
 #include "dfs/net/network.h"
+#include "dfs/runner/thread_pool.h"
 #include "dfs/sim/simulator.h"
 #include "dfs/storage/degraded.h"
 #include "dfs/storage/failure.h"
@@ -39,6 +40,12 @@ struct ClusterOptions {
   int archive_k = 15;
   storage::SourceSelection source_selection =
       storage::SourceSelection::kRandom;
+  /// Worker threads for the network's fair-share component recompute. At 1
+  /// (the default) everything runs inline; above 1 the simulation owns a
+  /// dedicated ThreadPool and independent congestion components are water-
+  /// filled concurrently. Output is byte-identical at any setting — the
+  /// components are disjoint, so only wall-clock changes.
+  int net_jobs = 1;
 
   ClusterOptions();  ///< fills config/arrivals/lifecycle with §V-B defaults
 };
@@ -69,6 +76,10 @@ class ClusterSimulation {
   util::Rng rng_;
   sim::Simulator sim_;
   storage::FailureScenario failure_;  ///< shared time-varying health view
+  /// Dedicated pool for the network's component recompute (never shared
+  /// with a seed-sweep pool: Network::wait_idle on a pool whose worker is
+  /// running this simulation would deadlock). Null when net_jobs <= 1.
+  std::unique_ptr<runner::ThreadPool> net_pool_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<mapreduce::Master> master_;
   std::shared_ptr<const storage::StorageLayout> archive_layout_;

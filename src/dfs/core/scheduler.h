@@ -29,8 +29,13 @@ class SchedulerContext {
   /// delay scheduling's per-job skip timers).
   virtual util::Seconds now() const = 0;
 
-  /// Jobs with unfinished map work, in FIFO submission order.
-  virtual std::vector<JobId> running_jobs() const = 0;
+  /// Jobs with unfinished map work, in FIFO submission order. The reference
+  /// is valid until the next running_jobs() call on the same context —
+  /// implementations may reuse one scratch buffer per heartbeat rather than
+  /// allocate (this query runs once per slave per heartbeat interval, which
+  /// at 10k slaves makes a per-call allocation the scheduler's hot spot).
+  /// Copy it first if you need to mutate or retain the list.
+  virtual const std::vector<JobId>& running_jobs() const = 0;
 
   /// Free map slots on the heartbeating slave right now.
   virtual int free_map_slots(NodeId slave) const = 0;

@@ -38,8 +38,8 @@ void FaultSupervisor::on_compute_failed(NodeId node) {
       a.read = 0;
     }
   }
-  for (JobState& j : s_.jobs) {
-    if (!j.active || j.finished) continue;
+  for (const core::JobId job_id : s_.active_jobs) {
+    JobState& j = s_.job(job_id);
     for (std::size_t r = 0; r < j.reduces.size(); ++r) {
       ReduceTaskState& rt = j.reduces[r];
       if (!rt.assigned) continue;
@@ -47,19 +47,17 @@ void FaultSupervisor::on_compute_failed(NodeId node) {
           s_.result.reduce_tasks[static_cast<std::size_t>(rt.record)]
                   .finish_time < 0.0) {
         rt.doomed = true;
-        for (const InflightFetch& f : rt.inflight) s_.net.cancel(f.flow);
-        rt.inflight.clear();
+        rt.inflight_for_each(
+            [this](const InflightFetch& f) { s_.net.cancel(f.flow); });
+        rt.inflight_clear();
       } else {
         // Shuffle fetches sourced from the dead node stall: the serving map
-        // output is gone. Drop them; reap_dead_node re-executes the maps.
-        for (auto it = rt.inflight.begin(); it != rt.inflight.end();) {
-          if (it->src == node) {
-            s_.net.cancel(it->flow);
-            it = rt.inflight.erase(it);
-          } else {
-            ++it;
-          }
-        }
+        // output is gone. Drop them in a single queue-order pass (erasing
+        // one at a time is quadratic in the in-flight count);
+        // reap_dead_node re-executes the maps.
+        rt.inflight_remove_if(
+            [node](const InflightFetch& f) { return f.src == node; },
+            [this](const InflightFetch& f) { s_.net.cancel(f.flow); });
       }
     }
   }
@@ -112,18 +110,18 @@ void FaultSupervisor::reap_dead_node(NodeId node) {
   // (1) Finalize the doomed map attempts on the node; requeue their tasks
   // or promote a surviving speculative copy.
   for (const int record_idx : s_.sorted_attempt_records()) {
-    const auto it = s_.map_attempts.find(record_idx);
-    if (it == s_.map_attempts.end()) continue;
+    const MapAttempt* a = s_.map_attempts.find(record_idx);
+    if (a == nullptr) continue;
     MapTaskRecord& rec =
         s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
-    if (rec.exec_node != node || !it->second.doomed) continue;
-    const core::JobId job_id = it->second.job;
-    const int map_idx = it->second.map_idx;
-    const bool backup = it->second.backup;
+    if (rec.exec_node != node || !a->doomed) continue;
+    const core::JobId job_id = a->job;
+    const int map_idx = a->map_idx;
+    const bool backup = a->backup;
     if (rec.finish_time < 0.0) rec.finish_time = s_.sim.now();
     rec.winner = false;
     rec.outcome = AttemptOutcome::kKilled;
-    s_.map_attempts.erase(it);
+    s_.map_attempts.erase(record_idx);
     JobState& j = s_.job(job_id);
     if (j.finished) continue;
     MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
@@ -144,8 +142,8 @@ void FaultSupervisor::reap_dead_node(NodeId node) {
   }
 
   // (2) Kill the reduce attempts that were running on the node.
-  for (JobState& j : s_.jobs) {
-    if (!j.active || j.finished) continue;
+  for (const core::JobId job_id : s_.active_jobs) {
+    JobState& j = s_.job(job_id);
     for (std::size_t r = 0; r < j.reduces.size(); ++r) {
       ReduceTaskState& rt = j.reduces[r];
       if (!rt.assigned || rt.node != node) continue;
@@ -160,9 +158,13 @@ void FaultSupervisor::reap_dead_node(NodeId node) {
 
   // (3) Lost-map-output re-execution: completed maps of unfinished jobs ran
   // on the dead node and their shuffle outputs died with it. Re-execute the
-  // ones some reducer still needs.
-  for (JobState& j : s_.jobs) {
-    if (!j.active || j.finished) continue;
+  // ones some reducer still needs. Snapshot the index: revert_completed_map
+  // never finishes a job, but abort never runs here either — keep the walk
+  // robust to future retires all the same.
+  const std::vector<core::JobId> active_snapshot = s_.active_jobs;
+  for (const core::JobId job_id : active_snapshot) {
+    JobState& j = s_.job(job_id);
+    if (j.finished) continue;
     if (j.spec.num_reducers == 0) continue;
     const std::vector<int> completed = j.completed_map_records;  // snapshot
     for (const int record_idx : completed) {
@@ -258,10 +260,10 @@ int FaultSupervisor::find_running_attempt(core::JobId job_id,
 
 void FaultSupervisor::on_map_attempt_failed(core::JobId job_id,
                                             int record_idx, int map_idx) {
-  const auto it = s_.map_attempts.find(record_idx);
-  if (it == s_.map_attempts.end() || it->second.doomed) return;
-  const bool backup = it->second.backup;
-  s_.map_attempts.erase(it);
+  const MapAttempt* a = s_.map_attempts.find(record_idx);
+  if (a == nullptr || a->doomed) return;
+  const bool backup = a->backup;
+  s_.map_attempts.erase(record_idx);
   JobState& j = s_.job(job_id);
   MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
   MapTaskRecord& rec =
@@ -308,8 +310,8 @@ void FaultSupervisor::on_reduce_attempt_failed(core::JobId job_id,
   rec.outcome = AttemptOutcome::kFailed;
   ++s_.slave(rt.node).free_reduce_slots;
   note_attempt_failure(rt.node);
-  for (const InflightFetch& f : rt.inflight) s_.net.cancel(f.flow);
-  rt.inflight.clear();
+  rt.inflight_for_each([this](const InflightFetch& f) { s_.net.cancel(f.flow); });
+  rt.inflight_clear();
   ++rt.failures;
   if (rt.failures >= s_.cfg.fault.max_attempts) {
     abort_job(j);
@@ -336,20 +338,20 @@ void FaultSupervisor::on_reduce_attempt_failed(core::JobId job_id,
 void FaultSupervisor::abort_job(JobState& j) {
   const core::JobId job_id = s_.id_of(j);
   for (const int record_idx : s_.sorted_attempt_records()) {
-    const auto it = s_.map_attempts.find(record_idx);
-    if (it == s_.map_attempts.end() || it->second.job != job_id) continue;
+    const MapAttempt* a = s_.map_attempts.find(record_idx);
+    if (a == nullptr || a->job != job_id) continue;
     MapTaskRecord& rec =
         s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
     if (rec.finish_time < 0.0) rec.finish_time = s_.sim.now();
     rec.winner = false;
     rec.outcome = AttemptOutcome::kKilled;
     // Doomed attempts sit on a dead node whose slot ledger is void.
-    if (!it->second.doomed) ++s_.slave(rec.exec_node).free_map_slots;
-    for (const net::FlowId f : it->second.flows) s_.net.cancel(f);
-    if (it->second.read != 0 && s_.fetch) {
-      s_.fetch->cancel_read(it->second.read);
+    if (!a->doomed) ++s_.slave(rec.exec_node).free_map_slots;
+    for (const net::FlowId f : a->flows) s_.net.cancel(f);
+    if (a->read != 0 && s_.fetch) {
+      s_.fetch->cancel_read(a->read);
     }
-    s_.map_attempts.erase(it);
+    s_.map_attempts.erase(record_idx);
   }
   for (std::size_t r = 0; r < j.reduces.size(); ++r) {
     ReduceTaskState& rt = j.reduces[r];
@@ -360,8 +362,9 @@ void FaultSupervisor::abort_job(JobState& j) {
     rec.finish_time = s_.sim.now();
     rec.outcome = AttemptOutcome::kKilled;
     rt.epoch.bump();  // neutralizes pending completion / fetch events
-    for (const InflightFetch& f : rt.inflight) s_.net.cancel(f.flow);
-    rt.inflight.clear();
+    rt.inflight_for_each(
+        [this](const InflightFetch& f) { s_.net.cancel(f.flow); });
+    rt.inflight_clear();
     if (!rt.doomed) ++s_.slave(rt.node).free_reduce_slots;
   }
   // The job leaves the FIFO queue as failed; no completion hook fires.
@@ -369,6 +372,7 @@ void FaultSupervisor::abort_job(JobState& j) {
   j.metrics.failed = true;
   j.metrics.finish_time = s_.sim.now();
   ++s_.jobs_done;
+  s_.retire_job(job_id);
 }
 
 void FaultSupervisor::note_attempt_failure(NodeId node) {
@@ -389,9 +393,9 @@ void FaultSupervisor::note_attempt_failure(NodeId node) {
 
 void FaultSupervisor::replan_inflight_reads(NodeId node) {
   for (const int record_idx : s_.sorted_attempt_records()) {
-    const auto it = s_.map_attempts.find(record_idx);
-    if (it == s_.map_attempts.end()) continue;
-    MapAttempt& a = it->second;
+    MapAttempt* found = s_.map_attempts.find(record_idx);
+    if (found == nullptr) continue;
+    MapAttempt& a = *found;
     if (a.doomed) continue;
     // Supervised reads retarget themselves (FetchSupervisor::on_node_failed
     // replans around the dead source); replanning here would double up.
@@ -456,7 +460,7 @@ void FaultSupervisor::replan_inflight_reads(NodeId node) {
     rec.winner = false;
     rec.outcome = AttemptOutcome::kKilled;
     ++s_.slave(rec.exec_node).free_map_slots;
-    s_.map_attempts.erase(it);
+    s_.map_attempts.erase(record_idx);
     if (j.finished) continue;
     if (t.done || backup) {
       if (backup) t.has_backup = false;

@@ -13,6 +13,11 @@ namespace dfs::mapreduce {
 void MapPhase::activate_job(JobState& j) {
   assert(!j.active);
   j.active = true;
+  // Jobs activate in submission (id) order — same-time activations fire
+  // FIFO — so appending keeps the active-jobs index ascending.
+  const core::JobId id = s_.id_of(j);
+  assert(s_.active_jobs.empty() || s_.active_jobs.back() < id);
+  s_.active_jobs.push_back(id);
   // One map task per native block. A task whose input has no surviving
   // readable copy becomes a degraded task (§II-B). For k == 1 layouts
   // (replication), every surviving shard of the stripe is a readable copy,
@@ -306,8 +311,7 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
   attempt.job = job_id;
   attempt.map_idx = map_idx;
   attempt.backup = backup;
-  MapAttempt& reg =
-      s_.map_attempts.emplace(record_idx, std::move(attempt)).first->second;
+  MapAttempt& reg = s_.map_attempts.emplace(record_idx, std::move(attempt));
 
   if (kind == MapTaskKind::kDegraded && s_.fetch) {
     // Supervised path: hedged plan + fetch supervisor (cancel-on-quorum
@@ -343,9 +347,9 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
     reg.read = s_.fetch->start_read(
         *j.planner, std::move(*hplan), s,
         [this, job_id, record_idx, map_idx](ReadOutcome out) {
-          const auto it = s_.map_attempts.find(record_idx);
-          if (it == s_.map_attempts.end() || it->second.doomed) return;
-          it->second.read = 0;
+          MapAttempt* attempt_entry = s_.map_attempts.find(record_idx);
+          if (attempt_entry == nullptr || attempt_entry->doomed) return;
+          attempt_entry->read = 0;
           MapTaskRecord& r =
               s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
           if (!out.ok) {
@@ -429,13 +433,13 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
 
 void MapPhase::on_map_input_ready(core::JobId job_id, int record_idx,
                                   int map_idx) {
-  const auto reg = s_.map_attempts.find(record_idx);
-  if (reg == s_.map_attempts.end() || reg->second.doomed) {
+  MapAttempt* reg = s_.map_attempts.find(record_idx);
+  if (reg == nullptr || reg->doomed) {
     // The attempt was killed (or its node compute-failed) while the input
     // was in flight; an uncancellable zero-time flow delivered anyway.
     return;
   }
-  reg->second.flows.clear();  // fetches landed; nothing left to cancel
+  reg->flows.clear();  // fetches landed; nothing left to cancel
   JobState& j = s_.job(job_id);
   MapTaskRecord& rec =
       s_.result.map_tasks[static_cast<std::size_t>(record_idx)];
@@ -471,12 +475,12 @@ void MapPhase::on_map_input_ready(core::JobId job_id, int record_idx,
 
 void MapPhase::on_map_complete(core::JobId job_id, int record_idx,
                                int map_idx) {
-  const auto reg = s_.map_attempts.find(record_idx);
-  if (reg == s_.map_attempts.end() || reg->second.doomed) {
+  const MapAttempt* reg = s_.map_attempts.find(record_idx);
+  if (reg == nullptr || reg->doomed) {
     // Finalized (killed / failed) before this completion event fired.
     return;
   }
-  s_.map_attempts.erase(reg);
+  s_.map_attempts.erase(record_idx);
   JobState& j = s_.job(job_id);
   MapTaskState& t = j.maps[static_cast<std::size_t>(map_idx)];
   MapTaskRecord& rec =
@@ -527,10 +531,11 @@ void MapPhase::on_map_complete(core::JobId job_id, int record_idx,
 void MapPhase::try_speculate(NodeId s) {
   SlaveState& sl = s_.slave(s);
   if (sl.blacklisted) return;
-  for (std::size_t ji = 0; ji < s_.jobs.size() && sl.free_map_slots > 0;
-       ++ji) {
-    JobState& j = s_.jobs[ji];
-    if (!j.active || j.finished) continue;
+  // Iterating the live index is safe: backup launches never finish or
+  // activate a job, so no retire can shift it mid-walk.
+  for (std::size_t ji = 0;
+       ji < s_.active_jobs.size() && sl.free_map_slots > 0; ++ji) {
+    JobState& j = s_.job(s_.active_jobs[ji]);
     if (j.m < j.total_m) continue;  // unassigned work takes precedence
     if (j.maps_done >= j.total_m) continue;
     if (static_cast<double>(j.maps_done) <

@@ -126,9 +126,8 @@ void Master::on_node_failed(NodeId node) {
   SlaveState& s = state_.slave(node);
   if (!s.alive) return;
   s.alive = false;  // its heartbeat loop unregisters itself on the next fire
-  for (JobState& j : state_.jobs) {
-    if (!j.active || j.finished) continue;
-    map_.reclassify_after_failure(j, node);
+  for (const core::JobId id : state_.active_jobs) {
+    map_.reclassify_after_failure(state_.job(id), node);
   }
   // The fetch supervisor retargets its own in-flight reads (fallback
   // replans); the fault layer's replan below skips supervised attempts.
@@ -147,9 +146,8 @@ void Master::on_node_repaired(NodeId node) {
   if (s.alive && !compute_died) return;
   if (compute_died) fault_.restore_compute(node);
   s.alive = true;
-  for (JobState& j : state_.jobs) {
-    if (!j.active || j.finished) continue;
-    map_.reclassify_after_repair(j, node);
+  for (const core::JobId id : state_.active_jobs) {
+    map_.reclassify_after_repair(state_.job(id), node);
   }
   if (started_) start_heartbeat(node);
 }
@@ -158,15 +156,17 @@ void Master::on_node_repaired(NodeId node) {
 
 util::Seconds Master::now() const { return state_.sim.now(); }
 
-std::vector<core::JobId> Master::running_jobs() const {
-  std::vector<core::JobId> out;
-  for (std::size_t i = 0; i < state_.jobs.size(); ++i) {
-    const JobState& j = state_.jobs[i];
-    if (j.active && !j.finished && j.m < j.total_m) {
-      out.push_back(static_cast<int>(i));
-    }
+const std::vector<core::JobId>& Master::running_jobs() const {
+  // Rebuilt per call into a scratch buffer: the heartbeat path hits this
+  // once per slave per interval, and at 10k slaves an allocation (or an
+  // all-jobs scan — the retired tail dwarfs the active set at steady
+  // state) per call is the dominant scheduler cost.
+  running_jobs_scratch_.clear();
+  for (const core::JobId id : state_.active_jobs) {
+    const JobState& j = state_.job(id);
+    if (j.m < j.total_m) running_jobs_scratch_.push_back(id);
   }
-  return out;
+  return running_jobs_scratch_;
 }
 
 int Master::free_map_slots(NodeId s) const {
@@ -249,8 +249,8 @@ double Master::total_degraded_cost(core::JobId id) const {
 
 util::Seconds Master::local_work_seconds(NodeId s) const {
   double work = 0.0;
-  for (const JobState& j : state_.jobs) {
-    if (!j.active || j.finished) continue;
+  for (const core::JobId id : state_.active_jobs) {
+    const JobState& j = state_.job(id);
     work += static_cast<double>(
                 j.pending_by_node[static_cast<std::size_t>(s)].live_count()) *
             j.spec.map_time.mean;
@@ -301,9 +301,12 @@ util::Seconds Master::degraded_read_threshold() const {
                                   ? state_.cfg.links.rack_down
                                   : util::kUnlimitedBandwidth;
   if (w == util::kUnlimitedBandwidth) return 0.0;
-  for (std::size_t i = 0; i < state_.jobs.size(); ++i) {
-    const JobState& j = state_.jobs[i];
-    if (j.active && j.m < j.total_m) {
+  // Active-index walk also excludes aborted jobs (retired with their
+  // planner released); a dead job's recovery cost should not pin the
+  // threshold anyway.
+  for (const core::JobId id : state_.active_jobs) {
+    const JobState& j = state_.job(id);
+    if (j.m < j.total_m) {
       return j.planner->expected_cross_rack_blocks() * state_.cfg.block_size /
              w;
     }

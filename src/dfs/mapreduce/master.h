@@ -89,7 +89,7 @@ class Master final : public core::SchedulerContext {
 
   // --- core::SchedulerContext --------------------------------------------------
   util::Seconds now() const override;
-  std::vector<core::JobId> running_jobs() const override;
+  const std::vector<core::JobId>& running_jobs() const override;
   int free_map_slots(NodeId slave) const override;
   bool has_unassigned_local(core::JobId job, NodeId slave) const override;
   bool has_unassigned_remote(core::JobId job, NodeId slave) const override;
@@ -127,6 +127,8 @@ class Master final : public core::SchedulerContext {
   storage::SourceSelection source_selection_;
   storage::RecoveryCostModel cost_model_;
   bool started_ = false;
+  /// Scratch for running_jobs(): filled per call, valid until the next one.
+  mutable std::vector<core::JobId> running_jobs_scratch_;
   /// True while further submissions may arrive (online mode); heartbeat
   /// loops keep running through idle periods until admission closes and all
   /// jobs are done. Snapshot runs never open it.

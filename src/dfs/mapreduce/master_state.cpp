@@ -4,14 +4,6 @@
 
 namespace dfs::mapreduce {
 
-std::vector<int> MasterState::sorted_attempt_records() const {
-  std::vector<int> keys;
-  keys.reserve(map_attempts.size());
-  for (const auto& [record_idx, a] : map_attempts) keys.push_back(record_idx);
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
 void MasterState::maybe_finish_job(JobState& j) {
   if (j.finished || j.maps_done != j.total_m ||
       j.reduces_done != j.spec.num_reducers) {
@@ -20,7 +12,15 @@ void MasterState::maybe_finish_job(JobState& j) {
   j.finished = true;
   j.metrics.finish_time = sim.now();
   ++jobs_done;
+  retire_job(id_of(j));
   if (hooks->on_job_finish) hooks->on_job_finish(j.metrics);
+}
+
+void MasterState::retire_job(core::JobId id) {
+  assert(job(id).finished);
+  const auto it = std::lower_bound(active_jobs.begin(), active_jobs.end(), id);
+  if (it != active_jobs.end() && *it == id) active_jobs.erase(it);
+  job(id).release_scheduling_state();
 }
 
 }  // namespace dfs::mapreduce

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dfs/core/scheduler.h"
+#include "dfs/mapreduce/attempt_slab.h"
 #include "dfs/mapreduce/config.h"
 #include "dfs/mapreduce/fetch_supervisor.h"
 #include "dfs/mapreduce/metrics.h"
@@ -86,7 +87,93 @@ struct ReduceTaskState {
   /// Per-map-task fetched flags (sized total_m when the attempt starts);
   /// partitions_fetched counts the set entries.
   std::vector<char> fetched;
-  std::vector<InflightFetch> inflight;
+
+  /// In-flight fetches, queue-ordered, with an O(1) per-map index. At most
+  /// one live fetch exists per map task, so removal-by-map used to be a
+  /// linear scan + erase — quadratic over an attempt that has all of a
+  /// large job's partitions in flight. Removal now tombstones the entry in
+  /// place (flow 0) and compacts amortized-O(1), preserving queue order so
+  /// the teardown paths cancel flows in exactly the order the scan-and-
+  /// erase version did.
+  void inflight_add(const InflightFetch& f) {
+    assert(f.flow != 0);
+    if (static_cast<std::size_t>(f.map_idx) >= inflight_pos_.size()) {
+      inflight_pos_.resize(static_cast<std::size_t>(f.map_idx) + 1, -1);
+    }
+    assert(inflight_pos_[static_cast<std::size_t>(f.map_idx)] < 0);
+    inflight_pos_[static_cast<std::size_t>(f.map_idx)] =
+        static_cast<int>(inflight_.size());
+    inflight_.push_back(f);
+    ++inflight_live_;
+  }
+
+  /// Drop `map_idx`'s fetch if one is in flight (no cancellation).
+  void inflight_remove(int map_idx) {
+    if (static_cast<std::size_t>(map_idx) >= inflight_pos_.size()) return;
+    const int pos = inflight_pos_[static_cast<std::size_t>(map_idx)];
+    if (pos < 0) return;
+    inflight_[static_cast<std::size_t>(pos)].flow = 0;  // tombstone
+    inflight_pos_[static_cast<std::size_t>(map_idx)] = -1;
+    --inflight_live_;
+    if (inflight_live_ == 0) {
+      inflight_.clear();
+    } else if (inflight_.size() >= 16 &&
+               static_cast<std::size_t>(inflight_live_) * 2 <=
+                   inflight_.size()) {
+      compact_inflight();
+    }
+  }
+
+  /// Visit the live fetches in queue order. The body must not add or
+  /// remove entries; use the removal/clear primitives afterwards.
+  template <typename Fn>
+  void inflight_for_each(Fn&& fn) const {
+    for (const InflightFetch& f : inflight_) {
+      if (f.flow != 0) fn(f);
+    }
+  }
+
+  /// Remove the live fetches `pred` selects, in queue order, invoking
+  /// `on_removed` (e.g. a network cancel) for each. Single pass.
+  template <typename Pred, typename Fn>
+  void inflight_remove_if(Pred&& pred, Fn&& on_removed) {
+    for (InflightFetch& f : inflight_) {
+      if (f.flow == 0 || !pred(f)) continue;
+      on_removed(f);
+      inflight_pos_[static_cast<std::size_t>(f.map_idx)] = -1;
+      f.flow = 0;
+      --inflight_live_;
+    }
+    if (inflight_live_ == 0) inflight_.clear();
+  }
+
+  /// Drop every fetch (no cancellation — teardown paths cancel first via
+  /// inflight_for_each).
+  void inflight_clear() {
+    for (const InflightFetch& f : inflight_) {
+      if (f.flow != 0) inflight_pos_[static_cast<std::size_t>(f.map_idx)] = -1;
+    }
+    inflight_.clear();
+    inflight_live_ = 0;
+  }
+
+  int inflight_count() const { return inflight_live_; }
+
+ private:
+  void compact_inflight() {
+    std::size_t out = 0;
+    for (const InflightFetch& f : inflight_) {
+      if (f.flow == 0) continue;
+      inflight_pos_[static_cast<std::size_t>(f.map_idx)] =
+          static_cast<int>(out);
+      inflight_[out++] = f;
+    }
+    inflight_.resize(out);
+  }
+
+  std::vector<InflightFetch> inflight_;  ///< queue order; flow==0 = dead
+  std::vector<int> inflight_pos_;        ///< map_idx -> inflight_ index
+  int inflight_live_ = 0;
 };
 
 struct JobState {
@@ -131,6 +218,20 @@ struct JobState {
   std::vector<int> completed_map_records;
 
   JobMetrics metrics;
+
+  /// Free the scheduling pools once the job can never schedule again
+  /// (finished or aborted). The per-node pending pools alone are ~1 MiB per
+  /// job at 10k slaves, and a long-horizon run submits thousands of jobs —
+  /// without this the master's footprint grows with jobs *submitted* instead
+  /// of jobs *in flight*. Task/attempt state (maps, reduces) stays: late
+  /// events of losing speculative attempts still look it up.
+  void release_scheduling_state() {
+    pending_by_node = {};
+    pending_by_rack = {};
+    pending_degraded = {};
+    completed_map_records = {};
+    planner.reset();
+  }
 };
 
 struct SlaveState {
@@ -146,23 +247,6 @@ struct SlaveState {
   util::Seconds compute_fail_time = -1.0;
   int recent_failures = 0;  ///< attempt failures since last (un)blacklist
   bool blacklisted = false;
-};
-
-/// A live map attempt (fault layer bookkeeping; maintained even when the
-/// layer is off — pure state, no events). Keyed by record index in
-/// MasterState::map_attempts; an entry is erased when the attempt finishes,
-/// loses its race, fails, or is killed — stale scheduled callbacks look the
-/// key up and no-op when it is gone.
-struct MapAttempt {
-  core::JobId job = -1;
-  int map_idx = -1;
-  bool backup = false;
-  /// Node compute-failed; attempt will be finalized (killed) at detection.
-  bool doomed = false;
-  std::vector<net::FlowId> flows;  ///< in-flight input fetches
-  /// Supervised degraded read in flight (fetch supervisor active only);
-  /// 0 when none. Teardown must cancel it through the supervisor.
-  ReadId read = 0;
 };
 
 /// The state every phase engine shares: the job/slave/attempt store plus the
@@ -182,9 +266,17 @@ struct MasterState {
   const storage::FailureScenario& failure;
 
   std::vector<JobState> jobs;  ///< FIFO submission order
+  /// Ids of jobs that are active and not finished, ascending (jobs activate
+  /// in id order and leave on finish/abort). Every per-heartbeat and
+  /// per-failure sweep iterates this instead of scanning all submitted jobs
+  /// — at 10k slaves the full scan visits thousands of long-finished jobs
+  /// per 3 s heartbeat. Iteration order equals the guarded full scan's, so
+  /// output is unchanged. Maintained by MapPhase::activate_job and
+  /// retire_job.
+  std::vector<core::JobId> active_jobs;
   std::vector<SlaveState> slaves;
-  /// Live map attempts by record index (see MapAttempt).
-  std::unordered_map<int, MapAttempt> map_attempts;
+  /// Live map attempts by record index (see AttemptSlab).
+  AttemptSlab map_attempts;
   std::vector<util::Seconds> last_degraded_assign;  ///< per rack
   std::size_t jobs_done = 0;
   RunResult result;
@@ -214,13 +306,20 @@ struct MasterState {
     return slaves[static_cast<std::size_t>(id)];
   }
 
-  /// map_attempts keys (== record indexes) sorted ascending; the registry is
-  /// an unordered_map, so every kill/replan sweep walks a sorted snapshot to
-  /// keep same-seed runs processing attempts in the same order.
-  std::vector<int> sorted_attempt_records() const;
+  /// map_attempts keys (== record indexes) ascending — the slab's insertion
+  /// order. Kill/replan sweeps walk this snapshot and re-find each record so
+  /// nested erases cannot invalidate the walk.
+  std::vector<int> sorted_attempt_records() const {
+    return map_attempts.records();
+  }
 
   /// Finish the job once the last map and reduce are done.
   void maybe_finish_job(JobState& j);
+
+  /// Drop `id` from active_jobs and release the finished job's scheduling
+  /// pools (see JobState::release_scheduling_state). Called on finish and
+  /// abort; the job must already be marked finished.
+  void retire_job(core::JobId id);
 };
 
 }  // namespace dfs::mapreduce

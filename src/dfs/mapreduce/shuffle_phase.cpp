@@ -9,10 +9,11 @@ namespace dfs::mapreduce {
 void ShufflePhase::assign_reduce_tasks(NodeId s) {
   SlaveState& sl = s_.slave(s);
   if (sl.blacklisted) return;
-  for (std::size_t i = 0; i < s_.jobs.size() && sl.free_reduce_slots > 0;
-       ++i) {
-    JobState& j = s_.jobs[i];
-    if (!j.active || j.finished) continue;
+  // Direct walk of the active index is safe: nothing below finishes or
+  // aborts a job synchronously (fetch completions arrive as later events).
+  for (std::size_t ji = 0;
+       ji < s_.active_jobs.size() && sl.free_reduce_slots > 0; ++ji) {
+    JobState& j = s_.job(s_.active_jobs[ji]);
     while (sl.free_reduce_slots > 0 &&
            j.reduces_assigned < j.spec.num_reducers) {
       // First unassigned reduce task. Without failures tasks are assigned in
@@ -73,7 +74,7 @@ void ShufflePhase::start_partition_fetch(JobState& j, int reduce_idx,
       [this, job_id, reduce_idx, map_idx, epoch] {
         on_partition_fetched(job_id, reduce_idx, map_idx, epoch);
       });
-  rt.inflight.push_back(InflightFetch{flow, map_idx, src});
+  rt.inflight_add(InflightFetch{flow, map_idx, src});
 }
 
 void ShufflePhase::on_partition_fetched(core::JobId job_id, int reduce_idx,
@@ -82,12 +83,7 @@ void ShufflePhase::on_partition_fetched(core::JobId job_id, int reduce_idx,
   JobState& j = s_.job(job_id);
   ReduceTaskState& rt = j.reduces[static_cast<std::size_t>(reduce_idx)];
   if (!rt.epoch.valid(epoch) || rt.doomed) return;  // attempt was torn down
-  for (auto it = rt.inflight.begin(); it != rt.inflight.end(); ++it) {
-    if (it->map_idx == map_idx) {
-      rt.inflight.erase(it);
-      break;
-    }
-  }
+  rt.inflight_remove(map_idx);
   if (rt.fetched[static_cast<std::size_t>(map_idx)]) return;
   rt.fetched[static_cast<std::size_t>(map_idx)] = 1;
   ++rt.partitions_fetched;
@@ -150,8 +146,8 @@ void ShufflePhase::reset_reduce_attempt(JobState& j, int reduce_idx) {
   rt.fetched.clear();
   rt.processing = false;
   rt.record = -1;
-  for (const InflightFetch& f : rt.inflight) s_.net.cancel(f.flow);
-  rt.inflight.clear();
+  rt.inflight_for_each([this](const InflightFetch& f) { s_.net.cancel(f.flow); });
+  rt.inflight_clear();
   --j.reduces_assigned;
 }
 

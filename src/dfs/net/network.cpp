@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "dfs/runner/thread_pool.h"
 #include "dfs/util/jsonl.h"
 
 namespace dfs::net {
@@ -318,15 +319,19 @@ void Network::fair_share_batched_recompute() {
   // rate). A dirty link with no classes left is the old idle-removal case:
   // its departures shared nothing with any survivor.
   const util::Epoch::Ticket epoch = visit_epoch_.bump();
+  comp_links_.clear();
+  comp_classes_.clear();
+  comp_ranges_.clear();
   for (const int seed : dirty_links_) {
     link_dirty_[static_cast<std::size_t>(seed)] = 0;
     if (link_visit_[static_cast<std::size_t>(seed)] == epoch) continue;
     link_visit_[static_cast<std::size_t>(seed)] = epoch;
     if (link_classes_[static_cast<std::size_t>(seed)].empty()) continue;
-    comp_links_.clear();
-    comp_classes_.clear();
+    ComponentRange comp;
+    comp.links_begin = comp_links_.size();
+    comp.classes_begin = comp_classes_.size();
     comp_links_.push_back(seed);
-    for (std::size_t qi = 0; qi < comp_links_.size(); ++qi) {
+    for (std::size_t qi = comp.links_begin; qi < comp_links_.size(); ++qi) {
       const auto l = static_cast<std::size_t>(comp_links_[qi]);
       for (const auto& entry : link_classes_[l]) {
         FlowClass& c = classes_[static_cast<std::size_t>(entry.first)];
@@ -340,21 +345,44 @@ void Network::fair_share_batched_recompute() {
         }
       }
     }
-    fair_share_waterfill_component();
+    comp.links_end = comp_links_.size();
+    comp.classes_end = comp_classes_.size();
+    comp_ranges_.push_back(comp);
+    // Counters stay on the deterministic collection path, not in the
+    // (possibly concurrent) water-filling passes.
+    if (comp.classes_end - comp.classes_begin == 1) {
+      ++fast_paths_;
+    } else {
+      ++component_recomputes_;
+    }
   }
   dirty_links_.clear();
+  // Components are disjoint in links, classes, and scratch slots, so the
+  // passes commute; fan out when a dedicated pool is attached. Rates are
+  // identical either way — the allocation per component does not depend on
+  // execution order or interleaving.
+  if (pool_ != nullptr && pool_->threads() > 1 && comp_ranges_.size() > 1) {
+    for (const ComponentRange& comp : comp_ranges_) {
+      pool_->submit([this, comp] { fair_share_waterfill_component(comp); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (const ComponentRange& comp : comp_ranges_) {
+      fair_share_waterfill_component(comp);
+    }
+  }
   if (cross_check_) fair_share_cross_check();
   fair_share_arm();
 }
 
-void Network::fair_share_waterfill_component() {
-  if (comp_classes_.size() == 1) {
+void Network::fair_share_waterfill_component(const ComponentRange& comp) {
+  if (comp.classes_end - comp.classes_begin == 1) {
     // Single class: progressive filling would run exactly one round and
     // freeze it at its path bottleneck share. Computing that share directly
     // subsumes the old isolated-flow fast path and generalizes it to any
     // multiplicity.
-    ++fast_paths_;
-    FlowClass& c = classes_[static_cast<std::size_t>(comp_classes_[0])];
+    FlowClass& c =
+        classes_[static_cast<std::size_t>(comp_classes_[comp.classes_begin])];
     double best = std::numeric_limits<double>::infinity();
     for (const int l : c.links) {
       const double share =
@@ -365,18 +393,18 @@ void Network::fair_share_waterfill_component() {
     c.rate = best;
     return;
   }
-  ++component_recomputes_;
   // Progressive water-filling over classes: repeatedly saturate the link
   // with the lowest per-flow fair share and freeze the classes that cross
   // it at that share.
-  for (const int l : comp_links_) {
+  for (std::size_t i = comp.links_begin; i < comp.links_end; ++i) {
+    const int l = comp_links_[i];
     scratch_residual_[static_cast<std::size_t>(l)] =
         links_[static_cast<std::size_t>(l)].capacity;
     scratch_count_[static_cast<std::size_t>(l)] = 0;
   }
   long unfrozen = 0;
-  for (const int cid : comp_classes_) {
-    FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+  for (std::size_t i = comp.classes_begin; i < comp.classes_end; ++i) {
+    FlowClass& c = classes_[static_cast<std::size_t>(comp_classes_[i])];
     c.wf_rate = -1.0;  // unfrozen marker
     unfrozen += c.count;
     for (const int l : c.links) {
@@ -386,14 +414,14 @@ void Network::fair_share_waterfill_component() {
   while (unfrozen > 0) {
     int bottleneck = -1;
     double best_share = std::numeric_limits<double>::infinity();
-    for (const int link : comp_links_) {
-      const auto l = static_cast<std::size_t>(link);
+    for (std::size_t i = comp.links_begin; i < comp.links_end; ++i) {
+      const auto l = static_cast<std::size_t>(comp_links_[i]);
       if (scratch_count_[l] <= 0) continue;
       const double share =
           std::max(0.0, scratch_residual_[l]) / scratch_count_[l];
       if (share < best_share) {
         best_share = share;
-        bottleneck = link;
+        bottleneck = comp_links_[i];
       }
     }
     assert(bottleneck >= 0 && "every class crosses at least one limited link");
@@ -414,8 +442,8 @@ void Network::fair_share_waterfill_component() {
       }
     }
   }
-  for (const int cid : comp_classes_) {
-    FlowClass& c = classes_[static_cast<std::size_t>(cid)];
+  for (std::size_t i = comp.classes_begin; i < comp.classes_end; ++i) {
+    FlowClass& c = classes_[static_cast<std::size_t>(comp_classes_[i])];
     c.rate = c.wf_rate;
   }
 }

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 namespace dfs::util {
@@ -11,20 +14,37 @@ namespace dfs::util {
 /// so the writer adds no whitespace, reordering, or number reformatting —
 /// output stays byte-identical with the inline `<<` chains it replaced.
 ///
+/// Records are built into an internal line buffer and written to the target
+/// stream in large chunks at record boundaries (never mid-record), so a
+/// million-task JSONL dump costs a few thousand stream writes instead of a
+/// dozen per field. The destructor flushes whatever is buffered; flush()
+/// does the same explicitly — call it before touching the target stream
+/// directly while the writer is still alive. Values are formatted with the
+/// target stream's formatting state as captured at construction.
+///
 /// Usage:
 ///   JsonlWriter w(os);
 ///   w.begin("job").field("id", 3).field("runtime", 12.5).end();
 ///   // -> {"type":"job","id":3,"runtime":12.5}
 class JsonlWriter {
  public:
-  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+  explicit JsonlWriter(std::ostream& os) : os_(os) {
+    fmt_.copyfmt(os);    // numbers render exactly as `os << v` would
+    fmt_.tie(nullptr);   // never flush a tied stream per formatted value
+    buf_.reserve(kFlushBytes + kMaxLineBytes);
+  }
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  ~JsonlWriter() { flush(); }
 
   /// Open a record and tag it: `{"type":"<type>"`. Every record carries the
   /// type discriminator first so stream consumers can dispatch per line.
   JsonlWriter& begin(std::string_view type) {
-    os_ << "{\"type\":\"";
-    write_escaped(type);
-    os_ << '"';
+    buf_ += "{\"type\":\"";
+    append_escaped(type);
+    buf_ += '"';
     return *this;
   }
 
@@ -33,16 +53,16 @@ class JsonlWriter {
   template <typename T>
   JsonlWriter& field(std::string_view key, const T& value) {
     key_prefix(key);
-    os_ << value;
+    append_value(value);
     return *this;
   }
 
   /// Quoted string field, JSON-escaped.
   JsonlWriter& text(std::string_view key, std::string_view value) {
     key_prefix(key);
-    os_ << '"';
-    write_escaped(value);
-    os_ << '"';
+    buf_ += '"';
+    append_escaped(value);
+    buf_ += '"';
     return *this;
   }
 
@@ -50,55 +70,81 @@ class JsonlWriter {
   template <typename Range>
   JsonlWriter& array(std::string_view key, const Range& values) {
     key_prefix(key);
-    os_ << '[';
+    buf_ += '[';
     bool first = true;
     for (const auto& v : values) {
-      if (!first) os_ << ',';
+      if (!first) buf_ += ',';
       first = false;
-      os_ << v;
+      append_value(v);
     }
-    os_ << ']';
+    buf_ += ']';
     return *this;
   }
 
-  /// Close the record: `}` and the line terminator.
-  void end() { os_ << "}\n"; }
+  /// Close the record: `}` and the line terminator. Complete records drain
+  /// to the stream once enough have accumulated.
+  void end() {
+    buf_ += "}\n";
+    if (buf_.size() >= kFlushBytes) flush();
+  }
+
+  /// Write everything buffered to the target stream. Only complete records
+  /// are ever flushed implicitly; this also drains a partial one.
+  void flush() {
+    if (buf_.empty()) return;
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
 
  private:
+  /// Drain threshold; buf_ reserves this plus slack for one long record so
+  /// steady-state appends never reallocate.
+  static constexpr std::size_t kFlushBytes = 64 * 1024;
+  static constexpr std::size_t kMaxLineBytes = 4 * 1024;
+
   void key_prefix(std::string_view key) {
-    os_ << ",\"";
-    write_escaped(key);
-    os_ << "\":";
+    buf_ += ",\"";
+    append_escaped(key);
+    buf_ += "\":";
+  }
+
+  template <typename T>
+  void append_value(const T& value) {
+    fmt_.str(std::string());
+    fmt_ << value;
+    buf_ += fmt_.view();
   }
 
   // Covers the escapes our identifiers and enum names can contain; bare
   // control characters below 0x20 other than \n\r\t are not expected in
   // simulator output and pass through unescaped.
-  void write_escaped(std::string_view s) {
+  void append_escaped(std::string_view s) {
     for (const char c : s) {
       switch (c) {
         case '"':
-          os_ << "\\\"";
+          buf_ += "\\\"";
           break;
         case '\\':
-          os_ << "\\\\";
+          buf_ += "\\\\";
           break;
         case '\n':
-          os_ << "\\n";
+          buf_ += "\\n";
           break;
         case '\r':
-          os_ << "\\r";
+          buf_ += "\\r";
           break;
         case '\t':
-          os_ << "\\t";
+          buf_ += "\\t";
           break;
         default:
-          os_ << c;
+          buf_ += c;
       }
     }
   }
 
   std::ostream& os_;
+  std::ostringstream fmt_;  ///< scratch formatter, state copied from os_
+  std::string buf_;
 };
 
 }  // namespace dfs::util

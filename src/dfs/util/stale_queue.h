@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cassert>
-#include <deque>
+#include <cstddef>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace dfs::util {
 
@@ -39,6 +40,15 @@ namespace dfs::util {
 /// At most one *live* claim exists per key at any time; duplicates beyond
 /// the first are latent and only deliver after a later repush.
 ///
+/// Internally a vector ring (entries plus a consumed-prefix index) rather
+/// than a std::deque: a default-constructed queue owns no heap memory at
+/// all, which matters because the master keeps one queue per (job, node)
+/// pair — at 10k slaves that is millions of queues, almost all forever
+/// empty, and libstdc++'s deque allocates ~0.5 KiB just to exist. The
+/// consumed prefix is compacted amortized-O(1) once it dominates the
+/// buffer, so long-lived queues (the degraded pool) stay bounded by their
+/// high-water occupancy.
+///
 /// Not thread-safe. `T` must be hashable and equality-comparable.
 template <typename T>
 class StaleQueue {
@@ -52,8 +62,8 @@ class StaleQueue {
   /// Exact number of live keys (dead entries never count).
   long live_count() const { return live_count_; }
 
-  /// Physical deque length including dead entries (observability/tests).
-  std::size_t queued_entries() const { return deque_.size(); }
+  /// Physical queue length including dead entries (observability/tests).
+  std::size_t queued_entries() const { return entries_.size() - head_; }
 
   /// Enqueue `v` at the back under a fresh generation. `v` must not be live.
   void push(const T& v) {
@@ -61,7 +71,7 @@ class StaleQueue {
     assert(!st.live && "StaleQueue::push of an already-live key");
     ++st.gen;
     st.live = true;
-    deque_.emplace_back(v, st.gen);
+    entries_.emplace_back(v, st.gen);
     ++live_count_;
   }
 
@@ -72,7 +82,7 @@ class StaleQueue {
     State& st = state_[v];
     assert(!st.live && "StaleQueue::repush of an already-live key");
     st.live = true;
-    deque_.emplace_back(v, st.gen);
+    entries_.emplace_back(v, st.gen);
     ++live_count_;
   }
 
@@ -90,9 +100,9 @@ class StaleQueue {
   /// Pop and consume the first live entry, discarding the dead prefix.
   /// Returns nullopt when no live entry remains.
   std::optional<T> pop() {
-    while (!deque_.empty()) {
-      const auto [v, gen] = deque_.front();
-      deque_.pop_front();
+    while (head_ < entries_.size()) {
+      const auto [v, gen] = entries_[head_];
+      discard_front();
       const auto it = state_.find(v);
       assert(it != state_.end());
       State& st = it->second;
@@ -108,7 +118,8 @@ class StaleQueue {
   /// First live entry without consuming it (dead prefix left in place),
   /// or nullptr when none.
   const T* peek() const {
-    for (const auto& [v, gen] : deque_) {
+    for (std::size_t i = head_; i < entries_.size(); ++i) {
+      const auto& [v, gen] = entries_[i];
       const auto it = state_.find(v);
       if (it != state_.end() && it->second.live && it->second.gen == gen) {
         return &v;
@@ -123,7 +134,23 @@ class StaleQueue {
     bool live = false;  ///< key is a live member
   };
 
-  std::deque<std::pair<T, unsigned>> deque_;
+  /// Advance past the front entry; reclaim the consumed prefix when the
+  /// queue fully drains (keeps capacity) or when the prefix dominates the
+  /// buffer (amortized O(1): at least head_ pops funded the move).
+  void discard_front() {
+    ++head_;
+    if (head_ == entries_.size()) {
+      entries_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<std::pair<T, unsigned>> entries_;  ///< ring: [head_, size)
+  std::size_t head_ = 0;                         ///< consumed-prefix length
   std::unordered_map<T, State> state_;
   long live_count_ = 0;
 };

@@ -39,15 +39,16 @@ class FakeContext : public SchedulerContext {
   util::Seconds mean_tr = 1.0e9;
   util::Seconds threshold = 10.0;
   int affinity = 0;  // degraded_affinity of the heartbeating slave
+  mutable std::vector<JobId> running_scratch_;  // backs running_jobs()
 
   util::Seconds now() const override { return sim_now; }
-  std::vector<JobId> running_jobs() const override {
-    std::vector<JobId> out;
+  const std::vector<JobId>& running_jobs() const override {
+    running_scratch_.clear();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const JobCfg& j = jobs[i];
-      if (j.m < j.total_m) out.push_back(static_cast<JobId>(i));
+      if (j.m < j.total_m) running_scratch_.push_back(static_cast<JobId>(i));
     }
-    return out;
+    return running_scratch_;
   }
   int free_map_slots(NodeId) const override { return free_slots; }
   bool has_unassigned_local(JobId j, NodeId) const override {

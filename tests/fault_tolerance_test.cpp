@@ -324,5 +324,47 @@ TEST(FaultTolerance, SameSeedFaultInjectionRunsAreByteIdentical) {
   EXPECT_EQ(csv1.str(), csv2.str());
 }
 
+
+// The fault supervisor drops a dead helper's in-flight partition fetches in
+// one queue-order pass over a tombstoned slab. The cancellation order is
+// observable (each cancel frees link capacity and can reschedule flows), so
+// it must match the original erase-loop order — ascending launch order —
+// regardless of how many tombstones earlier removals left behind, and
+// survive slab compaction.
+TEST(FaultTolerance, InflightKillSweepCancelsInLaunchOrder) {
+  ReduceTaskState rt;
+  // Launch fetches from two sources, interleaved: even map indices from the
+  // doomed node 3, odd ones from the healthy node 5. Flow ids are 1-based
+  // (flow 0 is the tombstone marker and never allocated by the network).
+  for (int i = 0; i < 24; ++i) {
+    rt.inflight_add(InflightFetch{static_cast<net::FlowId>(i + 1), i,
+                                  i % 2 == 0 ? NodeId{3} : NodeId{5}});
+  }
+  // Individual completions punch tombstones ahead of the sweep; removing 16
+  // of 24 crosses the live*2 <= size compaction threshold, so the sweep
+  // below also runs over a freshly compacted slab.
+  for (int i = 0; i < 16; ++i) rt.inflight_remove(i);
+  ASSERT_EQ(rt.inflight_count(), 8);
+
+  std::vector<net::FlowId> cancelled;
+  rt.inflight_remove_if(
+      [](const InflightFetch& f) { return f.src == NodeId{3}; },
+      [&](const InflightFetch& f) { cancelled.push_back(f.flow); });
+  EXPECT_EQ(cancelled, (std::vector<net::FlowId>{17, 19, 21, 23}));
+  EXPECT_EQ(rt.inflight_count(), 4);
+
+  // The survivors still iterate in launch order and stay individually
+  // addressable by map index.
+  std::vector<net::FlowId> survivors;
+  rt.inflight_for_each(
+      [&](const InflightFetch& f) { survivors.push_back(f.flow); });
+  EXPECT_EQ(survivors, (std::vector<net::FlowId>{18, 20, 22, 24}));
+  rt.inflight_remove(19);
+  EXPECT_EQ(rt.inflight_count(), 3);
+  rt.inflight_clear();
+  EXPECT_EQ(rt.inflight_count(), 0);
+  rt.inflight_for_each([](const InflightFetch&) { FAIL(); });
+}
+
 }  // namespace
 }  // namespace dfs::mapreduce

@@ -11,6 +11,7 @@
 #include "dfs/util/rng.h"
 #include "dfs/util/stale_queue.h"
 #include "dfs/util/stats.h"
+#include "dfs/util/streaming_quantile.h"
 #include "dfs/util/table.h"
 #include "dfs/util/units.h"
 
@@ -172,6 +173,60 @@ TEST(Stats, ReductionPercent) {
   EXPECT_DOUBLE_EQ(reduction_percent(200, 150), 25.0);
   EXPECT_DOUBLE_EQ(reduction_percent(0, 10), 0.0);
   EXPECT_DOUBLE_EQ(reduction_percent(100, 125), -25.0);
+}
+
+// --- streaming_quantile ------------------------------------------------------
+
+TEST(StreamingQuantile, ExactRegimeMatchesPercentileBitForBit) {
+  // Below the exact limit the accumulator must reproduce the
+  // materialize-and-sort path exactly — the cluster summaries feed golden
+  // byte-identity tests.
+  Rng r(17);
+  std::vector<double> xs;
+  StreamingQuantile q({50.0, 95.0, 99.0}, 1000);
+  for (int i = 0; i < 997; ++i) {
+    const double v = r.exponential(30.0);
+    xs.push_back(v);
+    q.add(v);
+  }
+  EXPECT_EQ(q.count(), xs.size());
+  EXPECT_EQ(q.quantile(50.0), percentile(xs, 50.0));
+  EXPECT_EQ(q.quantile(95.0), percentile(xs, 95.0));
+  EXPECT_EQ(q.quantile(99.0), percentile(xs, 99.0));
+  // Any percentile is queryable in the exact regime, tracked or not.
+  EXPECT_EQ(q.quantile(12.5), percentile(xs, 12.5));
+  EXPECT_EQ(q.mean(), summarize(xs).mean);
+}
+
+TEST(StreamingQuantile, EstimatorRegimeTracksLargeSamples) {
+  // Past the limit the P-squared markers take over: bounded memory, small
+  // relative error. Exercise with 200k exponential draws (heavy tail).
+  Rng r(23);
+  std::vector<double> xs;
+  StreamingQuantile q({50.0, 99.0}, 1024);
+  for (int i = 0; i < 200000; ++i) {
+    const double v = r.exponential(10.0);
+    xs.push_back(v);
+    q.add(v);
+  }
+  const double exact_p50 = percentile(xs, 50.0);
+  const double exact_p99 = percentile(xs, 99.0);
+  EXPECT_NEAR(q.quantile(50.0), exact_p50, 0.05 * exact_p50);
+  EXPECT_NEAR(q.quantile(99.0), exact_p99, 0.05 * exact_p99);
+  // The mean stays exact in either regime (plain running sum).
+  EXPECT_DOUBLE_EQ(q.mean(), summarize(xs).mean);
+}
+
+TEST(StreamingQuantile, TinySamplesAndEmptyBehave) {
+  StreamingQuantile q({50.0});
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.mean(), 0.0);
+  q.add(7.0);
+  EXPECT_EQ(q.quantile(50.0), 7.0);  // single sample: every percentile is it
+  q.add(9.0);
+  q.add(8.0);
+  EXPECT_EQ(q.quantile(50.0), 8.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 8.0);
 }
 
 // --- table -------------------------------------------------------------------
@@ -416,7 +471,61 @@ TEST(Jsonl, RecordShapeMatchesInlineStreaming) {
   std::ostringstream os;
   JsonlWriter w(os);
   w.begin("job").field("id", 3).field("runtime", 12.5).end();
+  w.flush();
   EXPECT_EQ(os.str(), "{\"type\":\"job\",\"id\":3,\"runtime\":12.5}\n");
+}
+
+TEST(Jsonl, DestructorFlushesBufferedRecords) {
+  std::ostringstream os;
+  {
+    JsonlWriter w(os);
+    w.begin("job").field("id", 1).end();
+    // Small output sits in the writer's buffer until a flush boundary.
+    EXPECT_EQ(os.str(), "");
+  }
+  EXPECT_EQ(os.str(), "{\"type\":\"job\",\"id\":1}\n");
+}
+
+TEST(Jsonl, FlushDrainsPartialRecordBeforeDirectStreamUse) {
+  std::ostringstream os;
+  JsonlWriter w(os);
+  w.begin("t").field("a", 1);
+  w.flush();  // contract: flush before writing to the stream directly
+  os << "|";
+  w.field("b", 2).end();
+  w.flush();
+  EXPECT_EQ(os.str(), "{\"type\":\"t\",\"a\":1|,\"b\":2}\n");
+}
+
+TEST(Jsonl, CapturesStreamFormattingStateAtConstruction) {
+  // Values must render exactly as `os << v` would have at the time the
+  // writer was created, even though they are formatted internally now.
+  std::ostringstream os;
+  os.precision(10);
+  JsonlWriter w(os);
+  w.begin("t").field("v", 0.1234567891234).end();
+  w.flush();
+  EXPECT_EQ(os.str(), "{\"type\":\"t\",\"v\":0.1234567891}\n");
+}
+
+TEST(Jsonl, ManyRecordsMatchInlineStreamingByteForByte) {
+  // Regression for the buffered rewrite: a multi-flush-window stream of
+  // records must be byte-identical to the unbuffered inline chains.
+  std::ostringstream inline_os;
+  std::ostringstream os;
+  {
+    JsonlWriter w(os);
+    for (int i = 0; i < 20000; ++i) {
+      const double t = i * 0.137;
+      w.begin("map").field("id", i).field("finish", t).end();
+      inline_os << "{\"type\":\"map\",\"id\":" << i << ",\"finish\":" << t
+                << "}\n";
+    }
+    // A 20k-record run crosses the flush threshold several times; some of
+    // it must already have drained before destruction.
+    EXPECT_NE(os.str(), "");
+  }
+  EXPECT_EQ(os.str(), inline_os.str());
 }
 
 TEST(Jsonl, NumbersUseDefaultStreamFormatting) {
@@ -432,6 +541,7 @@ TEST(Jsonl, NumbersUseDefaultStreamFormatting) {
       .field("b", 1234567.0)
       .field("c", 3.0)
       .end();
+  w.flush();
   EXPECT_EQ(os.str(),
             "{\"type\":\"t\",\"a\":0.3,\"b\":1.23457e+06,\"c\":3}\n");
   EXPECT_EQ(inline_os.str(), "0.3,1.23457e+06,3");
@@ -441,6 +551,7 @@ TEST(Jsonl, TextFieldsAreQuotedAndEscaped) {
   std::ostringstream os;
   JsonlWriter w(os);
   w.begin("t").text("kind", "deg\"raded\\x\n").end();
+  w.flush();
   EXPECT_EQ(os.str(), "{\"type\":\"t\",\"kind\":\"deg\\\"raded\\\\x\\n\"}\n");
 }
 
@@ -454,6 +565,7 @@ TEST(Jsonl, ArraysAndConditionalFieldsCompose) {
   if (jobs_failed > 0) w.field("jobs_failed", jobs_failed);
   w.end();
   w.begin("failure").array("nodes", none).end();
+  w.flush();
   EXPECT_EQ(os.str(),
             "{\"type\":\"failure\",\"nodes\":[4,7],\"rack\":0,"
             "\"jobs_failed\":2}\n"

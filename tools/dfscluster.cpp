@@ -13,10 +13,19 @@
 //   --scheduler S         lf | df | edf (or any dfsim name)   [df]
 //   --seed N              base RNG seed                       [1]
 //   --seeds N             independent runs (seed, seed+1, …)  [1]
-//   --jobs N              worker threads for the seed sweep
+//   --jobs N              worker threads for the seed sweep and the
+//                         network's fair-share component recompute
 //                         [all hardware threads; per-seed reports and JSONL
-//                          records always come out in seed order, so output
-//                          is byte-identical for any value]
+//                          records always come out in seed order and the
+//                          recompute is order-insensitive, so output is
+//                          byte-identical for any value]
+//   --slaves N            total slave nodes; racks = N / nodes-per-rack
+//                         [40 — the paper's §V-B cluster. The scale tier
+//                          (10000 slaves, ~1M map tasks over a few hours)
+//                          is a supported, benchmarked configuration; see
+//                          bench/scale_regression and docs/performance.md]
+//   --nodes-per-rack N    rack width when --slaves is given       [10]
+//   --rack-gbps X         rack up/down link bandwidth, Gbps       [1]
 //   --arrivals M          poisson | pareto | diurnal          [poisson]
 //   --interarrival X      mean gap between jobs, seconds      [60]
 //   --pareto-alpha X      Pareto shape (> 1)                  [1.5]
@@ -112,6 +121,7 @@ int main(int argc, char** argv) {
         << "dfscluster - online cluster lifecycle simulator\n"
            "  --hours X --warmup X --scheduler lf|df|edf\n"
            "  --seed N --seeds N --jobs N\n"
+           "  --slaves N --nodes-per-rack N --rack-gbps X\n"
            "  --arrivals poisson|pareto|diurnal --interarrival X\n"
            "  --pareto-alpha X --diurnal-amplitude X --diurnal-period X\n"
            "  --blocks N --reducers N\n"
@@ -134,6 +144,24 @@ int main(int argc, char** argv) {
   opts.horizon = args.get_double("hours", 2.0) * 3600.0;
   opts.warmup = args.get_double("warmup", 600.0);
   opts.sample_interval = args.get_double("sample-interval", 60.0);
+
+  // Cluster size. The default keeps the paper's 4x10 §V-B topology
+  // byte-identical; --slaves rebuilds the topology at any scale (the 10k
+  // tier is the benchmarked ceiling, not a hard limit).
+  const int nodes_per_rack = args.get_int("nodes-per-rack", 10);
+  const int slaves =
+      args.get_int("slaves", opts.config.topology.num_nodes());
+  const double rack_gbps = args.get_double("rack-gbps", 1.0);
+  if (nodes_per_rack < 1) return fail("--nodes-per-rack must be >= 1");
+  if (slaves < 1) return fail("--slaves must be >= 1");
+  if (slaves % nodes_per_rack != 0) {
+    return fail("--slaves must be a multiple of --nodes-per-rack");
+  }
+  if (rack_gbps <= 0.0) return fail("--rack-gbps must be > 0");
+  opts.config.topology =
+      net::Topology(slaves / nodes_per_rack, nodes_per_rack);
+  opts.config.links.rack_up = util::gigabits_per_sec(rack_gbps);
+  opts.config.links.rack_down = util::gigabits_per_sec(rack_gbps);
 
   opts.arrivals.mean_interarrival = args.get_double("interarrival", 60.0);
   opts.arrivals.pareto_alpha = args.get_double("pareto-alpha", 1.5);
@@ -185,6 +213,13 @@ int main(int argc, char** argv) {
 
   if (seeds < 1) return fail("--seeds must be >= 1");
   if (!jobs) return fail(runner::jobs_error());
+  // Each simulation also water-fills independent congestion components on
+  // --jobs threads (a dedicated pool per cell; the recompute is
+  // order-insensitive, so this never changes output). Single-seed runs —
+  // the scale tier's shape — get the full thread budget; multi-seed sweeps
+  // already keep every core busy with whole cells, so they stay serial
+  // inside the network rather than oversubscribing jobs^2 threads.
+  opts.net_jobs = seeds == 1 ? *jobs : 1;
   if (opts.horizon <= 0.0) return fail("--hours must be > 0");
   if (opts.warmup < 0.0) return fail("--warmup must be >= 0");
   if (opts.sample_interval <= 0.0) return fail("--sample-interval must be > 0");
