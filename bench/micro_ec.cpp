@@ -9,6 +9,7 @@
 
 #include "dfs/ec/cauchy.h"
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/gf256_kernels.h"
 #include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/lrc.h"
 #include "dfs/ec/reed_solomon.h"
@@ -198,6 +199,124 @@ void BM_HitchhikerSubShardRepair_12_10(benchmark::State& state) {
                           static_cast<std::int64_t>(len));
 }
 BENCHMARK(BM_HitchhikerSubShardRepair_12_10)->Arg(65536)->Arg(1 << 20);
+
+// --- backend x region-size sweep ---------------------------------------------
+// Locates the crossover points between the scalar, full-table, and SIMD GF
+// kernels across region sizes from L1-resident to well past LLC, and shows
+// each code family's encode throughput under every backend. Backends the
+// build or CPU lacks are skipped with an error note rather than silently
+// benchmarking the wrong kernel.
+
+namespace gf256 = dfs::ec::gf256;
+
+/// Pin the requested backend for the scope of one benchmark run.
+class BackendGuard {
+ public:
+  explicit BackendGuard(gf256::Backend b) : ok_(gf256::set_backend(b)) {}
+  ~BackendGuard() { gf256::reset_backend(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+void BM_GfBackendMulAdd(benchmark::State& state) {
+  const auto backend = static_cast<gf256::Backend>(state.range(0));
+  const auto len = static_cast<std::size_t>(state.range(1));
+  BackendGuard guard(backend);
+  if (!guard.ok()) {
+    state.SkipWithError("backend not compiled/supported on this host");
+    return;
+  }
+  state.SetLabel(gf256::backend_name(backend));
+  Shard dst(len, 0x3c), src(len, 0x5a);
+  for (auto _ : state) {
+    dfs::ec::gf256::mul_add_region(dst.data(), src.data(), 0x57, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfBackendMulAdd)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2, 3},
+                   {1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}});
+
+void BM_GfBackendMulAddMulti(benchmark::State& state) {
+  // The fused k-source accumulation that dominates encode: k=10 sources into
+  // one parity region, coefficients hoisted by the caller.
+  const auto backend = static_cast<gf256::Backend>(state.range(0));
+  const auto len = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kSources = 10;
+  BackendGuard guard(backend);
+  if (!guard.ok()) {
+    state.SkipWithError("backend not compiled/supported on this host");
+    return;
+  }
+  state.SetLabel(gf256::backend_name(backend));
+  std::vector<Shard> src_bufs(kSources, Shard(len, 0x5a));
+  std::vector<const std::uint8_t*> srcs;
+  std::vector<std::uint8_t> coeffs;
+  for (std::size_t j = 0; j < kSources; ++j) {
+    srcs.push_back(src_bufs[j].data());
+    coeffs.push_back(static_cast<std::uint8_t>(2 + j));
+  }
+  Shard dst(len, 0);
+  for (auto _ : state) {
+    gf256::mul_add_region_multi(dst.data(), srcs.data(), coeffs.data(),
+                                kSources, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len * kSources));
+}
+BENCHMARK(BM_GfBackendMulAddMulti)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2, 3},
+                   {1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}});
+
+template <typename MakeCode>
+void backend_encode_bench(benchmark::State& state, MakeCode make, int n,
+                          int k) {
+  const auto backend = static_cast<gf256::Backend>(state.range(0));
+  BackendGuard guard(backend);
+  if (!guard.ok()) {
+    state.SkipWithError("backend not compiled/supported on this host");
+    return;
+  }
+  state.SetLabel(gf256::backend_name(backend));
+  const auto code = make(n, k);
+  const auto data = random_shards(k, static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto parity = code->encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(1)) * k);
+}
+
+void BM_RsEncodeBackend_12_10(benchmark::State& state) {
+  backend_encode_bench(state, dfs::ec::make_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_RsEncodeBackend_12_10)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2, 3}, {64 << 10, 1 << 20}});
+
+void BM_CrsEncodeBackend_12_10(benchmark::State& state) {
+  backend_encode_bench(state, dfs::ec::make_cauchy_reed_solomon, 12, 10);
+}
+BENCHMARK(BM_CrsEncodeBackend_12_10)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2, 3}, {64 << 10, 1 << 20}});
+
+void BM_HitchhikerEncodeBackend_12_10(benchmark::State& state) {
+  backend_encode_bench(
+      state,
+      [](int n, int k) { return dfs::ec::make_hitchhiker_xor(n, k); }, 12, 10);
+}
+BENCHMARK(BM_HitchhikerEncodeBackend_12_10)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2, 3}, {64 << 10, 1 << 20}});
 
 void BM_RecoveryPlan_20_15(benchmark::State& state) {
   const dfs::ec::ReedSolomonCode code(20, 15);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/gf256_kernels.h"
 
 namespace dfs::ec {
 
@@ -145,20 +146,26 @@ std::vector<Shard> CauchyReedSolomonCode::encode(
   const std::size_t ps = len / kW;  // packet size
   std::vector<Shard> parity(static_cast<std::size_t>(parity_count()),
                             Shard(len, 0));
+  // Each output packet is the XOR of the source packets its generator bit
+  // row selects; gathering the sources first turns the schedule into one
+  // fused multi-source pass per packet instead of a region op per set bit.
+  std::vector<const std::uint8_t*> srcs;
+  srcs.reserve(static_cast<std::size_t>(k()) * kW);
   for (int p = 0; p < parity_count(); ++p) {
     for (int r = 0; r < kW; ++r) {
       const auto& row = bitgen_[static_cast<std::size_t>(k() + p) * kW +
                                 static_cast<std::size_t>(r)];
       std::uint8_t* out =
           parity[static_cast<std::size_t>(p)].data() + static_cast<std::size_t>(r) * ps;
+      srcs.clear();
       for (int j = 0; j < k(); ++j) {
         for (int t = 0; t < kW; ++t) {
           if (!get_bit(row, j * kW + t)) continue;
-          const std::uint8_t* src =
-              data[static_cast<std::size_t>(j)].data() + static_cast<std::size_t>(t) * ps;
-          gf256::xor_region(out, src, ps);
+          srcs.push_back(data[static_cast<std::size_t>(j)].data() +
+                         static_cast<std::size_t>(t) * ps);
         }
       }
+      gf256::xor_region_multi(out, srcs.data(), srcs.size(), ps);
     }
   }
   return parity;
@@ -186,6 +193,8 @@ std::optional<std::vector<Shard>> CauchyReedSolomonCode::reconstruct(
 
   std::vector<Shard> out;
   out.reserve(want.size());
+  std::vector<const std::uint8_t*> srcs;
+  srcs.reserve(present.size() * kW);
   for (int w : want) {
     if (w < 0 || w >= n()) throw std::invalid_argument("bad wanted index");
     Shard shard(len, 0);
@@ -193,14 +202,15 @@ std::optional<std::vector<Shard>> CauchyReedSolomonCode::reconstruct(
       auto comb = solver.express(generator_row(w, r));
       if (!comb) return std::nullopt;
       std::uint8_t* dst = shard.data() + static_cast<std::size_t>(r) * ps;
+      srcs.clear();
       for (std::size_t i = 0; i < present.size(); ++i) {
         for (int t = 0; t < kW; ++t) {
           if (!get_bit(*comb, static_cast<int>(i) * kW + t)) continue;
-          const std::uint8_t* src =
-              present[i].second->data() + static_cast<std::size_t>(t) * ps;
-          gf256::xor_region(dst, src, ps);
+          srcs.push_back(present[i].second->data() +
+                         static_cast<std::size_t>(t) * ps);
         }
       }
+      gf256::xor_region_multi(dst, srcs.data(), srcs.size(), ps);
     }
     out.push_back(std::move(shard));
   }

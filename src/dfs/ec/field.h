@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/gf256_kernels.h"
 #include "dfs/ec/gf65536.h"
 
 namespace dfs::ec {
@@ -29,6 +30,22 @@ struct GF256Field {
                              Symbol c, std::size_t bytes) {
     gf256::mul_add_region(dst, src, c, bytes);
   }
+  static void mul_region(std::uint8_t* dst, const std::uint8_t* src, Symbol c,
+                         std::size_t bytes) {
+    gf256::mul_region(dst, src, c, bytes);
+  }
+  static void xor_region(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes) {
+    gf256::xor_region(dst, src, bytes);
+  }
+  /// dst ^= XOR_j coeffs[j] * srcs[j] in one pass; dst must not alias any
+  /// source.
+  static void mul_add_region_multi(std::uint8_t* dst,
+                                   const std::uint8_t* const* srcs,
+                                   const Symbol* coeffs, std::size_t count,
+                                   std::size_t bytes) {
+    gf256::mul_add_region_multi(dst, srcs, coeffs, count, bytes);
+  }
 };
 
 struct GF65536Field {
@@ -45,6 +62,20 @@ struct GF65536Field {
   static void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
                              Symbol c, std::size_t bytes) {
     gf65536::mul_add_region(dst, src, c, bytes);
+  }
+  static void mul_region(std::uint8_t* dst, const std::uint8_t* src, Symbol c,
+                         std::size_t bytes) {
+    gf65536::mul_region(dst, src, c, bytes);
+  }
+  static void xor_region(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes) {
+    gf65536::xor_region(dst, src, bytes);
+  }
+  static void mul_add_region_multi(std::uint8_t* dst,
+                                   const std::uint8_t* const* srcs,
+                                   const Symbol* coeffs, std::size_t count,
+                                   std::size_t bytes) {
+    gf65536::mul_add_region_multi(dst, srcs, coeffs, count, bytes);
   }
 };
 

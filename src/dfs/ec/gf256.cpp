@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "dfs/ec/gf256_kernels.h"
+
 namespace dfs::ec::gf256 {
 
 namespace {
@@ -62,41 +64,22 @@ std::uint8_t pow(std::uint8_t a, unsigned e) {
   return t.exp_[(l * e) % 255u];
 }
 
+// The bulk kernels route through the runtime-dispatched backend (see
+// gf256_kernels.h); every backend shares the precomputed tables, so no call
+// rebuilds a product row.
+
 void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                     std::size_t len) {
-  if (c == 0) return;
-  if (c == 1) {
-    xor_region(dst, src, len);
-    return;
-  }
-  // Build the 256-entry product row for this coefficient once; then the loop
-  // is a single table lookup + xor per byte.
-  std::array<std::uint8_t, 256> row;
-  for (int v = 0; v < 256; ++v) {
-    row[static_cast<std::size_t>(v)] = mul(c, static_cast<std::uint8_t>(v));
-  }
-  for (std::size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+  kernels().mul_add_region(dst, src, c, len);
 }
 
 void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                 std::size_t len) {
-  if (c == 0) {
-    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
-    return;
-  }
-  if (c == 1) {
-    for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
-    return;
-  }
-  std::array<std::uint8_t, 256> row;
-  for (int v = 0; v < 256; ++v) {
-    row[static_cast<std::size_t>(v)] = mul(c, static_cast<std::uint8_t>(v));
-  }
-  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+  kernels().mul_region(dst, src, c, len);
 }
 
 void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+  kernels().xor_region(dst, src, len);
 }
 
 }  // namespace dfs::ec::gf256

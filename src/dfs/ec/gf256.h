@@ -27,16 +27,17 @@ inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
 }
 
 /// Bulk kernel: dst[i] ^= c * src[i] for i in [0, len). This is the inner
-/// loop of every encode/decode; it uses a per-coefficient 256-entry product
-/// table (the classic "multiply region" optimization).
+/// loop of every encode/decode. Routed through the runtime-dispatched
+/// SIMD/table backend (see gf256_kernels.h); dst == src exact aliasing is
+/// allowed, partial overlap is undefined.
 void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                     std::size_t len);
 
-/// Bulk kernel: dst[i] = c * src[i].
+/// Bulk kernel: dst[i] = c * src[i]. Same dispatch and aliasing rules.
 void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                 std::size_t len);
 
-/// Bulk kernel: dst[i] ^= src[i].
+/// Bulk kernel: dst[i] ^= src[i]. Same dispatch and aliasing rules.
 void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t len);
 
 }  // namespace dfs::ec::gf256

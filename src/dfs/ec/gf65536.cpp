@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "dfs/ec/gf256.h"
+
 namespace dfs::ec::gf65536 {
 
 namespace {
@@ -63,15 +65,51 @@ std::uint16_t pow(std::uint16_t a, unsigned e) {
   return t.exp_[(l * e) % 65535u];
 }
 
+namespace {
+
+/// Half-product tables for one coefficient: lo[b] = c * b and
+/// hi[b] = c * (b << 8), so c * s = lo[s & 0xff] ^ hi[s >> 8] by linearity
+/// of field multiplication over XOR. Building them costs 512 table
+/// multiplies — amortized over any region of kPairTableMinBytes or more.
+struct PairTables {
+  std::uint16_t lo[256];
+  std::uint16_t hi[256];
+};
+
+PairTables build_pair_tables(std::uint16_t c) {
+  PairTables pt;
+  for (int b = 0; b < 256; ++b) {
+    pt.lo[b] = mul(c, static_cast<std::uint16_t>(b));
+    pt.hi[b] = mul(c, static_cast<std::uint16_t>(b << 8));
+  }
+  return pt;
+}
+
+}  // namespace
+
 void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
                     std::uint16_t c, std::size_t bytes) {
   assert(bytes % 2 == 0);
   if (c == 0) return;
-  const Tables& t = tables();
   if (c == 1) {
-    for (std::size_t i = 0; i < bytes; ++i) dst[i] ^= src[i];
+    xor_region(dst, src, bytes);
     return;
   }
+  if (bytes >= kPairTableMinBytes) {
+    const PairTables pt = build_pair_tables(c);
+    for (std::size_t i = 0; i < bytes; i += 2) {
+      std::uint16_t s;
+      std::memcpy(&s, src + i, 2);
+      const std::uint16_t prod =
+          static_cast<std::uint16_t>(pt.lo[s & 0xff] ^ pt.hi[s >> 8]);
+      std::uint16_t d;
+      std::memcpy(&d, dst + i, 2);
+      d = static_cast<std::uint16_t>(d ^ prod);
+      std::memcpy(dst + i, &d, 2);
+    }
+    return;
+  }
+  const Tables& t = tables();
   const std::int32_t logc = t.log_[c];
   for (std::size_t i = 0; i < bytes; i += 2) {
     std::uint16_t s;
@@ -89,12 +127,24 @@ void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
 void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint16_t c,
                 std::size_t bytes) {
   assert(bytes % 2 == 0);
+  if (bytes == 0) return;  // keep memset/memmove off possibly-null buffers
   if (c == 0) {
     std::memset(dst, 0, bytes);
     return;
   }
   if (c == 1) {
     std::memmove(dst, src, bytes);
+    return;
+  }
+  if (bytes >= kPairTableMinBytes) {
+    const PairTables pt = build_pair_tables(c);
+    for (std::size_t i = 0; i < bytes; i += 2) {
+      std::uint16_t s;
+      std::memcpy(&s, src + i, 2);
+      const std::uint16_t prod =
+          static_cast<std::uint16_t>(pt.lo[s & 0xff] ^ pt.hi[s >> 8]);
+      std::memcpy(dst + i, &prod, 2);
+    }
     return;
   }
   const Tables& t = tables();
@@ -105,6 +155,51 @@ void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint16_t c,
     const std::uint16_t prod =
         s == 0 ? 0 : t.exp_[static_cast<std::size_t>(logc + t.log_[s])];
     std::memcpy(dst + i, &prod, 2);
+  }
+}
+
+void xor_region(std::uint8_t* dst, const std::uint8_t* src,
+                std::size_t bytes) {
+  gf256::xor_region(dst, src, bytes);
+}
+
+void mul_add_region_multi(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                          const std::uint16_t* coeffs, std::size_t count,
+                          std::size_t bytes) {
+  // Hoist each coefficient's half-product tables out of the strip loop,
+  // then walk the destination in L1-sized strips: each dst strip is read
+  // and written while hot instead of streaming the full region `count`
+  // times, and no strip rebuilds a table.
+  std::vector<PairTables> pts;
+  pts.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    pts.push_back(coeffs[j] > 1 ? build_pair_tables(coeffs[j])
+                                : PairTables{});
+  }
+  constexpr std::size_t kStrip = 8192;
+  for (std::size_t off = 0; off < bytes; off += kStrip) {
+    const std::size_t chunk = bytes - off < kStrip ? bytes - off : kStrip;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint16_t c = coeffs[j];
+      if (c == 0) continue;
+      if (c == 1) {
+        xor_region(dst + off, srcs[j] + off, chunk);
+        continue;
+      }
+      const PairTables& pt = pts[j];
+      const std::uint8_t* src = srcs[j] + off;
+      std::uint8_t* d8 = dst + off;
+      for (std::size_t i = 0; i < chunk; i += 2) {
+        std::uint16_t s;
+        std::memcpy(&s, src + i, 2);
+        const std::uint16_t prod =
+            static_cast<std::uint16_t>(pt.lo[s & 0xff] ^ pt.hi[s >> 8]);
+        std::uint16_t d;
+        std::memcpy(&d, d8 + i, 2);
+        d = static_cast<std::uint16_t>(d ^ prod);
+        std::memcpy(d8 + i, &d, 2);
+      }
+    }
   }
 }
 

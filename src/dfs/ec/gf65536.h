@@ -19,10 +19,26 @@ inline std::uint16_t add(std::uint16_t a, std::uint16_t b) {
 }
 
 /// Bulk kernels over byte buffers interpreted as native-endian 16-bit
-/// symbols; `bytes` must be a multiple of 2.
+/// symbols; `bytes` must be a multiple of 2. Regions of kPairTableMinBytes
+/// or more hoist the coefficient into two 256-entry half-product tables
+/// (c * low_byte and c * high_byte) so the loop is two lookups + xor per
+/// symbol instead of a log/exp multiply; results are bit-identical either
+/// way. dst == src exact aliasing is allowed, partial overlap is undefined.
+inline constexpr std::size_t kPairTableMinBytes = 1024;
 void mul_add_region(std::uint8_t* dst, const std::uint8_t* src,
                     std::uint16_t c, std::size_t bytes);
 void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint16_t c,
                 std::size_t bytes);
+
+/// dst[i] ^= src[i] (symbol width irrelevant; routed through the GF(2^8)
+/// SIMD xor kernel).
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes);
+
+/// dst ^= XOR_j coeffs[j] * srcs[j], walked in L1-sized strips so the
+/// destination is revisited per strip rather than per source. dst must not
+/// alias any source.
+void mul_add_region_multi(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                          const std::uint16_t* coeffs, std::size_t count,
+                          std::size_t bytes);
 
 }  // namespace dfs::ec::gf65536

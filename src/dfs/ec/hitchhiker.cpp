@@ -1,6 +1,7 @@
 #include "dfs/ec/hitchhiker.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -106,22 +107,25 @@ std::vector<Shard> HitchhikerXorCode::encode(
   if (len % 2 != 0) {
     throw std::invalid_argument("Hitchhiker shard length must be even");
   }
+  // The substripes are contiguous halves of each shard, so the inner code
+  // encodes straight out of the data shards and into the final parity
+  // buffers via region pointers — no half-shard copies, no concatenation.
   const std::size_t half = len / 2;
-  std::vector<Shard> halves;
-  halves.reserve(static_cast<std::size_t>(2 * k()));
-  for (const Shard& d : data) {
-    halves.emplace_back(d.begin(), d.begin() + static_cast<long>(half));
-    halves.emplace_back(d.begin() + static_cast<long>(half), d.end());
+  std::vector<const std::uint8_t*> srcs(static_cast<std::size_t>(2 * k()));
+  for (int i = 0; i < k(); ++i) {
+    const Shard& d = data[static_cast<std::size_t>(i)];
+    srcs[static_cast<std::size_t>(2 * i)] = d.data();
+    srcs[static_cast<std::size_t>(2 * i + 1)] = d.data() + half;
   }
-  const std::vector<Shard> half_parity = inner_.encode(halves);
-  std::vector<Shard> parity;
-  parity.reserve(static_cast<std::size_t>(parity_count()));
+  std::vector<Shard> parity(static_cast<std::size_t>(parity_count()),
+                            Shard(len, 0));
+  std::vector<std::uint8_t*> dsts(static_cast<std::size_t>(2 * parity_count()));
   for (int j = 0; j < parity_count(); ++j) {
-    Shard p = half_parity[static_cast<std::size_t>(2 * j)];
-    const Shard& b = half_parity[static_cast<std::size_t>(2 * j + 1)];
-    p.insert(p.end(), b.begin(), b.end());
-    parity.push_back(std::move(p));
+    Shard& p = parity[static_cast<std::size_t>(j)];
+    dsts[static_cast<std::size_t>(2 * j)] = p.data();
+    dsts[static_cast<std::size_t>(2 * j + 1)] = p.data() + half;
   }
+  inner_.encode_regions(srcs.data(), dsts.data(), half);
   return parity;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -77,9 +79,10 @@ class RowSolver {
 
   static void add_scaled(std::vector<Symbol>& dst,
                          const std::vector<Symbol>& src, Symbol f) {
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = F::add(dst[i], F::mul(f, src[i]));
-    }
+    if (f == 0 || dst.empty()) return;
+    F::mul_add_region(reinterpret_cast<std::uint8_t*>(dst.data()),
+                      reinterpret_cast<const std::uint8_t*>(src.data()), f,
+                      dst.size() * sizeof(Symbol));
   }
 
   static int first_nonzero(const std::vector<Symbol>& v) {
@@ -135,17 +138,39 @@ class BasicLinearCode : public ErasureCode {
     check_encode_args(data);
     const std::size_t len = data.front().size();
     check_alignment(len);
+    std::vector<const std::uint8_t*> srcs(static_cast<std::size_t>(k()));
+    for (int j = 0; j < k(); ++j) {
+      srcs[static_cast<std::size_t>(j)] =
+          data[static_cast<std::size_t>(j)].data();
+    }
     std::vector<Shard> parity(static_cast<std::size_t>(parity_count()),
                               Shard(len, 0));
-    for (int p = 0; p < parity_count(); ++p) {
-      Shard& out = parity[static_cast<std::size_t>(p)];
-      for (int j = 0; j < k(); ++j) {
-        F::mul_add_region(out.data(),
-                          data[static_cast<std::size_t>(j)].data(),
-                          generator_.at(k() + p, j), len);
-      }
-    }
+    std::vector<std::uint8_t*> dsts(parity.size());
+    for (std::size_t p = 0; p < parity.size(); ++p) dsts[p] = parity[p].data();
+    encode_regions(srcs.data(), dsts.data(), len);
     return parity;
+  }
+
+  /// Region-pointer encode: computes every parity row of the generator over
+  /// `k()` source regions of `len` bytes each, accumulating into the
+  /// `parity_count()` destination regions — which must be zero-initialized
+  /// and must not alias any source. This is the raw path Hitchhiker uses to
+  /// encode substripes in place without materializing half-shard copies;
+  /// each parity row is one fused multi-source pass over an L1-friendly
+  /// strip of all k sources.
+  void encode_regions(const std::uint8_t* const* srcs,
+                      std::uint8_t* const* parity_dsts,
+                      std::size_t len) const {
+    check_alignment(len);
+    std::vector<Symbol> coeffs(static_cast<std::size_t>(k()));
+    for (int p = 0; p < parity_count(); ++p) {
+      for (int j = 0; j < k(); ++j) {
+        coeffs[static_cast<std::size_t>(j)] = generator_.at(k() + p, j);
+      }
+      F::mul_add_region_multi(parity_dsts[static_cast<std::size_t>(p)], srcs,
+                              coeffs.data(), static_cast<std::size_t>(k()),
+                              len);
+    }
   }
 
   std::optional<std::vector<Shard>> reconstruct(
@@ -164,6 +189,10 @@ class BasicLinearCode : public ErasureCode {
       row_ids.push_back(id);
     }
     const detail::RowSolver<F> solver(generator_, row_ids);
+    std::vector<const std::uint8_t*> srcs(present.size());
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      srcs[i] = present[i].second->data();
+    }
     std::vector<Shard> out;
     out.reserve(want.size());
     for (int w : want) {
@@ -171,10 +200,8 @@ class BasicLinearCode : public ErasureCode {
       auto coeff = solver.express(generator_.row(w));
       if (!coeff) return std::nullopt;
       Shard shard(len, 0);
-      for (std::size_t i = 0; i < present.size(); ++i) {
-        F::mul_add_region(shard.data(), present[i].second->data(),
-                          (*coeff)[i], len);
-      }
+      F::mul_add_region_multi(shard.data(), srcs.data(), coeff->data(),
+                              present.size(), len);
       out.push_back(std::move(shard));
     }
     return out;

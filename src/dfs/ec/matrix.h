@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -68,17 +70,25 @@ class BasicMatrix {
   Symbol at(int r, int c) const { return data_[index(r, c)]; }
   void set(int r, int c, Symbol v) { data_[index(r, c)] = v; }
   const Symbol* row(int r) const { return &data_[index(r, 0)]; }
+  Symbol* row_mut(int r) { return &data_[index(r, 0)]; }
+
+  /// Bytes per row; rows are contiguous, so row operations run through the
+  /// field's bulk region kernels.
+  std::size_t row_bytes() const {
+    return static_cast<std::size_t>(cols_) * sizeof(Symbol);
+  }
 
   BasicMatrix multiply(const BasicMatrix& other) const {
     assert(cols_ == other.rows_);
     BasicMatrix out(rows_, other.cols_);
     for (int r = 0; r < rows_; ++r) {
+      auto* out_row = reinterpret_cast<std::uint8_t*>(out.row_mut(r));
       for (int i = 0; i < cols_; ++i) {
         const Symbol a = at(r, i);
         if (a == 0) continue;
-        for (int c = 0; c < other.cols_; ++c) {
-          out.set(r, c, F::add(out.at(r, c), F::mul(a, other.at(i, c))));
-        }
+        F::mul_add_region(out_row,
+                          reinterpret_cast<const std::uint8_t*>(other.row(i)),
+                          a, other.row_bytes());
       }
     }
     return out;
@@ -107,22 +117,28 @@ class BasicMatrix {
                     inv.data_[inv.index(pivot, c)]);
         }
       }
+      // Row operations as region kernels (exact in-place aliasing is
+      // allowed): scale the pivot row, then eliminate it from every other.
       const Symbol p = work.at(col, col);
       if (p != 1) {
         const Symbol pinv = F::inv(p);
-        for (int c = 0; c < n; ++c) {
-          work.set(col, c, F::mul(work.at(col, c), pinv));
-          inv.set(col, c, F::mul(inv.at(col, c), pinv));
-        }
+        F::mul_region(reinterpret_cast<std::uint8_t*>(work.row_mut(col)),
+                      reinterpret_cast<const std::uint8_t*>(work.row(col)),
+                      pinv, work.row_bytes());
+        F::mul_region(reinterpret_cast<std::uint8_t*>(inv.row_mut(col)),
+                      reinterpret_cast<const std::uint8_t*>(inv.row(col)),
+                      pinv, inv.row_bytes());
       }
       for (int r = 0; r < n; ++r) {
         if (r == col) continue;
         const Symbol f = work.at(r, col);
         if (f == 0) continue;
-        for (int c = 0; c < n; ++c) {
-          work.set(r, c, F::add(work.at(r, c), F::mul(f, work.at(col, c))));
-          inv.set(r, c, F::add(inv.at(r, c), F::mul(f, inv.at(col, c))));
-        }
+        F::mul_add_region(reinterpret_cast<std::uint8_t*>(work.row_mut(r)),
+                          reinterpret_cast<const std::uint8_t*>(work.row(col)),
+                          f, work.row_bytes());
+        F::mul_add_region(reinterpret_cast<std::uint8_t*>(inv.row_mut(r)),
+                          reinterpret_cast<const std::uint8_t*>(inv.row(col)),
+                          f, inv.row_bytes());
       }
     }
     return inv;
@@ -185,22 +201,21 @@ int rank(BasicMatrix<F> m) {
       }
     }
     if (pivot < 0) continue;
-    for (int c = 0; c < m.cols(); ++c) {
-      const Symbol tmp = m.at(rk, c);
-      m.set(rk, c, m.at(pivot, c));
-      m.set(pivot, c, tmp);
+    if (pivot != rk) {
+      std::swap_ranges(m.row_mut(rk), m.row_mut(rk) + m.cols(),
+                       m.row_mut(pivot));
     }
     const Symbol pinv = F::inv(m.at(rk, col));
-    for (int c = 0; c < m.cols(); ++c) {
-      m.set(rk, c, F::mul(m.at(rk, c), pinv));
-    }
+    F::mul_region(reinterpret_cast<std::uint8_t*>(m.row_mut(rk)),
+                  reinterpret_cast<const std::uint8_t*>(m.row(rk)), pinv,
+                  m.row_bytes());
     for (int r = 0; r < m.rows(); ++r) {
       if (r == rk) continue;
       const Symbol f = m.at(r, col);
       if (f == 0) continue;
-      for (int c = 0; c < m.cols(); ++c) {
-        m.set(r, c, F::add(m.at(r, c), F::mul(f, m.at(rk, c))));
-      }
+      F::mul_add_region(reinterpret_cast<std::uint8_t*>(m.row_mut(r)),
+                        reinterpret_cast<const std::uint8_t*>(m.row(rk)), f,
+                        m.row_bytes());
     }
     ++rk;
   }

@@ -8,6 +8,7 @@
 #include "dfs/ec/cauchy.h"
 #include "dfs/ec/gf65536.h"
 #include "dfs/ec/gf256.h"
+#include "dfs/ec/gf256_kernels.h"
 #include "dfs/ec/hitchhiker.h"
 #include "dfs/ec/linear_code.h"
 #include "dfs/ec/lrc.h"
@@ -1013,6 +1014,298 @@ TEST(Registry, ProducedCodesRoundTrip) {
     const auto rebuilt = code->reconstruct(present, {0});
     ASSERT_TRUE(rebuilt.has_value()) << spec;
     EXPECT_EQ(rebuilt->front(), stripe[0]) << spec;
+  }
+}
+
+// --- gf256 region-kernel backends ------------------------------------------
+// Every compiled-and-supported backend must be bit-identical to a scalar
+// oracle computed straight from gf256::mul (not through the dispatcher), over
+// lengths that stress each kernel's vector body, head/tail handling, and the
+// strip loop, at unaligned offsets, including exact-alias calls.
+
+void oracle_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) dst[i] = gf256::mul(c, src[i]);
+}
+
+void oracle_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ gf256::mul(c, src[i]));
+  }
+}
+
+std::vector<std::uint8_t> random_bytes(util::Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return v;
+}
+
+std::vector<gf256::Backend> usable_backends() {
+  std::vector<gf256::Backend> out;
+  for (auto b : gf256::compiled_backends()) {
+    if (gf256::backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+// Lengths covering: empty, sub-vector, one vector block, off-by-one around
+// the 16/32/64-byte SIMD steps, and around the 8 KiB strip boundary.
+const std::size_t kKernelLens[] = {0,  1,  2,    3,    15,   16,   17,
+                                   31, 32, 33,   63,   64,   65,   100,
+                                   1000,   8191, 8192, 8193, 20000};
+const std::size_t kKernelOffsets[] = {0, 1, 5, 15};
+const std::uint8_t kKernelCoeffs[] = {0, 1, 2, 0x53, 0x8e, 0xff};
+
+class GfKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { gf256::reset_backend(); }
+};
+
+TEST_F(GfKernelTest, ScalarAndTableAlwaysCompiled) {
+  EXPECT_TRUE(gf256::backend_compiled(gf256::Backend::kScalar));
+  EXPECT_TRUE(gf256::backend_compiled(gf256::Backend::kTable));
+  EXPECT_TRUE(gf256::backend_supported(gf256::Backend::kScalar));
+  EXPECT_TRUE(gf256::backend_supported(gf256::Backend::kTable));
+}
+
+TEST_F(GfKernelTest, SetBackendMatchesSupport) {
+  for (int i = 0; i < gf256::kBackendCount; ++i) {
+    const auto b = static_cast<gf256::Backend>(i);
+    EXPECT_EQ(gf256::set_backend(b), gf256::backend_supported(b))
+        << gf256::backend_name(b);
+    if (gf256::backend_supported(b)) {
+      EXPECT_EQ(gf256::active_backend(), b) << gf256::backend_name(b);
+    }
+  }
+}
+
+TEST_F(GfKernelTest, BackendNamesRoundTrip) {
+  EXPECT_STREQ(gf256::backend_name(gf256::Backend::kScalar), "scalar");
+  EXPECT_STREQ(gf256::backend_name(gf256::Backend::kTable), "table");
+  EXPECT_STREQ(gf256::backend_name(gf256::Backend::kSsse3), "ssse3");
+  EXPECT_STREQ(gf256::backend_name(gf256::Backend::kAvx2), "avx2");
+}
+
+TEST_F(GfKernelTest, SingleSourceKernelsMatchOracle) {
+  util::Rng rng(77);
+  for (const auto b : usable_backends()) {
+    ASSERT_TRUE(gf256::set_backend(b));
+    for (const std::size_t len : kKernelLens) {
+      for (const std::size_t off : kKernelOffsets) {
+        const auto src = random_bytes(rng, off + len);
+        const auto dst0 = random_bytes(rng, off + len);
+        const std::uint8_t c =
+            kKernelCoeffs[rng.uniform_int(0, 5)];
+
+        auto got = dst0;
+        gf256::mul_add_region(got.data() + off, src.data() + off, c, len);
+        auto want = dst0;
+        oracle_mul_add(want.data() + off, src.data() + off, c, len);
+        ASSERT_EQ(got, want) << gf256::backend_name(b) << " mul_add len="
+                             << len << " off=" << off << " c=" << int{c};
+
+        got = dst0;
+        gf256::mul_region(got.data() + off, src.data() + off, c, len);
+        want = dst0;
+        oracle_mul(want.data() + off, src.data() + off, c, len);
+        ASSERT_EQ(got, want) << gf256::backend_name(b) << " mul len=" << len
+                             << " off=" << off << " c=" << int{c};
+
+        got = dst0;
+        gf256::xor_region(got.data() + off, src.data() + off, len);
+        want = dst0;
+        for (std::size_t i = 0; i < len; ++i) {
+          want[off + i] = static_cast<std::uint8_t>(want[off + i] ^
+                                                    src[off + i]);
+        }
+        ASSERT_EQ(got, want) << gf256::backend_name(b) << " xor len=" << len
+                             << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST_F(GfKernelTest, ExactAliasingAllowed) {
+  util::Rng rng(78);
+  for (const auto b : usable_backends()) {
+    ASSERT_TRUE(gf256::set_backend(b));
+    for (const std::size_t len : {std::size_t{1}, std::size_t{33},
+                                  std::size_t{8193}}) {
+      for (const std::uint8_t c : kKernelCoeffs) {
+        const auto orig = random_bytes(rng, len);
+
+        auto buf = orig;
+        gf256::mul_region(buf.data(), buf.data(), c, len);
+        auto want = std::vector<std::uint8_t>(len);
+        oracle_mul(want.data(), orig.data(), c, len);
+        ASSERT_EQ(buf, want) << gf256::backend_name(b) << " alias mul c="
+                             << int{c};
+
+        buf = orig;
+        gf256::mul_add_region(buf.data(), buf.data(), c, len);
+        want = orig;
+        for (std::size_t i = 0; i < len; ++i) {
+          want[i] = static_cast<std::uint8_t>(want[i] ^
+                                              gf256::mul(c, orig[i]));
+        }
+        ASSERT_EQ(buf, want) << gf256::backend_name(b) << " alias mul_add c="
+                             << int{c};
+
+        buf = orig;
+        gf256::xor_region(buf.data(), buf.data(), len);
+        ASSERT_TRUE(std::all_of(buf.begin(), buf.end(),
+                                [](std::uint8_t v) { return v == 0; }))
+            << gf256::backend_name(b) << " alias xor";
+      }
+    }
+  }
+}
+
+TEST_F(GfKernelTest, MultiSourceKernelsMatchSequentialOracle) {
+  util::Rng rng(79);
+  for (const auto b : usable_backends()) {
+    ASSERT_TRUE(gf256::set_backend(b));
+    for (const std::size_t len : kKernelLens) {
+      for (const std::size_t count :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{6}}) {
+        std::vector<std::vector<std::uint8_t>> src_bufs;
+        std::vector<const std::uint8_t*> srcs;
+        std::vector<std::uint8_t> coeffs;
+        for (std::size_t j = 0; j < count; ++j) {
+          src_bufs.push_back(random_bytes(rng, len));
+          srcs.push_back(src_bufs.back().data());
+          // Bias toward interesting coefficients: 0 and 1 hit skip/xor paths.
+          coeffs.push_back(kKernelCoeffs[rng.uniform_int(0, 5)]);
+        }
+        const auto dst0 = random_bytes(rng, len);
+
+        auto got = dst0;
+        gf256::mul_add_region_multi(got.data(), srcs.data(), coeffs.data(),
+                                    count, len);
+        auto want = dst0;
+        for (std::size_t j = 0; j < count; ++j) {
+          oracle_mul_add(want.data(), srcs[j], coeffs[j], len);
+        }
+        ASSERT_EQ(got, want) << gf256::backend_name(b) << " mul_add_multi len="
+                             << len << " count=" << count;
+
+        got = dst0;
+        gf256::xor_region_multi(got.data(), srcs.data(), count, len);
+        want = dst0;
+        for (std::size_t j = 0; j < count; ++j) {
+          for (std::size_t i = 0; i < len; ++i) {
+            want[i] = static_cast<std::uint8_t>(want[i] ^ srcs[j][i]);
+          }
+        }
+        ASSERT_EQ(got, want) << gf256::backend_name(b) << " xor_multi len="
+                             << len << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST_F(GfKernelTest, BackendsAgreeOnEncode) {
+  // End-to-end cross-check: a full RS encode must produce byte-identical
+  // parity under every backend (GF arithmetic is exact, so a backend switch
+  // can never change stored bytes).
+  util::Rng rng(80);
+  const auto data = random_shards(rng, 4, 4096 + 24);
+  std::vector<std::vector<Shard>> outs;
+  for (const auto b : usable_backends()) {
+    ASSERT_TRUE(gf256::set_backend(b));
+    ReedSolomonCode code(6, 4);
+    outs.push_back(code.encode(data));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_EQ(outs[i], outs[0]);
+  }
+}
+
+TEST_F(GfKernelTest, EnvOverrideHonoredByReset) {
+#if defined(_WIN32)
+  GTEST_SKIP() << "setenv not available";
+#else
+  ASSERT_EQ(setenv("DFS_GF_BACKEND", "scalar", 1), 0);
+  gf256::reset_backend();
+  EXPECT_EQ(gf256::active_backend(), gf256::Backend::kScalar);
+  ASSERT_EQ(setenv("DFS_GF_BACKEND", "nonsense", 1), 0);
+  gf256::reset_backend();  // warns, falls back to auto — just must not crash
+  EXPECT_TRUE(gf256::backend_supported(gf256::active_backend()));
+  ASSERT_EQ(unsetenv("DFS_GF_BACKEND"), 0);
+#endif
+}
+
+// --- gf65536 region kernels --------------------------------------------------
+// The pair-table fast path (bytes >= kPairTableMinBytes) must agree with the
+// per-symbol log/exp path, and the multi kernel with a sequential oracle.
+
+TEST(Gf65536Kernels, PairTablePathMatchesLogExp) {
+  util::Rng rng(81);
+  // Odd symbol counts straddling the kPairTableMinBytes threshold.
+  for (const std::size_t bytes :
+       {std::size_t{2}, std::size_t{100}, gf65536::kPairTableMinBytes - 2,
+        gf65536::kPairTableMinBytes, gf65536::kPairTableMinBytes + 2,
+        std::size_t{20002}}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto c =
+          static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      const auto src = random_bytes(rng, bytes);
+      const auto dst0 = random_bytes(rng, bytes);
+
+      auto got = dst0;
+      gf65536::mul_add_region(got.data(), src.data(), c, bytes);
+      auto want = dst0;
+      for (std::size_t i = 0; i < bytes; i += 2) {
+        std::uint16_t s, d;
+        std::memcpy(&s, src.data() + i, 2);
+        std::memcpy(&d, want.data() + i, 2);
+        d = static_cast<std::uint16_t>(d ^ gf65536::mul(c, s));
+        std::memcpy(want.data() + i, &d, 2);
+      }
+      ASSERT_EQ(got, want) << "mul_add bytes=" << bytes << " c=" << c;
+
+      got = dst0;
+      gf65536::mul_region(got.data(), src.data(), c, bytes);
+      want.assign(bytes, 0);
+      for (std::size_t i = 0; i < bytes; i += 2) {
+        std::uint16_t s;
+        std::memcpy(&s, src.data() + i, 2);
+        const std::uint16_t p = gf65536::mul(c, s);
+        std::memcpy(want.data() + i, &p, 2);
+      }
+      ASSERT_EQ(got, want) << "mul bytes=" << bytes << " c=" << c;
+    }
+  }
+}
+
+TEST(Gf65536Kernels, MultiSourceMatchesSequential) {
+  util::Rng rng(82);
+  for (const std::size_t bytes :
+       {std::size_t{2}, std::size_t{4096}, std::size_t{8192 + 18}}) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{5}}) {
+      std::vector<std::vector<std::uint8_t>> src_bufs;
+      std::vector<const std::uint8_t*> srcs;
+      std::vector<std::uint16_t> coeffs;
+      for (std::size_t j = 0; j < count; ++j) {
+        src_bufs.push_back(random_bytes(rng, bytes));
+        srcs.push_back(src_bufs.back().data());
+        coeffs.push_back(j == 0 ? std::uint16_t{1}
+                                : static_cast<std::uint16_t>(
+                                      rng.uniform_int(0, 65535)));
+      }
+      const auto dst0 = random_bytes(rng, bytes);
+
+      auto got = dst0;
+      gf65536::mul_add_region_multi(got.data(), srcs.data(), coeffs.data(),
+                                    count, bytes);
+      auto want = dst0;
+      for (std::size_t j = 0; j < count; ++j) {
+        gf65536::mul_add_region(want.data(), srcs[j], coeffs[j], bytes);
+      }
+      ASSERT_EQ(got, want) << "bytes=" << bytes << " count=" << count;
+    }
   }
 }
 
