@@ -1,5 +1,6 @@
 #include "dfs/cluster/arrivals.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -42,6 +43,23 @@ ArrivalProcess::ArrivalProcess(sim::Simulator& simulator,
   }
   if (options_.diurnal_amplitude < 0.0 || options_.diurnal_amplitude >= 1.0) {
     throw std::invalid_argument("diurnal_amplitude must be in [0, 1)");
+  }
+  if (!options_.tenants.empty()) {
+    double total_share = 0.0;
+    for (const TenantClass& cls : options_.tenants) {
+      if (cls.arrival_share <= 0.0) {
+        throw std::invalid_argument("tenant arrival_share must be > 0");
+      }
+      if (cls.job_scale <= 0.0) {
+        throw std::invalid_argument("tenant job_scale must be > 0");
+      }
+      total_share += cls.arrival_share;
+    }
+    tenant_share_.reserve(options_.tenants.size());
+    for (const TenantClass& cls : options_.tenants) {
+      tenant_share_.push_back(cls.arrival_share / total_share);
+    }
+    tenant_issued_.assign(options_.tenants.size(), 0);
   }
 }
 
@@ -97,11 +115,46 @@ void ArrivalProcess::on_candidate() {
   schedule_next();
 }
 
+int ArrivalProcess::next_tenant() {
+  // Largest deficit first: class c is owed share_c * (jobs so far + 1) and
+  // has been issued tenant_issued_[c]. Deterministic — no RNG draw — and
+  // exact in proportion over any window; lowest class id breaks ties.
+  const double target = static_cast<double>(submitted_) + 1.0;
+  int best = 0;
+  double best_deficit = 0.0;
+  for (std::size_t c = 0; c < tenant_share_.size(); ++c) {
+    const double deficit =
+        tenant_share_[c] * target - static_cast<double>(tenant_issued_[c]);
+    if (c == 0 || deficit > best_deficit) {
+      best = static_cast<int>(c);
+      best_deficit = deficit;
+    }
+  }
+  ++tenant_issued_[static_cast<std::size_t>(best)];
+  return best;
+}
+
 void ArrivalProcess::submit_job() {
   workload::SimJobOptions opts = options_.job;
   opts.submit_time = sim_.now();
-  master_.submit(
-      workload::make_sim_job(next_job_id_++, opts, topology_, rng_));
+  int tenant = 0;
+  if (!options_.tenants.empty()) {
+    tenant = next_tenant();
+    const TenantClass& cls =
+        options_.tenants[static_cast<std::size_t>(tenant)];
+    if (cls.job_scale != 1.0) {
+      // Scale the input in whole stripes so the layout stays legal.
+      const double blocks =
+          static_cast<double>(opts.num_blocks) * cls.job_scale;
+      const int stripes = std::max(
+          1, static_cast<int>(std::lround(blocks / opts.k)));
+      opts.num_blocks = stripes * opts.k;
+    }
+  }
+  mapreduce::JobInput job =
+      workload::make_sim_job(next_job_id_++, opts, topology_, rng_);
+  job.spec.tenant = tenant;
+  master_.submit(job);
   ++submitted_;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dfs/mapreduce/master.h"
 #include "dfs/net/topology.h"
@@ -21,6 +22,17 @@ enum class ArrivalModel {
 ArrivalModel parse_arrival_model(const std::string& name);
 const char* to_string(ArrivalModel model);
 
+/// One tenant class of a multi-tenant job stream.
+struct TenantClass {
+  /// Relative share of the arrival stream this class submits (any positive
+  /// scale; shares are normalized over the classes). Must be > 0.
+  double arrival_share = 1.0;
+  /// Multiplier on the template job's input size: the class's jobs carry
+  /// round(num_blocks * job_scale) native blocks, rounded to whole stripes
+  /// (a multiple of k, at least one stripe). Must be > 0.
+  double job_scale = 1.0;
+};
+
 struct ArrivalOptions {
   ArrivalModel model = ArrivalModel::kPoisson;
   /// Mean gap between submissions (the diurnal modulation preserves this
@@ -37,6 +49,13 @@ struct ArrivalOptions {
   /// Template of every submitted job. Each arrival gets a fresh randomly
   /// placed erasure-coded input file under these knobs.
   workload::SimJobOptions job;
+  /// Tenant classes of the stream. Empty (the default) is the single-tenant
+  /// stream: every job lands in class 0, no extra state, no extra RNG draws
+  /// — byte-identical to the pre-tenant generator. With classes configured,
+  /// each arrival is tagged by a largest-deficit weighted round-robin over
+  /// `arrival_share` (deterministic, zero RNG draws) and sized by its
+  /// class's `job_scale`.
+  std::vector<TenantClass> tenants;
 };
 
 /// Open-loop arrival generator: submits jobs into the master's FIFO queue
@@ -63,6 +82,9 @@ class ArrivalProcess {
   /// the diurnal model, accepted gaps otherwise).
   util::Seconds next_gap();
   void submit_job();
+  /// Tenant class of the next arrival: largest-deficit weighted round-robin
+  /// over the classes' arrival shares (no RNG; lowest class id wins ties).
+  int next_tenant();
 
   sim::Simulator& sim_;
   mapreduce::Master& master_;
@@ -71,6 +93,8 @@ class ArrivalProcess {
   util::Rng rng_;
   int submitted_ = 0;
   int next_job_id_ = 0;
+  std::vector<double> tenant_share_;  ///< normalized arrival shares
+  std::vector<long> tenant_issued_;   ///< jobs tagged per class so far
 };
 
 }  // namespace dfs::cluster

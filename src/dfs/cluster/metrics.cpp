@@ -99,6 +99,46 @@ SteadyStateSummary summarize_steady_state(
         static_cast<double>(degraded) / static_cast<double>(total_tasks);
   }
 
+  // Per-tenant latency breakdown — materialized only when some job carries
+  // a non-zero class, so single-tenant summaries stay structurally
+  // identical to older versions (the breakdown would just repeat the
+  // overall percentiles).
+  int max_tenant = 0;
+  for (const auto& j : run.jobs) max_tenant = std::max(max_tenant, j.tenant);
+  if (max_tenant > 0) {
+    std::vector<util::StreamingQuantile> per_tenant;
+    per_tenant.reserve(static_cast<std::size_t>(max_tenant) + 1);
+    std::vector<int> per_tenant_measured(
+        static_cast<std::size_t>(max_tenant) + 1, 0);
+    for (int c = 0; c <= max_tenant; ++c) {
+      per_tenant.emplace_back(std::vector<double>{50.0, 95.0, 99.0});
+    }
+    for (const auto& j : run.jobs) {
+      if (j.failed || j.submit_time < warmup || j.submit_time > horizon ||
+          j.finish_time < 0.0) {
+        continue;
+      }
+      const auto c = static_cast<std::size_t>(j.tenant);
+      ++per_tenant_measured[c];
+      per_tenant[c].add(j.latency());
+    }
+    s.tenants.reserve(per_tenant.size());
+    for (int c = 0; c <= max_tenant; ++c) {
+      const auto& q = per_tenant[static_cast<std::size_t>(c)];
+      SteadyStateSummary::TenantSummary t;
+      t.tenant = c;
+      t.jobs_measured = per_tenant_measured[static_cast<std::size_t>(c)];
+      t.latency_samples = static_cast<int>(q.count());
+      if (!q.empty()) {
+        t.latency_p50 = q.quantile(50.0);
+        t.latency_p95 = q.quantile(95.0);
+        t.latency_p99 = q.quantile(99.0);
+        t.latency_mean = q.mean();
+      }
+      s.tenants.push_back(t);
+    }
+  }
+
   // Recovery volume of the same measurement window: block equivalents
   // actually fetched per recoverable degraded read.
   std::set<mapreduce::JobId> measured;
@@ -235,6 +275,21 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
                static_cast<long>(s.hedge.last_resort_reads))
         .end();
   }
+  // Gated on the arrival stream having tenant classes, so single-tenant
+  // output stays byte-identical (the strictly-additive contract).
+  if (result.report_tenants) {
+    for (const auto& t : s.tenants) {
+      w.begin("tenant")
+          .field("tenant", t.tenant)
+          .field("jobs_measured", t.jobs_measured)
+          .field("latency_samples", t.latency_samples)
+          .field("latency_p50", t.latency_p50)
+          .field("latency_p95", t.latency_p95)
+          .field("latency_p99", t.latency_p99)
+          .field("latency_mean", t.latency_mean)
+          .end();
+    }
+  }
   for (const auto& f : result.failures) {
     w.begin("failure")
         .field("fail_time", f.fail_time)
@@ -260,9 +315,11 @@ void write_cluster_jsonl(std::ostream& os, const ClusterResult& result) {
         j.finish_time < 0.0) {
       continue;
     }
-    w.begin("job")
-        .field("id", j.id)
-        .field("submit", j.submit_time)
+    w.begin("job").field("id", j.id);
+    // Gated like the "tenant" records: class tags on the job lines only
+    // exist for multi-tenant streams.
+    if (result.report_tenants) w.field("tenant", j.tenant);
+    w.field("submit", j.submit_time)
         .field("finish", j.finish_time)
         .field("latency", j.latency())
         .field("runtime", j.runtime())

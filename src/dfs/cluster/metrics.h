@@ -96,6 +96,22 @@ struct SteadyStateSummary {
   double fetch_p999 = 0.0;
   int fetch_samples = 0;
   mapreduce::HedgeStats hedge;  ///< supervisor counters (zero when off)
+  // --- per-tenant latency (multi-tenant streams; only written to JSONL
+  // when `report_tenants` is set) ------------------------------------------
+  /// Completion-latency percentiles of one tenant class's measured jobs.
+  struct TenantSummary {
+    int tenant = 0;
+    int jobs_measured = 0;    ///< class jobs submitted inside the window
+    int latency_samples = 0;  ///< of those, finished (the percentile base)
+    double latency_p50 = 0.0;
+    double latency_p95 = 0.0;
+    double latency_p99 = 0.0;
+    double latency_mean = 0.0;
+  };
+  /// One entry per tenant class seen among the run's jobs, ordered by class
+  /// id. Single-tenant runs (every job in class 0) leave this empty — the
+  /// breakdown would just repeat the overall percentiles.
+  std::vector<TenantSummary> tenants;
   int failures_injected = 0;
   int rack_failures = 0;
   int blocks_repaired = 0;
@@ -127,6 +143,10 @@ struct ClusterResult {
   /// fetch-supervisor counters) to JSONL. Set automatically when the fetch
   /// supervisor ran; gated so supervisor-off output stays byte-identical.
   bool report_hedging = false;
+  /// Adds the per-class "tenant" records to JSONL. Set automatically when
+  /// the arrival stream has tenant classes configured; gated so
+  /// single-tenant output stays byte-identical.
+  bool report_tenants = false;
 };
 
 /// Computes the summary from the run's records plus the lifecycle/timeline

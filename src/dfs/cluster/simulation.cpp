@@ -29,6 +29,15 @@ ClusterSimulation::ClusterSimulation(ClusterOptions options,
   opts_.lifecycle.block_size = opts_.config.block_size;
   opts_.lifecycle.compute_failures = opts_.config.fault.compute_failures;
 
+  // Materialize the speed profile before the master snapshots the config.
+  // Uniform materializes to the empty vector: skip the assignment entirely
+  // so an explicitly-set node_time_scale survives and inert runs stay
+  // byte-identical.
+  if (!opts_.speed.uniform()) {
+    opts_.config.node_time_scale =
+        opts_.speed.materialize(opts_.config.topology.num_nodes());
+  }
+
   net_ = std::make_unique<net::Network>(sim_, opts_.config.topology,
                                         opts_.config.links,
                                         opts_.config.contention);
@@ -40,6 +49,12 @@ ClusterSimulation::ClusterSimulation(ClusterOptions options,
                                                 failure_, scheduler, rng_,
                                                 opts_.source_selection);
   master_->set_admission_open(true);
+  // FIFO keeps the null fast path (no policy call per heartbeat); anything
+  // else is built by the factory and installed for the master's lifetime.
+  if (!opts_.admission.empty() && opts_.admission != "fifo") {
+    admission_policy_ = core::make_admission_policy(opts_.admission);
+    master_->set_admission_policy(admission_policy_.get());
+  }
 
   // The cluster's archival data: what a failed node actually loses and a
   // repair actually rebuilds. Shares the network with the job traffic.
@@ -92,6 +107,7 @@ ClusterResult ClusterSimulation::run() {
   result.timeline = sampler_->samples();
   result.net_stats = net_->stats();
   result.report_hedging = opts_.config.fetch_supervised();
+  result.report_tenants = !opts_.arrivals.tenants.empty();
   result.summary = summarize_steady_state(result.run, result.failures,
                                           result.timeline, opts_.warmup,
                                           opts_.horizon);

@@ -6,9 +6,11 @@
 #include "dfs/cluster/arrivals.h"
 #include "dfs/cluster/lifecycle.h"
 #include "dfs/cluster/metrics.h"
+#include "dfs/core/admission.h"
 #include "dfs/core/scheduler.h"
 #include "dfs/mapreduce/config.h"
 #include "dfs/mapreduce/master.h"
+#include "dfs/mapreduce/speed_model.h"
 #include "dfs/net/network.h"
 #include "dfs/runner/thread_pool.h"
 #include "dfs/sim/simulator.h"
@@ -40,6 +42,14 @@ struct ClusterOptions {
   int archive_k = 15;
   storage::SourceSelection source_selection =
       storage::SourceSelection::kRandom;
+  /// Per-slave speed profile, materialized into config.node_time_scale at
+  /// construction. The uniform default materializes to the empty vector and
+  /// leaves any explicitly-set config.node_time_scale untouched, so it is
+  /// byte-identical to never having had a speed model.
+  mapreduce::SpeedModel speed;
+  /// Job-queue ordering policy: "fifo" (the default — no policy object is
+  /// even installed), "fair", or "fair:w0,w1,..." per-tenant weights.
+  std::string admission = "fifo";
   /// Worker threads for the network's fair-share component recompute. At 1
   /// (the default) everything runs inline; above 1 the simulation owns a
   /// dedicated ThreadPool and independent congestion components are water-
@@ -81,6 +91,8 @@ class ClusterSimulation {
   /// running this simulation would deadlock). Null when net_jobs <= 1.
   std::unique_ptr<runner::ThreadPool> net_pool_;
   std::unique_ptr<net::Network> net_;
+  /// Owns the master's admission policy; null for FIFO (no policy at all).
+  std::unique_ptr<core::AdmissionPolicy> admission_policy_;
   std::unique_ptr<mapreduce::Master> master_;
   std::shared_ptr<const storage::StorageLayout> archive_layout_;
   std::shared_ptr<const ec::ErasureCode> archive_code_;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +14,67 @@ namespace dfs::core {
 using JobId = int;
 using net::NodeId;
 using net::RackId;
+
+/// Non-owning view over the context's running-jobs scratch buffer.
+///
+/// The underlying storage is recycled: it stays valid only until the next
+/// running_jobs() call or the next assignment-state mutation on the same
+/// context. Debug builds carry a generation snapshot and assert on every
+/// access through a stale view; release builds compile down to a bare
+/// pointer. Copy into a std::vector (the implicit conversion below) before
+/// mutating or retaining the list.
+class RunningJobsView {
+ public:
+#ifndef NDEBUG
+  RunningJobsView(const std::vector<JobId>& jobs,
+                  const std::uint64_t* generation)
+      : jobs_(&jobs), generation_(generation), snapshot_(*generation) {}
+#else
+  explicit RunningJobsView(const std::vector<JobId>& jobs) : jobs_(&jobs) {}
+#endif
+
+  std::vector<JobId>::const_iterator begin() const {
+    check();
+    return jobs_->begin();
+  }
+  std::vector<JobId>::const_iterator end() const {
+    check();
+    return jobs_->end();
+  }
+  std::size_t size() const {
+    check();
+    return jobs_->size();
+  }
+  bool empty() const {
+    check();
+    return jobs_->empty();
+  }
+  JobId operator[](std::size_t i) const {
+    check();
+    return (*jobs_)[i];
+  }
+
+  /// Lets `std::vector<JobId> copy = ctx.running_jobs();` snapshot the list.
+  operator const std::vector<JobId>&() const {  // NOLINT(google-explicit-constructor)
+    check();
+    return *jobs_;
+  }
+
+ private:
+  void check() const {
+#ifndef NDEBUG
+    assert(*generation_ == snapshot_ &&
+           "stale running_jobs() view: the scratch buffer was recycled by a "
+           "later running_jobs() call or assignment mutation");
+#endif
+  }
+
+  const std::vector<JobId>* jobs_;
+#ifndef NDEBUG
+  const std::uint64_t* generation_;
+  std::uint64_t snapshot_;
+#endif
+};
 
 /// The master's view offered to a scheduling policy at each heartbeat.
 ///
@@ -29,13 +92,29 @@ class SchedulerContext {
   /// delay scheduling's per-job skip timers).
   virtual util::Seconds now() const = 0;
 
-  /// Jobs with unfinished map work, in FIFO submission order. The reference
-  /// is valid until the next running_jobs() call on the same context —
-  /// implementations may reuse one scratch buffer per heartbeat rather than
+  /// Jobs with unfinished map work, ordered by the context's admission
+  /// policy (FIFO submission order by default). The view is valid until the
+  /// next running_jobs() call or assignment mutation on the same context —
+  /// implementations reuse one scratch buffer per heartbeat rather than
   /// allocate (this query runs once per slave per heartbeat interval, which
   /// at 10k slaves makes a per-call allocation the scheduler's hot spot).
-  /// Copy it first if you need to mutate or retain the list.
-  virtual const std::vector<JobId>& running_jobs() const = 0;
+  /// Copy it first if you need to mutate or retain the list; debug builds
+  /// assert on any access through a stale view.
+  RunningJobsView running_jobs() const {
+    // Handing out a fresh view recycles the scratch buffer, so any earlier
+    // view over it goes stale right here.
+    invalidate_running_jobs();
+    const std::vector<JobId>& jobs = running_jobs_ref();
+#ifndef NDEBUG
+    return RunningJobsView(jobs, &running_jobs_generation_);
+#else
+    return RunningJobsView(jobs);
+#endif
+  }
+
+  /// Tenant class the job was submitted under (multi-tenant admission).
+  /// Single-tenant contexts leave everything in class 0.
+  virtual int tenant_of(JobId /*job*/) const { return 0; }
 
   /// Free map slots on the heartbeating slave right now.
   virtual int free_map_slots(NodeId slave) const = 0;
@@ -98,6 +177,26 @@ class SchedulerContext {
   virtual util::Seconds degraded_read_threshold() const = 0;
 
   virtual RackId rack_of(NodeId slave) const = 0;
+
+ protected:
+  /// Backs running_jobs(): rebuild (or return) the runnable-job list in
+  /// whatever order the context's admission policy dictates. The returned
+  /// reference may alias a per-context scratch buffer.
+  virtual const std::vector<JobId>& running_jobs_ref() const = 0;
+
+  /// Implementations call this from every mutation that can change the
+  /// runnable-job list (task assignment, job activation/retirement) so
+  /// outstanding debug views go stale. Free in release builds.
+  void invalidate_running_jobs() const {
+#ifndef NDEBUG
+    ++running_jobs_generation_;
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  mutable std::uint64_t running_jobs_generation_ = 0;
+#endif
 };
 
 /// A map-task scheduling policy, invoked once per slave heartbeat.

@@ -161,6 +161,14 @@ struct ClusterConfig {
   /// Fraction of the job's maps that must have completed before runtimes
   /// are considered representative enough to speculate against.
   double speculation_min_completed_fraction = 0.1;
+  /// Heterogeneity-aware speculation: judge an attempt overdue against its
+  /// node's *expected* pace (elapsed divided by the node's time-scale
+  /// factor) instead of raw wall-clock. A node the speed model already
+  /// declares 2x slow is then not flagged merely for being 2x slow — only
+  /// for lagging beyond that. Off (the Hadoop-classic rule) by default;
+  /// distinguish this from straggler *jitter* (StragglerConfig), which is
+  /// unplanned and exactly what speculation exists to catch.
+  bool speculation_speed_aware = false;
 
   /// Compute-failure fault tolerance; inert at its defaults.
   FaultConfig fault;
@@ -193,6 +201,9 @@ struct JobSpec {
   /// (§V-B uses 1%; Fig. 7(e) sweeps 1%-30%).
   double shuffle_ratio = 0.01;
   util::Seconds submit_time = 0.0;
+  /// Tenant class the job belongs to (multi-tenant admission); single-tenant
+  /// workloads leave every job in class 0.
+  int tenant = 0;
 };
 
 /// A job together with the erasure-coded layout of its input file and the

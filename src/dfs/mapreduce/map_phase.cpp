@@ -274,6 +274,7 @@ void MapPhase::start_map(JobState& j, int map_idx, NodeId s, MapTaskKind kind,
   rec.exec_node = s;
   rec.source_node = fetch_source;
   rec.kind = kind;
+  rec.time_scale = s_.cfg.time_scale(s);
   rec.assign_time = s_.sim.now();
   rec.speculative = backup;
   const int record_idx = static_cast<int>(s_.result.map_tasks.size());
@@ -553,7 +554,15 @@ void MapPhase::try_speculate(NodeId s) {
       const auto& rec =
           s_.result.map_tasks[static_cast<std::size_t>(t.record)];
       if (rec.exec_node == s) continue;  // back up on a *different* node
-      const double elapsed = s_.sim.now() - rec.assign_time;
+      // Speed-aware mode discounts elapsed time by the node's known speed
+      // factor, so a configured-slow node is only flagged when it lags its
+      // *own* expected pace. Off by default (scale 1.0: the classic rule,
+      // bit-for-bit — stragglers are then unplanned jitter speculation is
+      // meant to catch).
+      const double scale =
+          s_.cfg.speculation_speed_aware ? s_.cfg.time_scale(rec.exec_node)
+                                         : 1.0;
+      const double elapsed = (s_.sim.now() - rec.assign_time) / scale;
       if (elapsed > worst_elapsed) {
         worst_elapsed = elapsed;
         candidate = static_cast<int>(i);

@@ -64,6 +64,7 @@ void Master::submit(const JobInput& input) {
   j.expected_degraded_cost = j.planner->expected_single_failure_blocks();
   j.rng = rng_.fork();
   j.metrics.id = j.spec.id;
+  j.metrics.tenant = j.spec.tenant;
   j.metrics.submit_time = j.spec.submit_time;
   j.pending_by_node.resize(
       static_cast<std::size_t>(state_.cfg.topology.num_nodes()));
@@ -156,7 +157,7 @@ void Master::on_node_repaired(NodeId node) {
 
 util::Seconds Master::now() const { return state_.sim.now(); }
 
-const std::vector<core::JobId>& Master::running_jobs() const {
+const std::vector<core::JobId>& Master::running_jobs_ref() const {
   // Rebuilt per call into a scratch buffer: the heartbeat path hits this
   // once per slave per interval, and at 10k slaves an allocation (or an
   // all-jobs scan — the retired tail dwarfs the active set at steady
@@ -166,7 +167,16 @@ const std::vector<core::JobId>& Master::running_jobs() const {
     const JobState& j = state_.job(id);
     if (j.m < j.total_m) running_jobs_scratch_.push_back(id);
   }
+  // The scratch arrives in FIFO (submission) order; an installed admission
+  // policy reorders it in place before the scheduler walks it.
+  if (admission_policy_ != nullptr) {
+    admission_policy_->order(*this, running_jobs_scratch_);
+  }
   return running_jobs_scratch_;
+}
+
+int Master::tenant_of(core::JobId id) const {
+  return state_.job(id).spec.tenant;
 }
 
 int Master::free_map_slots(NodeId s) const {
@@ -196,14 +206,19 @@ bool Master::has_unassigned_degraded(core::JobId id) const {
 }
 
 void Master::assign_local(core::JobId id, NodeId s) {
+  // Assignments can launch a job's last map, dropping it from the runnable
+  // set; debug views handed out before the mutation must go stale.
+  invalidate_running_jobs();
   map_.assign_local(id, s);
 }
 
 void Master::assign_remote(core::JobId id, NodeId s) {
+  invalidate_running_jobs();
   map_.assign_remote(id, s);
 }
 
 void Master::assign_degraded(core::JobId id, NodeId s) {
+  invalidate_running_jobs();
   map_.assign_degraded(id, s);
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "dfs/core/admission.h"
 #include "dfs/core/scheduler.h"
 #include "dfs/mapreduce/fault_supervisor.h"
 #include "dfs/mapreduce/map_phase.h"
@@ -51,6 +52,14 @@ class Master final : public core::SchedulerContext {
   /// remaining jobs drain.
   void finish_admission() { admission_open_ = false; }
 
+  /// Install a job-queue ordering policy (non-owning; the caller keeps it
+  /// alive for the master's lifetime). Null — the default — is the FIFO
+  /// fast path: running_jobs() hands out submission order with no policy
+  /// call at all, byte-identical to the pre-admission-seam master.
+  void set_admission_policy(core::AdmissionPolicy* policy) {
+    admission_policy_ = policy;
+  }
+
   /// A node's storage and task slots went away (cluster lifecycle event).
   /// Pending map tasks whose last readable copy was on `node` become
   /// degraded; tasks already running are allowed to finish (the failure
@@ -89,7 +98,7 @@ class Master final : public core::SchedulerContext {
 
   // --- core::SchedulerContext --------------------------------------------------
   util::Seconds now() const override;
-  const std::vector<core::JobId>& running_jobs() const override;
+  int tenant_of(core::JobId job) const override;
   int free_map_slots(NodeId slave) const override;
   bool has_unassigned_local(core::JobId job, NodeId slave) const override;
   bool has_unassigned_remote(core::JobId job, NodeId slave) const override;
@@ -112,6 +121,9 @@ class Master final : public core::SchedulerContext {
   util::Seconds degraded_read_threshold() const override;
   RackId rack_of(NodeId slave) const override;
 
+ protected:
+  const std::vector<core::JobId>& running_jobs_ref() const override;
+
  private:
   void activate_job(std::size_t index);
   void start_heartbeat(NodeId slave);
@@ -123,6 +135,8 @@ class Master final : public core::SchedulerContext {
   FaultSupervisor fault_;
 
   core::Scheduler& scheduler_;
+  /// Optional job-queue ordering; null = FIFO fast path (no policy call).
+  core::AdmissionPolicy* admission_policy_ = nullptr;
   util::Rng& rng_;
   storage::SourceSelection source_selection_;
   storage::RecoveryCostModel cost_model_;

@@ -21,6 +21,9 @@ struct MapTaskRecord {
   /// node-local tasks, unset (-1) for degraded tasks (see `sources`).
   NodeId source_node = -1;
   MapTaskKind kind = MapTaskKind::kNodeLocal;
+  /// The executing node's speed factor (ClusterConfig::time_scale) at launch
+  /// — the attempt-trace view of the speed model. 1.0 on uniform clusters.
+  double time_scale = 1.0;
   util::Seconds assign_time = -1.0;
   util::Seconds fetch_done_time = -1.0;  ///< input available (== assign for node-local)
   util::Seconds finish_time = -1.0;
@@ -102,6 +105,7 @@ struct ReduceTaskRecord {
 /// Per-job milestones and counters.
 struct JobMetrics {
   JobId id = -1;
+  int tenant = 0;  ///< tenant class (JobSpec::tenant)
   util::Seconds submit_time = 0.0;
   util::Seconds first_map_launch = -1.0;
   util::Seconds map_phase_end = -1.0;

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfs::mapreduce {
+
+/// Per-slave processing-speed profile, materialized into
+/// ClusterConfig::node_time_scale (a factor of 2.0 means tasks on that node
+/// take twice as long — the related-machine model).
+///
+/// Three profiles:
+///  - uniform: every node at 1.0. materialize() returns an empty vector, the
+///    exact representation inert configs already use, so a uniform profile
+///    is byte-identical to never having touched the speed model.
+///  - bimodal: `slow_fraction` of the nodes run `slowdown`x slower. Slow
+///    nodes are picked by the same evenly-spaced integer ramp as
+///    StragglerConfig::is_straggler (zero RNG draws); a non-zero `seed`
+///    instead deals the slow factors by a seeded shuffle, deterministic from
+///    the seed and independent of the simulation RNG stream.
+///  - explicit vector: per-node factors, tiled cyclically when the cluster
+///    is larger than the vector (so "vector:1,2" alternates fast/slow).
+struct SpeedModel {
+  enum class Profile { kUniform, kBimodal, kExplicit };
+
+  Profile profile = Profile::kUniform;
+  double slow_fraction = 0.0;  ///< bimodal: fraction of slow nodes
+  double slowdown = 1.0;       ///< bimodal: factor applied to slow nodes
+  std::uint64_t seed = 0;      ///< bimodal: 0 = integer ramp, else shuffle
+  std::vector<double> factors; ///< explicit profile only
+
+  bool uniform() const { return profile == Profile::kUniform; }
+
+  /// Parse a --speed-profile spec:
+  ///   "uniform" | "bimodal:FRAC,SLOWDOWN[,SEED]" | "vector:F0,F1,..."
+  /// Throws std::invalid_argument on malformed specs, fractions outside
+  /// [0, 1], or factors <= 0.
+  static SpeedModel parse(const std::string& spec);
+
+  /// Per-node time-scale factors for a cluster of `num_nodes` nodes; empty
+  /// for the uniform profile. Deterministic: same model + size, same vector.
+  std::vector<double> materialize(int num_nodes) const;
+
+  /// Canonical spec string (round-trips through parse).
+  std::string describe() const;
+};
+
+}  // namespace dfs::mapreduce

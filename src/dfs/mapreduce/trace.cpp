@@ -25,10 +25,13 @@ std::string csv_escape(const std::string& field) {
   return quoted;
 }
 
-void write_map_task_csv(std::ostream& os, const RunResult& result) {
+void write_map_task_csv(std::ostream& os, const RunResult& result,
+                        bool include_time_scale) {
   os << "task_id,job_id,stripe,block_index,kind,exec_node,source_node,"
         "assign_time,fetch_done_time,finish_time,runtime,degraded_sources,"
-        "unrecoverable\n";
+        "unrecoverable";
+  if (include_time_scale) os << ",time_scale";
+  os << '\n';
   for (const auto& t : result.map_tasks) {
     os << t.id << ',' << t.job << ',' << t.block.stripe << ','
        << t.block.index << ',' << csv_escape(to_string(t.kind)) << ','
@@ -36,6 +39,7 @@ void write_map_task_csv(std::ostream& os, const RunResult& result) {
        << ',' << t.source_node << ',' << t.assign_time << ','
        << t.fetch_done_time << ',' << t.finish_time << ',' << t.runtime()
        << ',' << t.sources.size() << ',' << (t.unrecoverable ? 1 : 0);
+    if (include_time_scale) os << ',' << t.time_scale;
     write_row_end(os);
   }
 }
@@ -116,14 +120,15 @@ void write_events_jsonl(std::ostream& os, const RunResult& result) {
   }
 }
 
-void write_csv_files(const std::string& prefix, const RunResult& result) {
+void write_csv_files(const std::string& prefix, const RunResult& result,
+                     bool include_time_scale) {
   const auto open = [](const std::string& path) {
     std::ofstream f(path);
     if (!f) throw std::runtime_error("cannot open " + path);
     return f;
   };
   auto maps = open(prefix + "_map_tasks.csv");
-  write_map_task_csv(maps, result);
+  write_map_task_csv(maps, result, include_time_scale);
   auto reduces = open(prefix + "_reduce_tasks.csv");
   write_reduce_task_csv(reduces, result);
   auto jobs = open(prefix + "_jobs.csv");

@@ -18,7 +18,11 @@ namespace dfs::mapreduce {
 /// future string column (job names, file paths) from corrupting rows.
 std::string csv_escape(const std::string& field);
 
-void write_map_task_csv(std::ostream& os, const RunResult& result);
+/// `include_time_scale` appends a time_scale column (the executing node's
+/// speed factor at assignment — the attempt-trace view of the speed model).
+/// Opt-in so existing trace consumers keep the exact historical columns.
+void write_map_task_csv(std::ostream& os, const RunResult& result,
+                        bool include_time_scale = false);
 void write_reduce_task_csv(std::ostream& os, const RunResult& result);
 void write_job_csv(std::ostream& os, const RunResult& result);
 
@@ -34,7 +38,9 @@ void write_events_jsonl(std::ostream& os, const RunResult& result);
 
 /// Writes all three CSVs to `<prefix>_map_tasks.csv`,
 /// `<prefix>_reduce_tasks.csv` and `<prefix>_jobs.csv`. Throws
-/// std::runtime_error if a file cannot be opened.
-void write_csv_files(const std::string& prefix, const RunResult& result);
+/// std::runtime_error if a file cannot be opened. `include_time_scale`
+/// forwards to write_map_task_csv (opt-in speed-factor column).
+void write_csv_files(const std::string& prefix, const RunResult& result,
+                     bool include_time_scale = false);
 
 }  // namespace dfs::mapreduce

@@ -177,6 +177,97 @@ StorageLayout random_rack_constrained_layout(int num_native_blocks, int n,
   return StorageLayout(n, k, std::move(placement));
 }
 
+StorageLayout zipf_rack_skewed_layout(int num_native_blocks, int n, int k,
+                                      const net::Topology& topo,
+                                      util::Rng& rng, double exponent) {
+  if (exponent < 0.0) {
+    throw std::invalid_argument("skew exponent must be >= 0");
+  }
+  if (num_native_blocks % k != 0) {
+    throw std::invalid_argument("native block count must be a multiple of k");
+  }
+  const int max_per_rack = n - k;
+  int feasible = 0;
+  for (RackId r = 0; r < topo.num_racks(); ++r) {
+    feasible += std::min(static_cast<int>(topo.nodes_in_rack(r).size()),
+                         max_per_rack);
+  }
+  if (feasible < n) {
+    throw std::invalid_argument(
+        "topology cannot satisfy the rack placement rule for this (n,k)");
+  }
+
+  const int stripes = num_native_blocks / k;
+  const int num_nodes = topo.num_nodes();
+  const auto num_racks = static_cast<std::size_t>(topo.num_racks());
+  std::vector<int> load(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<std::vector<NodeId>> placement(
+      static_cast<std::size_t>(stripes));
+
+  // Picks the least-loaded unused node of `rack` (random tie-break), or -1
+  // if the rack has no unused node.
+  const auto pick_in_rack = [&](RackId rack, const std::vector<bool>& used) {
+    NodeId best = -1;
+    int best_load = 0;
+    int ties = 0;
+    for (const NodeId node : topo.nodes_in_rack(rack)) {
+      if (used[static_cast<std::size_t>(node)]) continue;
+      const int l = load[static_cast<std::size_t>(node)];
+      if (best < 0 || l < best_load) {
+        best = node;
+        best_load = l;
+        ties = 1;
+      } else if (l == best_load) {
+        // Reservoir-style single-slot tie-break keeps one uniform draw per
+        // tie instead of materializing a candidate list.
+        ++ties;
+        if (rng.index(static_cast<std::size_t>(ties)) == 0) best = node;
+      }
+    }
+    return best;
+  };
+
+  for (int s = 0; s < stripes; ++s) {
+    auto& row = placement[static_cast<std::size_t>(s)];
+    row.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> used(static_cast<std::size_t>(num_nodes), false);
+    std::vector<int> rack_count(num_racks, 0);
+    const auto rack_open = [&](RackId r) {
+      if (rack_count[static_cast<std::size_t>(r)] >= max_per_rack) {
+        return false;
+      }
+      for (const NodeId node : topo.nodes_in_rack(r)) {
+        if (!used[static_cast<std::size_t>(node)]) return true;
+      }
+      return false;
+    };
+    for (int b = 0; b < n; ++b) {
+      // Zipf rank 1 is rack 0: low-numbered racks are hot. A full rack
+      // falls back to the hottest rack with remaining capacity, so the
+      // stripe stays legal (feasibility was verified above, and the rack
+      // quotas form a partition matroid: greedy placement cannot dead-end).
+      auto rack = static_cast<RackId>(rng.zipf(num_racks, exponent) - 1);
+      if (!rack_open(rack)) {
+        rack = -1;
+        for (RackId r = 0; r < topo.num_racks(); ++r) {
+          if (rack_open(r)) {
+            rack = r;
+            break;
+          }
+        }
+      }
+      assert(rack >= 0);
+      const NodeId chosen = pick_in_rack(rack, used);
+      assert(chosen >= 0);
+      row.push_back(chosen);
+      used[static_cast<std::size_t>(chosen)] = true;
+      ++rack_count[static_cast<std::size_t>(rack)];
+      ++load[static_cast<std::size_t>(chosen)];
+    }
+  }
+  return StorageLayout(n, k, std::move(placement));
+}
+
 StorageLayout replicated_layout(int num_blocks, int replicas,
                                 const net::Topology& topo, util::Rng& rng) {
   if (replicas < 2) throw std::invalid_argument("need >= 2 replicas");

@@ -74,6 +74,21 @@ StorageLayout random_rack_constrained_layout(int num_native_blocks, int n,
                                              int k, const net::Topology& topo,
                                              util::Rng& rng);
 
+/// Zipf-skewed placement under the §III rack rule: each block is drawn to a
+/// rack with probability proportional to 1/rank^exponent (rack 0 hottest),
+/// then to that rack's least-loaded unused node, so block popularity — and
+/// with it the degraded-read traffic after a failure — concentrates on the
+/// hot racks instead of spreading parity-declustered. Per-stripe legality
+/// (n distinct nodes, at most n-k blocks per rack) still holds; a drawn
+/// rack that is full falls back to the hottest rack with capacity.
+/// exponent = 0 degenerates to a uniform rack draw (still a different draw
+/// sequence than random_rack_constrained_layout — callers wanting the
+/// unskewed baseline must call that directly). Throws std::invalid_argument
+/// on a negative exponent or an infeasible (n, k, topology) combination.
+StorageLayout zipf_rack_skewed_layout(int num_native_blocks, int n, int k,
+                                      const net::Topology& topo,
+                                      util::Rng& rng, double exponent);
+
 /// HDFS's default replication placement (§III): each block is a k=1,
 /// n=`replicas` stripe; the first copy goes to a random node and the
 /// remaining copies to distinct random nodes of one *other* random rack —

@@ -84,9 +84,15 @@ JobInput make_sim_job(int id, const SimJobOptions& options,
   job.spec.num_reducers = options.num_reducers;
   job.spec.shuffle_ratio = options.shuffle_ratio;
   job.spec.submit_time = options.submit_time;
+  // skew == 0 takes the paper's random placement path with the exact RNG
+  // draw sequence it always had; the skewed layout is a separate generator.
   job.layout = std::make_shared<storage::StorageLayout>(
-      storage::random_rack_constrained_layout(options.num_blocks, options.n,
-                                              options.k, topology, rng));
+      options.skew > 0.0
+          ? storage::zipf_rack_skewed_layout(options.num_blocks, options.n,
+                                             options.k, topology, rng,
+                                             options.skew)
+          : storage::random_rack_constrained_layout(
+                options.num_blocks, options.n, options.k, topology, rng));
   job.code = ec::make_reed_solomon(options.n, options.k);
   return job;
 }

@@ -46,6 +46,11 @@ struct SimJobOptions {
   int num_reducers = 30;
   double shuffle_ratio = 0.01;
   util::Seconds submit_time = 0.0;
+  /// Zipf exponent for skewed block placement: 0 (the default) keeps the
+  /// paper's parity-declustered random placement; > 0 routes blocks through
+  /// storage::zipf_rack_skewed_layout so popularity — and the degraded-read
+  /// traffic after a failure — concentrates on hot (low-numbered) racks.
+  double skew = 0.0;
 };
 
 /// Build one job over a fresh randomly-placed erasure-coded file (§III

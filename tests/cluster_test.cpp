@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -420,6 +421,177 @@ TEST(Cluster, ArrivalOptionsAreValidated) {
   EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
                               util::Rng(1)),
                std::invalid_argument);
+  bad = ArrivalOptions{};
+  bad.tenants.push_back({.arrival_share = 0.0});
+  EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
+                              util::Rng(1)),
+               std::invalid_argument);
+  bad = ArrivalOptions{};
+  bad.tenants.push_back({.arrival_share = 1.0, .job_scale = -0.5});
+  EXPECT_THROW(ArrivalProcess(h.sim, *h.master, h.cfg.topology, bad,
+                              util::Rng(1)),
+               std::invalid_argument);
+}
+
+// --- multi-tenant streams and admission ---------------------------------------
+
+/// Small multi-tenant stream: tenant 0 submits 3x as often; tenant 1's jobs
+/// are a quarter of the template size.
+ClusterOptions tenant_options() {
+  ClusterOptions opts = fast_options();
+  opts.arrivals.tenants = {{.arrival_share = 3.0, .job_scale = 1.0},
+                           {.arrival_share = 1.0, .job_scale = 0.25}};
+  return opts;
+}
+
+TEST(Cluster, TenantTaggingFollowsSharesAndScales) {
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterSimulation simulation(tenant_options(), *scheduler, 7);
+  const ClusterResult result = simulation.run();
+
+  long count[2] = {0, 0};
+  long maps[2] = {0, 0};
+  for (const auto& j : result.run.jobs) {
+    ASSERT_GE(j.tenant, 0);
+    ASSERT_LE(j.tenant, 1);
+    ++count[j.tenant];
+    maps[j.tenant] += j.local_tasks + j.remote_tasks + j.degraded_tasks;
+  }
+  ASSERT_GT(count[0], 0);
+  ASSERT_GT(count[1], 0);
+  // Largest-deficit round-robin holds the 3:1 share exactly over any
+  // window (within rounding of the total).
+  EXPECT_NEAR(static_cast<double>(count[0]),
+              3.0 * static_cast<double>(count[1]), 3.0);
+  // job_scale 0.25 on a 240-block template with k=15: 60 native blocks.
+  EXPECT_EQ(maps[0] / count[0], 240);
+  EXPECT_EQ(maps[1] / count[1], 60);
+  // The summary grew a per-class block and the JSONL gate is armed.
+  EXPECT_TRUE(result.report_tenants);
+  ASSERT_EQ(result.summary.tenants.size(), 2u);
+  EXPECT_EQ(result.summary.tenants[0].tenant, 0);
+  EXPECT_EQ(result.summary.tenants[1].tenant, 1);
+  EXPECT_EQ(result.summary.tenants[0].jobs_measured +
+                result.summary.tenants[1].jobs_measured,
+            result.summary.jobs_measured);
+}
+
+TEST(Cluster, TenantJsonlRecordsAreGatedAndPresent) {
+  const auto scheduler = core::make_scheduler("BDF");
+  std::ostringstream with, without;
+  {
+    ClusterSimulation simulation(tenant_options(), *scheduler, 9);
+    write_cluster_jsonl(with, simulation.run());
+  }
+  {
+    ClusterSimulation simulation(fast_options(), *scheduler, 9);
+    write_cluster_jsonl(without, simulation.run());
+  }
+  EXPECT_NE(with.str().find("\"type\":\"tenant\""), std::string::npos);
+  EXPECT_EQ(without.str().find("\"type\":\"tenant\""), std::string::npos);
+  EXPECT_EQ(without.str().find("\"tenant\""), std::string::npos);
+}
+
+TEST(Cluster, SingleTenantFairAdmissionIsByteIdenticalToFifo) {
+  // With one tenant every job shares one usage key, so the fair policy's
+  // stable sort must reproduce FIFO exactly — the whole run, byte for byte.
+  // This pins the refactor's inertness beyond the default (no-policy) path.
+  const auto scheduler = core::make_scheduler("BDF");
+  std::ostringstream fifo, fair;
+  {
+    ClusterSimulation simulation(fast_options(), *scheduler, 5);
+    write_cluster_jsonl(fifo, simulation.run());
+  }
+  {
+    ClusterOptions opts = fast_options();
+    opts.admission = "fair";
+    ClusterSimulation simulation(opts, *scheduler, 5);
+    write_cluster_jsonl(fair, simulation.run());
+  }
+  ASSERT_FALSE(fifo.str().empty());
+  EXPECT_EQ(fifo.str(), fair.str());
+}
+
+TEST(Cluster, FairAdmissionRunsDeterministically) {
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterOptions opts = tenant_options();
+  opts.admission = "fair:3,1";
+  std::ostringstream first, second;
+  {
+    ClusterSimulation simulation(opts, *scheduler, 6);
+    write_cluster_jsonl(first, simulation.run());
+  }
+  {
+    ClusterSimulation simulation(opts, *scheduler, 6);
+    write_cluster_jsonl(second, simulation.run());
+  }
+  ASSERT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Cluster, SpeedProfileMaterializesIntoClusterRun) {
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterOptions slow = fast_options();
+  slow.speed = mapreduce::SpeedModel::parse("bimodal:0.5,3");
+  ClusterSimulation fast_sim(fast_options(), *scheduler, 4);
+  ClusterSimulation slow_sim(slow, *scheduler, 4);
+  const ClusterResult fast_result = fast_sim.run();
+  const ClusterResult slow_result = slow_sim.run();
+  // Half the slaves at 3x slower processing must push mean latency up.
+  EXPECT_GT(slow_result.summary.latency_mean,
+            fast_result.summary.latency_mean);
+}
+
+TEST(Cluster, PerTenantSummaryAggregatesByClass) {
+  mapreduce::RunResult run;
+  const auto add_job = [&run](int id, int tenant, double submit,
+                              double finish) {
+    mapreduce::JobMetrics j;
+    j.id = id;
+    j.tenant = tenant;
+    j.submit_time = submit;
+    j.first_map_launch = submit;
+    j.finish_time = finish;
+    j.local_tasks = 4;
+    run.jobs.push_back(j);
+  };
+  add_job(0, 0, 150.0, 160.0);  // latency 10
+  add_job(1, 0, 200.0, 230.0);  // latency 30
+  add_job(2, 1, 250.0, 350.0);  // latency 100
+  add_job(3, 1, 10.0, 20.0);    // before warm-up: excluded everywhere
+
+  const SteadyStateSummary s =
+      summarize_steady_state(run, {}, {}, /*warmup=*/100.0, /*horizon=*/500.0);
+  ASSERT_EQ(s.tenants.size(), 2u);
+  EXPECT_EQ(s.tenants[0].jobs_measured, 2);
+  EXPECT_EQ(s.tenants[0].latency_samples, 2);
+  EXPECT_DOUBLE_EQ(s.tenants[0].latency_p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.tenants[0].latency_mean, 20.0);
+  EXPECT_EQ(s.tenants[1].jobs_measured, 1);
+  EXPECT_DOUBLE_EQ(s.tenants[1].latency_p99, 100.0);
+  // The overall percentiles still pool every measured job.
+  EXPECT_EQ(s.jobs_measured, 3);
+  EXPECT_DOUBLE_EQ(s.latency_p50, 30.0);
+}
+
+// Smoke leg for the CI admission matrix: when DFS_ADMISSION is set (the CI
+// scheduler/cluster re-run exports DFS_ADMISSION=fair), drive a short
+// multi-tenant run through that policy spec end to end.
+TEST(Cluster, AdmissionEnvSmoke) {
+  const char* spec = std::getenv("DFS_ADMISSION");
+  if (spec == nullptr || *spec == '\0') {
+    GTEST_SKIP() << "DFS_ADMISSION not set; smoke leg runs in CI only";
+  }
+  ClusterOptions opts = tenant_options();
+  opts.admission = spec;
+  const auto scheduler = core::make_scheduler("BDF");
+  ClusterSimulation simulation(opts, *scheduler, 3);
+  const ClusterResult result = simulation.run();
+  EXPECT_GT(result.summary.jobs_completed, 0);
+  EXPECT_EQ(result.summary.tenants.size(), 2u);
+  std::ostringstream os;
+  write_cluster_jsonl(os, result);
+  EXPECT_NE(os.str().find("\"type\":\"tenant\""), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "dfs/core/admission.h"
 #include "dfs/core/degraded_first.h"
 #include "dfs/core/delay_scheduler.h"
 #include "dfs/core/fair_scheduler.h"
@@ -42,7 +43,9 @@ class FakeContext : public SchedulerContext {
   mutable std::vector<JobId> running_scratch_;  // backs running_jobs()
 
   util::Seconds now() const override { return sim_now; }
-  const std::vector<JobId>& running_jobs() const override {
+
+ protected:
+  const std::vector<JobId>& running_jobs_ref() const override {
     running_scratch_.clear();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const JobCfg& j = jobs[i];
@@ -50,6 +53,8 @@ class FakeContext : public SchedulerContext {
     }
     return running_scratch_;
   }
+
+ public:
   int free_map_slots(NodeId) const override { return free_slots; }
   bool has_unassigned_local(JobId j, NodeId) const override {
     return jobs[static_cast<std::size_t>(j)].local > 0;
@@ -502,6 +507,117 @@ TEST(SchedulerFactory, MakesAllSchedulers) {
   EXPECT_EQ(make_scheduler("FAIR")->name(), "FAIR");
   EXPECT_EQ(make_scheduler("FAIR+DF")->name(), "FAIR+DF");
   EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+// --- running_jobs() scratch-buffer contract --------------------------------------
+
+TEST(RunningJobsView, IteratesAndConvertsWhileFresh) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  const auto view = ctx.running_jobs();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view[0], 0);
+  std::vector<JobId> seen(view.begin(), view.end());
+  EXPECT_EQ(seen, (std::vector<JobId>{0, 1}));
+}
+
+TEST(RunningJobsView, CopyOutlivesRecycle) {
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  // The implicit conversion is how FairScheduler snapshots the queue; the
+  // copy must stay valid after the scratch buffer is recycled.
+  std::vector<JobId> copied = ctx.running_jobs();
+  (void)ctx.running_jobs();
+  EXPECT_EQ(copied, (std::vector<JobId>{0, 1}));
+}
+
+#ifndef NDEBUG
+TEST(RunningJobsViewDeathTest, StaleViewAssertsAfterRecycle) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FakeContext ctx;
+  ctx.jobs.push_back({.local = 1, .total_m = 1});
+  const auto view = ctx.running_jobs();
+  (void)ctx.running_jobs();  // recycles the scratch buffer
+  EXPECT_DEATH((void)view.size(), "stale running_jobs");
+}
+#endif
+
+// --- admission policies ----------------------------------------------------------
+
+/// FakeContext plus per-job tenant tags, for exercising fair admission.
+class TenantFakeContext : public FakeContext {
+ public:
+  std::vector<int> tenants;  // indexed by job id
+  int tenant_of(JobId j) const override {
+    return tenants[static_cast<std::size_t>(j)];
+  }
+};
+
+TEST(Admission, FactoryParsesSpecs) {
+  EXPECT_EQ(make_admission_policy("")->name(), "fifo");
+  EXPECT_EQ(make_admission_policy("fifo")->name(), "fifo");
+  EXPECT_EQ(make_admission_policy("fair")->name(), "fair");
+  EXPECT_EQ(make_admission_policy("fair:2,1")->name(), "fair");
+  EXPECT_THROW(make_admission_policy("lottery"), std::invalid_argument);
+  EXPECT_THROW(make_admission_policy("fair:"), std::invalid_argument);
+  EXPECT_THROW(make_admission_policy("fair:2,x"), std::invalid_argument);
+  EXPECT_THROW(make_admission_policy("fair:1,-1"), std::invalid_argument);
+  EXPECT_THROW(make_admission_policy("fair:0"), std::invalid_argument);
+}
+
+TEST(Admission, FifoLeavesQueueUntouched) {
+  TenantFakeContext ctx;
+  std::vector<JobId> jobs = {3, 1, 2, 0};
+  FifoAdmission fifo;
+  fifo.order(ctx, jobs);
+  EXPECT_EQ(jobs, (std::vector<JobId>{3, 1, 2, 0}));
+}
+
+TEST(Admission, FairMovesUnderServedTenantForward) {
+  TenantFakeContext ctx;
+  // Tenant 0 already runs 4 maps across jobs 0 and 1; tenant 1 runs 1.
+  ctx.jobs.push_back({.total_m = 10, .running = 3});
+  ctx.jobs.push_back({.total_m = 10, .running = 1});
+  ctx.jobs.push_back({.total_m = 10, .running = 1});
+  ctx.tenants = {0, 0, 1};
+  std::vector<JobId> jobs = {0, 1, 2};
+  WeightedFairAdmission fair;
+  fair.order(ctx, jobs);
+  EXPECT_EQ(jobs, (std::vector<JobId>{2, 0, 1}));
+}
+
+TEST(Admission, FairKeepsFifoWithinAndAcrossTies) {
+  TenantFakeContext ctx;
+  // Weighted usage ties at 1.0 per tenant (4/4 vs 1/1): submission order
+  // must survive the stable sort both across tenants and within tenant 0.
+  ctx.jobs.push_back({.total_m = 10, .running = 3});
+  ctx.jobs.push_back({.total_m = 10, .running = 1});
+  ctx.jobs.push_back({.total_m = 10, .running = 1});
+  ctx.tenants = {0, 0, 1};
+  std::vector<JobId> jobs = {0, 1, 2};
+  WeightedFairAdmission fair({4.0, 1.0});
+  fair.order(ctx, jobs);
+  EXPECT_EQ(jobs, (std::vector<JobId>{0, 1, 2}));
+}
+
+TEST(Admission, FairSingleTenantIsFifo) {
+  TenantFakeContext ctx;
+  ctx.jobs.push_back({.total_m = 10, .running = 5});
+  ctx.jobs.push_back({.total_m = 10, .running = 0});
+  ctx.tenants = {0, 0};
+  std::vector<JobId> jobs = {0, 1};
+  WeightedFairAdmission fair;
+  fair.order(ctx, jobs);
+  // One tenant = one sort key; fair degenerates to FIFO, not shortest-job.
+  EXPECT_EQ(jobs, (std::vector<JobId>{0, 1}));
+}
+
+TEST(Admission, RejectsNonPositiveWeights) {
+  EXPECT_THROW(WeightedFairAdmission({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedFairAdmission({-2.0}), std::invalid_argument);
 }
 
 TEST(SchedulerNaming, PartialHeuristicNames) {

@@ -67,6 +67,24 @@ run cluster_hedge_off dfscluster --hours 0.3 --warmup 60 --seed 7 --seeds 2 \
 cmp cluster_base.jsonl cluster_hedge_off.jsonl
 cmp cluster_base_timeline.csv cluster_hedge_off_timeline.csv
 
+# Tenancy/heterogeneity flags explicitly at their off values: same contract.
+# `--admission fair` with no tenants is also pinned byte-identical to FIFO by
+# Cluster.SingleTenantFairAdmissionIsByteIdenticalToFifo; here the defaults.
+run cluster_tenancy_off dfscluster --hours 0.3 --warmup 60 --seed 7 --seeds 2 \
+  --blocks 60 --reducers 4 --interarrival 90 --mttf-hours 1 \
+  --jsonl cluster_tenancy_off.jsonl --csv cluster_tenancy_off_timeline.csv \
+  --net-stats --speed-profile uniform --admission fifo --skew 0
+cmp cluster_base.jsonl cluster_tenancy_off.jsonl
+cmp cluster_base_timeline.csv cluster_tenancy_off_timeline.csv
+
+# The full heterogeneous multi-tenant stack on: 2-tenant stream under
+# weighted fair admission, bimodal slave speeds, Zipf-skewed placement.
+run cluster_fair_admission dfscluster --hours 0.3 --warmup 60 --seed 11 \
+  --blocks 60 --reducers 4 --interarrival 90 --mttf-hours 1 \
+  --tenants 2 --tenant-shares 3,1 --tenant-scales 1,0.25 \
+  --admission fair --speed-profile bimodal:0.25,2,5 --skew 1.2 \
+  --jsonl cluster_fair_admission.jsonl
+
 # --- manifest ---------------------------------------------------------------
 sha256sum \
   sim_edf_csv.stdout sim_edf_csv.stderr \
@@ -77,6 +95,8 @@ sha256sum \
   cluster_base.jsonl cluster_base_timeline.csv \
   cluster_faults.stdout cluster_faults.stderr \
   cluster_faults.jsonl cluster_faults_attempts.csv \
+  cluster_fair_admission.stdout cluster_fair_admission.stderr \
+  cluster_fair_admission.jsonl \
   > manifest.sha256
 
 if [ "$MODE" = "--update" ]; then

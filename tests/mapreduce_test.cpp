@@ -9,6 +9,7 @@
 #include "dfs/ec/reed_solomon.h"
 #include "dfs/mapreduce/simulation.h"
 #include "dfs/mapreduce/repair.h"
+#include "dfs/mapreduce/speed_model.h"
 #include "dfs/mapreduce/trace.h"
 #include "dfs/storage/failure.h"
 #include "dfs/storage/layout.h"
@@ -270,6 +271,222 @@ TEST(MapReduce, DegradedReadTimeShorterUnderDegradedFirst) {
     edf_total += run_one(sc, failure, edf, seed).mean_degraded_read_time();
   }
   EXPECT_LT(edf_total, lf_total);
+}
+
+TEST(MapReduce, FairDegradedFirstPacesDegradedUnderFailure) {
+  // FAIR+DF applies the degraded-first pacing rule inside the fair queue:
+  // degraded maps launch throughout the map phase rather than piling up at
+  // its end the way the plain FAIR (LF-style drain) leaves them.
+  SmallCluster sc;
+  const auto fair = core::make_scheduler("FAIR");
+  const auto fair_df = core::make_scheduler("FAIR+DF");
+  const storage::FailureScenario failure({0});
+  double fair_total = 0.0;
+  double fair_df_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto mean_degraded_assign = [](const RunResult& r) {
+      double sum = 0.0;
+      int cnt = 0;
+      for (const auto& t : r.map_tasks) {
+        if (t.kind == MapTaskKind::kDegraded) {
+          sum += t.assign_time;
+          ++cnt;
+        }
+      }
+      return sum / cnt;
+    };
+    const RunResult rf = run_one(sc, failure, *fair, seed);
+    const RunResult rd = run_one(sc, failure, *fair_df, seed);
+    EXPECT_EQ(rf.map_tasks.size(), 120u);
+    EXPECT_EQ(rd.map_tasks.size(), 120u);
+    fair_total += mean_degraded_assign(rf);
+    fair_df_total += mean_degraded_assign(rd);
+  }
+  EXPECT_LT(fair_df_total, fair_total);
+}
+
+TEST(MapReduce, FairDegradedFirstKeepsPacingInvariant) {
+  // Replay the FAIR+DF assignment sequence and check the paper's pacing
+  // rule at every degraded launch: the degraded fraction must never run
+  // ahead of the overall map fraction (cost-weighted pacing implies the
+  // count-based bound here because every degraded read costs >= 1).
+  SmallCluster sc;
+  const auto fair_df = core::make_scheduler("FAIR+DF");
+  const storage::FailureScenario failure({0});
+  const RunResult r = run_one(sc, failure, *fair_df, 21);
+  std::vector<const MapTaskRecord*> tasks;
+  for (const auto& t : r.map_tasks) tasks.push_back(&t);
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const MapTaskRecord* a, const MapTaskRecord* b) {
+                     return a->assign_time < b->assign_time;
+                   });
+  const double total_m = static_cast<double>(tasks.size());
+  double total_md = 0.0;
+  for (const auto* t : tasks) {
+    if (t->kind == MapTaskKind::kDegraded) ++total_md;
+  }
+  ASSERT_GT(total_md, 0.0);
+  double m = 0.0, md = 0.0;
+  for (const auto* t : tasks) {
+    if (t->kind == MapTaskKind::kDegraded) {
+      // The rule gates the launch on the counts *before* it: a degraded
+      // task may start only while degraded progress trails overall
+      // progress. A little slack absorbs same-heartbeat slot fills.
+      EXPECT_LE(md / total_md, m / total_m + 0.05)
+          << "degraded launch ran ahead of the pacing rule at t="
+          << t->assign_time;
+      ++md;
+    }
+    ++m;
+  }
+}
+
+TEST(MapReduce, DelaySchedulerDegradedModeCompletes) {
+  // DELAY waits out non-local launches but must not starve degraded tasks:
+  // every block still runs exactly once and the job drains.
+  SmallCluster sc;
+  const auto delay = core::make_scheduler("DELAY");
+  const storage::FailureScenario failure({0});
+  const RunResult r = run_one(sc, failure, *delay, 13);
+  EXPECT_EQ(r.map_tasks.size(), 120u);
+  EXPECT_FALSE(r.data_loss);
+  int degraded = 0;
+  for (const auto& t : r.map_tasks) {
+    if (t.kind == MapTaskKind::kDegraded) ++degraded;
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_EQ(r.jobs[0].local_tasks + r.jobs[0].remote_tasks +
+                r.jobs[0].degraded_tasks,
+            120);
+}
+
+TEST(MapReduce, DelaySchedulerDefersDegradedRelativeToFairDf) {
+  // The delay scheduler keeps LF's degraded-last shape (it only reorders
+  // local vs remote), so its degraded launches land later than FAIR+DF's
+  // paced ones on the same failure.
+  SmallCluster sc;
+  const auto delay = core::make_scheduler("DELAY");
+  const auto fair_df = core::make_scheduler("FAIR+DF");
+  double delay_total = 0.0;
+  double fair_df_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const storage::FailureScenario failure({static_cast<NodeId>(seed)});
+    auto mean_degraded_assign = [](const RunResult& r) {
+      double sum = 0.0;
+      int cnt = 0;
+      for (const auto& t : r.map_tasks) {
+        if (t.kind == MapTaskKind::kDegraded) {
+          sum += t.assign_time;
+          ++cnt;
+        }
+      }
+      return cnt > 0 ? sum / cnt : 0.0;
+    };
+    delay_total += mean_degraded_assign(run_one(sc, failure, *delay, seed));
+    fair_df_total +=
+        mean_degraded_assign(run_one(sc, failure, *fair_df, seed));
+  }
+  EXPECT_LT(fair_df_total, delay_total);
+}
+
+// --- speed model -----------------------------------------------------------------
+
+TEST(SpeedModel, UniformMaterializesEmpty) {
+  const SpeedModel m = SpeedModel::parse("uniform");
+  EXPECT_TRUE(m.uniform());
+  EXPECT_TRUE(m.materialize(40).empty());
+  EXPECT_EQ(m.describe(), "uniform");
+  EXPECT_TRUE(SpeedModel::parse("").uniform());
+}
+
+TEST(SpeedModel, BimodalRampSpreadsSlowNodesEvenly) {
+  const SpeedModel m = SpeedModel::parse("bimodal:0.25,2");
+  const auto scale = m.materialize(40);
+  ASSERT_EQ(scale.size(), 40u);
+  int slow = 0;
+  for (const double s : scale) {
+    EXPECT_TRUE(s == 1.0 || s == 2.0);
+    if (s == 2.0) ++slow;
+  }
+  EXPECT_EQ(slow, 10);
+  // The integer ramp puts exactly one slow node in every group of four, so
+  // a 10-node rack never collects more than 3 of the 10 slow nodes.
+  for (int rack = 0; rack < 4; ++rack) {
+    int in_rack = 0;
+    for (int n = rack * 10; n < (rack + 1) * 10; ++n) {
+      if (scale[static_cast<std::size_t>(n)] == 2.0) ++in_rack;
+    }
+    EXPECT_GE(in_rack, 2);
+    EXPECT_LE(in_rack, 3);
+  }
+}
+
+TEST(SpeedModel, BimodalSeedShufflesDeterministically) {
+  const SpeedModel a = SpeedModel::parse("bimodal:0.5,3,42");
+  const SpeedModel b = SpeedModel::parse("bimodal:0.5,3,42");
+  const SpeedModel c = SpeedModel::parse("bimodal:0.5,3,43");
+  EXPECT_EQ(a.materialize(20), b.materialize(20));
+  EXPECT_NE(a.materialize(20), c.materialize(20));
+  // Same multiset of factors whatever the seed.
+  auto sorted = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(a.materialize(20)), sorted(c.materialize(20)));
+}
+
+TEST(SpeedModel, ExplicitVectorTiles) {
+  const SpeedModel m = SpeedModel::parse("vector:1,2.5");
+  const auto scale = m.materialize(5);
+  EXPECT_EQ(scale, (std::vector<double>{1.0, 2.5, 1.0, 2.5, 1.0}));
+  EXPECT_EQ(m.describe(), "vector:1,2.5");
+}
+
+TEST(SpeedModel, RejectsMalformedSpecs) {
+  EXPECT_THROW(SpeedModel::parse("warp9"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("bimodal:0.5"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("bimodal:-0.1,2"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("bimodal:1.5,2"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("bimodal:0.5,0"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("bimodal:0.5,-2"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("vector:"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("vector:1,0"), std::invalid_argument);
+  EXPECT_THROW(SpeedModel::parse("vector:1,-3"), std::invalid_argument);
+}
+
+TEST(SpeedModel, MaterializedProfileSlowsSimulatedTasks) {
+  // End-to-end: a "vector:1,3" profile through ClusterConfig must reproduce
+  // the TimeScaleSlowsProcessing behavior, and the attempt trace must carry
+  // the factor.
+  ClusterConfig cfg;
+  cfg.topology = net::Topology(1, 2);
+  cfg.links = net::LinkConfig{};
+  cfg.map_slots_per_node = 1;
+  cfg.reduce_slots_per_node = 1;
+  cfg.block_size = 100.0;
+  cfg.heartbeat_interval = 1.0;
+  cfg.node_time_scale = SpeedModel::parse("vector:1,3").materialize(2);
+
+  JobInput job;
+  job.spec.map_time = {10.0, 0.0};
+  job.spec.num_reducers = 0;
+  job.spec.shuffle_ratio = 0.0;
+  job.layout = std::make_shared<storage::StorageLayout>(
+      storage::round_robin_layout(8, 2, 1, 2));
+  job.code = ec::make_replication(2);
+
+  core::LocalityFirstScheduler lf;
+  const RunResult r = simulate(cfg, {job}, storage::no_failure(), lf, 5);
+  for (const auto& t : r.map_tasks) {
+    const double d = t.finish_time - t.fetch_done_time;
+    if (t.exec_node == 0) {
+      EXPECT_DOUBLE_EQ(d, 10.0);
+      EXPECT_DOUBLE_EQ(t.time_scale, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(d, 30.0);
+      EXPECT_DOUBLE_EQ(t.time_scale, 3.0);
+    }
+  }
 }
 
 // --- heterogeneity, failures, multi-job ------------------------------------------------

@@ -89,6 +89,55 @@ TEST(Layout, MotivatingExampleTopologyFeasible) {
   EXPECT_TRUE(l.satisfies_placement_rule(topo, 2));
 }
 
+TEST(Layout, ZipfSkewedSatisfiesRule) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(42);
+  const StorageLayout l =
+      zipf_rack_skewed_layout(1440, 20, 15, topo, rng, 1.2);
+  EXPECT_TRUE(l.satisfies_placement_rule(topo, 5));
+  EXPECT_EQ(l.num_native_blocks(), 1440);
+}
+
+TEST(Layout, ZipfSkewConcentratesLoadOnRackZero) {
+  // 8 racks with a per-stripe quota of n-k=2: each stripe needs only 4 of
+  // the 8 racks, so the Zipf draw has real freedom to favor low rack ids.
+  // (A saturated topology — quota * racks == n — would force perfect
+  // balance whatever the exponent.)
+  const net::Topology topo(8, 5);
+  util::Rng rng(7);
+  const StorageLayout l = zipf_rack_skewed_layout(480, 8, 6, topo, rng, 1.5);
+  const auto load = l.node_load(40);
+  std::vector<long> rack_load(8, 0);
+  for (int n = 0; n < 40; ++n) {
+    rack_load[static_cast<std::size_t>(n / 5)] +=
+        load[static_cast<std::size_t>(n)];
+  }
+  EXPECT_GT(rack_load[0], rack_load[7]);
+  EXPECT_EQ(rack_load[0], *std::max_element(rack_load.begin(),
+                                            rack_load.end()));
+}
+
+TEST(Layout, ZipfSkewZeroStillLegalJustUnskewed) {
+  // Exponent 0 degenerates to a uniform rack draw — still a valid layout,
+  // without the rack-0 pile-up.
+  const net::Topology topo(4, 10);
+  util::Rng rng(11);
+  const StorageLayout l = zipf_rack_skewed_layout(480, 16, 12, topo, rng, 0.0);
+  EXPECT_TRUE(l.satisfies_placement_rule(topo, 4));
+}
+
+TEST(Layout, ZipfSkewedRejectsBadArguments) {
+  const net::Topology topo(4, 10);
+  util::Rng rng(1);
+  EXPECT_THROW(zipf_rack_skewed_layout(100, 16, 12, topo, rng, -0.5),
+               std::invalid_argument);
+  EXPECT_THROW(zipf_rack_skewed_layout(121, 16, 12, topo, rng, 1.0),
+               std::invalid_argument);  // not a whole number of stripes
+  const net::Topology tiny(1, 10);
+  EXPECT_THROW(zipf_rack_skewed_layout(4, 4, 2, tiny, rng, 1.0),
+               std::invalid_argument);  // one rack cannot hold a stripe
+}
+
 TEST(Layout, PlacementRuleDetectsViolations) {
   // Two blocks of a stripe on one node.
   StorageLayout bad(4, 2, {{0, 0, 1, 2}});

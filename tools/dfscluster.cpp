@@ -38,6 +38,20 @@
 //   --rack-failures X     fraction of failures taking a rack  [0]
 //   --repair N            block repairs in flight per event   [4]
 //   --sample-interval X   timeline sampling period, seconds   [60]
+//   --speed-profile SPEC  per-slave speed profile: uniform |
+//                         bimodal:FRAC,SLOWDOWN[,SEED] (FRAC of the slaves
+//                         run SLOWDOWN x slower; SEED shuffles which ones) |
+//                         vector:F0,F1,... (explicit per-node factors,
+//                         tiled over the slaves)            [uniform]
+//   --tenants N           tenant classes in the arrival stream; jobs are
+//                         tagged round-robin by arrival share  [0 = single]
+//   --tenant-shares W,..  per-class arrival shares (default: equal)
+//   --tenant-scales S,..  per-class job-size multipliers (default: 1)
+//   --admission P         job-queue ordering: fifo | fair |
+//                         fair:w0,w1,... (per-tenant weights)  [fifo]
+//   --skew S              Zipf exponent for block placement — rack 0 is the
+//                         hottest, so degraded reads concentrate there
+//                         [0 = the classic uniform random placement]
 //   --jsonl PATH          write the full run as JSON lines
 //   --net-stats           add a per-seed "net_stats" JSONL record with the
 //                         network engine counters (flows, recompute/fast-path
@@ -112,6 +126,29 @@ std::string scheduler_name(const std::string& flag) {
   return flag;
 }
 
+/// Parses a comma-separated list of doubles; throws std::invalid_argument
+/// on anything non-numeric, trailing junk, or an empty list.
+std::vector<double> parse_double_list(const std::string& flag,
+                                      const std::string& value) {
+  std::vector<double> out;
+  for (const std::string& item : util::split(value, ',')) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size() || item.empty()) {
+      throw std::invalid_argument("--" + flag + ": bad number '" + item +
+                                  "'");
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) throw std::invalid_argument("--" + flag + ": empty list");
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +165,9 @@ int main(int argc, char** argv) {
            "  --mttf-hours X --repair-delay X --rack-failures X --repair N\n"
            "  --sample-interval X --jsonl PATH --net-stats "
            "--recovery-stats --csv PATH\n"
+           "  --speed-profile uniform|bimodal:F,S[,SEED]|vector:F0,...\n"
+           "  --tenants N --tenant-shares W,... --tenant-scales S,...\n"
+           "  --admission fifo|fair|fair:w0,... --skew S\n"
            "  --faults --expiry X --attempt-failure-prob X --max-attempts N\n"
            "  --retry-backoff X --blacklist-threshold N "
            "--blacklist-duration X\n"
@@ -169,6 +209,48 @@ int main(int argc, char** argv) {
   opts.arrivals.diurnal_period = args.get_double("diurnal-period", 86400.0);
   opts.arrivals.job.num_blocks = args.get_int("blocks", 240);
   opts.arrivals.job.num_reducers = args.get_int("reducers", 10);
+  opts.arrivals.job.skew = args.get_double("skew", 0.0);
+  if (opts.arrivals.job.skew < 0.0) return fail("--skew must be >= 0");
+
+  // Tenant classes: --tenants N makes N equal classes; the share/scale
+  // lists override per class and must carry exactly one value per tenant.
+  const int tenants = args.get_int("tenants", 0);
+  if (args.has("tenants") && tenants < 1) return fail("--tenants must be >= 1");
+  const auto tenant_shares = args.get("tenant-shares");
+  const auto tenant_scales = args.get("tenant-scales");
+  if ((tenant_shares || tenant_scales) && tenants < 1) {
+    return fail("--tenant-shares / --tenant-scales require --tenants N");
+  }
+  if (tenants >= 1) {
+    opts.arrivals.tenants.assign(static_cast<std::size_t>(tenants),
+                                 cluster::TenantClass{});
+    try {
+      if (tenant_shares) {
+        const auto shares =
+            parse_double_list("tenant-shares", *tenant_shares);
+        if (static_cast<int>(shares.size()) != tenants) {
+          return fail("--tenant-shares needs exactly --tenants values");
+        }
+        for (std::size_t c = 0; c < shares.size(); ++c) {
+          if (shares[c] <= 0.0) return fail("--tenant-shares must be > 0");
+          opts.arrivals.tenants[c].arrival_share = shares[c];
+        }
+      }
+      if (tenant_scales) {
+        const auto scales =
+            parse_double_list("tenant-scales", *tenant_scales);
+        if (static_cast<int>(scales.size()) != tenants) {
+          return fail("--tenant-scales needs exactly --tenants values");
+        }
+        for (std::size_t c = 0; c < scales.size(); ++c) {
+          if (scales[c] <= 0.0) return fail("--tenant-scales must be > 0");
+          opts.arrivals.tenants[c].job_scale = scales[c];
+        }
+      }
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  }
 
   opts.lifecycle.node_mttf_hours = args.get_double("mttf-hours", 6.0);
   opts.lifecycle.mean_repair_delay = args.get_double("repair-delay", 60.0);
@@ -286,6 +368,14 @@ int main(int argc, char** argv) {
   try {
     opts.arrivals.model = cluster::parse_arrival_model(
         args.get_or("arrivals", "poisson"));
+    // Negative fractions, slowdowns below 1, bad weights etc. are rejected
+    // here, before any sweep cell starts.
+    opts.speed =
+        mapreduce::SpeedModel::parse(args.get_or("speed-profile", "uniform"));
+    opts.admission = args.get_or("admission", "fifo");
+    if (opts.admission != "fifo") {
+      core::make_admission_policy(opts.admission);  // validate the spec
+    }
     scheduler = core::make_scheduler(scheduler_name(scheduler_flag));
   } catch (const std::exception& e) {
     return fail(e.what());
@@ -324,6 +414,17 @@ int main(int argc, char** argv) {
               << " horizon=" << util::Table::num(opts.horizon / 3600.0, 2)
               << "h warmup=" << util::Table::num(opts.warmup, 0)
               << "s seed=" << cell_seed << '\n';
+          // Extra config line only when some heterogeneity / tenancy /
+          // skew knob is active, so default reports keep their old shape.
+          if (opts.admission != "fifo" || !opts.speed.uniform() ||
+              !opts.arrivals.tenants.empty() ||
+              opts.arrivals.job.skew > 0.0) {
+            rep << "config: admission=" << opts.admission
+                << " speed=" << opts.speed.describe()
+                << " tenants=" << opts.arrivals.tenants.size()
+                << " skew=" << util::Table::num(opts.arrivals.job.skew, 2)
+                << '\n';
+          }
           rep << "jobs: " << s.jobs_submitted << " submitted, "
               << s.jobs_completed << " completed, " << s.jobs_measured
               << " in the measurement window\n";
@@ -366,6 +467,19 @@ int main(int argc, char** argv) {
                          util::Table::pct(s.mean_rack_down_utilization * 100.0,
                                           1)});
           rep << table;
+          if (!opts.arrivals.tenants.empty()) {
+            util::Table tt({"tenant", "measured", "p50 (s)", "p95 (s)",
+                            "p99 (s)", "mean (s)"});
+            for (const auto& t : s.tenants) {
+              tt.add_row({std::to_string(t.tenant),
+                          std::to_string(t.jobs_measured),
+                          util::Table::num(t.latency_p50, 1),
+                          util::Table::num(t.latency_p95, 1),
+                          util::Table::num(t.latency_p99, 1),
+                          util::Table::num(t.latency_mean, 1)});
+            }
+            rep << "per-tenant latency:\n" << tt;
+          }
           if (opts.config.fault.compute_failures) {
             const auto& run = out.result.run;
             rep << "faults: "

@@ -38,6 +38,13 @@
 //   --recovery-stats      print one recovery_stats JSON line per seed
 //                         (degraded fetch volume in block units)
 //   --hetero X            every other node is X times slower (1 = off)
+//   --speed-profile SPEC  per-node speed profile: uniform |
+//                         bimodal:FRAC,SLOWDOWN[,SEED] | vector:F0,F1,...
+//                         (mutually exclusive with --hetero; when active,
+//                         the map-task CSV gains a time_scale column)
+//                                                           [uniform]
+//   --skew S              Zipf exponent for the random placement — rack 0
+//                         gets the hottest blocks (0 = uniform)   [0]
 //   --speculate           enable Hadoop-style speculative execution
 //   --repair N            run background repair with concurrency N
 //   --utilization         print a rack-downlink utilization timeline
@@ -57,6 +64,7 @@
 #include "dfs/mapreduce/repair.h"
 #include "dfs/net/utilization.h"
 #include "dfs/mapreduce/simulation.h"
+#include "dfs/mapreduce/speed_model.h"
 #include "dfs/mapreduce/trace.h"
 #include "dfs/runner/jobs_flag.h"
 #include "dfs/runner/sweep.h"
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
            "  --scheduler LF|BDF|EDF|DELAY|FAIR|FAIR+DF\n"
            "  --failure none|node|2node|rack --sources random|samerack\n"
            "  --planner cheapest|fullshard --cross-rack-cost X\n"
+           "  --speed-profile uniform|bimodal:F,S[,SEED]|vector:F0,...\n"
+           "  --skew S\n"
            "  --seeds N --jobs N --speculate --repair N --normalize\n"
            "  --csv PREFIX --utilization --net-stats --recovery-stats\n"
            "  code SPEC: "
@@ -181,6 +191,24 @@ int main(int argc, char** argv) {
       cfg.node_time_scale[static_cast<std::size_t>(n)] = hetero;
     }
   }
+  mapreduce::SpeedModel speed;
+  try {
+    speed = mapreduce::SpeedModel::parse(
+        args.get_or("speed-profile", "uniform"));
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (!speed.uniform()) {
+    if (hetero != 1.0) {
+      return fail("--speed-profile and --hetero are mutually exclusive");
+    }
+    cfg.node_time_scale = speed.materialize(cfg.topology.num_nodes());
+  }
+  const double skew = args.get_double("skew", 0.0);
+  if (skew < 0.0) return fail("--skew must be >= 0");
+  if (skew > 0.0 && placement != "random") {
+    return fail("--skew needs --placement random");
+  }
 
   if (const auto unknown = args.unrecognized(); !unknown.empty()) {
     return fail("unknown flag --" + unknown.front());
@@ -252,6 +280,11 @@ int main(int argc, char** argv) {
               job.layout = std::make_shared<storage::StorageLayout>(
                   storage::replicated_layout(blocks, code->n(), cfg.topology,
                                              rng));
+            } else if (skew > 0.0) {
+              job.layout = std::make_shared<storage::StorageLayout>(
+                  storage::zipf_rack_skewed_layout(blocks, code->n(),
+                                                   code->k(), cfg.topology,
+                                                   rng, skew));
             } else {
               job.layout = std::make_shared<storage::StorageLayout>(
                   storage::random_rack_constrained_layout(
@@ -357,7 +390,10 @@ int main(int argc, char** argv) {
                  << " had unrecoverable blocks (data loss)\n";
           }
           if (s == 0 && csv_prefix) {
-            mapreduce::write_csv_files(*csv_prefix, result);
+            // Non-uniform speed profiles opt the map-task CSV into the
+            // time_scale column; default traces keep their exact columns.
+            mapreduce::write_csv_files(*csv_prefix, result,
+                                       !speed.uniform());
           }
           out.log = log.str();
           out.warn = warn.str();
